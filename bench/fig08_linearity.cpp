@@ -1,0 +1,134 @@
+// Figure 8: the linearity test.  The paper sends messages of 0-5 MB to five
+// workers with simulated link-speed factors 1..5 and checks that transfer
+// time is linear in the message size with negligible latency.
+//
+// We reproduce it twice:
+//   (1) on the threaded runtime (wall-clock measurement of the paced
+//       transfers, time-scaled), and
+//   (2) on the DES with the cluster-like noise model,
+// and report the per-worker linear fit (slope, intercept, R^2).  Expected
+// shape: R^2 ~ 1, intercept ~ 0, slope inversely proportional to the
+// worker's speed factor.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "runtime/one_port.hpp"
+#include "runtime/worker_thread.hpp"
+#include "sim/noise.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+Fit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  Fit fit;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  fit.slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / static_cast<double>(n);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  const double mean_y = sy / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double predicted = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - predicted) * (ys[i] - predicted);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlsched;
+  std::cout << "Figure 8 -- linearity test: transfer time vs message size\n";
+  std::cout << "five workers with link speed factors 1..5; base bandwidth "
+               "11.75 MB/s\n\n";
+
+  const std::vector<double> sizes_mb{0.5, 1.0, 1.5, 2.0, 2.5,
+                                     3.0, 3.5, 4.0, 4.5, 5.0};
+
+  // ---- (1) threaded runtime: measure paced transfers ---------------------
+  rt::RuntimeConfig config;
+  config.base_bandwidth = 11.75e6;
+  // Modest scaling: transfers must stay well above the OS sleep
+  // granularity or the fit measures scheduler jitter instead of bandwidth.
+  config.time_scale = 4.0;
+
+  std::cout << "[threaded runtime measurement]\n";
+  Table runtime_table({"worker", "speed", "slope[s/MB]", "intercept[s]",
+                       "R^2"});
+  runtime_table.set_precision(5);
+  for (int worker = 1; worker <= 5; ++worker) {
+    const double factor = static_cast<double>(worker);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (double mb : sizes_mb) {
+      const double bytes = mb * 1e6;
+      const double expected = rt::transfer_seconds(config, bytes, factor);
+      const auto begin = std::chrono::steady_clock::now();
+      rt::paced_sleep(expected, config.time_scale);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count() *
+          config.time_scale;
+      xs.push_back(mb);
+      ys.push_back(wall);
+    }
+    const Fit fit = linear_fit(xs, ys);
+    runtime_table.begin_row()
+        .cell(std::string("worker ") + std::to_string(worker))
+        .cell(static_cast<long long>(worker))
+        .cell(fit.slope)
+        .cell(fit.intercept)
+        .cell(fit.r2);
+  }
+  runtime_table.print_aligned(std::cout);
+
+  // ---- (2) DES with cluster-like noise ------------------------------------
+  std::cout << "\n[discrete-event simulation with cluster noise]\n";
+  Table des_table({"worker", "speed", "slope[s/MB]", "intercept[s]", "R^2"});
+  des_table.set_precision(5);
+  for (int worker = 1; worker <= 5; ++worker) {
+    const double factor = static_cast<double>(worker);
+    sim::NoiseSampler sampler(
+        sim::NoiseModel::cluster_like(1234 + static_cast<unsigned>(worker)));
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (double mb : sizes_mb) {
+      const double ideal = mb * 1e6 / (11.75e6 * factor);
+      xs.push_back(mb);
+      ys.push_back(sampler.message_time(ideal));
+    }
+    const Fit fit = linear_fit(xs, ys);
+    des_table.begin_row()
+        .cell(std::string("worker ") + std::to_string(worker))
+        .cell(static_cast<long long>(worker))
+        .cell(fit.slope)
+        .cell(fit.intercept)
+        .cell(fit.r2);
+  }
+  des_table.print_aligned(std::cout);
+
+  std::cout << "\nexpected shape: R^2 close to 1 (linear), intercept close "
+               "to 0 (no latency), slope ~ 1/(11.75 * speed)\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 10: average execution times on 50 *homogeneous* random bus
+// platforms (all workers share one comm factor and one comp factor),
+// normalized by the INC_C LP prediction.  On homogeneous platforms all
+// FIFO strategies coincide, so only INC_C and LIFO are plotted.
+//
+// Expected shape (paper): LIFO_lp/lp < 1 (LIFO beats FIFO) and the real/lp
+// ratios sit a little above their lp counterparts.
+#include "experiments/figures.hpp"
+#include "platform/generators.hpp"
+
+int main() {
+  using namespace dlsched;
+  experiments::FigureConfig config;
+  experiments::print_figure_table(
+      "Figure 10 -- homogeneous random platforms (bus, identical workers)",
+      config,
+      [](std::size_t p, Rng& rng) { return gen::homogeneous_speeds(p, rng); },
+      /*include_inc_w=*/false);
+  return 0;
+}

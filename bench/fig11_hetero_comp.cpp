@@ -1,0 +1,20 @@
+// Figure 11: homogeneous communication, heterogeneous computation -- the
+// exact regime of Theorem 2 (bus network).  INC_W now differs from INC_C.
+//
+// Expected shape (paper): LIFO <= INC_C <= INC_W in LP time; real
+// executions preserve the ranking.
+#include "experiments/figures.hpp"
+#include "platform/generators.hpp"
+
+int main() {
+  using namespace dlsched;
+  experiments::FigureConfig config;
+  experiments::print_figure_table(
+      "Figure 11 -- homogeneous communication / heterogeneous computation",
+      config,
+      [](std::size_t p, Rng& rng) {
+        return gen::bus_hetero_comp_speeds(p, rng);
+      },
+      /*include_inc_w=*/true);
+  return 0;
+}

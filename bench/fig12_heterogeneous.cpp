@@ -1,0 +1,21 @@
+// Figure 12: fully heterogeneous star platforms (random comm and comp
+// factors per worker).
+//
+// Expected shape (paper): same ranking as Figure 11 (LIFO best, INC_C the
+// best FIFO as Theorem 1 predicts), with real executions within ~20 % of
+// the LP prediction.
+#include "experiments/figures.hpp"
+#include "platform/generators.hpp"
+
+int main() {
+  using namespace dlsched;
+  experiments::FigureConfig config;
+  experiments::print_figure_table(
+      "Figure 12 -- heterogeneous random star platforms",
+      config,
+      [](std::size_t p, Rng& rng) {
+        return gen::heterogeneous_speeds(p, rng);
+      },
+      /*include_inc_w=*/true);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 13: the communication/computation ratio study.
+//   (a) computation 10x faster -- communication dominates; FIFO variants
+//       converge and LIFO's edge shrinks;
+//   (b) communication 10x faster -- computation dominates.
+// Both panels reuse the heterogeneous ensemble of Figure 12.
+#include "experiments/figures.hpp"
+#include "platform/generators.hpp"
+
+int main() {
+  using namespace dlsched;
+  auto hetero = [](std::size_t p, Rng& rng) {
+    return gen::heterogeneous_speeds(p, rng);
+  };
+
+  experiments::FigureConfig faster_comp;
+  faster_comp.comp_speed_up = 10.0;
+  experiments::print_figure_table(
+      "Figure 13(a) -- heterogeneous platforms, computation power x10",
+      faster_comp, hetero, /*include_inc_w=*/true);
+
+  experiments::FigureConfig faster_comm;
+  faster_comm.comm_speed_up = 10.0;
+  experiments::print_figure_table(
+      "Figure 13(b) -- heterogeneous platforms, communication power x10",
+      faster_comm, hetero, /*include_inc_w=*/true);
+  return 0;
+}

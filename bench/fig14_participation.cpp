@@ -1,0 +1,73 @@
+// Figure 14: observing the number of participating workers (Section 5.3.4).
+//
+// Platform: comm speeds {10, 8, 8, x}, comp speeds {9, 9, 10, 1},
+// matrix size 400, M = 1000 tasks, INC_C FIFO.  For each number of
+// *available* workers 1..4 we report the LP time, the "real" (DES) time,
+// and how many workers the LP actually enrolled.
+//
+// Expected shape: with x = 1 the fourth worker is never used (3 of 4);
+// with x = 3 it is used and the 4-worker time improves slightly.
+#include <iostream>
+
+#include "core/fifo_optimal.hpp"
+#include "core/throughput.hpp"
+#include "platform/generators.hpp"
+#include "platform/matrix_app.hpp"
+#include "schedule/rounding.hpp"
+#include "sim/des_executor.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dlsched;
+  const MatrixApp app({.matrix_size = 400});
+  const std::uint64_t m = 1000;
+
+  for (double x : {1.0, 3.0}) {
+    std::cout << "Figure 14 -- participation test, x = " << x
+              << " (matrix size 400, M = 1000, INC_C)\n";
+    const StarPlatform full = app.platform(gen::participation_speeds(x));
+
+    Table table({"available_workers", "lp_time[s]", "real_time[s]",
+                 "workers_used"});
+    table.set_precision(3);
+    for (std::size_t available = 1; available <= 4; ++available) {
+      std::vector<std::size_t> subset(available);
+      for (std::size_t i = 0; i < available; ++i) subset[i] = i;
+      const StarPlatform platform = full.subset(subset);
+      const auto result = solve_fifo_optimal(platform);
+      const double rho = result.solution.throughput.to_double();
+      const double lp_time = makespan_for_load(rho, static_cast<double>(m));
+
+      // Integral execution on the DES.
+      std::vector<double> ordered;
+      for (std::size_t w : result.solution.scenario.send_order) {
+        ordered.push_back(result.solution.alpha[w].to_double() *
+                          static_cast<double>(m) / rho);
+      }
+      const auto integral = round_loads(ordered, m);
+      std::vector<double> loads(platform.size(), 0.0);
+      for (std::size_t k = 0;
+           k < result.solution.scenario.send_order.size(); ++k) {
+        loads[result.solution.scenario.send_order[k]] =
+            static_cast<double>(integral[k]);
+      }
+      const auto des =
+          sim::execute(platform, result.solution.scenario, loads,
+                       sim::NoiseModel::cluster_like(
+                           42 + available + static_cast<unsigned>(x)));
+
+      table.begin_row()
+          .cell(available)
+          .cell(lp_time)
+          .cell(des.makespan)
+          .cell(result.solution.enrolled().size());
+    }
+    table.print_aligned(std::cout);
+    std::cout << (x == 1.0
+                      ? "expected: the slow fourth worker is never enrolled\n"
+                      : "expected: the fourth worker is enrolled and helps "
+                        "slightly\n")
+              << "\n";
+  }
+  return 0;
+}

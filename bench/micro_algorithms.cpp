@@ -1,0 +1,82 @@
+// Microbenchmarks of the scheduling algorithms: the polynomial Theorem 1
+// solve, the closed forms (which beat the LP by orders of magnitude where
+// they apply), and the factorial growth of exhaustive search.
+#include <benchmark/benchmark.h>
+
+#include "core/brute_force.hpp"
+#include "core/bus_closed_form.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dlsched;
+
+void BM_FifoOptimal(benchmark::State& state) {
+  Rng rng(11 + state.range(0));
+  const StarPlatform platform =
+      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_fifo_optimal(platform));
+  }
+}
+BENCHMARK(BM_FifoOptimal)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_LifoClosedForm(benchmark::State& state) {
+  Rng rng(12 + state.range(0));
+  const StarPlatform platform =
+      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lifo_closed_form(platform));
+  }
+}
+BENCHMARK(BM_LifoClosedForm)->Arg(4)->Arg(12)->Arg(32);
+
+void BM_BusClosedForm(benchmark::State& state) {
+  Rng rng(13 + state.range(0));
+  const StarPlatform platform =
+      gen::random_bus(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bus_closed_form(platform));
+  }
+}
+BENCHMARK(BM_BusClosedForm)->Arg(4)->Arg(12)->Arg(32);
+
+void BM_BusViaLp(benchmark::State& state) {
+  // The same optimum through Theorem 1's LP: quantifies what the closed
+  // form saves.
+  Rng rng(13 + state.range(0));
+  const StarPlatform platform =
+      gen::random_bus(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_fifo_optimal(platform));
+  }
+}
+BENCHMARK(BM_BusViaLp)->Arg(4)->Arg(12);
+
+void BM_BruteForceFifo(benchmark::State& state) {
+  Rng rng(14);
+  const StarPlatform platform =
+      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  BruteForceOptions options;
+  options.fifo_only = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute_force_best_double(platform, options));
+  }
+}
+BENCHMARK(BM_BruteForceFifo)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_BruteForceGeneral(benchmark::State& state) {
+  Rng rng(15);
+  const StarPlatform platform =
+      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brute_force_best_double(platform, BruteForceOptions{}));
+  }
+}
+BENCHMARK(BM_BruteForceGeneral)->Arg(3)->Arg(4);
+
+}  // namespace

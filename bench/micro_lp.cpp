@@ -1,0 +1,104 @@
+// Microbenchmarks of the LP substrate: exact rational simplex vs the
+// double-precision simplex on the paper's scheduling LPs, as a function of
+// platform size.  (The paper used lp_solve; this quantifies the cost of
+// the exact replacement.)
+#include <benchmark/benchmark.h>
+
+#include "core/heuristics.hpp"
+#include "core/scenario_lp.hpp"
+#include "numeric/bigint.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dlsched;
+
+StarPlatform make_platform(std::size_t p) {
+  Rng rng(42 + p);
+  return gen::random_star(p, rng, 0.5);
+}
+
+void BM_ScenarioLpExact(benchmark::State& state) {
+  const StarPlatform platform =
+      make_platform(static_cast<std::size_t>(state.range(0)));
+  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_scenario(platform, scenario));
+  }
+}
+BENCHMARK(BM_ScenarioLpExact)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ScenarioLpDouble(benchmark::State& state) {
+  const StarPlatform platform =
+      make_platform(static_cast<std::size_t>(state.range(0)));
+  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_scenario_double(platform, scenario));
+  }
+}
+BENCHMARK(BM_ScenarioLpDouble)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(24);
+
+void BM_BuildScenarioLp(benchmark::State& state) {
+  const StarPlatform platform =
+      make_platform(static_cast<std::size_t>(state.range(0)));
+  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_scenario_lp(platform, scenario));
+  }
+}
+BENCHMARK(BM_BuildScenarioLp)->Arg(4)->Arg(12);
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  using numeric::BigInt;
+  const std::size_t limbs = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  BigInt a;
+  BigInt b;
+  for (std::size_t i = 0; i < limbs; ++i) {
+    a <<= 32;
+    a += BigInt(static_cast<std::uint64_t>(rng.engine()() & 0xffffffffULL));
+    b <<= 32;
+    b += BigInt(static_cast<std::uint64_t>(rng.engine()() & 0xffffffffULL));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BigIntDivmod(benchmark::State& state) {
+  using numeric::BigInt;
+  const std::size_t limbs = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  BigInt a;
+  BigInt b;
+  for (std::size_t i = 0; i < 2 * limbs; ++i) {
+    a <<= 32;
+    a += BigInt(static_cast<std::uint64_t>(rng.engine()() & 0xffffffffULL));
+  }
+  for (std::size_t i = 0; i < limbs; ++i) {
+    b <<= 32;
+    b += BigInt(static_cast<std::uint64_t>(rng.engine()() & 0xffffffffULL));
+  }
+  b += BigInt(1);
+  BigInt q;
+  BigInt r;
+  for (auto _ : state) {
+    BigInt::divmod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivmod)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RationalFromDouble(benchmark::State& state) {
+  using numeric::Rational;
+  double x = 0.12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Rational::from_double(x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_RationalFromDouble);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Microbenchmarks of the execution substrates: DES event throughput and the
+// threaded runtime's channel/arbiter primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/heuristics.hpp"
+#include "platform/generators.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/matmul.hpp"
+#include "sim/des_executor.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dlsched;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const std::size_t events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_DesExecution(benchmark::State& state) {
+  Rng rng(21);
+  const StarPlatform platform =
+      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::execute(platform, sol.scenario, sol.alpha));
+  }
+}
+BENCHMARK(BM_DesExecution)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  rt::Channel ch;
+  for (auto _ : state) {
+    ch.send(rt::Message{1, 1, {}});
+    benchmark::DoNotOptimize(ch.receive());
+  }
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  rt::Matrix a(n);
+  rt::Matrix b(n);
+  rt::Matrix c(n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  for (auto _ : state) {
+    rt::gemm(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,222 @@
+// dlsched_cli -- drive the library from a platform description file.
+//
+//   dlsched_cli describe <platform-file>
+//   dlsched_cli fifo     <platform-file> [--load M] [--two-port]
+//   dlsched_cli lifo     <platform-file> [--load M]
+//   dlsched_cli compare  <platform-file> [--load M]
+//   dlsched_cli brute    <platform-file> [--fifo-only] [--lifo-only]
+//   dlsched_cli gantt    <platform-file> [--svg out.svg] [--width N]
+//   dlsched_cli simulate <platform-file> [--load M] [--noise SEED]
+//
+// Platform file format (see src/platform/platform_io.hpp):
+//   z 0.5
+//   node-a 0.08 0.30
+//   node-b 0.12 0.20 0.06
+#include <fstream>
+#include <iostream>
+
+#include "core/brute_force.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "core/throughput.hpp"
+#include "core/two_port.hpp"
+#include "platform/platform_io.hpp"
+#include "schedule/gantt.hpp"
+#include "schedule/rounding.hpp"
+#include "schedule/validator.hpp"
+#include "sim/des_executor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dlsched;
+
+int usage() {
+  std::cerr
+      << "usage: dlsched_cli <describe|fifo|lifo|compare|brute|gantt|"
+         "simulate> <platform-file> [options]\n"
+         "  --load M       schedule M load units (default: throughput form)\n"
+         "  --two-port     fifo: use the two-port model of [7,8]\n"
+         "  --fifo-only / --lifo-only   restrict the brute-force search\n"
+         "  --svg FILE     gantt: also write an SVG\n"
+         "  --width N      gantt: ASCII width (default 100)\n"
+         "  --noise SEED   simulate: cluster-like noise with this seed\n"
+         "  --chrome-trace FILE   simulate: dump a chrome://tracing JSON\n";
+  return 2;
+}
+
+void print_solution(const StarPlatform& platform,
+                    const ScenarioSolution& solution, double load) {
+  std::cout << "scenario: " << solution.scenario.describe() << "\n";
+  std::cout << "throughput (T = 1): " << solution.throughput.to_double()
+            << "\n";
+  if (load > 0.0) {
+    std::cout << "time for " << load << " load units: "
+              << makespan_for_load(solution.throughput.to_double(), load)
+              << "\n";
+  }
+  Table table({"worker", "alpha", "share_%"});
+  table.set_precision(5);
+  const double total = solution.throughput.to_double();
+  for (std::size_t w = 0; w < platform.size(); ++w) {
+    if (!solution.alpha[w].is_positive()) continue;
+    table.begin_row()
+        .cell(platform.worker(w).name)
+        .cell(solution.alpha[w].to_double())
+        .cell(100.0 * solution.alpha[w].to_double() / total);
+  }
+  table.print_aligned(std::cout);
+  const std::size_t used = solution.enrolled().size();
+  if (used < platform.size()) {
+    std::cout << "(resource selection dropped " << platform.size() - used
+              << " worker(s))\n";
+  }
+}
+
+int cmd_describe(const StarPlatform& platform) {
+  std::cout << platform.describe();
+  std::cout << serialize_platform(platform);
+  return 0;
+}
+
+int cmd_fifo(const StarPlatform& platform, const CliArgs& args) {
+  const double load = args.get_double("load", 0.0);
+  if (args.has("two-port")) {
+    const auto result = solve_fifo_optimal_two_port(platform);
+    std::cout << "two-port model ([7,8])\n";
+    print_solution(platform, result.solution, load);
+    std::cout << "one-port feasible throughput after the Figure 7 "
+                 "transformation: "
+              << result.one_port_throughput.to_double() << "\n";
+    return 0;
+  }
+  const auto result = solve_fifo_optimal(platform);
+  std::cout << "one-port FIFO optimum (Theorem 1"
+            << (result.mirrored ? ", z > 1 mirror" : "") << ")\n";
+  print_solution(platform, result.solution, load);
+  return 0;
+}
+
+int cmd_lifo(const StarPlatform& platform, const CliArgs& args) {
+  const auto lp = solve_lifo_lp(platform);
+  std::cout << "one-port LIFO optimum ([7,8])\n";
+  print_solution(platform, lp, args.get_double("load", 0.0));
+  return 0;
+}
+
+int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
+  const double load = args.get_double("load", 1000.0);
+  Table table({"strategy", "throughput", "time_for_load", "workers"});
+  table.set_precision(5);
+  auto add = [&](const char* name, const ScenarioSolution& s) {
+    table.begin_row()
+        .cell(std::string(name))
+        .cell(s.throughput.to_double())
+        .cell(makespan_for_load(s.throughput.to_double(), load))
+        .cell(s.enrolled().size());
+  };
+  add("FIFO (optimal)", solve_fifo_optimal(platform).solution);
+  add("LIFO (optimal)", solve_lifo_lp(platform));
+  add("two-port FIFO", solve_fifo_optimal_two_port(platform).solution);
+  table.print_aligned(std::cout);
+  return 0;
+}
+
+int cmd_brute(const StarPlatform& platform, const CliArgs& args) {
+  BruteForceOptions options;
+  options.fifo_only = args.has("fifo-only");
+  options.lifo_only = args.has("lifo-only");
+  const auto result = brute_force_best(platform, options);
+  std::cout << "exhaustive search over " << result.scenarios_tried
+            << " scenario(s)\n";
+  print_solution(platform, result.best, args.get_double("load", 0.0));
+  return 0;
+}
+
+int cmd_gantt(const StarPlatform& platform, const CliArgs& args) {
+  const auto result = solve_fifo_optimal(platform);
+  const Timeline timeline = build_timeline(platform, result.schedule);
+  GanttOptions options;
+  options.width =
+      static_cast<std::size_t>(args.get_int("width", 100));
+  std::cout << render_ascii_gantt(platform, timeline, options);
+  if (const auto svg_path = args.get("svg")) {
+    std::ofstream svg(*svg_path);
+    if (!svg.good()) {
+      std::cerr << "cannot write " << *svg_path << "\n";
+      return 1;
+    }
+    GanttOptions svg_options;
+    svg_options.svg_pixels_per_unit = 700.0 / timeline.makespan;
+    svg << render_svg_gantt(platform, timeline, svg_options);
+    std::cout << "SVG written to " << *svg_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
+  const auto load =
+      static_cast<std::uint64_t>(args.get_int("load", 1000));
+  const auto result = solve_fifo_optimal(platform);
+  const double rho = result.solution.throughput.to_double();
+
+  std::vector<double> ordered;
+  for (std::size_t w : result.solution.scenario.send_order) {
+    ordered.push_back(result.solution.alpha[w].to_double() *
+                      static_cast<double>(load) / rho);
+  }
+  const auto integral = round_loads(ordered, load);
+  std::vector<double> loads(platform.size(), 0.0);
+  for (std::size_t k = 0; k < result.solution.scenario.send_order.size();
+       ++k) {
+    loads[result.solution.scenario.send_order[k]] =
+        static_cast<double>(integral[k]);
+  }
+  sim::NoiseModel noise = sim::NoiseModel::none();
+  if (args.has("noise")) {
+    noise = sim::NoiseModel::cluster_like(
+        static_cast<std::uint64_t>(args.get_int("noise", 1)));
+  }
+  const auto des = sim::execute(platform, result.solution.scenario, loads,
+                                noise);
+  std::cout << "LP-predicted time: "
+            << makespan_for_load(rho, static_cast<double>(load)) << "\n";
+  std::cout << "simulated time:    " << des.makespan << "\n";
+  std::cout << "master busy:       "
+            << 100.0 * des.trace.master_utilization() << " %\n";
+  if (const auto trace_path = args.get("chrome-trace")) {
+    std::ofstream out(*trace_path);
+    if (!out.good()) {
+      std::cerr << "cannot write " << *trace_path << "\n";
+      return 1;
+    }
+    out << des.trace.to_chrome_json(platform);
+    std::cout << "chrome trace written to " << *trace_path
+              << " (open in about://tracing or ui.perfetto.dev)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(
+      argc, argv, {"two-port", "fifo-only", "lifo-only"});
+  if (args.positional().size() < 2) return usage();
+  const std::string& command = args.positional()[0];
+  try {
+    const StarPlatform platform = load_platform(args.positional()[1]);
+    if (command == "describe") return cmd_describe(platform);
+    if (command == "fifo") return cmd_fifo(platform, args);
+    if (command == "lifo") return cmd_lifo(platform, args);
+    if (command == "compare") return cmd_compare(platform, args);
+    if (command == "brute") return cmd_brute(platform, args);
+    if (command == "gantt") return cmd_gantt(platform, args);
+    if (command == "simulate") return cmd_simulate(platform, args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

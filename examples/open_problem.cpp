@@ -1,0 +1,75 @@
+// The paper's open problem, hands-on: how much throughput do *free*
+// permutation pairs (sigma_1, sigma_2) buy over the best FIFO and LIFO
+// schedules, and can local search find them?
+//
+// Also demonstrates the Lemma 2 exchange transformations: we take a
+// deliberately mis-ordered FIFO schedule and watch the proof's swaps
+// repair it step by step.
+//
+//   $ ./open_problem
+#include <iostream>
+
+#include "core/brute_force.hpp"
+#include "core/exchange.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "core/local_search.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dlsched;
+  Rng rng(2026);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  std::cout << "platform:\n" << platform.describe() << "\n";
+
+  // --- the landscape of structured schedules ------------------------------
+  const auto fifo = solve_fifo_optimal(platform);
+  const auto lifo = solve_lifo_lp(platform);
+  const auto search = local_search_best_pair(platform);
+
+  Table table({"strategy", "throughput", "vs INC_C"});
+  table.set_precision(5);
+  const double base = fifo.solution.throughput.to_double();
+  auto row = [&](const char* name, double rho) {
+    table.begin_row().cell(std::string(name)).cell(rho).cell(rho / base);
+  };
+  row("FIFO optimal (Theorem 1)", base);
+  row("LIFO optimal", lifo.throughput.to_double());
+  row("local search over (s1,s2)", search.best.throughput);
+  table.print_aligned(std::cout);
+  std::cout << "search explored " << search.lp_evaluations
+            << " scenario LPs; best pair: "
+            << search.best.scenario.describe() << "\n\n";
+
+  // --- Lemma 2's proof, executed ------------------------------------------
+  std::cout << "Lemma 2 exchange argument on the worst FIFO order "
+               "(non-increasing c):\n";
+  const auto worst_order = platform.order_by_c_desc();
+  const auto worst =
+      solve_scenario_double(platform, Scenario::fifo(worst_order));
+  Schedule schedule = realize_schedule(platform, worst);
+  std::cout << "  start:   load = " << schedule.total_load() << "\n";
+  bool swapped = true;
+  int step = 0;
+  while (swapped) {
+    swapped = false;
+    for (std::size_t i = 0; i + 1 < schedule.entries.size(); ++i) {
+      const double ci = platform.worker(schedule.entries[i].worker).c;
+      const double cj = platform.worker(schedule.entries[i + 1].worker).c;
+      if (ci > cj) {
+        const ExchangeResult result = swap_adjacent(platform, schedule, i);
+        schedule = result.schedule;
+        std::cout << "  swap #" << ++step << ": load = "
+                  << schedule.total_load() << "  (+" << result.load_gain
+                  << ")\n";
+        swapped = true;
+      }
+    }
+  }
+  std::cout << "  sorted:  load = " << schedule.total_load()
+            << "  -- every swap increased the load, as the proof asserts\n"
+            << "  (Theorem 1 optimum with fresh loads: " << base << ")\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: describe a heterogeneous platform, compute the optimal
+// one-port FIFO schedule (Theorem 1) and the LIFO comparator, inspect and
+// validate the result.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "schedule/gantt.hpp"
+#include "schedule/timeline.hpp"
+#include "schedule/validator.hpp"
+
+int main() {
+  using namespace dlsched;
+
+  // A star platform: per load unit, worker Pi needs c time units to receive
+  // its input, w to compute, d to return results (d = c/2 here: results are
+  // half the size of the input, as in a matrix-product application).
+  const StarPlatform platform({
+      Worker{0.08, 0.30, 0.04, "fast-link"},
+      Worker{0.12, 0.20, 0.06, "balanced"},
+      Worker{0.20, 0.15, 0.10, "fast-cpu"},
+      Worker{0.35, 0.60, 0.175, "weak"},
+  });
+  std::cout << platform.describe() << "\n";
+
+  // --- optimal FIFO (the paper's Theorem 1) -------------------------------
+  const FifoOptimalResult fifo = solve_fifo_optimal(platform);
+  std::cout << "optimal FIFO throughput: "
+            << fifo.solution.throughput.to_double()
+            << " load units per time unit"
+            << " (exact: " << fifo.solution.throughput.to_string() << ")\n";
+  std::cout << "enrolled " << fifo.solution.enrolled().size() << " of "
+            << platform.size() << " workers\n\n";
+  std::cout << fifo.schedule.describe(platform);
+
+  // Always validate what you are about to deploy.
+  const ValidationReport report = validate(platform, fifo.schedule);
+  std::cout << "schedule valid: " << (report.ok ? "yes" : "NO") << "\n\n";
+
+  // --- LIFO comparator -----------------------------------------------------
+  const LifoResult lifo = solve_lifo_closed_form(platform);
+  std::cout << "optimal LIFO throughput: " << lifo.throughput.to_double()
+            << "  (FIFO/LIFO ratio: "
+            << fifo.solution.throughput.to_double() /
+                   lifo.throughput.to_double()
+            << ")\n\n";
+
+  // --- visualize -----------------------------------------------------------
+  const Timeline timeline = build_timeline(platform, fifo.schedule);
+  std::cout << render_ascii_gantt(platform, timeline,
+                                  GanttOptions{.width = 80}) << "\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Resource selection study (the paper's Section 5.3.4 scenario, explored
+// interactively): when is it worth enrolling a slow fourth worker?
+//
+// We sweep the slow worker's communication factor x and report the
+// throughput, whether the LP enrolls it, and the loss from forcing it in /
+// leaving it out.
+//
+//   $ ./resource_selection
+#include <iostream>
+
+#include "core/fifo_optimal.hpp"
+#include "core/throughput.hpp"
+#include "platform/generators.hpp"
+#include "platform/matrix_app.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dlsched;
+  const MatrixApp app({.matrix_size = 400});
+  const std::uint64_t m = 1000;
+
+  std::cout << "Resource selection: 3 strong workers + 1 slow worker whose "
+               "link factor x varies\n";
+  std::cout << "(comm {10, 8, 8, x}, comp {9, 9, 10, 1}; matrix size 400, "
+               "M = 1000)\n\n";
+
+  Table table({"x", "rho(4 workers)", "time[s]", "slow_enrolled",
+               "time_without_slow[s]", "gain_%"});
+  table.set_precision(3);
+  for (double x : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0}) {
+    const StarPlatform full = app.platform(gen::participation_speeds(x));
+    const auto with_all = solve_fifo_optimal(full);
+    const double rho = with_all.solution.throughput.to_double();
+    const bool slow_used = with_all.solution.alpha[3].is_positive();
+
+    const std::vector<std::size_t> strong{0, 1, 2};
+    const auto without = solve_fifo_optimal(full.subset(strong));
+    const double rho3 = without.solution.throughput.to_double();
+
+    table.begin_row()
+        .cell(format_double(x, 2))
+        .cell(rho)
+        .cell(makespan_for_load(rho, static_cast<double>(m)))
+        .cell(std::string(slow_used ? "yes" : "no"))
+        .cell(makespan_for_load(rho3, static_cast<double>(m)))
+        .cell(100.0 * (rho / rho3 - 1.0));
+  }
+  table.print_aligned(std::cout);
+
+  std::cout << "\nreading: below some x the slow worker is pure ballast "
+               "(gain 0, not enrolled);\nas its link improves the LP "
+               "enrolls it and the 4-worker platform wins\n";
+  return 0;
+}

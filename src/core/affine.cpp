@@ -1,0 +1,73 @@
+#include "core/affine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
+                                   std::vector<std::size_t> participants,
+                                   const AffineCosts& costs) {
+  DLSCHED_EXPECT(!participants.empty(), "no participants");
+  // Non-decreasing c among the participants (Theorem 1's order remains the
+  // natural heuristic under affine costs).
+  std::stable_sort(participants.begin(), participants.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return platform.worker(a).c < platform.worker(b).c;
+                   });
+  return solve_scenario(platform, Scenario::fifo(participants),
+                        costs.lp_options());
+}
+
+AffineSelectionResult solve_affine_fifo_best_subset(
+    const StarPlatform& platform, const AffineCosts& costs,
+    std::size_t max_workers) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  DLSCHED_EXPECT(platform.size() <= max_workers,
+                 "platform too large for subset enumeration");
+  AffineSelectionResult result;
+  const std::size_t p = platform.size();
+  for (std::size_t mask = 1; mask < (std::size_t{1} << p); ++mask) {
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(i);
+    }
+    ScenarioSolution solution =
+        solve_affine_fifo(platform, std::move(subset), costs);
+    ++result.subsets_tried;
+    if (!solution.lp_feasible) continue;
+    if (result.participants.empty() ||
+        solution.throughput > result.best.throughput) {
+      result.best = std::move(solution);
+      result.participants = result.best.scenario.send_order;
+    }
+  }
+  DLSCHED_EXPECT(!result.participants.empty(),
+                 "no feasible subset (constants exceed the horizon)");
+  return result;
+}
+
+AffineSelectionResult solve_affine_fifo_greedy(const StarPlatform& platform,
+                                               const AffineCosts& costs) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  const std::vector<std::size_t> order = platform.order_by_c();
+  AffineSelectionResult result;
+  bool have_best = false;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    std::vector<std::size_t> prefix(order.begin(),
+                                    order.begin() + static_cast<std::ptrdiff_t>(k));
+    ScenarioSolution solution = solve_affine_fifo(platform, prefix, costs);
+    ++result.subsets_tried;
+    if (!solution.lp_feasible) break;  // longer prefixes only add constants
+    if (!have_best || solution.throughput > result.best.throughput) {
+      result.best = std::move(solution);
+      result.participants = result.best.scenario.send_order;
+      have_best = true;
+    }
+  }
+  DLSCHED_EXPECT(have_best, "no feasible prefix (constants exceed horizon)");
+  return result;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,65 @@
+// The affine cost model (paper Section 6): every message costs a start-up
+// latency in addition to the linear term, and a computation pays a fixed
+// overhead.  Legrand-Yang-Casanova [20] proved the resulting DLS problem
+// NP-hard on heterogeneous stars, so no polynomial optimality result exists
+// here; this module provides:
+//   * the affine scenario LP (fixed participant set and orders);
+//   * exact resource selection by subset enumeration for small platforms;
+//   * a greedy heuristic (grow the non-decreasing-c prefix) for larger ones.
+//
+// The affine model is what makes multi-round strategies non-trivial (see
+// core/multiround.hpp): with purely linear costs infinitely many rounds
+// would be free.
+#pragma once
+
+#include <cstddef>
+
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+
+namespace dlsched {
+
+/// Per-activity start-up overheads (same for every worker, as in the
+/// "query processing" variant of Barlas [4]).
+struct AffineCosts {
+  double send_latency = 0.0;
+  double compute_latency = 0.0;
+  double return_latency = 0.0;
+
+  [[nodiscard]] LpOptions lp_options(bool one_port = true) const {
+    LpOptions options;
+    options.one_port = one_port;
+    options.send_latency = send_latency;
+    options.compute_latency = compute_latency;
+    options.return_latency = return_latency;
+    return options;
+  }
+};
+
+/// FIFO affine LP over exactly the given participants (non-decreasing c
+/// order is applied internally).  Workers outside `participants` pay
+/// nothing.  lp_feasible is false when the constants alone exceed T = 1.
+[[nodiscard]] ScenarioSolution solve_affine_fifo(
+    const StarPlatform& platform, std::vector<std::size_t> participants,
+    const AffineCosts& costs);
+
+struct AffineSelectionResult {
+  ScenarioSolution best;                 ///< best subset's solution
+  std::vector<std::size_t> participants; ///< the chosen subset
+  std::size_t subsets_tried = 0;
+};
+
+/// Exact resource selection: tries every non-empty subset (2^p - 1 LPs).
+/// Throws if platform.size() > max_workers.
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
+    const StarPlatform& platform, const AffineCosts& costs,
+    std::size_t max_workers = 12);
+
+/// Greedy selection: grow the prefix of the non-decreasing-c order while
+/// the throughput improves.  Polynomial (p LPs); not optimal in general
+/// (the problem is NP-hard [20]) but exact on the instances where the
+/// optimal subset is a prefix -- the common case, exercised in tests.
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_greedy(
+    const StarPlatform& platform, const AffineCosts& costs);
+
+}  // namespace dlsched

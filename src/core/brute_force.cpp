@@ -1,0 +1,81 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+namespace {
+
+/// Calls `body` with every (sigma_1, sigma_2) pair permitted by `options`.
+template <class Body>
+void enumerate(const StarPlatform& platform, const BruteForceOptions& options,
+               Body body) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  DLSCHED_EXPECT(platform.size() <= options.max_workers,
+                 "platform too large for exhaustive search");
+  DLSCHED_EXPECT(!(options.fifo_only && options.lifo_only),
+                 "fifo_only and lifo_only are mutually exclusive");
+
+  std::vector<std::size_t> sigma1(platform.size());
+  std::iota(sigma1.begin(), sigma1.end(), std::size_t{0});
+  do {
+    if (options.fifo_only) {
+      body(Scenario::fifo(sigma1));
+    } else if (options.lifo_only) {
+      body(Scenario::lifo(sigma1));
+    } else {
+      std::vector<std::size_t> sigma2(sigma1.begin(), sigma1.end());
+      std::sort(sigma2.begin(), sigma2.end());
+      do {
+        body(Scenario::general(sigma1, sigma2));
+      } while (std::next_permutation(sigma2.begin(), sigma2.end()));
+    }
+  } while (std::next_permutation(sigma1.begin(), sigma1.end()));
+}
+
+}  // namespace
+
+BruteForceResult brute_force_best(const StarPlatform& platform,
+                                  const BruteForceOptions& options) {
+  BruteForceResult result;
+  bool have_best = false;
+  enumerate(platform, options, [&](const Scenario& scenario) {
+    ScenarioSolution solution = solve_scenario(platform, scenario);
+    ++result.scenarios_tried;
+    if (!have_best || solution.throughput > result.best.throughput) {
+      result.best = std::move(solution);
+      have_best = true;
+    }
+  });
+  DLSCHED_EXPECT(have_best, "no scenario was evaluated");
+  return result;
+}
+
+BruteForceResultD brute_force_best_double(const StarPlatform& platform,
+                                          const BruteForceOptions& options) {
+  BruteForceResultD result;
+  bool have_best = false;
+  enumerate(platform, options, [&](const Scenario& scenario) {
+    ScenarioSolutionD solution = solve_scenario_double(platform, scenario);
+    ++result.scenarios_tried;
+    if (!have_best || solution.throughput > result.best.throughput) {
+      result.best = std::move(solution);
+      have_best = true;
+    }
+  });
+  DLSCHED_EXPECT(have_best, "no scenario was evaluated");
+  return result;
+}
+
+void for_each_scenario(
+    const StarPlatform& platform, const BruteForceOptions& options,
+    const std::function<void(const ScenarioSolution&)>& visit) {
+  enumerate(platform, options, [&](const Scenario& scenario) {
+    visit(solve_scenario(platform, scenario));
+  });
+}
+
+}  // namespace dlsched

@@ -1,0 +1,52 @@
+// Exhaustive search over communication orderings.
+//
+// The paper conjectures the general problem (free choice of sigma_1 and
+// sigma_2) is NP-hard; for small platforms this module enumerates every
+// permutation pair and solves the scenario LP, providing ground truth for
+// the optimality theorems (and counters for how quickly the search space
+// explodes: p!^2 scenario LPs).
+//
+// Enumerating subsets is unnecessary: the LP performs resource selection by
+// assigning zero load, so the optimum over all subsets is reached by some
+// full-set permutation pair.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+
+namespace dlsched {
+
+struct BruteForceOptions {
+  bool fifo_only = false;      ///< restrict to sigma_2 == sigma_1
+  bool lifo_only = false;      ///< restrict to sigma_2 == reverse(sigma_1)
+  std::size_t max_workers = 7; ///< refuse larger platforms (p!^2 blow-up)
+};
+
+struct BruteForceResult {
+  ScenarioSolution best;          ///< exact optimum over the searched space
+  std::size_t scenarios_tried = 0;
+};
+
+/// Exact exhaustive search.  Throws if platform.size() > options.max_workers.
+[[nodiscard]] BruteForceResult brute_force_best(
+    const StarPlatform& platform, const BruteForceOptions& options = {});
+
+struct BruteForceResultD {
+  ScenarioSolutionD best;
+  std::size_t scenarios_tried = 0;
+};
+
+/// Double-precision exhaustive search (for slightly larger p in benches).
+[[nodiscard]] BruteForceResultD brute_force_best_double(
+    const StarPlatform& platform, const BruteForceOptions& options = {});
+
+/// Visits every scenario in the searched space (exact solve per scenario).
+/// Used by property tests that need the full distribution, not just the max.
+void for_each_scenario(
+    const StarPlatform& platform, const BruteForceOptions& options,
+    const std::function<void(const ScenarioSolution&)>& visit);
+
+}  // namespace dlsched

@@ -1,0 +1,56 @@
+#include "core/bus_closed_form.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+using numeric::Rational;
+
+BusClosedFormResult solve_bus_closed_form(const StarPlatform& platform) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  DLSCHED_EXPECT(platform.is_bus(), "Theorem 2 requires a bus network");
+
+  const Rational c = Rational::from_double(platform.worker(0).c);
+  const Rational d = Rational::from_double(platform.worker(0).d);
+  const std::size_t p = platform.size();
+
+  // u_i with a running product; order is the platform order (any order
+  // yields the same sum -- checked in the test suite).
+  std::vector<Rational> u(p);
+  Rational product(1);
+  Rational u_sum;
+  for (std::size_t i = 0; i < p; ++i) {
+    const Rational w = Rational::from_double(platform.worker(i).w);
+    product *= (d + w) / (c + w);
+    u[i] = product / (d + w);
+    u_sum += u[i];
+  }
+
+  BusClosedFormResult result;
+  result.two_port_throughput = u_sum / (Rational(1) + d * u_sum);
+  const Rational comm_bound = (c + d).inverse();
+  result.comm_limited = result.two_port_throughput > comm_bound;
+  result.throughput =
+      result.comm_limited ? comm_bound : result.two_port_throughput;
+
+  // Loads: alpha_i = u_i / (1 + d U) in the two-port regime; in the
+  // comm-limited regime the Figure 7 rescaling yields alpha_i = u_i /
+  // ((c + d) U), which indeed sums to 1/(c+d).
+  result.alpha.assign(p, Rational());
+  const Rational denom = result.comm_limited
+                             ? (c + d) * u_sum
+                             : Rational(1) + d * u_sum;
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> alpha_double(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    result.alpha[i] = u[i] / denom;
+    alpha_double[i] = result.alpha[i].to_double();
+  }
+  result.schedule = make_packed_fifo(platform, order, alpha_double, 1.0);
+  return result;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,35 @@
+// Theorem 2: the optimal FIFO one-port throughput on a bus network
+// (ci = c, di = d for all workers):
+//
+//   rho_opt = min( 1 / (c + d),  U / (1 + d U) ),
+//   U = sum_i u_i,   u_i = 1/(d + w_i) * prod_{j <= i} (d + w_j)/(c + w_j).
+//
+// U / (1 + d U) is the optimal *two-port* throughput rho~ from [7, 8]; the
+// one-port schedule is obtained from the two-port one either directly (no
+// overlap, rho~ <= 1/(c+d)) or by delaying and rescaling (Figure 7).
+// All workers are enrolled in the optimal solution, in any order (on a bus
+// all FIFO orderings perform equally -- the Adler-Gong-Rosenberg
+// observation).
+#pragma once
+
+#include <vector>
+
+#include "numeric/rational.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+struct BusClosedFormResult {
+  numeric::Rational throughput;          ///< rho_opt
+  numeric::Rational two_port_throughput; ///< rho~ (upper bound used in proof)
+  bool comm_limited = false;             ///< rho_opt == 1/(c+d) branch taken
+  std::vector<numeric::Rational> alpha;  ///< platform-indexed loads
+  Schedule schedule;                     ///< realized FIFO schedule, T = 1
+};
+
+/// Evaluates Theorem 2 exactly.  Requires platform.is_bus().
+[[nodiscard]] BusClosedFormResult solve_bus_closed_form(
+    const StarPlatform& platform);
+
+}  // namespace dlsched

@@ -1,0 +1,124 @@
+#include "core/exchange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+namespace {
+
+/// Re-packs the (possibly reordered) loads into a normalized FIFO schedule
+/// with the same horizon.
+Schedule repack(const StarPlatform& platform,
+                const std::vector<std::size_t>& order,
+                const std::vector<double>& alpha, double horizon) {
+  return make_packed_fifo(platform, order, alpha, horizon);
+}
+
+void check_fifo_pair(const Schedule& schedule, std::size_t position) {
+  DLSCHED_EXPECT(schedule.is_fifo(), "exchange arguments require FIFO");
+  DLSCHED_EXPECT(position + 1 < schedule.entries.size(),
+                 "position must name an adjacent pair");
+}
+
+}  // namespace
+
+ExchangeResult shift_idle_right(const StarPlatform& platform,
+                                const Schedule& schedule,
+                                std::size_t position) {
+  check_fifo_pair(schedule, position);
+  const ScheduleEntry& entry_i = schedule.entries[position];
+  const ScheduleEntry& entry_j = schedule.entries[position + 1];
+  const Worker& wi = platform.worker(entry_i.worker);
+  const Worker& wj = platform.worker(entry_j.worker);
+  DLSCHED_EXPECT(wi.c <= wj.c,
+                 "shift_idle_right applies to the c_i <= c_j proof case");
+
+  // Paper Figure 5:
+  //   alpha_i' = alpha_i + x_i / (c_i + w_i)
+  //   alpha_j' = alpha_j - (c_i / c_j) * x_i / (c_i + w_i)
+  const double transfer = entry_i.idle / (wi.c + wi.w);
+  std::vector<double> alpha(platform.size(), 0.0);
+  std::vector<std::size_t> order;
+  order.reserve(schedule.entries.size());
+  for (const ScheduleEntry& e : schedule.entries) {
+    order.push_back(e.worker);
+    alpha[e.worker] = e.alpha;
+  }
+  alpha[entry_i.worker] += transfer;
+  alpha[entry_j.worker] -= (wi.c / wj.c) * transfer;
+  DLSCHED_EXPECT(alpha[entry_j.worker] >= -1e-12,
+                 "idle shift would drive alpha_j negative (gap too large "
+                 "for this pair)");
+  alpha[entry_j.worker] = std::max(0.0, alpha[entry_j.worker]);
+
+  ExchangeResult result;
+  result.schedule = repack(platform, order, alpha, schedule.horizon);
+  result.load_gain = result.schedule.total_load() - schedule.total_load();
+  return result;
+}
+
+ExchangeResult swap_adjacent(const StarPlatform& platform,
+                             const Schedule& schedule, std::size_t position) {
+  check_fifo_pair(schedule, position);
+  const ScheduleEntry& entry_i = schedule.entries[position];
+  const ScheduleEntry& entry_j = schedule.entries[position + 1];
+  const Worker& wi = platform.worker(entry_i.worker);
+  const Worker& wj = platform.worker(entry_j.worker);
+  DLSCHED_EXPECT(wi.c > 0.0 && wj.c > 0.0, "invalid platform");
+  const double zi = wi.d / wi.c;
+  const double zj = wj.d / wj.c;
+  DLSCHED_EXPECT(std::fabs(zi - zj) <= 1e-9 * std::max(zi, zj) + 1e-12,
+                 "swap_adjacent requires a uniform z on the pair");
+  const double z = zi;
+  // For z > 1 the proof runs on the mirrored platform (see Section 3 of
+  // the paper); applying the formulas directly can produce a negative gap.
+  DLSCHED_EXPECT(z <= 1.0 + 1e-12,
+                 "swap_adjacent requires z <= 1 (mirror the platform first)");
+
+  // Paper Figure 6 (roles: P_i currently precedes P_j; afterwards P_j
+  // precedes P_i):
+  //   alpha_j' = alpha_j + alpha_i c_i (1 - z) / (c_j + w_j)
+  //   alpha_i' = alpha_i - alpha_i c_j (1 - z) / (c_j + w_j)
+  std::vector<double> alpha(platform.size(), 0.0);
+  std::vector<std::size_t> order;
+  order.reserve(schedule.entries.size());
+  for (const ScheduleEntry& e : schedule.entries) {
+    order.push_back(e.worker);
+    alpha[e.worker] = e.alpha;
+  }
+  std::swap(order[position], order[position + 1]);
+  const double denom = wj.c + wj.w;
+  alpha[entry_j.worker] += entry_i.alpha * wi.c * (1.0 - z) / denom;
+  alpha[entry_i.worker] -= entry_i.alpha * wj.c * (1.0 - z) / denom;
+  DLSCHED_EXPECT(alpha[entry_i.worker] >= -1e-12,
+                 "swap drove alpha_i negative");
+  alpha[entry_i.worker] = std::max(0.0, alpha[entry_i.worker]);
+
+  ExchangeResult result;
+  result.schedule = repack(platform, order, alpha, schedule.horizon);
+  result.load_gain = result.schedule.total_load() - schedule.total_load();
+  return result;
+}
+
+Schedule sort_by_exchanges(const StarPlatform& platform, Schedule schedule) {
+  DLSCHED_EXPECT(schedule.is_fifo(), "exchange sorting requires FIFO");
+  bool swapped = true;
+  while (swapped) {
+    swapped = false;
+    for (std::size_t i = 0; i + 1 < schedule.entries.size(); ++i) {
+      const double ci = platform.worker(schedule.entries[i].worker).c;
+      const double cj = platform.worker(schedule.entries[i + 1].worker).c;
+      if (ci > cj) {
+        schedule = swap_adjacent(platform, schedule, i).schedule;
+        swapped = true;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace dlsched

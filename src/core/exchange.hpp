@@ -1,0 +1,52 @@
+// The exchange arguments of the paper's Lemma 2 / Theorem 1 proof, as
+// executable transformations on FIFO schedules ("proof as code").
+//
+// Both operate on adjacent workers (P_i, P_j = P_{i+1}) of a packed FIFO
+// schedule and never decrease the total load:
+//
+//  * `shift_idle_right` (proof case c_i <= c_j, Figure 5): absorb P_i's
+//    idle gap by enlarging alpha_i and shrinking alpha_j so that all
+//    communication intervals stay in place; the gap moves to P_j and the
+//    load grows by (c_j - c_i)/c_j * x_i/(c_i + w_i) >= 0.
+//
+//  * `swap_adjacent` (proof case c_i > c_j, Figure 6): exchange the two
+//    workers in the send order, rebalancing loads so the surrounding
+//    communications are untouched; under d = z c with z < 1 the load grows
+//    by alpha_i (c_i - c_j)(1 - z)/(c_j + w_j) > 0.
+//
+// `sort_by_exchanges` bubbles a FIFO schedule into non-decreasing c order
+// by repeated swaps -- literally executing the proof that the sorted order
+// is optimal.  The tests verify monotone load growth and feasibility at
+// every step.
+#pragma once
+
+#include <cstddef>
+
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+struct ExchangeResult {
+  Schedule schedule;
+  double load_gain = 0.0;  ///< total_load(after) - total_load(before)
+};
+
+/// Proof case c_i <= c_{i+1}.  `position` indexes the schedule's entries
+/// (send order).  Requires a FIFO schedule and c_i <= c_{i+1}.
+[[nodiscard]] ExchangeResult shift_idle_right(const StarPlatform& platform,
+                                              const Schedule& schedule,
+                                              std::size_t position);
+
+/// Proof case c_i > c_{i+1}.  Requires a FIFO schedule and a uniform
+/// return ratio z = d/c on the two workers involved.
+[[nodiscard]] ExchangeResult swap_adjacent(const StarPlatform& platform,
+                                           const Schedule& schedule,
+                                           std::size_t position);
+
+/// Bubble the schedule into non-decreasing c order via `swap_adjacent`.
+/// Every swap is individually load-non-decreasing when z <= 1.
+[[nodiscard]] Schedule sort_by_exchanges(const StarPlatform& platform,
+                                         Schedule schedule);
+
+}  // namespace dlsched

@@ -1,0 +1,33 @@
+// Theorem 1 / Proposition 1: the optimal one-port FIFO schedule.
+//
+//   * when z = d/c < 1: serve workers in non-decreasing ci; the LP with
+//     idle variables performs resource selection (alpha_i = 0 drops P_i);
+//   * when z > 1: solve the mirrored platform (ci and di swapped, so the
+//     mirror has z' = 1/z < 1) and flip the solution in time, which sends
+//     initial messages in non-increasing ci order;
+//   * when z = 1 the ordering is irrelevant (both branches agree).
+//
+// The whole procedure is polynomial: one sort + one LP solve.
+#pragma once
+
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+struct FifoOptimalResult {
+  ScenarioSolution solution;   ///< exact loads/throughput, platform-indexed
+  Schedule schedule;           ///< realized packed schedule for T = 1
+  bool mirrored = false;       ///< solved through the z > 1 transform
+  /// True when Theorem 1 applies (uniform z); false means the ordering used
+  /// (non-decreasing c) is a heuristic without an optimality proof.
+  bool provably_optimal = true;
+};
+
+/// Computes the best FIFO schedule (with resource selection) in polynomial
+/// time.  Requires a non-empty platform.
+[[nodiscard]] FifoOptimalResult solve_fifo_optimal(
+    const StarPlatform& platform);
+
+}  // namespace dlsched

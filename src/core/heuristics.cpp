@@ -1,0 +1,48 @@
+#include "core/heuristics.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+const char* heuristic_name(Heuristic h) noexcept {
+  switch (h) {
+    case Heuristic::IncC: return "INC_C";
+    case Heuristic::IncW: return "INC_W";
+    case Heuristic::Lifo: return "LIFO";
+    case Heuristic::DecC: return "DEC_C";
+    case Heuristic::RandomFifo: return "RANDOM";
+  }
+  return "?";
+}
+
+Scenario heuristic_scenario(const StarPlatform& platform, Heuristic h,
+                            Rng* rng) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  switch (h) {
+    case Heuristic::IncC:
+      return Scenario::fifo(platform.order_by_c());
+    case Heuristic::IncW:
+      return Scenario::fifo(platform.order_by_w());
+    case Heuristic::Lifo:
+      return Scenario::lifo(platform.order_by_c());
+    case Heuristic::DecC:
+      return Scenario::fifo(platform.order_by_c_desc());
+    case Heuristic::RandomFifo: {
+      DLSCHED_EXPECT(rng != nullptr, "RandomFifo needs an Rng");
+      return Scenario::fifo(rng->permutation(platform.size()));
+    }
+  }
+  DLSCHED_FAIL("unknown heuristic");
+}
+
+ScenarioSolutionD solve_heuristic(const StarPlatform& platform, Heuristic h,
+                                  Rng* rng) {
+  return solve_scenario_double(platform, heuristic_scenario(platform, h, rng));
+}
+
+ScenarioSolution solve_heuristic_exact(const StarPlatform& platform,
+                                       Heuristic h, Rng* rng) {
+  return solve_scenario(platform, heuristic_scenario(platform, h, rng));
+}
+
+}  // namespace dlsched

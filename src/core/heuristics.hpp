@@ -1,0 +1,43 @@
+// The heuristics compared in the paper's Section 5 experiments, plus extra
+// orderings for the ablation benches.
+//
+//   INC_C : FIFO, workers in non-decreasing ci (optimal by Theorem 1
+//           when z < 1);
+//   INC_W : FIFO, workers in non-decreasing wi;
+//   LIFO  : the optimal LIFO solution (non-decreasing ci);
+//   DEC_C / RANDOM : ablation orderings.
+//
+// All heuristics feed a full worker list to the scenario LP; the LP drops
+// workers by assigning them zero load (resource selection).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+
+enum class Heuristic { IncC, IncW, Lifo, DecC, RandomFifo };
+
+[[nodiscard]] const char* heuristic_name(Heuristic h) noexcept;
+
+/// The scenario (orders) a heuristic uses on the given platform.  RandomFifo
+/// requires an Rng.
+[[nodiscard]] Scenario heuristic_scenario(const StarPlatform& platform,
+                                          Heuristic h, Rng* rng = nullptr);
+
+/// Solves the heuristic's scenario LP in double precision (the form used by
+/// the experiment sweeps).
+[[nodiscard]] ScenarioSolutionD solve_heuristic(const StarPlatform& platform,
+                                                Heuristic h,
+                                                Rng* rng = nullptr);
+
+/// Exact variant for the theorem-level tests.
+[[nodiscard]] ScenarioSolution solve_heuristic_exact(
+    const StarPlatform& platform, Heuristic h, Rng* rng = nullptr);
+
+}  // namespace dlsched

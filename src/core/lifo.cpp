@@ -1,0 +1,65 @@
+#include "core/lifo.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+using numeric::Rational;
+
+namespace {
+
+/// Loads of the no-idle LIFO schedule for horizon T = 1, in send order.
+std::vector<Rational> lifo_alphas(const StarPlatform& platform,
+                                  const std::vector<std::size_t>& order) {
+  DLSCHED_EXPECT(!order.empty(), "LIFO needs at least one worker");
+  std::vector<Rational> alpha(order.size());
+  const Worker& first = platform.worker(order[0]);
+  alpha[0] = (Rational::from_double(first.c) + Rational::from_double(first.w) +
+              Rational::from_double(first.d))
+                 .inverse();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Worker& prev = platform.worker(order[i - 1]);
+    const Worker& cur = platform.worker(order[i]);
+    const Rational denom = Rational::from_double(cur.c) +
+                           Rational::from_double(cur.w) +
+                           Rational::from_double(cur.d);
+    alpha[i] = alpha[i - 1] * Rational::from_double(prev.w) / denom;
+  }
+  return alpha;
+}
+
+}  // namespace
+
+Rational lifo_throughput_for_order(const StarPlatform& platform,
+                                   const std::vector<std::size_t>& order) {
+  const std::vector<Rational> alpha = lifo_alphas(platform, order);
+  Rational total;
+  for (const Rational& a : alpha) total += a;
+  return total;
+}
+
+LifoResult solve_lifo_closed_form(const StarPlatform& platform) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  LifoResult result;
+  result.order = platform.order_by_c();
+  const std::vector<Rational> ordered_alpha = lifo_alphas(platform, result.order);
+
+  result.alpha.assign(platform.size(), Rational());
+  std::vector<double> alpha_double(platform.size(), 0.0);
+  for (std::size_t i = 0; i < result.order.size(); ++i) {
+    result.alpha[result.order[i]] = ordered_alpha[i];
+    alpha_double[result.order[i]] = ordered_alpha[i].to_double();
+    result.throughput += ordered_alpha[i];
+  }
+  result.schedule =
+      make_packed_lifo(platform, result.order, alpha_double, 1.0);
+  return result;
+}
+
+ScenarioSolution solve_lifo_lp(const StarPlatform& platform) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  return solve_scenario(platform,
+                        Scenario::lifo(platform.order_by_c()));
+}
+
+}  // namespace dlsched

@@ -1,0 +1,44 @@
+// The optimal LIFO schedule (the comparator heuristic of paper Section 5,
+// from the companion papers [7, 8]).
+//
+// The optimal two-port LIFO solution enrolls all workers in non-decreasing
+// ci with no idle time, and happens to satisfy the one-port constraint, so
+// it is also the optimal one-port LIFO schedule.  Closed form: with workers
+// numbered in send order,
+//
+//   alpha_1 * (c_1 + w_1 + d_1) = T,
+//   alpha_i * (c_i + w_i + d_i) = alpha_{i-1} * w_{i-1}   (i >= 2)
+//
+// which the derivation in DESIGN.md obtains from "sends back-to-back,
+// no idle, returns contiguous in reverse order ending at T".
+#pragma once
+
+#include <vector>
+
+#include "core/scenario_lp.hpp"
+#include "numeric/rational.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+struct LifoResult {
+  numeric::Rational throughput;           ///< sum of loads for T = 1
+  std::vector<numeric::Rational> alpha;   ///< platform-indexed loads
+  std::vector<std::size_t> order;         ///< send order used
+  Schedule schedule;                      ///< packed schedule for T = 1
+};
+
+/// Closed-form optimal LIFO (all workers, non-decreasing ci, no idle).
+[[nodiscard]] LifoResult solve_lifo_closed_form(const StarPlatform& platform);
+
+/// Same scenario through the LP machinery; used to cross-check the closed
+/// form and for sweeps that want double precision.
+[[nodiscard]] ScenarioSolution solve_lifo_lp(const StarPlatform& platform);
+
+/// Closed-form LIFO throughput for an arbitrary send order (used by the
+/// ordering ablation; the recurrence applies to any order).
+[[nodiscard]] numeric::Rational lifo_throughput_for_order(
+    const StarPlatform& platform, const std::vector<std::size_t>& order);
+
+}  // namespace dlsched

@@ -1,0 +1,88 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+namespace {
+
+/// One steepest-ascent climb from `scenario`; returns the local optimum.
+ScenarioSolutionD climb(const StarPlatform& platform, Scenario scenario,
+                        const LocalSearchOptions& options,
+                        std::size_t& lp_evaluations, std::size_t& ascents) {
+  ScenarioSolutionD current = solve_scenario_double(platform, scenario);
+  ++lp_evaluations;
+  const std::size_t q = scenario.size();
+  if (q < 2) return current;
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    ScenarioSolutionD best_neighbor;
+    bool improved = false;
+
+    auto consider = [&](const Scenario& candidate) {
+      ScenarioSolutionD solution = solve_scenario_double(platform, candidate);
+      ++lp_evaluations;
+      if (solution.throughput >
+          (improved ? best_neighbor.throughput : current.throughput) +
+              1e-12) {
+        best_neighbor = std::move(solution);
+        improved = true;
+      }
+    };
+
+    // Adjacent transpositions in sigma_1 (keeping sigma_2), unless frozen.
+    if (!options.search_sigma2_only) {
+      for (std::size_t i = 0; i + 1 < q; ++i) {
+        Scenario candidate = current.scenario;
+        std::swap(candidate.send_order[i], candidate.send_order[i + 1]);
+        consider(candidate);
+      }
+    }
+    // Adjacent transpositions in sigma_2.
+    for (std::size_t i = 0; i + 1 < q; ++i) {
+      Scenario candidate = current.scenario;
+      std::swap(candidate.return_order[i], candidate.return_order[i + 1]);
+      consider(candidate);
+    }
+
+    if (!improved) break;
+    current = std::move(best_neighbor);
+    ++ascents;
+  }
+  return current;
+}
+
+}  // namespace
+
+LocalSearchResult local_search_best_pair(const StarPlatform& platform,
+                                         const LocalSearchOptions& options) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  LocalSearchResult result;
+  Rng rng(options.seed);
+
+  std::vector<Scenario> starts;
+  starts.push_back(Scenario::fifo(platform.order_by_c()));
+  starts.push_back(Scenario::lifo(platform.order_by_c()));
+  if (platform.has_uniform_z() && platform.z() > 1.0) {
+    starts.push_back(Scenario::fifo(platform.order_by_c_desc()));
+  }
+  for (std::size_t r = 0; r < options.random_restarts; ++r) {
+    starts.push_back(Scenario::general(rng.permutation(platform.size()),
+                                       rng.permutation(platform.size())));
+  }
+
+  bool have_best = false;
+  for (const Scenario& start : starts) {
+    ScenarioSolutionD local = climb(platform, start, options,
+                                    result.lp_evaluations, result.ascents);
+    if (!have_best || local.throughput > result.best.throughput) {
+      result.best = std::move(local);
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,36 @@
+#include "core/mirror.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+Schedule flip_schedule(const StarPlatform& platform,
+                       const Schedule& mirrored_schedule) {
+  const std::size_t q = mirrored_schedule.entries.size();
+  std::vector<double> alpha(platform.size(), 0.0);
+  for (const ScheduleEntry& e : mirrored_schedule.entries) {
+    DLSCHED_EXPECT(e.worker < platform.size(),
+                   "mirrored schedule references unknown worker");
+    alpha[e.worker] = e.alpha;
+  }
+  // Old return order as worker ids, reversed -> new send order.
+  std::vector<std::size_t> new_send;
+  new_send.reserve(q);
+  for (std::size_t r = q; r-- > 0;) {
+    new_send.push_back(
+        mirrored_schedule.entries[mirrored_schedule.return_positions[r]]
+            .worker);
+  }
+  // Old send order reversed -> new return order.
+  std::vector<std::size_t> new_return;
+  new_return.reserve(q);
+  for (std::size_t i = q; i-- > 0;) {
+    new_return.push_back(mirrored_schedule.entries[i].worker);
+  }
+  return make_packed_schedule(platform, new_send, new_return, alpha,
+                              mirrored_schedule.horizon);
+}
+
+}  // namespace dlsched

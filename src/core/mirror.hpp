@@ -1,0 +1,21 @@
+// The time-reversal ("mirror") argument used for z > 1 (end of paper
+// Section 3): a schedule for platform (c_i, w_i, d_i) read backwards in
+// time is a schedule for the mirrored platform (d_i, w_i, c_i), with sends
+// and returns exchanging roles.  FIFO maps to FIFO (with the order
+// reversed) and LIFO maps to LIFO.
+#pragma once
+
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+/// Flips a packed schedule built for `platform.mirrored()` into a packed
+/// schedule for `platform`:
+///   * new send order   = reverse of the old return order,
+///   * new return order = reverse of the old send order,
+///   * identical loads and horizon (idle gaps are re-derived).
+[[nodiscard]] Schedule flip_schedule(const StarPlatform& platform,
+                                     const Schedule& mirrored_schedule);
+
+}  // namespace dlsched

@@ -1,0 +1,146 @@
+#include "core/multiround.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace dlsched {
+
+namespace {
+
+/// Event-driven multi-round run state.
+struct MultiRoundRun {
+  const StarPlatform& platform;
+  const MultiRoundPlan& plan;
+  sim::Engine engine;
+  sim::Trace trace;
+
+  std::vector<std::size_t> active;      ///< workers with positive load
+  std::vector<double> chunk;            ///< per-round chunk, platform-indexed
+  std::vector<std::size_t> chunks_left; ///< installments not yet computed
+  std::vector<std::size_t> backlog;     ///< received, not yet computed
+  std::vector<bool> computing;          ///< worker busy flag
+  std::size_t send_round = 0;
+  std::size_t send_index = 0;
+  std::size_t next_return = 0;
+  bool sends_done = false;
+  bool return_active = false;
+
+  MultiRoundRun(const StarPlatform& p, const MultiRoundPlan& pl)
+      : platform(p),
+        plan(pl),
+        chunk(p.size(), 0.0),
+        chunks_left(p.size(), 0),
+        backlog(p.size(), 0),
+        computing(p.size(), false) {}
+
+  void start_next_send() {
+    if (send_round == plan.rounds) {
+      sends_done = true;
+      try_start_return();
+      return;
+    }
+    const std::size_t w = active[send_index];
+    const double duration =
+        plan.costs.send_latency + chunk[w] * platform.worker(w).c;
+    const double begin = engine.now();
+    trace.record(w, sim::Activity::Send, begin, begin + duration, chunk[w]);
+    engine.schedule_in(duration, [this, w] {
+      ++backlog[w];
+      try_start_compute(w);
+      if (++send_index == active.size()) {
+        send_index = 0;
+        ++send_round;
+      }
+      start_next_send();
+    });
+  }
+
+  void try_start_compute(std::size_t w) {
+    if (computing[w] || backlog[w] == 0) return;
+    computing[w] = true;
+    --backlog[w];
+    const double duration =
+        plan.costs.compute_latency + chunk[w] * platform.worker(w).w;
+    const double begin = engine.now();
+    trace.record(w, sim::Activity::Compute, begin, begin + duration,
+                 chunk[w]);
+    engine.schedule_in(duration, [this, w] {
+      computing[w] = false;
+      DLSCHED_EXPECT(chunks_left[w] > 0, "computed more chunks than sent");
+      --chunks_left[w];
+      if (chunks_left[w] == 0) {
+        try_start_return();
+      } else {
+        try_start_compute(w);
+      }
+    });
+  }
+
+  void try_start_return() {
+    if (!sends_done || return_active || next_return == active.size()) return;
+    const std::size_t w = active[next_return];
+    if (chunks_left[w] != 0) return;  // still computing; retried on finish
+    ++next_return;
+    return_active = true;
+    const double duration =
+        plan.costs.return_latency + plan.loads[w] * platform.worker(w).d;
+    const double begin = engine.now();
+    trace.record(w, sim::Activity::Return, begin, begin + duration,
+                 plan.loads[w]);
+    engine.schedule_in(duration, [this] {
+      return_active = false;
+      try_start_return();
+    });
+  }
+};
+
+}  // namespace
+
+MultiRoundResult execute_multi_round(const StarPlatform& platform,
+                                     const MultiRoundPlan& plan) {
+  DLSCHED_EXPECT(plan.rounds >= 1, "need at least one round");
+  DLSCHED_EXPECT(plan.loads.size() == platform.size(),
+                 "loads must be platform-indexed");
+
+  MultiRoundRun run(platform, plan);
+  for (std::size_t w : plan.order) {
+    DLSCHED_EXPECT(w < platform.size(), "order index out of range");
+    if (plan.loads[w] <= 0.0) continue;
+    run.active.push_back(w);
+    run.chunk[w] = plan.loads[w] / static_cast<double>(plan.rounds);
+    run.chunks_left[w] = plan.rounds;
+  }
+  MultiRoundResult result;
+  if (run.active.empty()) return result;
+
+  run.engine.schedule_at(0.0, [&run] { run.start_next_send(); });
+  result.makespan = run.engine.run();
+  DLSCHED_EXPECT(run.next_return == run.active.size(),
+                 "multi-round run ended with unreturned results");
+  result.makespan = std::max(result.makespan, run.trace.makespan);
+  result.trace = std::move(run.trace);
+  return result;
+}
+
+std::vector<RoundSweepPoint> sweep_rounds(const StarPlatform& platform,
+                                          std::span<const double> loads,
+                                          const AffineCosts& costs,
+                                          std::size_t max_rounds) {
+  DLSCHED_EXPECT(max_rounds >= 1, "need at least one round");
+  std::vector<RoundSweepPoint> points;
+  points.reserve(max_rounds);
+  MultiRoundPlan plan;
+  plan.order = platform.order_by_c();
+  plan.loads.assign(loads.begin(), loads.end());
+  plan.costs = costs;
+  for (std::size_t r = 1; r <= max_rounds; ++r) {
+    plan.rounds = r;
+    points.push_back(
+        RoundSweepPoint{r, execute_multi_round(platform, plan).makespan});
+  }
+  return points;
+}
+
+}  // namespace dlsched

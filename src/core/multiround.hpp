@@ -1,0 +1,56 @@
+// Multi-round divisible-load scheduling (paper Section 6: Altilar-Paker [3]
+// and the multi-installment literature).  The master dispatches each
+// worker's share in R equal installments instead of one message; a worker
+// can start computing after its first installment, which pipelines
+// communication behind computation -- at the price of R times the message
+// latencies, which is why the affine model is required (with purely linear
+// costs R = infinity would be free).
+//
+// This module evaluates (it does not claim optimality -- the multi-round
+// problem is NP-hard even on stars [20]):
+//   * a round-robin one-port FIFO multi-round schedule built from a given
+//     per-worker load split, executed exactly on the DES event engine;
+//   * a sweep helper that finds the best R for a load by direct evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/affine.hpp"
+#include "platform/star_platform.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsched {
+
+struct MultiRoundPlan {
+  std::vector<std::size_t> order;     ///< send order (round-robin per round)
+  std::vector<double> loads;          ///< platform-indexed total loads
+  std::size_t rounds = 1;
+  AffineCosts costs;
+};
+
+struct MultiRoundResult {
+  double makespan = 0.0;
+  sim::Trace trace;
+};
+
+/// Executes a multi-round plan on the discrete-event engine under the
+/// one-port model: round r sends chunk loads[w]/R to every worker in
+/// order; a worker computes installments as they arrive (appending to its
+/// backlog); results return in one message per worker, FIFO, after all
+/// sends.  Latencies from `costs` apply per message / computation burst.
+[[nodiscard]] MultiRoundResult execute_multi_round(
+    const StarPlatform& platform, const MultiRoundPlan& plan);
+
+struct RoundSweepPoint {
+  std::size_t rounds = 0;
+  double makespan = 0.0;
+};
+
+/// Evaluates R = 1..max_rounds and returns every point (the tests and the
+/// ablation bench use the full curve; min_element gives the winner).
+[[nodiscard]] std::vector<RoundSweepPoint> sweep_rounds(
+    const StarPlatform& platform, std::span<const double> loads,
+    const AffineCosts& costs, std::size_t max_rounds);
+
+}  // namespace dlsched

@@ -1,0 +1,62 @@
+#include "core/no_return.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+using numeric::Rational;
+
+namespace {
+
+std::vector<Rational> no_return_alphas(const StarPlatform& platform,
+                                       const std::vector<std::size_t>& order) {
+  DLSCHED_EXPECT(!order.empty(), "need at least one worker");
+  std::vector<Rational> alpha(order.size());
+  const Worker& first = platform.worker(order[0]);
+  alpha[0] = (Rational::from_double(first.c) + Rational::from_double(first.w))
+                 .inverse();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Worker& prev = platform.worker(order[i - 1]);
+    const Worker& cur = platform.worker(order[i]);
+    alpha[i] = alpha[i - 1] * Rational::from_double(prev.w) /
+               (Rational::from_double(cur.c) + Rational::from_double(cur.w));
+  }
+  return alpha;
+}
+
+}  // namespace
+
+Rational no_return_throughput_for_order(
+    const StarPlatform& platform, const std::vector<std::size_t>& order) {
+  Rational total;
+  for (const Rational& a : no_return_alphas(platform, order)) total += a;
+  return total;
+}
+
+NoReturnResult solve_no_return_optimal(const StarPlatform& platform) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  NoReturnResult result;
+  result.order = platform.order_by_c();
+  const std::vector<Rational> ordered =
+      no_return_alphas(platform, result.order);
+
+  result.alpha.assign(platform.size(), Rational());
+  std::vector<double> alpha_double(platform.size(), 0.0);
+  for (std::size_t i = 0; i < result.order.size(); ++i) {
+    result.alpha[result.order[i]] = ordered[i];
+    alpha_double[result.order[i]] = ordered[i].to_double();
+    result.throughput += ordered[i];
+  }
+
+  // Build the packed schedule on a d = 0 copy so the FIFO packing yields
+  // zero-length return intervals.
+  std::vector<Worker> no_return_workers(platform.workers().begin(),
+                                        platform.workers().end());
+  for (Worker& w : no_return_workers) w.d = 0.0;
+  const StarPlatform stripped(no_return_workers);
+  result.schedule =
+      make_packed_fifo(stripped, result.order, alpha_double, 1.0);
+  return result;
+}
+
+}  // namespace dlsched

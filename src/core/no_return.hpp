@@ -1,0 +1,45 @@
+// Classical divisible-load theory WITHOUT return messages -- the baselines
+// the paper's introduction builds on:
+//   * bus networks: the closed-form of Bataineh-Hsiung-Robertazzi [5] and
+//     the DLS book [10];
+//   * star networks: Beaumont-Casanova-Legrand-Robert-Yang [6] -- serve
+//     workers by non-decreasing ci (largest bandwidth first), all workers
+//     participate, all finish simultaneously.
+//
+// In both cases the optimum satisfies, with workers numbered in send order,
+//     sum_{j <= i} c_j alpha_j + w_i alpha_i = T       for every i,
+// giving the recurrence  alpha_{i+1} = alpha_i * w_i / (c_{i+1} + w_{i+1}),
+// alpha_1 = 1 / (c_1 + w_1).
+//
+// These baselines quantify the cost of return messages: rho(no returns) >=
+// rho(z > 0), and the gap grows with z (bench/ablation_selection and the
+// tests exercise this).
+#pragma once
+
+#include <vector>
+
+#include "numeric/rational.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+struct NoReturnResult {
+  numeric::Rational throughput;
+  std::vector<numeric::Rational> alpha;  ///< platform-indexed
+  std::vector<std::size_t> order;        ///< send order (non-decreasing c)
+  Schedule schedule;                     ///< packed schedule, d ignored
+};
+
+/// Optimal no-return-message schedule on a star ([6]); specializes to the
+/// bus closed form [5, 10] when the platform is a bus.  The platform's d
+/// values are ignored.
+[[nodiscard]] NoReturnResult solve_no_return_optimal(
+    const StarPlatform& platform);
+
+/// Closed-form throughput for an arbitrary send order (used to verify the
+/// ordering result of [6] exhaustively in tests).
+[[nodiscard]] numeric::Rational no_return_throughput_for_order(
+    const StarPlatform& platform, const std::vector<std::size_t>& order);
+
+}  // namespace dlsched

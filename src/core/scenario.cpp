@@ -1,0 +1,84 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+bool Scenario::is_lifo() const noexcept {
+  if (send_order.size() != return_order.size()) return false;
+  const std::size_t n = send_order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (send_order[i] != return_order[n - 1 - i]) return false;
+  }
+  return true;
+}
+
+Scenario Scenario::fifo(std::span<const std::size_t> order) {
+  Scenario s;
+  s.send_order.assign(order.begin(), order.end());
+  s.return_order = s.send_order;
+  return s;
+}
+
+Scenario Scenario::lifo(std::span<const std::size_t> order) {
+  Scenario s;
+  s.send_order.assign(order.begin(), order.end());
+  s.return_order.assign(order.rbegin(), order.rend());
+  return s;
+}
+
+Scenario Scenario::general(std::span<const std::size_t> send,
+                           std::span<const std::size_t> ret) {
+  Scenario s;
+  s.send_order.assign(send.begin(), send.end());
+  s.return_order.assign(ret.begin(), ret.end());
+  std::vector<std::size_t> a = s.send_order;
+  std::vector<std::size_t> b = s.return_order;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  DLSCHED_EXPECT(a == b, "send and return orders must cover the same workers");
+  DLSCHED_EXPECT(std::adjacent_find(a.begin(), a.end()) == a.end(),
+                 "duplicate worker in scenario");
+  return s;
+}
+
+void Scenario::check(const StarPlatform& platform) const {
+  DLSCHED_EXPECT(send_order.size() == return_order.size(),
+                 "scenario orders differ in length");
+  std::vector<bool> seen_send(platform.size(), false);
+  std::vector<bool> seen_ret(platform.size(), false);
+  for (std::size_t w : send_order) {
+    DLSCHED_EXPECT(w < platform.size(), "scenario worker out of range");
+    DLSCHED_EXPECT(!seen_send[w], "duplicate worker in send order");
+    seen_send[w] = true;
+  }
+  for (std::size_t w : return_order) {
+    DLSCHED_EXPECT(w < platform.size(), "scenario worker out of range");
+    DLSCHED_EXPECT(!seen_ret[w], "duplicate worker in return order");
+    seen_ret[w] = true;
+    DLSCHED_EXPECT(seen_send[w], "return order mentions unsent worker");
+  }
+}
+
+std::string Scenario::describe() const {
+  std::ostringstream out;
+  out << "sigma1 = (";
+  for (std::size_t i = 0; i < send_order.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << send_order[i] + 1;
+  }
+  out << "), sigma2 = (";
+  for (std::size_t i = 0; i < return_order.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << return_order[i] + 1;
+  }
+  out << ")";
+  if (is_fifo()) out << " [FIFO]";
+  else if (is_lifo()) out << " [LIFO]";
+  return out.str();
+}
+
+}  // namespace dlsched

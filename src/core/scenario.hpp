@@ -1,0 +1,42 @@
+// A scheduling scenario (paper Section 2.3): which workers participate and
+// in which orders the initial and return messages travel.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+
+namespace dlsched {
+
+/// Candidate worker set + communication orders.  `send_order` and
+/// `return_order` list the *same* worker indices; participation is decided
+/// by the LP (workers may receive alpha = 0).
+struct Scenario {
+  std::vector<std::size_t> send_order;    ///< sigma_1
+  std::vector<std::size_t> return_order;  ///< sigma_2
+
+  [[nodiscard]] std::size_t size() const noexcept { return send_order.size(); }
+  [[nodiscard]] bool is_fifo() const noexcept {
+    return send_order == return_order;
+  }
+  [[nodiscard]] bool is_lifo() const noexcept;
+
+  /// FIFO scenario over the given send order.
+  static Scenario fifo(std::span<const std::size_t> order);
+  /// LIFO scenario over the given send order.
+  static Scenario lifo(std::span<const std::size_t> order);
+  /// General scenario; throws unless both orders cover the same set.
+  static Scenario general(std::span<const std::size_t> send,
+                          std::span<const std::size_t> ret);
+
+  /// Throws unless the scenario is internally consistent and references
+  /// only workers of `platform`.
+  void check(const StarPlatform& platform) const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace dlsched

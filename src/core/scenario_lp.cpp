@@ -1,0 +1,205 @@
+#include "core/scenario_lp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+namespace {
+
+/// Per-scenario bookkeeping: position of each worker in both orders.
+struct Positions {
+  std::vector<std::size_t> send_pos;    // platform id -> position in sigma_1
+  std::vector<std::size_t> return_pos;  // platform id -> position in sigma_2
+};
+
+Positions index_positions(const StarPlatform& platform,
+                          const Scenario& scenario) {
+  Positions pos;
+  pos.send_pos.assign(platform.size(), SIZE_MAX);
+  pos.return_pos.assign(platform.size(), SIZE_MAX);
+  for (std::size_t k = 0; k < scenario.send_order.size(); ++k) {
+    pos.send_pos[scenario.send_order[k]] = k;
+  }
+  for (std::size_t k = 0; k < scenario.return_order.size(); ++k) {
+    pos.return_pos[scenario.return_order[k]] = k;
+  }
+  return pos;
+}
+
+}  // namespace
+
+lp::LpProblem build_scenario_lp(const StarPlatform& platform,
+                                const Scenario& scenario,
+                                const LpOptions& options) {
+  scenario.check(platform);
+  const std::size_t q = scenario.size();
+  const Positions pos = index_positions(platform, scenario);
+  const Rational send_lat = Rational::from_double(options.send_latency);
+  const Rational comp_lat = Rational::from_double(options.compute_latency);
+  const Rational ret_lat = Rational::from_double(options.return_latency);
+
+  lp::LpProblem problem;
+  // Variables: alpha_k and x_k, ordered by sigma_1 position k.
+  std::vector<std::size_t> alpha_var(q);
+  std::vector<std::size_t> idle_var(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    const std::size_t w = scenario.send_order[k];
+    alpha_var[k] = problem.add_variable(
+        "alpha_" + platform.worker(w).name);
+  }
+  for (std::size_t k = 0; k < q; ++k) {
+    const std::size_t w = scenario.send_order[k];
+    idle_var[k] = problem.add_variable("x_" + platform.worker(w).name);
+  }
+  for (std::size_t k = 0; k < q; ++k) {
+    problem.set_objective(alpha_var[k], Rational(1));
+  }
+
+  // Exact copies of the platform constants.
+  std::vector<Rational> c(q), w_cost(q), d(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    const Worker& worker = platform.worker(scenario.send_order[k]);
+    c[k] = Rational::from_double(worker.c);
+    w_cost[k] = Rational::from_double(worker.w);
+    d[k] = Rational::from_double(worker.d);
+  }
+
+  // (2a) one chain constraint per worker, iterated in sigma_1 order.
+  // With affine latencies the constants accumulate like the linear terms;
+  // they are moved to the right-hand side.
+  for (std::size_t k = 0; k < q; ++k) {
+    const std::size_t worker_id = scenario.send_order[k];
+    std::vector<lp::Term> terms;
+    Rational constants;
+    // All sends up to and including worker k (sigma_1 prefix).
+    for (std::size_t j = 0; j <= k; ++j) {
+      terms.push_back({alpha_var[j], c[j]});
+      constants += send_lat;
+    }
+    // Own computation.
+    terms.push_back({alpha_var[k], w_cost[k]});
+    constants += comp_lat;
+    // Own idle slack.
+    terms.push_back({idle_var[k], Rational(1)});
+    // All returns from this worker onward in sigma_2 order.
+    const std::size_t my_return_pos = pos.return_pos[worker_id];
+    for (std::size_t r = my_return_pos; r < q; ++r) {
+      const std::size_t other = scenario.return_order[r];
+      const std::size_t other_k = pos.send_pos[other];
+      terms.push_back({alpha_var[other_k], d[other_k]});
+      constants += ret_lat;
+    }
+    problem.add_constraint(std::move(terms), lp::Relation::LessEq,
+                           Rational(1) - constants,
+                           "chain_" + platform.worker(worker_id).name);
+  }
+
+  // (2b) the master's one-port budget: total communication time <= 1.
+  // Absent in the two-port model of [7, 8], where the master may send and
+  // receive simultaneously.
+  if (options.one_port) {
+    std::vector<lp::Term> terms;
+    Rational constants;
+    for (std::size_t k = 0; k < q; ++k) {
+      terms.push_back({alpha_var[k], c[k] + d[k]});
+      constants += send_lat + ret_lat;
+    }
+    problem.add_constraint(std::move(terms), lp::Relation::LessEq,
+                           Rational(1) - constants, "one_port");
+  }
+  return problem;
+}
+
+ScenarioSolution solve_scenario(const StarPlatform& platform,
+                                const Scenario& scenario,
+                                const LpOptions& options) {
+  const lp::LpProblem problem =
+      build_scenario_lp(platform, scenario, options);
+  const lp::Solution<Rational> lp_solution = problem.solve_exact();
+
+  ScenarioSolution out;
+  out.scenario = scenario;
+  if (lp_solution.status == lp::Status::Infeasible) {
+    DLSCHED_EXPECT(options.is_affine(),
+                   "linear-model scenario LP cannot be infeasible");
+    out.lp_feasible = false;
+    out.alpha.assign(platform.size(), Rational());
+    out.idle.assign(platform.size(), Rational());
+    return out;
+  }
+  DLSCHED_EXPECT(lp_solution.status == lp::Status::Optimal,
+                 "scenario LP must be optimal");
+  out.throughput = lp_solution.objective;
+  out.lp_pivots = lp_solution.pivots;
+  out.alpha.assign(platform.size(), Rational());
+  out.idle.assign(platform.size(), Rational());
+  const std::size_t q = scenario.size();
+  for (std::size_t k = 0; k < q; ++k) {
+    out.alpha[scenario.send_order[k]] = lp_solution.values[k];
+    out.idle[scenario.send_order[k]] = lp_solution.values[q + k];
+  }
+  return out;
+}
+
+ScenarioSolution solve_scenario(const StarPlatform& platform,
+                                const Scenario& scenario) {
+  return solve_scenario(platform, scenario, LpOptions{});
+}
+
+ScenarioSolutionD solve_scenario_double(const StarPlatform& platform,
+                                        const Scenario& scenario) {
+  const lp::LpProblem problem = build_scenario_lp(platform, scenario);
+  const lp::Solution<double> lp_solution = problem.solve_double();
+  DLSCHED_EXPECT(lp_solution.status == lp::Status::Optimal,
+                 "scenario LP must be optimal (alpha = 0 is feasible)");
+  ScenarioSolutionD out;
+  out.scenario = scenario;
+  out.throughput = lp_solution.objective;
+  out.lp_pivots = lp_solution.pivots;
+  out.alpha.assign(platform.size(), 0.0);
+  for (std::size_t k = 0; k < scenario.size(); ++k) {
+    out.alpha[scenario.send_order[k]] =
+        std::max(0.0, lp_solution.values[k]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ScenarioSolution::enrolled() const {
+  std::vector<std::size_t> result;
+  for (std::size_t k : scenario.send_order) {
+    if (alpha[k].is_positive()) result.push_back(k);
+  }
+  return result;
+}
+
+std::vector<double> ScenarioSolution::alpha_double() const {
+  std::vector<double> values(alpha.size(), 0.0);
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    values[i] = alpha[i].to_double();
+  }
+  return values;
+}
+
+namespace {
+Schedule realize(const StarPlatform& platform, const Scenario& scenario,
+                 std::vector<double> alpha, double horizon) {
+  for (double& a : alpha) a *= horizon;
+  return make_packed_schedule(platform, scenario.send_order,
+                              scenario.return_order, alpha, horizon);
+}
+}  // namespace
+
+Schedule realize_schedule(const StarPlatform& platform,
+                          const ScenarioSolution& solution, double horizon) {
+  return realize(platform, solution.scenario, solution.alpha_double(),
+                 horizon);
+}
+
+Schedule realize_schedule(const StarPlatform& platform,
+                          const ScenarioSolutionD& solution, double horizon) {
+  return realize(platform, solution.scenario, solution.alpha, horizon);
+}
+
+}  // namespace dlsched

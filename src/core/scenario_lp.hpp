@@ -1,0 +1,101 @@
+// The linear program of paper Section 2.3, generalized to any permutation
+// pair (sigma_1, sigma_2) under the paper's normalization: initial messages
+// back-to-back from time 0 in sigma_1 order, return messages back-to-back
+// ending exactly at T = 1 in sigma_2 order.
+//
+//   maximize  rho = sum_i alpha_i
+//   s.t. (2a) for every worker i:
+//            sum_{sigma1(j) <= sigma1(i)} c_j alpha_j + w_i alpha_i + x_i
+//          + sum_{sigma2(j) >= sigma2(i)} d_j alpha_j              <= 1
+//        (2b) sum_i (c_i + d_i) alpha_i <= 1        [one-port]
+//        (2c,d) alpha_i, x_i >= 0
+//
+// The idle variables x_i are pure slack (they never bind the optimum) but
+// are kept to mirror the paper's formulation; Lemma 1's vertex-counting
+// argument is exercised on them in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "lp/problem.hpp"
+#include "numeric/rational.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+using numeric::Rational;
+
+/// Result of solving one scenario exactly.
+struct ScenarioSolution {
+  Rational throughput;                ///< rho = sum alpha_i (load per T = 1)
+  std::vector<Rational> alpha;        ///< indexed by *platform* worker id
+  std::vector<Rational> idle;         ///< LP idle variables, same indexing
+  Scenario scenario;                  ///< the scenario that was solved
+  std::size_t lp_pivots = 0;
+  bool lp_feasible = true;            ///< false only with affine constants
+
+  /// Workers with alpha > 0 (resource selection outcome).
+  [[nodiscard]] std::vector<std::size_t> enrolled() const;
+  /// alpha as doubles, platform-indexed.
+  [[nodiscard]] std::vector<double> alpha_double() const;
+};
+
+/// Variations of the scheduling LP.  The defaults reproduce the paper's
+/// model exactly; the extensions cover the companion papers' two-port model
+/// ([7, 8] -- drop the one-port row) and the affine cost model of the
+/// related work (Section 6): each message / computation additionally costs
+/// a constant latency.  With latencies, every worker listed in the scenario
+/// pays its constants whether or not it receives load, so resource
+/// selection must be done over subsets (see core/affine.hpp).
+struct LpOptions {
+  bool one_port = true;          ///< false: the two-port model of [7, 8]
+  double send_latency = 0.0;     ///< per initial message (affine model)
+  double compute_latency = 0.0;  ///< per computation start (affine model)
+  double return_latency = 0.0;   ///< per return message (affine model)
+
+  [[nodiscard]] bool is_affine() const noexcept {
+    return send_latency != 0.0 || compute_latency != 0.0 ||
+           return_latency != 0.0;
+  }
+};
+
+/// Builds the LP for a scenario (exact rational coefficients taken from the
+/// platform's doubles losslessly).  Exposed separately so tests and
+/// examples can inspect the model.
+[[nodiscard]] lp::LpProblem build_scenario_lp(const StarPlatform& platform,
+                                              const Scenario& scenario,
+                                              const LpOptions& options = {});
+
+/// Solves the scenario LP exactly.  Throws if the LP is not optimal
+/// (cannot happen in the linear model: alpha = 0 is always feasible; with
+/// affine latencies the constants may make the scenario infeasible, which
+/// is reported via lp_feasible = false and zero throughput).
+[[nodiscard]] ScenarioSolution solve_scenario(const StarPlatform& platform,
+                                              const Scenario& scenario,
+                                              const LpOptions& options);
+[[nodiscard]] ScenarioSolution solve_scenario(const StarPlatform& platform,
+                                              const Scenario& scenario);
+
+/// Double-precision variant for large sweeps (same model, simplex over
+/// doubles).  Returns platform-indexed alphas and the throughput.
+struct ScenarioSolutionD {
+  double throughput = 0.0;
+  std::vector<double> alpha;
+  Scenario scenario;
+  std::size_t lp_pivots = 0;
+};
+[[nodiscard]] ScenarioSolutionD solve_scenario_double(
+    const StarPlatform& platform, const Scenario& scenario);
+
+/// Constructs the normalized (packed) schedule realizing a solution for a
+/// horizon T (loads scale linearly with T).
+[[nodiscard]] Schedule realize_schedule(const StarPlatform& platform,
+                                        const ScenarioSolution& solution,
+                                        double horizon = 1.0);
+[[nodiscard]] Schedule realize_schedule(const StarPlatform& platform,
+                                        const ScenarioSolutionD& solution,
+                                        double horizon = 1.0);
+
+}  // namespace dlsched

@@ -1,0 +1,73 @@
+#include "core/throughput.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+double makespan_for_load(double throughput, double load) {
+  DLSCHED_EXPECT(throughput > 0.0, "throughput must be positive");
+  DLSCHED_EXPECT(load >= 0.0, "load must be non-negative");
+  return load / throughput;
+}
+
+Schedule schedule_for_load(const StarPlatform& platform,
+                           const ScenarioSolutionD& solution, double load) {
+  DLSCHED_EXPECT(solution.throughput > 0.0,
+                 "cannot scale a zero-throughput solution");
+  const double horizon = makespan_for_load(solution.throughput, load);
+  std::vector<double> alpha = solution.alpha;
+  const double factor = horizon;  // loads were computed for T = 1
+  for (double& a : alpha) a *= factor;
+  return make_packed_schedule(platform, solution.scenario.send_order,
+                              solution.scenario.return_order, alpha, horizon);
+}
+
+Timeline packed_timeline(const StarPlatform& platform,
+                         const Scenario& scenario,
+                         std::span<const double> loads) {
+  scenario.check(platform);
+  DLSCHED_EXPECT(loads.size() == platform.size(),
+                 "loads must be platform-indexed");
+
+  Timeline timeline;
+  std::vector<std::size_t> lane_of_worker(platform.size(), SIZE_MAX);
+  double clock = 0.0;
+  for (std::size_t w : scenario.send_order) {
+    const double load = loads[w];
+    DLSCHED_EXPECT(load >= 0.0, "negative load");
+    if (load <= 0.0) continue;
+    const Worker& worker = platform.worker(w);
+    WorkerLane lane;
+    lane.worker = w;
+    lane.recv.start = clock;
+    lane.recv.end = clock + load * worker.c;
+    lane.compute.start = lane.recv.end;
+    lane.compute.end = lane.compute.start + load * worker.w;
+    clock = lane.recv.end;
+    lane_of_worker[w] = timeline.lanes.size();
+    timeline.lanes.push_back(lane);
+  }
+  const double sends_done = clock;
+
+  double port_free = sends_done;
+  for (std::size_t w : scenario.return_order) {
+    if (lane_of_worker[w] == SIZE_MAX) continue;
+    WorkerLane& lane = timeline.lanes[lane_of_worker[w]];
+    const Worker& worker = platform.worker(w);
+    lane.ret.start = std::max(port_free, lane.compute.end);
+    lane.ret.end = lane.ret.start + loads[w] * worker.d;
+    port_free = lane.ret.end;
+    timeline.makespan = std::max(timeline.makespan, lane.ret.end);
+  }
+  timeline.makespan = std::max(timeline.makespan, sends_done);
+  return timeline;
+}
+
+double packed_makespan(const StarPlatform& platform, const Scenario& scenario,
+                       std::span<const double> loads) {
+  return packed_timeline(platform, scenario, loads).makespan;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,47 @@
+// Throughput <-> makespan conversions and the analytic (noise-free)
+// executor used as reference for the discrete-event simulator.
+//
+// Linearity of the cost model makes the two objectives equivalent
+// (Section 2.2): a schedule processing rho load units in T = 1 processes M
+// units in M / rho.
+#pragma once
+
+#include <span>
+
+#include "core/scenario.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/timeline.hpp"
+
+namespace dlsched {
+
+/// Time to process `load` units at throughput `throughput` (both > 0).
+[[nodiscard]] double makespan_for_load(double throughput, double load);
+
+/// Scales a throughput-form solution (horizon 1) into a schedule processing
+/// exactly `load` units; the horizon becomes load / throughput.
+[[nodiscard]] Schedule schedule_for_load(const StarPlatform& platform,
+                                         const ScenarioSolutionD& solution,
+                                         double load);
+
+/// Deterministic forward sweep of a normalized one-port execution with
+/// fixed per-worker loads (fractional or integral):
+///   * initial messages back-to-back from t = 0 in sigma_1 order,
+///   * each worker computes immediately after its reception,
+///   * return r starts at max(all sends done, previous return done, own
+///     computation done), in sigma_2 order.
+/// Returns the resulting makespan.  This is the exact execution-time model
+/// the paper's LP lower-bounds; with integral loads it quantifies the
+/// rounding penalty.
+[[nodiscard]] double packed_makespan(const StarPlatform& platform,
+                                     const Scenario& scenario,
+                                     std::span<const double> loads);
+
+/// Same sweep, returning the full timeline (workers with zero load are
+/// skipped).
+[[nodiscard]] Timeline packed_timeline(const StarPlatform& platform,
+                                       const Scenario& scenario,
+                                       std::span<const double> loads);
+
+}  // namespace dlsched

@@ -1,0 +1,58 @@
+#include "core/two_port.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+ScenarioSolution solve_scenario_two_port(const StarPlatform& platform,
+                                         const Scenario& scenario) {
+  LpOptions options;
+  options.one_port = false;
+  return solve_scenario(platform, scenario, options);
+}
+
+TwoPortFifoResult solve_fifo_optimal_two_port(const StarPlatform& platform) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  TwoPortFifoResult result;
+  // The time-reversal (mirror) argument holds under two-port as well: for
+  // z > 1 the optimal FIFO sends in non-increasing ci order.
+  const bool mirrored = platform.has_uniform_z() && platform.z() > 1.0;
+  result.solution = solve_scenario_two_port(
+      platform, Scenario::fifo(mirrored ? platform.order_by_c_desc()
+                                        : platform.order_by_c()));
+
+  // Communication load of the two-port optimum.
+  Rational comm;
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    comm += result.solution.alpha[i] *
+            (Rational::from_double(platform.worker(i).c) +
+             Rational::from_double(platform.worker(i).d));
+  }
+  result.one_port_throughput = comm > Rational(1)
+                                   ? result.solution.throughput / comm
+                                   : result.solution.throughput;
+  return result;
+}
+
+Schedule one_port_from_two_port(const StarPlatform& platform,
+                                const ScenarioSolution& two_port,
+                                double horizon) {
+  DLSCHED_EXPECT(two_port.lp_feasible, "infeasible two-port solution");
+  Rational comm;
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    comm += two_port.alpha[i] *
+            (Rational::from_double(platform.worker(i).c) +
+             Rational::from_double(platform.worker(i).d));
+  }
+  std::vector<double> alpha = two_port.alpha_double();
+  if (comm > Rational(1)) {
+    const double k = comm.to_double();
+    for (double& a : alpha) a /= k;
+  }
+  for (double& a : alpha) a *= horizon;
+  return make_packed_schedule(platform, two_port.scenario.send_order,
+                              two_port.scenario.return_order, alpha,
+                              horizon);
+}
+
+}  // namespace dlsched

@@ -1,0 +1,39 @@
+// The two-port model of the companion papers [7, 8]: the master may send to
+// one worker and simultaneously receive from another.  Implemented here
+// because (i) the paper's Theorem 2 proof builds the one-port bus optimum
+// by transforming the two-port one (Figure 7), and (ii) the gap between
+// the two models is the cost of the one-port restriction -- quantified in
+// bench/ablation_two_port.
+#pragma once
+
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+/// Two-port scenario LP: the paper's LP (2) without the one-port row (2b).
+[[nodiscard]] ScenarioSolution solve_scenario_two_port(
+    const StarPlatform& platform, const Scenario& scenario);
+
+struct TwoPortFifoResult {
+  ScenarioSolution solution;  ///< two-port optimum (non-decreasing c order)
+  Rational one_port_throughput;  ///< after the Figure 7 transformation
+};
+
+/// Optimal two-port FIFO ([7, 8]: serve workers in non-decreasing ci).
+[[nodiscard]] TwoPortFifoResult solve_fifo_optimal_two_port(
+    const StarPlatform& platform);
+
+/// The Figure 7 transformation, generalized from the bus to any platform:
+/// if the two-port solution's total communication fits in T it already *is*
+/// a one-port schedule; otherwise scale every load down by the
+/// communication overload factor k = sum_i alpha_i (c_i + d_i) and insert
+/// idle gaps.  The result is a feasible one-port schedule (not necessarily
+/// the one-port optimum off the bus -- Theorem 2 proves optimality for
+/// buses only).
+[[nodiscard]] Schedule one_port_from_two_port(const StarPlatform& platform,
+                                              const ScenarioSolution& two_port,
+                                              double horizon = 1.0);
+
+}  // namespace dlsched

@@ -1,0 +1,317 @@
+// Dense two-phase primal simplex, templated on the scalar type.
+//
+// Instantiated with `numeric::Rational` it is an *exact* LP solver: Bland's
+// pivoting rule guarantees termination and exact arithmetic guarantees the
+// returned vertex is a true optimum -- which is what lets the test suite
+// assert the paper's theorems as exact statements.  Instantiated with
+// `double` it is a fast approximate solver used by the benchmark sweeps.
+//
+// Standard form handled: maximize c^T x  s.t.  A x {<=,>=,==} b,  x >= 0.
+// Rows with negative b are flipped on entry, so any sign of b is accepted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dlsched::lp {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+enum class Status { Optimal, Infeasible, Unbounded };
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+  }
+  return "?";
+}
+
+/// Result of a solve.  `values` has one entry per structural variable,
+/// `row_activity` one per constraint (the value of the row's linear form),
+/// and `tight` marks constraints satisfied with equality at the optimum --
+/// used to verify the vertex property of the paper's Lemma 1.
+template <class T>
+struct Solution {
+  Status status = Status::Infeasible;
+  T objective{};
+  std::vector<T> values;
+  std::vector<T> row_activity;
+  std::vector<bool> tight;
+  std::size_t pivots = 0;
+};
+
+/// Scalar-dependent comparison policy.  Rational is exact; double uses a
+/// fixed tolerance.
+template <class T>
+struct ScalarPolicy {
+  static bool is_positive(const T& v) { return v.is_positive(); }
+  static bool is_negative(const T& v) { return v.is_negative(); }
+  static bool is_zero(const T& v) { return v.is_zero(); }
+};
+
+template <>
+struct ScalarPolicy<double> {
+  static constexpr double kEps = 1e-9;
+  static bool is_positive(double v) { return v > kEps; }
+  static bool is_negative(double v) { return v < -kEps; }
+  static bool is_zero(double v) { return v >= -kEps && v <= kEps; }
+};
+
+/// Dense standard-form LP instance, scalar type T.
+template <class T>
+struct DenseLp {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<T>> rows;    ///< coefficient rows, size num_vars each
+  std::vector<Relation> relations;
+  std::vector<T> rhs;
+  std::vector<T> objective;            ///< size num_vars; maximized
+
+  void add_row(std::vector<T> coefficients, Relation relation, T bound) {
+    DLSCHED_EXPECT(coefficients.size() == num_vars,
+                   "row width does not match variable count");
+    rows.push_back(std::move(coefficients));
+    relations.push_back(relation);
+    rhs.push_back(std::move(bound));
+  }
+};
+
+/// Two-phase dense tableau simplex with Bland's rule.
+template <class T>
+class Simplex {
+ public:
+  explicit Simplex(const DenseLp<T>& lp) : lp_(lp) {
+    DLSCHED_EXPECT(lp.objective.size() == lp.num_vars,
+                   "objective width does not match variable count");
+  }
+
+  [[nodiscard]] Solution<T> solve() {
+    build_tableau();
+    Solution<T> out;
+    if (has_artificials_) {
+      run_phase(/*phase1=*/true);
+      if (P::is_negative(objective_value_)) {
+        out.status = Status::Infeasible;
+        out.pivots = pivots_;
+        return out;
+      }
+      expel_basic_artificials();
+    }
+    const bool bounded = run_phase(/*phase1=*/false);
+    if (!bounded) {
+      out.status = Status::Unbounded;
+      out.pivots = pivots_;
+      return out;
+    }
+    out.status = Status::Optimal;
+    out.pivots = pivots_;
+    out.objective = objective_value_;
+    out.values.assign(lp_.num_vars, T{});
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] < lp_.num_vars) out.values[basis_[i]] = rhs_[i];
+    }
+    fill_row_activity(out);
+    return out;
+  }
+
+ private:
+  using P = ScalarPolicy<T>;
+
+  void build_tableau() {
+    const std::size_t m = lp_.rows.size();
+    // Column layout: [structural | slack/surplus | artificial].
+    std::size_t extra = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (lp_.relations[i] != Relation::Equal) ++extra;
+    }
+    // Count artificials after normalizing row signs.
+    std::vector<int> flip(m, 1);
+    std::vector<Relation> rel = lp_.relations;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (P::is_negative(lp_.rhs[i])) {
+        flip[i] = -1;
+        if (rel[i] == Relation::LessEq) rel[i] = Relation::GreaterEq;
+        else if (rel[i] == Relation::GreaterEq) rel[i] = Relation::LessEq;
+      }
+    }
+    std::size_t num_art = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rel[i] != Relation::LessEq) ++num_art;
+    }
+    has_artificials_ = num_art > 0;
+
+    const std::size_t total = lp_.num_vars + extra + num_art;
+    first_artificial_ = lp_.num_vars + extra;
+    tab_.assign(m, std::vector<T>(total, T{}));
+    rhs_.resize(m);
+    basis_.assign(m, 0);
+    forbidden_.assign(total, false);
+
+    std::size_t next_extra = lp_.num_vars;
+    std::size_t next_art = first_artificial_;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < lp_.num_vars; ++j) {
+        tab_[i][j] = flip[i] < 0 ? T{} - lp_.rows[i][j] : lp_.rows[i][j];
+      }
+      rhs_[i] = flip[i] < 0 ? T{} - lp_.rhs[i] : lp_.rhs[i];
+      switch (rel[i]) {
+        case Relation::LessEq:
+          tab_[i][next_extra] = T{1};
+          basis_[i] = next_extra++;
+          break;
+        case Relation::GreaterEq:
+          tab_[i][next_extra] = T{} - T{1};
+          ++next_extra;
+          tab_[i][next_art] = T{1};
+          basis_[i] = next_art++;
+          break;
+        case Relation::Equal:
+          tab_[i][next_art] = T{1};
+          basis_[i] = next_art++;
+          break;
+      }
+    }
+  }
+
+  /// Recomputes the reduced-cost row for the given phase's objective.
+  void load_objective(bool phase1) {
+    const std::size_t total = tab_.empty() ? 0 : tab_[0].size();
+    reduced_.assign(total, T{});
+    objective_value_ = T{};
+    auto cost_of = [&](std::size_t var) -> T {
+      if (phase1) {
+        return var >= first_artificial_ ? T{} - T{1} : T{};
+      }
+      return var < lp_.num_vars ? lp_.objective[var] : T{};
+    };
+    for (std::size_t j = 0; j < total; ++j) reduced_[j] = cost_of(j);
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      const T cb = cost_of(basis_[i]);
+      if (P::is_zero(cb)) continue;
+      for (std::size_t j = 0; j < total; ++j) {
+        reduced_[j] -= cb * tab_[i][j];
+      }
+      objective_value_ += cb * rhs_[i];
+    }
+  }
+
+  /// Runs one simplex phase; returns false iff unbounded (phase 2 only).
+  bool run_phase(bool phase1) {
+    load_objective(phase1);
+    if (!phase1) {
+      // Phase 2 must never re-enter an artificial column.
+      for (std::size_t j = first_artificial_; j < forbidden_.size(); ++j) {
+        forbidden_[j] = true;
+      }
+    }
+    const std::size_t iteration_cap =
+        10000 * (tab_.size() + forbidden_.size() + 1);
+    for (std::size_t iter = 0; iter < iteration_cap; ++iter) {
+      // Bland: entering column = smallest index with positive reduced cost.
+      std::size_t entering = reduced_.size();
+      for (std::size_t j = 0; j < reduced_.size(); ++j) {
+        if (!forbidden_[j] && P::is_positive(reduced_[j])) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == reduced_.size()) return true;  // optimal for this phase
+
+      // Ratio test; Bland tie-break on the smallest basis variable index.
+      std::size_t leaving = tab_.size();
+      T best_ratio{};
+      for (std::size_t i = 0; i < tab_.size(); ++i) {
+        if (!P::is_positive(tab_[i][entering])) continue;
+        T ratio = rhs_[i] / tab_[i][entering];
+        if (leaving == tab_.size() || ratio < best_ratio ||
+            (!(best_ratio < ratio) && basis_[i] < basis_[leaving])) {
+          leaving = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving == tab_.size()) return false;  // unbounded direction
+      pivot(leaving, entering);
+    }
+    DLSCHED_FAIL("simplex iteration cap exceeded (cycling?)");
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    ++pivots_;
+    const T inv = T{1} / tab_[row][col];
+    for (auto& v : tab_[row]) v *= inv;
+    rhs_[row] *= inv;
+    tab_[row][col] = T{1};  // kill residual rounding in the double instance
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (i == row) continue;
+      const T factor = tab_[i][col];
+      if (P::is_zero(factor)) continue;
+      for (std::size_t j = 0; j < tab_[i].size(); ++j) {
+        tab_[i][j] -= factor * tab_[row][j];
+      }
+      tab_[i][col] = T{};
+      rhs_[i] -= factor * rhs_[row];
+    }
+    const T rfactor = reduced_[col];
+    if (!P::is_zero(rfactor)) {
+      for (std::size_t j = 0; j < reduced_.size(); ++j) {
+        reduced_[j] -= rfactor * tab_[row][j];
+      }
+      reduced_[col] = T{};
+      objective_value_ += rfactor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+  /// After phase 1, any artificial still basic sits at value zero; pivot it
+  /// out on a non-artificial column, or drop the (redundant) row.
+  void expel_basic_artificials() {
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      std::size_t col = first_artificial_;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (!P::is_zero(tab_[i][j])) {
+          col = j;
+          break;
+        }
+      }
+      if (col < first_artificial_) {
+        pivot(i, col);
+      }
+      // If the row is zero across structural columns it is redundant; the
+      // artificial stays basic at zero and its column is forbidden in
+      // phase 2, which is harmless.
+    }
+  }
+
+  void fill_row_activity(Solution<T>& out) const {
+    out.row_activity.assign(lp_.rows.size(), T{});
+    out.tight.assign(lp_.rows.size(), false);
+    for (std::size_t i = 0; i < lp_.rows.size(); ++i) {
+      T activity{};
+      for (std::size_t j = 0; j < lp_.num_vars; ++j) {
+        if (P::is_zero(lp_.rows[i][j])) continue;
+        activity += lp_.rows[i][j] * out.values[j];
+      }
+      out.row_activity[i] = activity;
+      const T gap = lp_.rhs[i] - activity;
+      out.tight[i] = P::is_zero(gap);
+    }
+  }
+
+  const DenseLp<T>& lp_;
+  std::vector<std::vector<T>> tab_;
+  std::vector<T> rhs_;
+  std::vector<T> reduced_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> forbidden_;
+  T objective_value_{};
+  std::size_t first_artificial_ = 0;
+  bool has_artificials_ = false;
+  std::size_t pivots_ = 0;
+};
+
+}  // namespace dlsched::lp

@@ -1,0 +1,559 @@
+#include "numeric/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace dlsched::numeric {
+
+namespace {
+// Karatsuba pays off only for operands beyond this many limbs; below it the
+// cache-friendly schoolbook loop wins.
+constexpr std::size_t kKaratsubaThreshold = 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t mag =
+      value < 0 ? ~static_cast<std::uint64_t>(value) + 1ULL
+                : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<Limb>(mag & 0xffffffffULL));
+    mag >>= kLimbBits;
+  }
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value == 0) return;
+  sign_ = 1;
+  while (value != 0) {
+    limbs_.push_back(static_cast<Limb>(value & 0xffffffffULL));
+    value >>= kLimbBits;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  DLSCHED_EXPECT(!text.empty(), "BigInt::from_string: empty input");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  DLSCHED_EXPECT(pos < text.size(), "BigInt::from_string: sign only");
+  BigInt result;
+  // Consume 9 decimal digits at a time: result = result * 10^9 + chunk.
+  const BigInt chunk_base(static_cast<std::int64_t>(1000000000));
+  while (pos < text.size()) {
+    const std::size_t take = std::min<std::size_t>(9, text.size() - pos);
+    std::uint64_t chunk = 0;
+    std::uint64_t scale = 1;
+    for (std::size_t i = 0; i < take; ++i) {
+      const char ch = text[pos + i];
+      DLSCHED_EXPECT(ch >= '0' && ch <= '9',
+                     "BigInt::from_string: non-digit character");
+      chunk = chunk * 10 + static_cast<std::uint64_t>(ch - '0');
+      scale *= 10;
+    }
+    result *= BigInt(scale);
+    result += BigInt(chunk);
+    pos += take;
+  }
+  if (negative) result.negate();
+  result.normalize();
+  return result;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const Limb top = limbs_.back();
+  const unsigned top_bits = kLimbBits - static_cast<unsigned>(std::countl_zero(top));
+  return (limbs_.size() - 1) * kLimbBits + top_bits;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+void BigInt::trim(std::vector<Limb>& limbs) noexcept {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+}
+
+void BigInt::normalize() noexcept {
+  trim(limbs_);
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::compare_magnitude(const std::vector<Limb>& a,
+                              const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const std::vector<Limb>& lo = a.size() <= b.size() ? a : b;
+  const std::vector<Limb>& hi = a.size() <= b.size() ? b : a;
+  std::vector<Limb> sum;
+  sum.reserve(hi.size() + 1);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    DoubleLimb total = carry + hi[i];
+    if (i < lo.size()) total += lo[i];
+    sum.push_back(static_cast<Limb>(total & 0xffffffffULL));
+    carry = total >> kLimbBits;
+  }
+  if (carry != 0) sum.push_back(static_cast<Limb>(carry));
+  return sum;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  std::vector<Limb> diff;
+  diff.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t total = static_cast<std::int64_t>(a[i]) - borrow -
+                         (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (total < 0) {
+      total += static_cast<std::int64_t>(1) << kLimbBits;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    diff.push_back(static_cast<Limb>(total));
+  }
+  trim(diff);
+  return diff;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_schoolbook(const std::vector<Limb>& a,
+                                                 const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> product(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb carry = 0;
+    const DoubleLimb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      DoubleLimb total = product[i + j] + ai * b[j] + carry;
+      product[i + j] = static_cast<Limb>(total & 0xffffffffULL);
+      carry = total >> kLimbBits;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      DoubleLimb total = product[k] + carry;
+      product[k] = static_cast<Limb>(total & 0xffffffffULL);
+      carry = total >> kLimbBits;
+      ++k;
+    }
+  }
+  trim(product);
+  return product;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return mul_schoolbook(a, b);
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  auto lower = [&](const std::vector<Limb>& v) {
+    std::vector<Limb> part(v.begin(),
+                           v.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(half, v.size())));
+    trim(part);
+    return part;
+  };
+  auto upper = [&](const std::vector<Limb>& v) {
+    if (v.size() <= half) return std::vector<Limb>{};
+    std::vector<Limb> part(v.begin() + static_cast<std::ptrdiff_t>(half),
+                           v.end());
+    trim(part);
+    return part;
+  };
+  const std::vector<Limb> a0 = lower(a);
+  const std::vector<Limb> a1 = upper(a);
+  const std::vector<Limb> b0 = lower(b);
+  const std::vector<Limb> b1 = upper(b);
+
+  std::vector<Limb> z0 = mul_karatsuba(a0, b0);
+  std::vector<Limb> z2 = mul_karatsuba(a1, b1);
+  std::vector<Limb> sa = add_magnitude(a0, a1);
+  std::vector<Limb> sb = add_magnitude(b0, b1);
+  std::vector<Limb> z1 = mul_karatsuba(sa, sb);
+  z1 = sub_magnitude(z1, z0);
+  z1 = sub_magnitude(z1, z2);
+
+  // result = z0 + z1 << (32*half) + z2 << (64*half)
+  std::vector<Limb> result(z0);
+  auto add_shifted = [&](const std::vector<Limb>& part, std::size_t shift) {
+    if (part.empty()) return;
+    if (result.size() < part.size() + shift) {
+      result.resize(part.size() + shift, 0);
+    }
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      DoubleLimb total = static_cast<DoubleLimb>(result[i + shift]) + part[i] + carry;
+      result[i + shift] = static_cast<Limb>(total & 0xffffffffULL);
+      carry = total >> kLimbBits;
+    }
+    std::size_t k = part.size() + shift;
+    while (carry != 0) {
+      if (k == result.size()) result.push_back(0);
+      DoubleLimb total = static_cast<DoubleLimb>(result[k]) + carry;
+      result[k] = static_cast<Limb>(total & 0xffffffffULL);
+      carry = total >> kLimbBits;
+      ++k;
+    }
+  };
+  add_shifted(z1, half);
+  add_shifted(z2, 2 * half);
+  trim(result);
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold) {
+    return mul_karatsuba(a, b);
+  }
+  return mul_schoolbook(a, b);
+}
+
+// Knuth TAOCP vol. 2, algorithm 4.3.1-D, specialized to 32-bit limbs with
+// 64-bit intermediate arithmetic.
+void BigInt::divmod_magnitude(const std::vector<Limb>& u_in,
+                              const std::vector<Limb>& v_in,
+                              std::vector<Limb>& quotient,
+                              std::vector<Limb>& remainder) {
+  DLSCHED_EXPECT(!v_in.empty(), "division by zero");
+  quotient.clear();
+  remainder.clear();
+  if (compare_magnitude(u_in, v_in) < 0) {
+    remainder = u_in;
+    trim(remainder);
+    return;
+  }
+  if (v_in.size() == 1) {
+    // Single-limb fast path.
+    const DoubleLimb divisor = v_in[0];
+    quotient.assign(u_in.size(), 0);
+    DoubleLimb rem = 0;
+    for (std::size_t i = u_in.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << kLimbBits) | u_in[i];
+      quotient[i] = static_cast<Limb>(cur / divisor);
+      rem = cur % divisor;
+    }
+    trim(quotient);
+    if (rem != 0) remainder.push_back(static_cast<Limb>(rem));
+    return;
+  }
+
+  // D1: normalize so that the divisor's top limb has its high bit set.
+  const unsigned shift =
+      static_cast<unsigned>(std::countl_zero(v_in.back()));
+  const std::size_t n = v_in.size();
+  const std::size_t m = u_in.size() - n;
+
+  std::vector<Limb> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    DoubleLimb val = static_cast<DoubleLimb>(v_in[i]) << shift;
+    if (shift != 0 && i > 0) val |= v_in[i - 1] >> (kLimbBits - shift);
+    v[i] = static_cast<Limb>(val & 0xffffffffULL);
+  }
+  std::vector<Limb> u(u_in.size() + 1, 0);
+  for (std::size_t i = u_in.size(); i-- > 0;) {
+    DoubleLimb val = static_cast<DoubleLimb>(u_in[i]) << shift;
+    if (shift != 0 && i > 0) val |= u_in[i - 1] >> (kLimbBits - shift);
+    u[i] = static_cast<Limb>(val & 0xffffffffULL);
+  }
+  if (shift != 0) {
+    u[u_in.size()] =
+        static_cast<Limb>(u_in.back() >> (kLimbBits - shift));
+  }
+
+  quotient.assign(m + 1, 0);
+  const DoubleLimb base = DoubleLimb{1} << kLimbBits;
+  // D2..D7: main loop over quotient digits, most significant first.
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat from the top two limbs of the current remainder.
+    DoubleLimb numerator = (static_cast<DoubleLimb>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    DoubleLimb q_hat = numerator / v[n - 1];
+    DoubleLimb r_hat = numerator % v[n - 1];
+    while (q_hat >= base ||
+           q_hat * v[n - 2] > ((r_hat << kLimbBits) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= base) break;
+    }
+    // D4: multiply and subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      DoubleLimb product = q_hat * v[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xffffffffULL) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(base);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                       static_cast<std::int64_t>(carry) - borrow;
+    // D5/D6: if the subtraction went negative the estimate was one too big;
+    // add the divisor back.
+    if (top < 0) {
+      --q_hat;
+      DoubleLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        DoubleLimb total = static_cast<DoubleLimb>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(total & 0xffffffffULL);
+        add_carry = total >> kLimbBits;
+      }
+      top += static_cast<std::int64_t>(add_carry);
+    }
+    u[j + n] = static_cast<Limb>(top);
+    quotient[j] = static_cast<Limb>(q_hat);
+  }
+
+  // D8: denormalize the remainder.
+  remainder.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    DoubleLimb val = u[i] >> shift;
+    if (shift != 0 && i + 1 < u.size()) {
+      val |= static_cast<DoubleLimb>(u[i + 1]) << (kLimbBits - shift);
+    }
+    remainder[i] = static_cast<Limb>(val & 0xffffffffULL);
+  }
+  trim(quotient);
+  trim(remainder);
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) {
+    *this = rhs;
+    return *this;
+  }
+  if (sign_ == rhs.sign_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    const int cmp = compare_magnitude(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      sign_ = 0;
+    } else if (cmp > 0) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      sign_ = rhs.sign_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  BigInt negated = rhs;
+  negated.negate();
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (sign_ == 0 || rhs.sign_ == 0) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  sign_ = sign_ * rhs.sign_;
+  normalize();
+  return *this;
+}
+
+void BigInt::divmod(const BigInt& numerator, const BigInt& denominator,
+                    BigInt& quotient, BigInt& remainder) {
+  DLSCHED_EXPECT(!denominator.is_zero(), "BigInt division by zero");
+  std::vector<Limb> q;
+  std::vector<Limb> r;
+  divmod_magnitude(numerator.limbs_, denominator.limbs_, q, r);
+  quotient.limbs_ = std::move(q);
+  quotient.sign_ = quotient.limbs_.empty()
+                       ? 0
+                       : numerator.sign_ * denominator.sign_;
+  remainder.limbs_ = std::move(r);
+  remainder.sign_ = remainder.limbs_.empty() ? 0 : numerator.sign_;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt quotient;
+  BigInt remainder;
+  divmod(*this, rhs, quotient, remainder);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt quotient;
+  BigInt remainder;
+  divmod(*this, rhs, quotient, remainder);
+  *this = std::move(remainder);
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
+  std::vector<Limb> shifted(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const DoubleLimb val = static_cast<DoubleLimb>(limbs_[i]) << bit_shift;
+    shifted[i + limb_shift] |= static_cast<Limb>(val & 0xffffffffULL);
+    shifted[i + limb_shift + 1] |= static_cast<Limb>(val >> kLimbBits);
+  }
+  limbs_ = std::move(shifted);
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
+  std::vector<Limb> shifted(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    DoubleLimb val = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      val |= static_cast<DoubleLimb>(limbs_[i + limb_shift + 1])
+             << (kLimbBits - bit_shift);
+    }
+    shifted[i] = static_cast<Limb>(val & 0xffffffffULL);
+  }
+  limbs_ = std::move(shifted);
+  normalize();
+  return *this;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.negate();
+  return result;
+}
+
+int BigInt::compare(const BigInt& rhs) const noexcept {
+  if (sign_ != rhs.sign_) return sign_ < rhs.sign_ ? -1 : 1;
+  if (sign_ == 0) return 0;
+  const int mag = compare_magnitude(limbs_, rhs.limbs_);
+  return sign_ > 0 ? mag : -mag;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  if (a.sign_ < 0) a.sign_ = 1;
+  if (b.sign_ < 0) b.sign_ = 1;
+  // Euclid with full divisions; operand sizes in the simplex stay small
+  // enough that binary gcd's constant-factor win does not matter.
+  while (!b.is_zero()) {
+    BigInt quotient;
+    BigInt remainder;
+    divmod(a, b, quotient, remainder);
+    a = std::move(b);
+    b = std::move(remainder);
+  }
+  return a;
+}
+
+BigInt BigInt::pow(std::uint64_t exponent) const {
+  const bool negative_result = sign_ < 0 && (exponent & 1ULL) != 0;
+  BigInt base = this->abs();
+  BigInt result(std::int64_t{1});
+  while (exponent != 0) {
+    if (exponent & 1ULL) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  if (negative_result) result.negate();
+  return result;
+}
+
+std::string BigInt::to_string() const {
+  if (sign_ == 0) return "0";
+  // Peel 9 decimal digits at a time via single-limb division by 10^9.
+  std::vector<Limb> digits_chunks;
+  std::vector<Limb> value = limbs_;
+  const DoubleLimb chunk = 1000000000ULL;
+  while (!value.empty()) {
+    DoubleLimb rem = 0;
+    for (std::size_t i = value.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << kLimbBits) | value[i];
+      value[i] = static_cast<Limb>(cur / chunk);
+      rem = cur % chunk;
+    }
+    trim(value);
+    digits_chunks.push_back(static_cast<Limb>(rem));
+  }
+  std::string text = sign_ < 0 ? "-" : "";
+  text += std::to_string(digits_chunks.back());
+  for (std::size_t i = digits_chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(digits_chunks[i]);
+    text += std::string(9 - part.size(), '0') + part;
+  }
+  return text;
+}
+
+double BigInt::to_double() const noexcept {
+  if (sign_ == 0) return 0.0;
+  double value = 0.0;
+  // Only the top ~2 limbs contribute to a double's mantissa, but summing all
+  // limbs with ldexp is simple and exact up to rounding.
+  const std::size_t start = limbs_.size() > 4 ? limbs_.size() - 4 : 0;
+  for (std::size_t i = limbs_.size(); i-- > start;) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  value = std::ldexp(value, static_cast<int>(start * kLimbBits));
+  return sign_ < 0 ? -value : value;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (limbs_.size() < 2) return true;
+  if (limbs_.size() > 2) return false;
+  const std::uint64_t mag =
+      (static_cast<std::uint64_t>(limbs_[1]) << kLimbBits) | limbs_[0];
+  if (sign_ > 0) return mag <= static_cast<std::uint64_t>(INT64_MAX);
+  return mag <= static_cast<std::uint64_t>(INT64_MAX) + 1ULL;
+}
+
+std::int64_t BigInt::to_int64() const {
+  DLSCHED_EXPECT(fits_int64(), "BigInt does not fit in int64");
+  std::uint64_t mag = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    mag = (mag << kLimbBits) | limbs_[i];
+  }
+  if (sign_ < 0) return -static_cast<std::int64_t>(mag);
+  return static_cast<std::int64_t>(mag);
+}
+
+std::ostream& operator<<(std::ostream& out, const BigInt& value) {
+  return out << value.to_string();
+}
+
+}  // namespace dlsched::numeric

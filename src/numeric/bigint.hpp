@@ -1,0 +1,150 @@
+// Arbitrary-precision signed integer (sign-magnitude, base 2^32 limbs).
+//
+// This is the foundation of the exact rational simplex (src/lp).  The
+// paper's optimality theorems are statements about exact LP optima; solving
+// the LPs over rationals removes every floating-point tolerance from the
+// reproduction, so the test suite can assert e.g. "sorting by non-decreasing
+// ci is optimal" as an exact inequality.
+//
+// Representation invariants:
+//   * limbs_ is little-endian with no trailing zero limb;
+//   * sign_ is -1, 0 or +1, and sign_ == 0 iff limbs_ is empty.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlsched::numeric {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From built-in integers (implicit by design: arithmetic mixes freely).
+  BigInt(std::int64_t value);   // NOLINT(google-explicit-constructor)
+  BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal string.  Throws dlsched::Error on
+  /// malformed input.
+  static BigInt from_string(std::string_view text);
+
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] bool is_positive() const noexcept { return sign_ > 0; }
+  /// -1, 0 or +1.
+  [[nodiscard]] int sign() const noexcept { return sign_; }
+  /// True when the value is odd.
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !limbs_.empty() && (limbs_[0] & 1U) != 0;
+  }
+
+  /// Number of significant bits of |*this| (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  /// Number of limbs (implementation detail exposed for benchmarks).
+  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+
+  [[nodiscard]] BigInt abs() const;
+  void negate() noexcept { sign_ = -sign_; }
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero,
+  /// remainder has the dividend's sign).  Throws on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  [[nodiscard]] BigInt operator-() const;
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  friend BigInt operator<<(BigInt lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigInt operator>>(BigInt lhs, std::size_t bits) { return lhs >>= bits; }
+
+  /// Quotient and remainder in one division.
+  static void divmod(const BigInt& numerator, const BigInt& denominator,
+                     BigInt& quotient, BigInt& remainder);
+
+  /// Three-way comparison: -1, 0, +1.
+  [[nodiscard]] int compare(const BigInt& rhs) const noexcept;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) >= 0;
+  }
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// |*this| ^ exponent (exponent >= 0).
+  [[nodiscard]] BigInt pow(std::uint64_t exponent) const;
+
+  /// Decimal rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Nearest-double conversion (round-to-nearest on the top bits; may
+  /// overflow to +/-inf for astronomically large values).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Exact conversion to int64 if the value fits, otherwise throws.
+  [[nodiscard]] std::int64_t to_int64() const;
+  /// True if the value is representable as int64.
+  [[nodiscard]] bool fits_int64() const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& out, const BigInt& value);
+
+ private:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  /// |a| vs |b|.
+  static int compare_magnitude(const std::vector<Limb>& a,
+                               const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_schoolbook(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b);
+  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  /// Knuth algorithm D on magnitudes; u / v with v non-zero.
+  static void divmod_magnitude(const std::vector<Limb>& u,
+                               const std::vector<Limb>& v,
+                               std::vector<Limb>& quotient,
+                               std::vector<Limb>& remainder);
+  static void trim(std::vector<Limb>& limbs) noexcept;
+  void normalize() noexcept;
+
+  std::vector<Limb> limbs_;
+  int sign_ = 0;
+};
+
+}  // namespace dlsched::numeric

@@ -1,0 +1,186 @@
+#include "numeric/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace dlsched::numeric {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  DLSCHED_EXPECT(!den_.is_zero(), "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_.negate();
+    den_.negate();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(std::int64_t{1});
+    return;
+  }
+  const BigInt g = BigInt::gcd(num_, den_);
+  if (g > BigInt(std::int64_t{1})) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::from_double(double value) {
+  DLSCHED_EXPECT(std::isfinite(value), "from_double: non-finite value");
+  if (value == 0.0) return Rational();
+  int exp = 0;
+  double mantissa = std::frexp(value, &exp);  // value = mantissa * 2^exp
+  // Scale the mantissa to an odd integer: 53 bits always suffice.
+  for (int i = 0; i < 53 && mantissa != std::trunc(mantissa); ++i) {
+    mantissa *= 2.0;
+    --exp;
+  }
+  DLSCHED_EXPECT(mantissa == std::trunc(mantissa),
+                 "from_double: mantissa did not resolve");
+  BigInt num(static_cast<std::int64_t>(mantissa));
+  BigInt den(std::int64_t{1});
+  if (exp >= 0) {
+    num <<= static_cast<std::size_t>(exp);
+  } else {
+    den <<= static_cast<std::size_t>(-exp);
+  }
+  return Rational(std::move(num), std::move(den));
+}
+
+Rational Rational::from_string(std::string_view text) {
+  const std::string trimmed = trim(text);
+  DLSCHED_EXPECT(!trimmed.empty(), "Rational::from_string: empty input");
+  const std::size_t slash = trimmed.find('/');
+  if (slash != std::string::npos) {
+    return Rational(BigInt::from_string(trimmed.substr(0, slash)),
+                    BigInt::from_string(trimmed.substr(slash + 1)));
+  }
+  const std::size_t dot = trimmed.find('.');
+  if (dot != std::string::npos) {
+    std::string digits = trimmed.substr(0, dot) + trimmed.substr(dot + 1);
+    const std::size_t frac_digits = trimmed.size() - dot - 1;
+    BigInt den = BigInt(std::int64_t{10}).pow(frac_digits);
+    return Rational(BigInt::from_string(digits), std::move(den));
+  }
+  return Rational(BigInt::from_string(trimmed));
+}
+
+bool Rational::is_integer() const noexcept {
+  return den_ == BigInt(std::int64_t{1});
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  DLSCHED_EXPECT(!rhs.is_zero(), "rational division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.num_.negate();
+  return result;
+}
+
+Rational Rational::abs() const {
+  return is_negative() ? -*this : *this;
+}
+
+Rational Rational::inverse() const {
+  DLSCHED_EXPECT(!is_zero(), "inverse of zero");
+  Rational result;
+  result.num_ = den_;
+  result.den_ = num_;
+  if (result.den_.is_negative()) {
+    result.num_.negate();
+    result.den_.negate();
+  }
+  return result;
+}
+
+int Rational::compare(const Rational& rhs) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  const int ls = num_.sign();
+  const int rs = rhs.num_.sign();
+  if (ls != rs) return ls < rs ? -1 : 1;
+  return (num_ * rhs.den_).compare(rhs.num_ * den_);
+}
+
+BigInt Rational::floor() const {
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::divmod(num_, den_, quotient, remainder);
+  if (num_.is_negative() && !remainder.is_zero()) {
+    quotient -= BigInt(std::int64_t{1});
+  }
+  return quotient;
+}
+
+BigInt Rational::ceil() const {
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::divmod(num_, den_, quotient, remainder);
+  if (num_.is_positive() && !remainder.is_zero()) {
+    quotient += BigInt(std::int64_t{1});
+  }
+  return quotient;
+}
+
+double Rational::to_double() const noexcept {
+  const double n = num_.to_double();
+  const double d = den_.to_double();
+  if (std::isfinite(n) && std::isfinite(d) && d != 0.0) return n / d;
+  // Huge operands: shift both down so the leading bits survive.
+  const std::size_t nb = num_.bit_length();
+  const std::size_t db = den_.bit_length();
+  const std::size_t shift = (nb > db ? db : nb) > 64 ? std::min(nb, db) - 64 : 0;
+  const double sn = (num_ >> shift).to_double();
+  const double sd = (den_ >> shift).to_double();
+  return sd != 0.0 ? sn / sd : 0.0;
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& out, const Rational& value) {
+  return out << value.to_string();
+}
+
+const Rational& min(const Rational& a, const Rational& b) {
+  return b < a ? b : a;
+}
+
+const Rational& max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+}  // namespace dlsched::numeric

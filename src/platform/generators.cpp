@@ -1,0 +1,86 @@
+#include "platform/generators.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched::gen {
+
+std::vector<WorkerSpeeds> homogeneous_speeds(std::size_t p, Rng& rng,
+                                             SpeedRange range) {
+  const double comm = rng.uniform(range.lo, range.hi);
+  const double comp = rng.uniform(range.lo, range.hi);
+  return std::vector<WorkerSpeeds>(p, WorkerSpeeds{comm, comp});
+}
+
+std::vector<WorkerSpeeds> bus_hetero_comp_speeds(std::size_t p, Rng& rng,
+                                                 SpeedRange range) {
+  const double comm = rng.uniform(range.lo, range.hi);
+  std::vector<WorkerSpeeds> speeds(p);
+  for (WorkerSpeeds& s : speeds) {
+    s.comm = comm;
+    s.comp = rng.uniform(range.lo, range.hi);
+  }
+  return speeds;
+}
+
+std::vector<WorkerSpeeds> heterogeneous_speeds(std::size_t p, Rng& rng,
+                                               SpeedRange range) {
+  std::vector<WorkerSpeeds> speeds(p);
+  for (WorkerSpeeds& s : speeds) {
+    s.comm = rng.uniform(range.lo, range.hi);
+    s.comp = rng.uniform(range.lo, range.hi);
+  }
+  return speeds;
+}
+
+std::vector<WorkerSpeeds> participation_speeds(double x) {
+  DLSCHED_EXPECT(x > 0.0, "participation platform needs x > 0");
+  return {
+      WorkerSpeeds{10.0, 9.0},
+      WorkerSpeeds{8.0, 9.0},
+      WorkerSpeeds{8.0, 10.0},
+      WorkerSpeeds{x, 1.0},
+  };
+}
+
+StarPlatform random_star(std::size_t p, Rng& rng, double z, double c_lo,
+                         double c_hi, double w_lo, double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  std::vector<Worker> workers(p);
+  for (Worker& worker : workers) {
+    worker.c = rng.uniform(c_lo, c_hi);
+    worker.w = rng.uniform(w_lo, w_hi);
+    worker.d = z * worker.c;
+  }
+  return StarPlatform(std::move(workers));
+}
+
+StarPlatform random_bus(std::size_t p, Rng& rng, double z, double c_lo,
+                        double c_hi, double w_lo, double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  const double c = rng.uniform(c_lo, c_hi);
+  std::vector<double> w(p);
+  for (double& wi : w) wi = rng.uniform(w_lo, w_hi);
+  return StarPlatform::bus(c, z * c, std::move(w));
+}
+
+StarPlatform random_star_grid(std::size_t p, Rng& rng, int z_num, int z_den,
+                              int denominator, int max_numerator) {
+  DLSCHED_EXPECT(z_num > 0 && z_den > 0, "z fraction must be positive");
+  DLSCHED_EXPECT(denominator > 0 && max_numerator > 0, "bad grid parameters");
+  std::vector<Worker> workers(p);
+  for (Worker& worker : workers) {
+    const double c_num =
+        static_cast<double>(rng.uniform_int(1, max_numerator));
+    const double w_num =
+        static_cast<double>(rng.uniform_int(1, max_numerator));
+    worker.c = c_num / denominator;
+    worker.w = w_num / denominator;
+    // Exact ratio: c_num * z_num / (denominator * z_den); representable as
+    // a double only when small, but the Rational conversion in the LP layer
+    // is taken from this double, so both sides see the identical value.
+    worker.d = (c_num * z_num) / (static_cast<double>(denominator) * z_den);
+  }
+  return StarPlatform(std::move(workers));
+}
+
+}  // namespace dlsched::gen

@@ -1,0 +1,59 @@
+// Platform generators matching the experimental setups of the paper's
+// Section 5.  All generators are deterministic given the Rng.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::gen {
+
+/// Speed-factor ensembles (Section 5.3.2): factors are drawn uniformly from
+/// [lo, hi]; factor 1 is the original cluster speed, larger is faster.
+struct SpeedRange {
+  double lo = 1.0;
+  double hi = 10.0;
+};
+
+/// Fully homogeneous platform: one comm factor and one comp factor drawn per
+/// *platform* and shared by all workers (Figure 10's "homogeneous random
+/// platforms").
+[[nodiscard]] std::vector<WorkerSpeeds> homogeneous_speeds(
+    std::size_t p, Rng& rng, SpeedRange range = {});
+
+/// Homogeneous communication, heterogeneous computation (Figure 11 /
+/// Theorem 2 regime).
+[[nodiscard]] std::vector<WorkerSpeeds> bus_hetero_comp_speeds(
+    std::size_t p, Rng& rng, SpeedRange range = {});
+
+/// Fully heterogeneous star (Figure 12).
+[[nodiscard]] std::vector<WorkerSpeeds> heterogeneous_speeds(
+    std::size_t p, Rng& rng, SpeedRange range = {});
+
+/// The 4-worker participation platform of Section 5.3.4:
+///   communication speeds {10, 8, 8, x}, computation speeds {9, 9, 10, 1}.
+[[nodiscard]] std::vector<WorkerSpeeds> participation_speeds(double x);
+
+/// Abstract random star platform in (c, w, d) space with a uniform return
+/// ratio z: ci, wi uniform in the given ranges, di = z * ci.  Used by the
+/// theorem-level property tests, which do not need the matrix application.
+[[nodiscard]] StarPlatform random_star(std::size_t p, Rng& rng, double z,
+                                       double c_lo = 0.1, double c_hi = 2.0,
+                                       double w_lo = 0.1, double w_hi = 5.0);
+
+/// Random bus platform: shared c and d = z * c, per-worker random w.
+[[nodiscard]] StarPlatform random_bus(std::size_t p, Rng& rng, double z,
+                                      double c_lo = 0.1, double c_hi = 2.0,
+                                      double w_lo = 0.1, double w_hi = 5.0);
+
+/// Rational-friendly random star: all parameters are small integer
+/// multiples of 1/denominator, so exact LP coefficients stay tiny.  z is
+/// given as a fraction (z_num / z_den) applied exactly: d = c * z_num/z_den.
+[[nodiscard]] StarPlatform random_star_grid(std::size_t p, Rng& rng,
+                                            int z_num, int z_den,
+                                            int denominator = 8,
+                                            int max_numerator = 24);
+
+}  // namespace dlsched::gen

@@ -1,0 +1,47 @@
+#include "platform/matrix_app.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+MatrixApp::MatrixApp(Config config) : config_(config) {
+  DLSCHED_EXPECT(config_.matrix_size > 0, "matrix size must be positive");
+  DLSCHED_EXPECT(config_.base_bandwidth > 0.0, "bandwidth must be positive");
+  DLSCHED_EXPECT(config_.base_flops > 0.0, "flop rate must be positive");
+  DLSCHED_EXPECT(config_.element_bytes > 0.0, "element size must be positive");
+}
+
+double MatrixApp::input_bytes() const noexcept {
+  const double n = static_cast<double>(config_.matrix_size);
+  return 2.0 * config_.element_bytes * n * n;
+}
+
+double MatrixApp::output_bytes() const noexcept {
+  const double n = static_cast<double>(config_.matrix_size);
+  return config_.element_bytes * n * n;
+}
+
+double MatrixApp::flops() const noexcept {
+  const double n = static_cast<double>(config_.matrix_size);
+  return 2.0 * n * n * n;
+}
+
+Worker MatrixApp::worker(const WorkerSpeeds& speeds) const {
+  DLSCHED_EXPECT(speeds.comm > 0.0 && speeds.comp > 0.0,
+                 "speed factors must be positive");
+  Worker result;
+  result.c = input_bytes() / (config_.base_bandwidth * speeds.comm);
+  result.d = output_bytes() / (config_.base_bandwidth * speeds.comm);
+  result.w = flops() / (config_.base_flops * speeds.comp);
+  return result;
+}
+
+StarPlatform MatrixApp::platform(
+    const std::vector<WorkerSpeeds>& speeds) const {
+  std::vector<Worker> workers;
+  workers.reserve(speeds.size());
+  for (const WorkerSpeeds& s : speeds) workers.push_back(worker(s));
+  return StarPlatform(std::move(workers));
+}
+
+}  // namespace dlsched

@@ -1,0 +1,60 @@
+// The target application of the paper's Section 5: a stream of M matrix
+// products distributed master -> workers.  One load unit = one product of
+// two n x n matrices; the input message carries both operands (2 * 8n^2
+// bytes), the result message one matrix (8n^2 bytes), hence z = d/c = 1/2.
+//
+// The base rates model the paper's testbed (ENS Lyon "gdsdmi" cluster:
+// Pentium 4 @ 2.4 GHz on 100 Mb/s Ethernet).  A naive triple-loop GEMM on
+// that hardware sustains ~150 MFlop/s, and 100 Mb/s Ethernet moves
+// ~11.75 MB/s of payload.  The 150 MFlop/s figure is calibrated so the
+// Section 5.3.4 participation experiment reproduces the paper's outcome
+// (x = 1: the slow worker is never used; x = 3: it is) -- see
+// EXPERIMENTS.md.  Absolute values otherwise only set the time scale;
+// every figure normalizes against the INC_C LP prediction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+#include "platform/worker.hpp"
+
+namespace dlsched {
+
+class MatrixApp {
+ public:
+  struct Config {
+    std::size_t matrix_size = 100;           ///< n
+    double base_bandwidth = 11.75e6;         ///< bytes/s at speed factor 1
+    double base_flops = 1.5e8;               ///< flop/s at speed factor 1
+    double element_bytes = 8.0;              ///< sizeof(double)
+  };
+
+  explicit MatrixApp(Config config);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t matrix_size() const noexcept {
+    return config_.matrix_size;
+  }
+
+  /// Bytes of input per load unit (two operand matrices).
+  [[nodiscard]] double input_bytes() const noexcept;
+  /// Bytes of output per load unit (one result matrix).
+  [[nodiscard]] double output_bytes() const noexcept;
+  /// Floating-point operations per load unit (2 n^3 for a naive GEMM).
+  [[nodiscard]] double flops() const noexcept;
+  /// The application's return ratio z = output/input = 1/2.
+  [[nodiscard]] double z() const noexcept { return 0.5; }
+
+  /// Linear-model costs of one worker with the given speed factors.
+  [[nodiscard]] Worker worker(const WorkerSpeeds& speeds) const;
+
+  /// Full platform from an ensemble of speed factors.
+  [[nodiscard]] StarPlatform platform(
+      const std::vector<WorkerSpeeds>& speeds) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace dlsched

@@ -1,0 +1,110 @@
+#include "platform/platform_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace dlsched {
+
+namespace {
+
+double parse_number(const std::string& token, std::size_t line_number) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    DLSCHED_EXPECT(consumed == token.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    DLSCHED_FAIL("platform file line " + std::to_string(line_number) +
+                 ": '" + token + "' is not a number");
+  }
+}
+
+}  // namespace
+
+StarPlatform parse_platform(std::istream& in) {
+  std::vector<Worker> workers;
+  double default_z = -1.0;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    std::istringstream fields(trimmed);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+
+    if (tokens[0] == "z") {
+      DLSCHED_EXPECT(tokens.size() == 2,
+                     "platform file line " + std::to_string(line_number) +
+                         ": 'z' takes exactly one value");
+      DLSCHED_EXPECT(workers.empty(),
+                     "platform file line " + std::to_string(line_number) +
+                         ": 'z' must precede the workers");
+      default_z = parse_number(tokens[1], line_number);
+      DLSCHED_EXPECT(default_z >= 0.0, "z must be non-negative");
+      continue;
+    }
+
+    DLSCHED_EXPECT(tokens.size() == 3 || tokens.size() == 4,
+                   "platform file line " + std::to_string(line_number) +
+                       ": expected 'name c w [d]'");
+    Worker worker;
+    worker.name = tokens[0];
+    worker.c = parse_number(tokens[1], line_number);
+    worker.w = parse_number(tokens[2], line_number);
+    if (tokens.size() == 4) {
+      worker.d = parse_number(tokens[3], line_number);
+    } else {
+      DLSCHED_EXPECT(default_z >= 0.0,
+                     "platform file line " + std::to_string(line_number) +
+                         ": no d column and no prior 'z' directive");
+      worker.d = default_z * worker.c;
+    }
+    workers.push_back(std::move(worker));
+  }
+  DLSCHED_EXPECT(!workers.empty(), "platform file declares no workers");
+  return StarPlatform(std::move(workers));
+}
+
+StarPlatform parse_platform_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_platform(in);
+}
+
+StarPlatform load_platform(const std::string& path) {
+  std::ifstream in(path);
+  DLSCHED_EXPECT(in.good(), "cannot open platform file: " + path);
+  return parse_platform(in);
+}
+
+std::string serialize_platform(const StarPlatform& platform) {
+  std::ostringstream out;
+  out << "# " << platform.size() << " worker(s)";
+  if (!platform.empty() && platform.has_uniform_z()) {
+    out << ", z = " << format_double(platform.z(), 9);
+  }
+  out << "\n";
+  for (const Worker& w : platform.workers()) {
+    out << w.name << " " << format_double(w.c, 12) << " "
+        << format_double(w.w, 12) << " " << format_double(w.d, 12) << "\n";
+  }
+  return out.str();
+}
+
+void save_platform(const StarPlatform& platform, const std::string& path) {
+  std::ofstream out(path);
+  DLSCHED_EXPECT(out.good(), "cannot write platform file: " + path);
+  out << serialize_platform(platform);
+  DLSCHED_EXPECT(out.good(), "write failed: " + path);
+}
+
+}  // namespace dlsched

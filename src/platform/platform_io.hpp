@@ -1,0 +1,37 @@
+// Text serialization of platforms, so downstream users can describe their
+// cluster in a file and feed it to the examples / the CLI.
+//
+// Format: one worker per line, `name c w d`, '#' comments, blank lines
+// ignored.  A `z <value>` directive before any worker sets a default
+// return ratio so the d column may be omitted:
+//
+//     # my cluster
+//     z 0.5
+//     node-a 0.08 0.30
+//     node-b 0.12 0.20 0.06   # explicit d overrides z
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "platform/star_platform.hpp"
+
+namespace dlsched {
+
+/// Parses the text format; throws dlsched::Error with a line number on any
+/// malformed input.
+[[nodiscard]] StarPlatform parse_platform(std::istream& in);
+[[nodiscard]] StarPlatform parse_platform_text(std::string_view text);
+
+/// Loads a platform from a file.  Throws on I/O or parse errors.
+[[nodiscard]] StarPlatform load_platform(const std::string& path);
+
+/// Serializes a platform back to the text format (round-trips through
+/// parse_platform_text).
+[[nodiscard]] std::string serialize_platform(const StarPlatform& platform);
+
+/// Writes a platform to a file.  Throws on I/O errors.
+void save_platform(const StarPlatform& platform, const std::string& path);
+
+}  // namespace dlsched

@@ -1,0 +1,30 @@
+// A single worker of the master-worker star (paper Section 2.1).
+#pragma once
+
+#include <string>
+
+namespace dlsched {
+
+/// Linear cost model parameters of one worker Pi.
+///
+/// Executing X load units on the worker takes `X * w` time units; shipping
+/// the input data for X units from the master takes `X * c`; returning the
+/// results takes `X * d`.  All are *inverse* speeds: smaller is faster.
+struct Worker {
+  double c = 1.0;  ///< per-unit input communication time (master -> worker)
+  double w = 1.0;  ///< per-unit computation time
+  double d = 1.0;  ///< per-unit result communication time (worker -> master)
+  std::string name;
+
+  [[nodiscard]] double z() const noexcept { return d / c; }
+};
+
+/// Relative speed factors used by the paper's experiment generators
+/// (Section 5.3.2: factors drawn from [1, 10], 1 = original cluster speed,
+/// 10 = ten times faster).  Factors divide the base costs.
+struct WorkerSpeeds {
+  double comm = 1.0;  ///< link speed factor (applies to both c and d)
+  double comp = 1.0;  ///< computation speed factor
+};
+
+}  // namespace dlsched

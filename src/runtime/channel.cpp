@@ -1,0 +1,48 @@
+#include "runtime/channel.hpp"
+
+namespace dlsched::rt {
+
+void Channel::send(Message message) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(message));
+  }
+  available_.notify_one();
+}
+
+std::optional<Message> Channel::receive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Message message = std::move(queue_.front());
+  queue_.pop();
+  return message;
+}
+
+std::optional<Message> Channel::try_receive() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message message = std::move(queue_.front());
+  queue_.pop();
+  return message;
+}
+
+void Channel::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  available_.notify_all();
+}
+
+bool Channel::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t Channel::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dlsched::rt

@@ -1,0 +1,51 @@
+// Blocking in-process message channels -- the runtime's MPI substitute.
+//
+// A Channel is an unbounded MPSC/SPSC queue of Messages with blocking
+// receive.  Transfer *times* are not modelled here; the sender paces
+// itself while holding the one-port token (see one_port.hpp), exactly as a
+// blocking MPI_Send occupies the master's NIC.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace dlsched::rt {
+
+/// A payload-carrying message.  `tag` distinguishes message kinds,
+/// `count` carries the number of load units covered by the payload.
+struct Message {
+  std::uint64_t tag = 0;
+  std::uint64_t count = 0;
+  std::vector<double> payload;
+};
+
+class Channel {
+ public:
+  /// Enqueues a message (never blocks; the queue is unbounded).
+  void send(Message message);
+
+  /// Blocks until a message is available or the channel is closed.
+  /// Returns nullopt iff closed and drained.
+  [[nodiscard]] std::optional<Message> receive();
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<Message> try_receive();
+
+  /// Closes the channel; pending messages remain receivable.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::queue<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dlsched::rt

@@ -1,0 +1,115 @@
+#include "runtime/master.hpp"
+
+#include <memory>
+
+#include "runtime/matmul.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::rt {
+
+namespace {
+/// Sentinel gate id held by the master until every initial message left:
+/// no return transfer may interleave with the send phase (one-port
+/// normalization of paper Section 2.2).
+constexpr std::size_t kMasterSentinel = SIZE_MAX;
+}  // namespace
+
+MasterReport run_master_worker(const std::vector<WorkerSpeeds>& speeds,
+                               const Scenario& scenario,
+                               std::span<const std::uint64_t> tasks,
+                               const RuntimeConfig& config) {
+  DLSCHED_EXPECT(tasks.size() == speeds.size(),
+                 "tasks must be indexed like speeds");
+  DLSCHED_EXPECT(!config.real_compute || config.time_scale == 1.0,
+                 "real computation cannot be time-scaled");
+  const std::size_t n = config.matrix_size;
+  const std::size_t p = speeds.size();
+
+  // Enrolled workers in both orders.
+  std::vector<std::size_t> send_seq;
+  std::vector<std::size_t> gate_order{kMasterSentinel};
+  for (std::size_t w : scenario.send_order) {
+    DLSCHED_EXPECT(w < p, "scenario worker out of range");
+    if (tasks[w] > 0) send_seq.push_back(w);
+  }
+  for (std::size_t w : scenario.return_order) {
+    if (tasks[w] > 0) gate_order.push_back(w);
+  }
+
+  // Shared infrastructure.
+  OnePortArbiter port;
+  OrderedGate gate(gate_order);
+  Channel results;
+  std::vector<std::unique_ptr<Channel>> inboxes(p);
+  for (std::size_t w = 0; w < p; ++w) inboxes[w] = std::make_unique<Channel>();
+  SharedClock clock{std::chrono::steady_clock::now(), config.time_scale};
+  TraceRecorder recorder;
+
+  // Operand matrices (identical content for every task batch; the paper
+  // fills matrices randomly since only the work matters).
+  Rng rng(7);
+  Matrix a(n);
+  Matrix b(n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  std::vector<double> operands;
+  operands.reserve(2 * n * n);
+  operands.insert(operands.end(), a.data().begin(), a.data().end());
+  operands.insert(operands.end(), b.data().begin(), b.data().end());
+
+  std::vector<std::thread> threads;
+  threads.reserve(send_seq.size());
+  for (std::size_t w : send_seq) {
+    WorkerContext ctx;
+    ctx.id = w;
+    ctx.speeds = speeds[w];
+    ctx.config = &config;
+    ctx.inbox = inboxes[w].get();
+    ctx.results = &results;
+    ctx.port = &port;
+    ctx.gate = &gate;
+    ctx.clock = &clock;
+    ctx.recorder = &recorder;
+    threads.push_back(spawn_worker(ctx));
+  }
+
+  // ---- send phase: sigma_1 order through the one-port arbiter ----------
+  gate.wait_turn(kMasterSentinel);  // master owns the first gate slot
+  for (std::size_t w : send_seq) {
+    port.acquire();
+    const double begin = clock.now();
+    const double in_bytes = 2.0 * static_cast<double>(n) *
+                            static_cast<double>(n) * sizeof(double) *
+                            static_cast<double>(tasks[w]);
+    paced_sleep(transfer_seconds(config, in_bytes, speeds[w].comm),
+                config.time_scale);
+    Message task;
+    task.tag = kTaskTag;
+    task.count = tasks[w];
+    task.payload = operands;
+    inboxes[w]->send(std::move(task));
+    recorder.record(w, sim::Activity::Send, begin, clock.now(),
+                    static_cast<double>(tasks[w]));
+    port.release();
+  }
+  gate.advance();  // returns may now start, in sigma_2 order
+
+  // ---- collect phase ----------------------------------------------------
+  MasterReport report;
+  for (std::size_t k = 0; k < send_seq.size(); ++k) {
+    const std::optional<Message> result = results.receive();
+    DLSCHED_EXPECT(result.has_value(), "result channel closed early");
+    DLSCHED_EXPECT((result->tag & 0xff) == kResultTag,
+                   "master received unexpected tag");
+    report.tasks_completed += result->count;
+  }
+  report.makespan = clock.now();
+  report.workers_used = send_seq.size();
+
+  for (std::thread& t : threads) t.join();
+  report.trace = recorder.take();
+  return report;
+}
+
+}  // namespace dlsched::rt

@@ -1,0 +1,36 @@
+// The master side of the threaded runtime: ships task batches in sigma_1
+// order through the one-port arbiter, then collects results in sigma_2
+// order, measuring every phase.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "platform/worker.hpp"
+#include "runtime/worker_thread.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsched::rt {
+
+/// Measured execution.  All times are in *virtual* seconds (wall time
+/// multiplied by the config's time_scale), so results are comparable to LP
+/// predictions regardless of scaling.
+struct MasterReport {
+  double makespan = 0.0;
+  sim::Trace trace;               ///< send/compute(approx)/return intervals
+  std::uint64_t tasks_completed = 0;
+  std::size_t workers_used = 0;
+};
+
+/// Runs one complete master/worker round.
+///
+/// `tasks` is platform-indexed (tasks[w] products for worker w; 0 = not
+/// enrolled).  The scenario provides sigma_1 / sigma_2 over platform worker
+/// ids.  In real_compute mode time_scale must be 1.
+[[nodiscard]] MasterReport run_master_worker(
+    const std::vector<WorkerSpeeds>& speeds, const Scenario& scenario,
+    std::span<const std::uint64_t> tasks, const RuntimeConfig& config);
+
+}  // namespace dlsched::rt

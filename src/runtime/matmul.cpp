@@ -1,0 +1,58 @@
+#include "runtime/matmul.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace dlsched::rt {
+
+void Matrix::fill_random(Rng& rng) {
+  for (double& v : data_) v = rng.uniform(-1.0, 1.0);
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_rows(a, b, c, a.n());
+}
+
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
+               std::size_t rows) {
+  const std::size_t n = a.n();
+  DLSCHED_EXPECT(b.n() == n && c.n() == n, "gemm: dimension mismatch");
+  DLSCHED_EXPECT(rows <= n, "gemm: row count exceeds dimension");
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < n; ++j) pc[i * n + j] = 0.0;
+    // ikj order keeps the inner loop unit-stride on both b and c.
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = pa[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        pc[i * n + j] += aik * pb[k * n + j];
+      }
+    }
+  }
+}
+
+double calibrate_gemm_flops(std::size_t n, std::size_t repetitions) {
+  DLSCHED_EXPECT(n > 0 && repetitions > 0, "bad calibration parameters");
+  Rng rng(42);
+  Matrix a(n);
+  Matrix b(n);
+  Matrix c(n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  gemm(a, b, c);  // warm-up
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < repetitions; ++r) gemm(a, b, c);
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(end - begin).count() /
+      static_cast<double>(repetitions);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  DLSCHED_EXPECT(seconds > 0.0, "calibration measured zero time");
+  return flops / seconds;
+}
+
+}  // namespace dlsched::rt

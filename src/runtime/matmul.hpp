@@ -1,0 +1,56 @@
+// Dense square matrices and the naive GEMM kernel used as the payload
+// computation of the runtime (the paper's target application, Section 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dlsched::rt {
+
+/// Row-major square matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+  [[nodiscard]] double& at(std::size_t row, std::size_t col) {
+    return data_[row * n_ + col];
+  }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    return data_[row * n_ + col];
+  }
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+  /// Fills with uniform values in [-1, 1] (paper Section 5.2: content is
+  /// irrelevant, only the work matters).
+  void fill_random(Rng& rng);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// c = a * b, naive triple loop (the kernel whose flop rate the linear
+/// model's w is calibrated against).
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Computes only rows [0, rows) of the product -- the paper's device for
+/// emulating a k-times-faster worker by doing 1/k of the work (Section 5.2).
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t rows);
+
+/// Measures the host's effective flop rate on an n x n naive GEMM
+/// (flops = 2 n^3 / seconds).  Used to calibrate MatrixApp::Config so the
+/// LP predictions and the threaded runtime agree.
+[[nodiscard]] double calibrate_gemm_flops(std::size_t n,
+                                          std::size_t repetitions = 3);
+
+}  // namespace dlsched::rt

@@ -1,0 +1,61 @@
+#include "runtime/one_port.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace dlsched::rt {
+
+void OnePortArbiter::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  turn_.wait(lock, [&] { return now_serving_ == ticket; });
+}
+
+void OnePortArbiter::release() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++now_serving_;
+  }
+  turn_.notify_all();
+}
+
+std::uint64_t OnePortArbiter::grants() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return now_serving_;
+}
+
+void OrderedGate::wait_turn(std::size_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  DLSCHED_EXPECT(
+      std::find(order_.begin(), order_.end(), id) != order_.end(),
+      "OrderedGate: unknown participant");
+  turn_.wait(lock, [&] {
+    return position_ < order_.size() && order_[position_] == id;
+  });
+}
+
+void OrderedGate::advance() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DLSCHED_EXPECT(position_ < order_.size(), "OrderedGate: already finished");
+    ++position_;
+  }
+  turn_.notify_all();
+}
+
+bool OrderedGate::finished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return position_ >= order_.size();
+}
+
+void paced_sleep(double seconds, double time_scale) {
+  DLSCHED_EXPECT(time_scale > 0.0, "time scale must be positive");
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds / time_scale));
+}
+
+}  // namespace dlsched::rt

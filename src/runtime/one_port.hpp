@@ -1,0 +1,59 @@
+// One-port enforcement primitives for the threaded runtime.
+//
+// OnePortArbiter serializes every communication touching the master's port
+// (FIFO ticket lock).  OrderedGate imposes a *specific* service order (the
+// schedule's sigma_2) on the workers' return transfers: worker k's return
+// may only start once workers earlier in the order have finished theirs --
+// the runtime analogue of the master posting receives in schedule order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dlsched::rt {
+
+/// FIFO mutual exclusion over the master's network port.
+class OnePortArbiter {
+ public:
+  /// Blocks until the port is granted to this caller (FIFO order).
+  void acquire();
+  /// Releases the port; the longest-waiting acquire proceeds.
+  void release();
+
+  /// Total number of grants so far (observability for tests).
+  [[nodiscard]] std::uint64_t grants() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable turn_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t now_serving_ = 0;
+};
+
+/// Turn-taking in a fixed order of participant ids.
+class OrderedGate {
+ public:
+  explicit OrderedGate(std::vector<std::size_t> order)
+      : order_(std::move(order)) {}
+
+  /// Blocks until it is `id`'s turn.  `id` must appear in the order.
+  void wait_turn(std::size_t id);
+  /// Ends the current turn; the next participant in order proceeds.
+  void advance();
+
+  [[nodiscard]] bool finished() const;
+
+ private:
+  std::vector<std::size_t> order_;
+  mutable std::mutex mutex_;
+  std::condition_variable turn_;
+  std::size_t position_ = 0;
+};
+
+/// Sleeps for the scaled duration (duration / time_scale).  All pacing in
+/// the runtime goes through this one function so tests can reason about it.
+void paced_sleep(double seconds, double time_scale);
+
+}  // namespace dlsched::rt

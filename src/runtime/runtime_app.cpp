@@ -1,0 +1,56 @@
+#include "runtime/runtime_app.hpp"
+
+#include "core/throughput.hpp"
+#include "schedule/rounding.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::rt {
+
+MatrixApp matching_app(const RuntimeConfig& config) {
+  MatrixApp::Config app;
+  app.matrix_size = config.matrix_size;
+  app.base_bandwidth = config.base_bandwidth;
+  app.base_flops = config.base_flops;
+  return MatrixApp(app);
+}
+
+RuntimeOutcome run_experiment(const RuntimeExperiment& experiment) {
+  DLSCHED_EXPECT(!experiment.speeds.empty(), "no workers");
+  const MatrixApp app = matching_app(experiment.config);
+  const StarPlatform platform = app.platform(experiment.speeds);
+
+  const ScenarioSolutionD solution =
+      solve_heuristic(platform, experiment.heuristic);
+  DLSCHED_EXPECT(solution.throughput > 0.0, "heuristic found zero throughput");
+
+  RuntimeOutcome outcome;
+  outcome.lp_makespan = makespan_for_load(
+      solution.throughput, static_cast<double>(experiment.total_tasks));
+
+  // Integral loads in sigma_1 order (the rounding policy hands remainders to
+  // the first workers of the send order).
+  std::vector<double> ordered_alpha;
+  ordered_alpha.reserve(solution.scenario.send_order.size());
+  const double scale = static_cast<double>(experiment.total_tasks) /
+                       solution.throughput;
+  for (std::size_t w : solution.scenario.send_order) {
+    ordered_alpha.push_back(solution.alpha[w] * scale);
+  }
+  const std::vector<std::uint64_t> ordered_tasks =
+      round_loads(ordered_alpha, experiment.total_tasks);
+
+  outcome.tasks.assign(platform.size(), 0);
+  for (std::size_t k = 0; k < solution.scenario.send_order.size(); ++k) {
+    outcome.tasks[solution.scenario.send_order[k]] = ordered_tasks[k];
+  }
+
+  MasterReport report =
+      run_master_worker(experiment.speeds, solution.scenario, outcome.tasks,
+                        experiment.config);
+  outcome.measured_makespan = report.makespan;
+  outcome.workers_used = report.workers_used;
+  outcome.trace = std::move(report.trace);
+  return outcome;
+}
+
+}  // namespace dlsched::rt

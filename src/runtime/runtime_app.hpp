@@ -1,0 +1,39 @@
+// End-to-end runtime experiments: schedule with the LP, execute on the
+// threaded runtime, compare measurement against prediction -- the structure
+// of every Section 5 experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "platform/matrix_app.hpp"
+#include "runtime/master.hpp"
+
+namespace dlsched::rt {
+
+struct RuntimeExperiment {
+  std::vector<WorkerSpeeds> speeds;
+  Heuristic heuristic = Heuristic::IncC;
+  std::uint64_t total_tasks = 100;  ///< M
+  RuntimeConfig config;
+};
+
+struct RuntimeOutcome {
+  double lp_makespan = 0.0;        ///< LP-predicted time for the M tasks
+  double measured_makespan = 0.0;  ///< threaded runtime measurement
+  std::vector<std::uint64_t> tasks;  ///< integral per-worker assignment
+  std::size_t workers_used = 0;
+  sim::Trace trace;
+};
+
+/// The MatrixApp whose linear model matches a runtime config (same n, same
+/// base rates) -- predictions and measurements are then directly
+/// comparable.
+[[nodiscard]] MatrixApp matching_app(const RuntimeConfig& config);
+
+/// Solves the heuristic's LP, rounds the loads (paper policy), runs the
+/// threaded runtime, and reports both times.
+[[nodiscard]] RuntimeOutcome run_experiment(const RuntimeExperiment& experiment);
+
+}  // namespace dlsched::rt

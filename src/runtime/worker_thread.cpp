@@ -1,0 +1,96 @@
+#include "runtime/worker_thread.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/matmul.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::rt {
+
+double transfer_seconds(const RuntimeConfig& config, double bytes,
+                        double comm_factor) {
+  DLSCHED_EXPECT(comm_factor > 0.0, "comm factor must be positive");
+  return config.message_latency +
+         bytes / (config.base_bandwidth * comm_factor);
+}
+
+double compute_seconds(const RuntimeConfig& config, std::uint64_t tasks,
+                       double comp_factor) {
+  DLSCHED_EXPECT(comp_factor > 0.0, "comp factor must be positive");
+  const double n = static_cast<double>(config.matrix_size);
+  const double flops = 2.0 * n * n * n * static_cast<double>(tasks);
+  return flops / (config.base_flops * comp_factor);
+}
+
+void worker_main(WorkerContext ctx) {
+  DLSCHED_EXPECT(ctx.config && ctx.inbox && ctx.results && ctx.port &&
+                     ctx.gate && ctx.clock,
+                 "incomplete worker context");
+  const RuntimeConfig& config = *ctx.config;
+  const std::size_t n = config.matrix_size;
+
+  const std::optional<Message> task = ctx.inbox->receive();
+  if (!task.has_value() || task->count == 0) return;  // not enrolled
+
+  DLSCHED_EXPECT(task->tag == kTaskTag, "worker received unexpected tag");
+  DLSCHED_EXPECT(task->payload.size() == 2 * n * n,
+                 "task payload must carry the two operand matrices");
+
+  // ---- compute phase -------------------------------------------------
+  const double compute_begin = ctx.clock->now();
+  Matrix c(n);
+  if (config.real_compute) {
+    // The paper's speed emulation: a k-times-faster worker computes 1/k of
+    // the rows of each product (Section 5.2).
+    Matrix a(n);
+    Matrix b(n);
+    std::copy_n(task->payload.begin(), n * n, a.data().begin());
+    std::copy_n(task->payload.begin() + static_cast<std::ptrdiff_t>(n * n),
+                n * n, b.data().begin());
+    const std::size_t rows = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(static_cast<double>(n) / ctx.speeds.comp)));
+    for (std::uint64_t t = 0; t < task->count; ++t) {
+      gemm_rows(a, b, c, std::min(rows, n));
+    }
+  } else {
+    paced_sleep(compute_seconds(config, task->count, ctx.speeds.comp),
+                config.time_scale);
+  }
+
+  const double compute_end = ctx.clock->now();
+  if (ctx.recorder) {
+    ctx.recorder->record(ctx.id, sim::Activity::Compute, compute_begin,
+                         compute_end, static_cast<double>(task->count));
+  }
+
+  // ---- return phase: sigma_2 turn, then exclusive master port ---------
+  ctx.gate->wait_turn(ctx.id);
+  ctx.port->acquire();
+  const double return_begin = ctx.clock->now();
+  const double out_bytes =
+      static_cast<double>(n) * static_cast<double>(n) * sizeof(double) *
+      static_cast<double>(task->count);
+  paced_sleep(transfer_seconds(config, out_bytes, ctx.speeds.comm),
+              config.time_scale);
+  Message result;
+  result.tag = kResultTag;
+  result.count = task->count;
+  result.payload = c.data();
+  // Stamp the sender id into the payload-free field: reuse `tag` upper bits.
+  result.tag |= static_cast<std::uint64_t>(ctx.id) << 8;
+  ctx.results->send(std::move(result));
+  if (ctx.recorder) {
+    ctx.recorder->record(ctx.id, sim::Activity::Return, return_begin,
+                         ctx.clock->now(), static_cast<double>(task->count));
+  }
+  ctx.port->release();
+  ctx.gate->advance();
+}
+
+std::thread spawn_worker(WorkerContext context) {
+  return std::thread(worker_main, std::move(context));
+}
+
+}  // namespace dlsched::rt

@@ -1,0 +1,96 @@
+// One worker thread of the in-process master/worker runtime.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "platform/worker.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/one_port.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsched::rt {
+
+/// Virtual-time clock shared by all runtime threads: wall time since the
+/// epoch, multiplied by time_scale, so measurements line up with the
+/// linear-model's (virtual) seconds.
+struct SharedClock {
+  std::chrono::steady_clock::time_point epoch;
+  double time_scale = 1.0;
+
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+               .count() *
+           time_scale;
+  }
+};
+
+/// Thread-safe trace sink.
+class TraceRecorder {
+ public:
+  void record(std::size_t worker, sim::Activity activity, double start,
+              double end, double load) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace_.record(worker, activity, start, end, load);
+  }
+
+  [[nodiscard]] sim::Trace take() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(trace_);
+  }
+
+ private:
+  std::mutex mutex_;
+  sim::Trace trace_;
+};
+
+/// Message tags of the runtime protocol.
+inline constexpr std::uint64_t kTaskTag = 1;
+inline constexpr std::uint64_t kResultTag = 2;
+
+/// Shared knobs of one runtime execution.
+struct RuntimeConfig {
+  std::size_t matrix_size = 64;    ///< n
+  double base_bandwidth = 50e6;    ///< virtual bytes/s at comm factor 1
+  double base_flops = 4e8;         ///< flop/s at comp factor 1 (sleep mode)
+  double message_latency = 0.0;    ///< virtual seconds per message
+  bool real_compute = false;       ///< true: actual GEMM; false: paced sleep
+  double time_scale = 1.0;         ///< sleeps divided by this (sleep mode)
+};
+
+/// Everything a worker thread needs.  Lifetime of the referenced objects
+/// must cover the thread's; the master guarantees this.
+struct WorkerContext {
+  std::size_t id = 0;              ///< platform worker index
+  WorkerSpeeds speeds;
+  const RuntimeConfig* config = nullptr;
+  Channel* inbox = nullptr;        ///< task messages from the master
+  Channel* results = nullptr;      ///< shared result channel to the master
+  OnePortArbiter* port = nullptr;  ///< master port arbiter
+  OrderedGate* gate = nullptr;     ///< sigma_2 return-order gate
+  const SharedClock* clock = nullptr;
+  TraceRecorder* recorder = nullptr;  ///< optional
+};
+
+/// Body of the worker thread: receive one task batch, compute (real GEMM at
+/// emulated speed, or paced sleep), then take the return turn, occupy the
+/// master port for the emulated transfer time, and deliver the result.
+void worker_main(WorkerContext context);
+
+/// Convenience: spawns a std::thread running worker_main.
+[[nodiscard]] std::thread spawn_worker(WorkerContext context);
+
+/// Emulated transfer time of `bytes` through a link with the given comm
+/// factor (latency included).
+[[nodiscard]] double transfer_seconds(const RuntimeConfig& config,
+                                      double bytes, double comm_factor);
+
+/// Emulated computation time of `tasks` products at the given comp factor
+/// (sleep mode formula; real mode derives speed from the GEMM itself).
+[[nodiscard]] double compute_seconds(const RuntimeConfig& config,
+                                     std::uint64_t tasks, double comp_factor);
+
+}  // namespace dlsched::rt

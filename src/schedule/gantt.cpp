@@ -1,0 +1,142 @@
+#include "schedule/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dlsched {
+
+namespace {
+
+std::size_t to_column(double t, double makespan, std::size_t width) {
+  if (makespan <= 0.0) return 0;
+  const double f = std::clamp(t / makespan, 0.0, 1.0);
+  return static_cast<std::size_t>(std::llround(f * static_cast<double>(width)));
+}
+
+void paint(std::string& row, std::size_t begin, std::size_t end, char ch) {
+  for (std::size_t i = begin; i < end && i < row.size(); ++i) row[i] = ch;
+}
+
+}  // namespace
+
+std::string render_ascii_gantt(const StarPlatform& platform,
+                               const Timeline& timeline,
+                               const GanttOptions& options) {
+  DLSCHED_EXPECT(options.width >= 10, "gantt width too small");
+  const double makespan = timeline.makespan;
+  std::ostringstream out;
+  out << "time 0 .. " << format_double(makespan, 6) << "  ('r' recv, 'c' compute, '.' idle, 's' send results)\n";
+
+  std::size_t label_width = 6;
+  for (const WorkerLane& lane : timeline.lanes) {
+    label_width =
+        std::max(label_width, platform.worker(lane.worker).name.size());
+  }
+
+  if (options.show_master_lane) {
+    std::string row(options.width, ' ');
+    for (const WorkerLane& lane : timeline.lanes) {
+      paint(row, to_column(lane.recv.start, makespan, options.width),
+            to_column(lane.recv.end, makespan, options.width), 'S');
+      paint(row, to_column(lane.ret.start, makespan, options.width),
+            to_column(lane.ret.end, makespan, options.width), 'R');
+    }
+    out << "master" << std::string(label_width - 6, ' ') << " |" << row
+        << "|\n";
+  }
+  for (const WorkerLane& lane : timeline.lanes) {
+    std::string row(options.width, ' ');
+    paint(row, to_column(lane.recv.start, makespan, options.width),
+          to_column(lane.recv.end, makespan, options.width), 'r');
+    paint(row, to_column(lane.compute.start, makespan, options.width),
+          to_column(lane.compute.end, makespan, options.width), 'c');
+    paint(row, to_column(lane.compute.end, makespan, options.width),
+          to_column(lane.ret.start, makespan, options.width), '.');
+    paint(row, to_column(lane.ret.start, makespan, options.width),
+          to_column(lane.ret.end, makespan, options.width), 's');
+    const std::string& name = platform.worker(lane.worker).name;
+    out << name << std::string(label_width - name.size(), ' ') << " |" << row
+        << "|\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void svg_rect(std::ostringstream& out, double x, double y, double w, double h,
+              const char* fill) {
+  out << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+      << "\" height=\"" << h << "\" fill=\"" << fill
+      << "\" stroke=\"#333\" stroke-width=\"0.5\"/>\n";
+}
+
+}  // namespace
+
+std::string render_svg_gantt(const StarPlatform& platform,
+                             const Timeline& timeline,
+                             const GanttOptions& options) {
+  const double scale = options.svg_pixels_per_unit;
+  const double lane_h = options.svg_lane_height;
+  const double label_w = 90.0;
+  const double makespan = std::max(timeline.makespan, 1e-12);
+  const double chart_w = makespan * scale;
+  const double total_w = label_w + chart_w + 20.0;
+  const double total_h = (static_cast<double>(timeline.lanes.size()) + 2.0) *
+                         (lane_h + 6.0);
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_w
+      << "\" height=\"" << total_h << "\" viewBox=\"0 0 " << total_w << " "
+      << total_h << "\">\n";
+  out << "  <style>text{font-family:monospace;font-size:12px}</style>\n";
+
+  double y = 8.0;
+  // Master lane: every send (white) and every return (pale gray).
+  out << "  <text x=\"4\" y=\"" << y + lane_h * 0.7 << "\">master</text>\n";
+  for (const WorkerLane& lane : timeline.lanes) {
+    if (!lane.recv.empty()) {
+      svg_rect(out, label_w + lane.recv.start * scale, y,
+               lane.recv.duration() * scale, lane_h, "#ffffff");
+    }
+    if (!lane.ret.empty()) {
+      svg_rect(out, label_w + lane.ret.start * scale, y,
+               lane.ret.duration() * scale, lane_h, "#cccccc");
+    }
+  }
+  y += lane_h + 6.0;
+
+  for (const WorkerLane& lane : timeline.lanes) {
+    out << "  <text x=\"4\" y=\"" << y + lane_h * 0.7 << "\">"
+        << platform.worker(lane.worker).name << "</text>\n";
+    if (!lane.recv.empty()) {
+      svg_rect(out, label_w + lane.recv.start * scale, y,
+               lane.recv.duration() * scale, lane_h, "#ffffff");
+    }
+    if (!lane.compute.empty()) {
+      svg_rect(out, label_w + lane.compute.start * scale, y,
+               lane.compute.duration() * scale, lane_h, "#555555");
+    }
+    if (!lane.ret.empty()) {
+      svg_rect(out, label_w + lane.ret.start * scale, y,
+               lane.ret.duration() * scale, lane_h, "#cccccc");
+    }
+    y += lane_h + 6.0;
+  }
+
+  // Time axis.
+  out << "  <line x1=\"" << label_w << "\" y1=\"" << y << "\" x2=\""
+      << label_w + chart_w << "\" y2=\"" << y
+      << "\" stroke=\"#000\" stroke-width=\"1\"/>\n";
+  out << "  <text x=\"" << label_w << "\" y=\"" << y + 14.0
+      << "\">0</text>\n";
+  out << "  <text x=\"" << label_w + chart_w - 30.0 << "\" y=\"" << y + 14.0
+      << "\">" << format_double(timeline.makespan, 4) << "</text>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace dlsched

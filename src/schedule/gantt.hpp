@@ -1,0 +1,33 @@
+// Gantt-chart rendering of timelines: ASCII for terminals (Figure 9's
+// visualization) and SVG for files.
+#pragma once
+
+#include <string>
+
+#include "platform/star_platform.hpp"
+#include "schedule/timeline.hpp"
+
+namespace dlsched {
+
+struct GanttOptions {
+  std::size_t width = 100;      ///< character columns (ASCII) for the time axis
+  bool show_master_lane = true;
+  double svg_pixels_per_unit = 600.0;  ///< horizontal scale of the SVG
+  double svg_lane_height = 26.0;
+};
+
+/// ASCII chart: one row per worker ('r' = receiving, 'c' = computing,
+/// '.' = idle gap, 's' = sending results) plus an optional master row
+/// ('S' = sending, 'R' = receiving).
+[[nodiscard]] std::string render_ascii_gantt(const StarPlatform& platform,
+                                             const Timeline& timeline,
+                                             const GanttOptions& options = {});
+
+/// Self-contained SVG document with the same content (white = data
+/// transfer, dark gray = computation, pale gray = output transfer --
+/// matching the paper's Figure 9 palette).
+[[nodiscard]] std::string render_svg_gantt(const StarPlatform& platform,
+                                           const Timeline& timeline,
+                                           const GanttOptions& options = {});
+
+}  // namespace dlsched

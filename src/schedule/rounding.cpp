@@ -1,0 +1,64 @@
+#include "schedule/rounding.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+std::vector<std::uint64_t> round_loads(std::span<const double> alpha,
+                                       std::uint64_t total_tasks) {
+  std::vector<std::uint64_t> loads(alpha.size(), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    DLSCHED_EXPECT(alpha[i] >= 0.0, "negative load");
+    loads[i] = static_cast<std::uint64_t>(std::floor(alpha[i]));
+    assigned += loads[i];
+  }
+  if (assigned < total_tasks) {
+    // Distribute the K leftover tasks to the first K workers of sigma_1.
+    std::uint64_t leftover = total_tasks - assigned;
+    for (std::size_t i = 0; i < loads.size() && leftover > 0; ++i) {
+      ++loads[i];
+      --leftover;
+    }
+    // More leftovers than workers: keep cycling (can only happen when the
+    // caller's alphas sum to far less than total_tasks).
+    while (leftover > 0) {
+      for (std::size_t i = 0; i < loads.size() && leftover > 0; ++i) {
+        ++loads[i];
+        --leftover;
+      }
+      DLSCHED_EXPECT(!loads.empty(), "cannot round loads with no workers");
+    }
+  } else if (assigned > total_tasks) {
+    std::uint64_t excess = assigned - total_tasks;
+    for (std::size_t i = loads.size(); i-- > 0 && excess > 0;) {
+      const std::uint64_t take = std::min(loads[i], excess);
+      loads[i] -= take;
+      excess -= take;
+    }
+    DLSCHED_EXPECT(excess == 0, "could not trim excess load");
+  }
+  return loads;
+}
+
+std::vector<double> scale_loads_to_total(std::span<const double> alpha,
+                                         double total_tasks) {
+  DLSCHED_EXPECT(total_tasks >= 0.0, "negative task total");
+  double sum = 0.0;
+  for (double a : alpha) {
+    DLSCHED_EXPECT(a >= 0.0, "negative load");
+    sum += a;
+  }
+  DLSCHED_EXPECT(sum > 0.0 || total_tasks == 0.0,
+                 "cannot scale zero throughput to a positive job");
+  std::vector<double> scaled(alpha.begin(), alpha.end());
+  if (sum > 0.0) {
+    const double factor = total_tasks / sum;
+    for (double& a : scaled) a *= factor;
+  }
+  return scaled;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,29 @@
+// Integral task assignment (paper Section 5).
+//
+// The LP loads alpha_i are rational, but the application ships whole
+// matrices.  The paper's policy: round every alpha_i down, then hand the K
+// remaining tasks to the first K workers of the send order, one each.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dlsched {
+
+/// Rounds fractional loads to integers summing exactly to `total_tasks`.
+///
+/// `alpha` is listed in send order (sigma_1) and is expected to sum to
+/// (approximately) `total_tasks`; each result differs from floor(alpha_i)
+/// by at most 1 and the sum is exactly `total_tasks`.  If the floors
+/// already exceed `total_tasks` (possible only through floating-point
+/// drift), excess is trimmed from the last workers.
+[[nodiscard]] std::vector<std::uint64_t> round_loads(
+    std::span<const double> alpha, std::uint64_t total_tasks);
+
+/// Scales fractional throughput-form loads (computed for horizon T = 1) to
+/// a concrete job of `total_tasks` units: alpha_i * total_tasks / sum.
+[[nodiscard]] std::vector<double> scale_loads_to_total(
+    std::span<const double> alpha, double total_tasks);
+
+}  // namespace dlsched

@@ -1,0 +1,153 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+double Schedule::total_load() const noexcept {
+  double total = 0.0;
+  for (const ScheduleEntry& e : entries) total += e.alpha;
+  return total;
+}
+
+bool Schedule::is_fifo() const noexcept {
+  for (std::size_t i = 0; i < return_positions.size(); ++i) {
+    if (return_positions[i] != i) return false;
+  }
+  return true;
+}
+
+bool Schedule::is_lifo() const noexcept {
+  const std::size_t n = return_positions.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (return_positions[i] != n - 1 - i) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Schedule::return_rank() const {
+  std::vector<std::size_t> rank(entries.size(), 0);
+  for (std::size_t r = 0; r < return_positions.size(); ++r) {
+    DLSCHED_EXPECT(return_positions[r] < entries.size(),
+                   "return position out of range");
+    rank[return_positions[r]] = r;
+  }
+  return rank;
+}
+
+Schedule Schedule::scaled(double factor) const {
+  DLSCHED_EXPECT(factor > 0.0, "scale factor must be positive");
+  Schedule out = *this;
+  out.horizon *= factor;
+  for (ScheduleEntry& e : out.entries) {
+    e.alpha *= factor;
+    e.idle *= factor;
+  }
+  return out;
+}
+
+std::string Schedule::describe(const StarPlatform& platform) const {
+  std::ostringstream out;
+  out << "Schedule (T = " << horizon << ", load = " << total_load() << ")\n";
+  const std::vector<std::size_t> rank = return_rank();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ScheduleEntry& e = entries[i];
+    out << "  send#" << i + 1 << " return#" << rank[i] + 1 << "  "
+        << platform.worker(e.worker).name << ": alpha=" << e.alpha
+        << " idle=" << e.idle << "\n";
+  }
+  return out.str();
+}
+
+Schedule make_packed_schedule(const StarPlatform& platform,
+                              std::span<const std::size_t> send_order,
+                              std::span<const std::size_t> return_order,
+                              std::span<const double> alpha, double horizon) {
+  DLSCHED_EXPECT(alpha.size() == platform.size(),
+                 "alpha must have one entry per platform worker");
+  DLSCHED_EXPECT(send_order.size() == return_order.size(),
+                 "send and return orders must cover the same workers");
+  DLSCHED_EXPECT(horizon > 0.0, "horizon must be positive");
+  const double eps = 1e-9 * std::max(1.0, horizon);
+
+  // Enrolled workers: positive load, kept in the given orders.
+  Schedule schedule;
+  schedule.horizon = horizon;
+  std::vector<std::size_t> entry_of_worker(platform.size(), SIZE_MAX);
+  for (std::size_t w : send_order) {
+    DLSCHED_EXPECT(w < platform.size(), "send order index out of range");
+    DLSCHED_EXPECT(entry_of_worker[w] == SIZE_MAX, "duplicate in send order");
+    if (alpha[w] <= 0.0) {
+      entry_of_worker[w] = SIZE_MAX - 1;  // seen but not enrolled
+      continue;
+    }
+    entry_of_worker[w] = schedule.entries.size();
+    schedule.entries.push_back(ScheduleEntry{w, alpha[w], 0.0});
+  }
+  for (std::size_t w : return_order) {
+    DLSCHED_EXPECT(w < platform.size(), "return order index out of range");
+    DLSCHED_EXPECT(entry_of_worker[w] != SIZE_MAX,
+                   "return order mentions a worker absent from send order");
+    if (entry_of_worker[w] == SIZE_MAX - 1) continue;  // not enrolled
+    schedule.return_positions.push_back(entry_of_worker[w]);
+  }
+  DLSCHED_EXPECT(schedule.return_positions.size() == schedule.entries.size(),
+                 "return order does not cover all enrolled workers");
+
+  if (schedule.entries.empty()) return schedule;
+
+  // Sends back-to-back from time 0.
+  std::vector<double> send_end(schedule.entries.size(), 0.0);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < schedule.entries.size(); ++i) {
+    const ScheduleEntry& e = schedule.entries[i];
+    clock += e.alpha * platform.worker(e.worker).c;
+    send_end[i] = clock;
+  }
+  const double all_sends_done = clock;
+
+  // Returns back-to-back ending at `horizon`, in return order.
+  std::vector<double> return_start(schedule.entries.size(), 0.0);
+  double tail = horizon;
+  for (std::size_t r = schedule.return_positions.size(); r-- > 0;) {
+    const std::size_t pos = schedule.return_positions[r];
+    const ScheduleEntry& e = schedule.entries[pos];
+    tail -= e.alpha * platform.worker(e.worker).d;
+    return_start[pos] = tail;
+  }
+  DLSCHED_EXPECT(tail >= all_sends_done - eps,
+                 "infeasible packing: first return overlaps the sends");
+
+  // Idle gaps; tiny negative values are floating-point noise.
+  for (std::size_t i = 0; i < schedule.entries.size(); ++i) {
+    ScheduleEntry& e = schedule.entries[i];
+    const double compute_end =
+        send_end[i] + e.alpha * platform.worker(e.worker).w;
+    const double gap = return_start[i] - compute_end;
+    DLSCHED_EXPECT(gap >= -eps,
+                   "infeasible packing: return before computation end");
+    e.idle = std::max(0.0, gap);
+  }
+  return schedule;
+}
+
+Schedule make_packed_fifo(const StarPlatform& platform,
+                          std::span<const std::size_t> send_order,
+                          std::span<const double> alpha, double horizon) {
+  return make_packed_schedule(platform, send_order, send_order, alpha,
+                              horizon);
+}
+
+Schedule make_packed_lifo(const StarPlatform& platform,
+                          std::span<const std::size_t> send_order,
+                          std::span<const double> alpha, double horizon) {
+  std::vector<std::size_t> reversed(send_order.begin(), send_order.end());
+  std::reverse(reversed.begin(), reversed.end());
+  return make_packed_schedule(platform, send_order, reversed, alpha, horizon);
+}
+
+}  // namespace dlsched

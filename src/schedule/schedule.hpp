@@ -1,0 +1,83 @@
+// Schedule representation (paper Section 2.2).
+//
+// A schedule is fully described by: the enrolled workers with their loads
+// (alpha_i), the send order sigma_1, the return order sigma_2, and the idle
+// times x_i between the end of a worker's computation and the start of its
+// return transfer.  This module stores that description; `timeline.hpp`
+// derives explicit start/end instants from it and `validator.hpp` checks
+// one-port feasibility independently.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+
+namespace dlsched {
+
+/// One enrolled worker in the schedule.
+struct ScheduleEntry {
+  std::size_t worker = 0;  ///< index into the platform
+  double alpha = 0.0;      ///< load units assigned
+  double idle = 0.0;       ///< x_i: gap between compute end and return start
+};
+
+/// A complete one-round schedule.  Entries appear in *send* order sigma_1;
+/// `return_positions` lists entry indices in *return* order sigma_2.
+struct Schedule {
+  std::vector<ScheduleEntry> entries;
+  std::vector<std::size_t> return_positions;
+  double horizon = 1.0;  ///< the time bound T
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+  [[nodiscard]] double total_load() const noexcept;
+
+  /// True if sigma_2 == sigma_1 (first served returns first).
+  [[nodiscard]] bool is_fifo() const noexcept;
+  /// True if sigma_2 == reverse(sigma_1).
+  [[nodiscard]] bool is_lifo() const noexcept;
+
+  /// Position of each entry in the return order (inverse of
+  /// return_positions).
+  [[nodiscard]] std::vector<std::size_t> return_rank() const;
+
+  /// Uniform scaling of all loads and idle gaps together with the horizon;
+  /// linearity of the cost model makes the result feasible iff the original
+  /// was.
+  [[nodiscard]] Schedule scaled(double factor) const;
+
+  [[nodiscard]] std::string describe(const StarPlatform& platform) const;
+};
+
+/// Builds the paper's normalized schedule for given loads: initial messages
+/// back-to-back from time 0 in `send_order`, return messages back-to-back
+/// ending exactly at `horizon` in `return_order`; idle times are derived.
+///
+/// `send_order` / `return_order` contain worker indices (same set).
+/// `alpha` is indexed by *platform* worker id; workers with alpha <= 0 are
+/// dropped from the schedule.
+///
+/// Throws if the packing is infeasible (some worker's return would have to
+/// start before its computation ends, or returns would start before all
+/// sends finish).
+[[nodiscard]] Schedule make_packed_schedule(const StarPlatform& platform,
+                                            std::span<const std::size_t> send_order,
+                                            std::span<const std::size_t> return_order,
+                                            std::span<const double> alpha,
+                                            double horizon = 1.0);
+
+/// FIFO convenience: return order equals send order.
+[[nodiscard]] Schedule make_packed_fifo(const StarPlatform& platform,
+                                        std::span<const std::size_t> send_order,
+                                        std::span<const double> alpha,
+                                        double horizon = 1.0);
+
+/// LIFO convenience: return order is the reversed send order.
+[[nodiscard]] Schedule make_packed_lifo(const StarPlatform& platform,
+                                        std::span<const std::size_t> send_order,
+                                        std::span<const double> alpha,
+                                        double horizon = 1.0);
+
+}  // namespace dlsched

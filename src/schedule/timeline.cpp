@@ -1,0 +1,45 @@
+#include "schedule/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+std::vector<Interval> Timeline::master_busy() const {
+  std::vector<Interval> busy;
+  busy.reserve(2 * lanes.size());
+  for (const WorkerLane& lane : lanes) {
+    if (!lane.recv.empty()) busy.push_back(lane.recv);
+    if (!lane.ret.empty()) busy.push_back(lane.ret);
+  }
+  std::sort(busy.begin(), busy.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  return busy;
+}
+
+Timeline build_timeline(const StarPlatform& platform,
+                        const Schedule& schedule) {
+  Timeline timeline;
+  timeline.lanes.reserve(schedule.entries.size());
+  double clock = 0.0;
+  for (const ScheduleEntry& e : schedule.entries) {
+    const Worker& worker = platform.worker(e.worker);
+    WorkerLane lane;
+    lane.worker = e.worker;
+    lane.recv.start = clock;
+    lane.recv.end = clock + e.alpha * worker.c;
+    lane.compute.start = lane.recv.end;
+    lane.compute.end = lane.compute.start + e.alpha * worker.w;
+    lane.ret.start = lane.compute.end + e.idle;
+    lane.ret.end = lane.ret.start + e.alpha * worker.d;
+    clock = lane.recv.end;
+    timeline.makespan = std::max(timeline.makespan, lane.ret.end);
+    timeline.lanes.push_back(lane);
+  }
+  return timeline;
+}
+
+}  // namespace dlsched

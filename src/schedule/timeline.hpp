@@ -1,0 +1,54 @@
+// Explicit start/end instants for every activity of a schedule -- the data
+// behind Figure 2 of the paper (and Figure 9's trace visualization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched {
+
+/// A half-open activity interval [start, end).
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+  [[nodiscard]] bool empty() const noexcept { return end <= start; }
+  /// True if the interior of the intervals intersect.
+  [[nodiscard]] bool overlaps(const Interval& other,
+                              double eps = 1e-9) const noexcept {
+    return start < other.end - eps && other.start < end - eps;
+  }
+};
+
+/// The three phases of one worker's participation.
+struct WorkerLane {
+  std::size_t worker = 0;  ///< platform worker index
+  Interval recv;           ///< initial data transfer (alpha * c)
+  Interval compute;        ///< processing (alpha * w)
+  Interval ret;            ///< result transfer (alpha * d)
+
+  [[nodiscard]] double idle() const noexcept { return ret.start - compute.end; }
+};
+
+/// Fully laid-out schedule: one lane per enrolled worker plus the master's
+/// busy intervals.
+struct Timeline {
+  std::vector<WorkerLane> lanes;    ///< in send order
+  double makespan = 0.0;            ///< end of the last activity
+
+  /// Master busy intervals (all sends then all returns), sorted by start.
+  [[nodiscard]] std::vector<Interval> master_busy() const;
+};
+
+/// Lays out a schedule: sends back-to-back from t = 0 in entry order;
+/// each worker computes immediately after its reception; its return starts
+/// after its recorded idle gap.  No feasibility checking happens here --
+/// that is validator.hpp's job.
+[[nodiscard]] Timeline build_timeline(const StarPlatform& platform,
+                                      const Schedule& schedule);
+
+}  // namespace dlsched

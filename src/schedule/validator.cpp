@@ -1,0 +1,156 @@
+#include "schedule/validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+void ValidationReport::fail(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+namespace {
+
+std::string worker_name(const StarPlatform& platform, std::size_t index) {
+  return index < platform.size() ? platform.worker(index).name
+                                 : "worker#" + std::to_string(index);
+}
+
+void check_master_one_port(const StarPlatform& platform,
+                           const Timeline& timeline, double eps,
+                           ValidationReport& report) {
+  struct Tagged {
+    Interval interval;
+    std::size_t worker;
+    const char* kind;
+  };
+  std::vector<Tagged> busy;
+  for (const WorkerLane& lane : timeline.lanes) {
+    if (!lane.recv.empty()) busy.push_back({lane.recv, lane.worker, "send"});
+    if (!lane.ret.empty()) busy.push_back({lane.ret, lane.worker, "return"});
+  }
+  std::sort(busy.begin(), busy.end(), [](const Tagged& a, const Tagged& b) {
+    return a.interval.start < b.interval.start;
+  });
+  for (std::size_t i = 0; i + 1 < busy.size(); ++i) {
+    if (busy[i].interval.end > busy[i + 1].interval.start + eps) {
+      std::ostringstream out;
+      out << "one-port violation: " << busy[i].kind << " of "
+          << worker_name(platform, busy[i].worker) << " ["
+          << busy[i].interval.start << ", " << busy[i].interval.end
+          << ") overlaps " << busy[i + 1].kind << " of "
+          << worker_name(platform, busy[i + 1].worker) << " ["
+          << busy[i + 1].interval.start << ", " << busy[i + 1].interval.end
+          << ")";
+      report.fail(out.str());
+    }
+  }
+}
+
+void check_lane_precedence(const StarPlatform& platform,
+                           const WorkerLane& lane, double eps,
+                           ValidationReport& report) {
+  const std::string name = worker_name(platform, lane.worker);
+  if (lane.recv.start < -eps) {
+    report.fail(name + ": activity before time 0");
+  }
+  if (lane.compute.start < lane.recv.end - eps) {
+    report.fail(name + ": computation starts before reception ends");
+  }
+  if (lane.ret.start < lane.compute.end - eps) {
+    report.fail(name + ": return starts before computation ends");
+  }
+  if (lane.recv.end < lane.recv.start - eps ||
+      lane.compute.end < lane.compute.start - eps ||
+      lane.ret.end < lane.ret.start - eps) {
+    report.fail(name + ": negative-duration activity");
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_timeline(const StarPlatform& platform,
+                                   const Timeline& timeline, double horizon,
+                                   const ValidationOptions& options) {
+  ValidationReport report;
+  for (const WorkerLane& lane : timeline.lanes) {
+    if (lane.worker >= platform.size()) {
+      report.fail("lane references worker index out of range");
+      continue;
+    }
+    check_lane_precedence(platform, lane, options.eps, report);
+    if (options.check_horizon && lane.ret.end > horizon + options.eps) {
+      std::ostringstream out;
+      out << worker_name(platform, lane.worker) << ": finishes at "
+          << lane.ret.end << " after horizon " << horizon;
+      report.fail(out.str());
+    }
+  }
+  check_master_one_port(platform, timeline, options.eps, report);
+  return report;
+}
+
+ValidationReport validate(const StarPlatform& platform,
+                          const Schedule& schedule,
+                          const ValidationOptions& options) {
+  ValidationReport report;
+
+  // Structural checks on the schedule itself.
+  std::vector<bool> seen(platform.size(), false);
+  for (const ScheduleEntry& e : schedule.entries) {
+    if (e.worker >= platform.size()) {
+      report.fail("schedule references worker index out of range");
+      return report;
+    }
+    if (seen[e.worker]) {
+      report.fail(worker_name(platform, e.worker) +
+                  ": appears twice in the schedule");
+    }
+    seen[e.worker] = true;
+    if (e.alpha < -options.eps) {
+      report.fail(worker_name(platform, e.worker) + ": negative load");
+    }
+    if (e.idle < -options.eps) {
+      report.fail(worker_name(platform, e.worker) + ": negative idle gap");
+    }
+  }
+  if (schedule.return_positions.size() != schedule.entries.size()) {
+    report.fail("return order does not cover all enrolled workers");
+    return report;
+  }
+  std::vector<bool> covered(schedule.entries.size(), false);
+  for (std::size_t pos : schedule.return_positions) {
+    if (pos >= schedule.entries.size() || covered[pos]) {
+      report.fail("return order is not a permutation of the entries");
+      return report;
+    }
+    covered[pos] = true;
+  }
+
+  const Timeline timeline = build_timeline(platform, schedule);
+  ValidationReport physical =
+      validate_timeline(platform, timeline, schedule.horizon, options);
+  for (std::string& v : physical.violations) report.fail(std::move(v));
+
+  // Declared sigma_2 must match the actual chronological return order.
+  if (options.check_return_order) {
+    double previous_end = 0.0;
+    for (std::size_t r = 0; r < schedule.return_positions.size(); ++r) {
+      const WorkerLane& lane = timeline.lanes[schedule.return_positions[r]];
+      if (lane.ret.empty()) continue;
+      if (lane.ret.start < previous_end - options.eps) {
+        std::ostringstream out;
+        out << "return order violated at position " << r << " ("
+            << worker_name(platform, lane.worker) << ")";
+        report.fail(out.str());
+      }
+      previous_end = std::max(previous_end, lane.ret.end);
+    }
+  }
+  return report;
+}
+
+}  // namespace dlsched

@@ -1,0 +1,50 @@
+// Independent feasibility checker for one-port schedules.
+//
+// Every solver in src/core constructs schedules that *should* be feasible
+// by design; this validator re-derives feasibility from first principles
+// (the model of paper Section 2.1) so solver bugs surface as validation
+// failures rather than silently optimistic throughput numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/timeline.hpp"
+
+namespace dlsched {
+
+/// Outcome of a validation pass.  `violations` is empty iff `ok`.
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message);
+};
+
+struct ValidationOptions {
+  double eps = 1e-9;            ///< absolute slack for all comparisons
+  bool check_horizon = true;    ///< require every activity to end by horizon
+  bool check_return_order = true;  ///< require sigma_2 to match actual starts
+};
+
+/// Checks, against the given platform:
+///  1. loads and idle gaps are non-negative, worker indices are distinct;
+///  2. worker precedence: recv -> compute -> (idle) -> return, with
+///     durations alpha*c, alpha*w, alpha*d;
+///  3. one-port: no two master communications (any send, any return)
+///     overlap;
+///  4. returns occur in the schedule's declared sigma_2 order;
+///  5. everything finishes by the horizon (when check_horizon).
+[[nodiscard]] ValidationReport validate(const StarPlatform& platform,
+                                        const Schedule& schedule,
+                                        const ValidationOptions& options = {});
+
+/// Same checks applied to a pre-built timeline (used by the simulator,
+/// whose traces are not generated through build_timeline).
+[[nodiscard]] ValidationReport validate_timeline(
+    const StarPlatform& platform, const Timeline& timeline,
+    double horizon, const ValidationOptions& options = {});
+
+}  // namespace dlsched

@@ -1,0 +1,111 @@
+#include "sim/des_executor.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::sim {
+
+namespace {
+
+/// Mutable run state shared by the event callbacks.
+struct RunState {
+  const StarPlatform& platform;
+  std::vector<std::size_t> send_seq;    ///< enrolled workers, sigma_1 order
+  std::vector<std::size_t> return_seq;  ///< enrolled workers, sigma_2 order
+  std::vector<double> load;             ///< platform-indexed
+  NoiseSampler noise;
+  Engine engine;
+  Trace trace;
+
+  std::vector<bool> computed;  ///< platform-indexed completion flags
+  std::size_t next_send = 0;
+  std::size_t next_return = 0;
+  bool sends_done = false;
+  bool return_active = false;
+
+  RunState(const StarPlatform& p, const NoiseModel& model)
+      : platform(p), noise(model), computed(p.size(), false) {}
+
+  void start_next_send() {
+    if (next_send == send_seq.size()) {
+      sends_done = true;
+      try_start_return();
+      return;
+    }
+    const std::size_t w = send_seq[next_send];
+    ++next_send;
+    const Worker& worker = platform.worker(w);
+    const double duration = noise.message_time(load[w] * worker.c);
+    const double start = engine.now();
+    trace.record(w, Activity::Send, start, start + duration, load[w]);
+    engine.schedule_in(duration, [this, w] {
+      begin_compute(w);
+      start_next_send();
+    });
+  }
+
+  void begin_compute(std::size_t w) {
+    const Worker& worker = platform.worker(w);
+    const double duration = noise.compute_time(load[w] * worker.w);
+    const double start = engine.now();
+    trace.record(w, Activity::Compute, start, start + duration, load[w]);
+    engine.schedule_in(duration, [this, w] {
+      computed[w] = true;
+      try_start_return();
+    });
+  }
+
+  /// One-port return service: strictly in sigma_2 order, one at a time,
+  /// only after every initial message left the master.
+  void try_start_return() {
+    if (!sends_done || return_active) return;
+    if (next_return == return_seq.size()) return;
+    const std::size_t w = return_seq[next_return];
+    if (!computed[w]) return;  // retried when its computation completes
+    ++next_return;
+    return_active = true;
+    const Worker& worker = platform.worker(w);
+    const double duration = noise.message_time(load[w] * worker.d);
+    const double start = engine.now();
+    trace.record(w, Activity::Return, start, start + duration, load[w]);
+    engine.schedule_in(duration, [this] {
+      return_active = false;
+      try_start_return();
+    });
+  }
+};
+
+}  // namespace
+
+DesResult execute(const StarPlatform& platform, const Scenario& scenario,
+                  std::span<const double> loads, const NoiseModel& noise) {
+  scenario.check(platform);
+  DLSCHED_EXPECT(loads.size() == platform.size(),
+                 "loads must be platform-indexed");
+
+  RunState state(platform, noise);
+  state.load.assign(loads.begin(), loads.end());
+  for (double a : state.load) DLSCHED_EXPECT(a >= 0.0, "negative load");
+  for (std::size_t w : scenario.send_order) {
+    if (state.load[w] > 0.0) state.send_seq.push_back(w);
+  }
+  for (std::size_t w : scenario.return_order) {
+    if (state.load[w] > 0.0) state.return_seq.push_back(w);
+  }
+
+  state.engine.schedule_at(0.0, [&state] { state.start_next_send(); });
+  const double end = state.engine.run();
+
+  DesResult result;
+  result.makespan = std::max(end, state.trace.makespan);
+  result.events = state.engine.events_processed();
+  result.trace = std::move(state.trace);
+  DLSCHED_EXPECT(state.next_return == state.return_seq.size(),
+                 "simulation ended with unreturned results");
+  return result;
+}
+
+}  // namespace dlsched::sim

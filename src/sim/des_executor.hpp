@@ -1,0 +1,36 @@
+// Discrete-event execution of a one-port master/worker run.
+//
+// This is the reproduction's stand-in for the paper's MPI testbed: it
+// executes the *protocol* (not the algebra) on the event engine --
+//   master sends initial messages in sigma_1 order, holding its single
+//   port; workers compute as data arrives; the master then serves return
+//   messages in sigma_2 order, waiting for the designated worker if it has
+//   not finished (the one-port FIFO/LIFO discipline of the paper);
+// with integral task counts and the NoiseModel's latency/variance applied
+// per message and per computation.  With NoiseModel::none() and fractional
+// loads, the resulting makespan equals the analytic packed_makespan()
+// exactly (asserted in the test suite).
+#pragma once
+
+#include <span>
+
+#include "core/scenario.hpp"
+#include "platform/star_platform.hpp"
+#include "sim/noise.hpp"
+#include "sim/trace.hpp"
+
+namespace dlsched::sim {
+
+struct DesResult {
+  Trace trace;
+  double makespan = 0.0;
+  std::size_t events = 0;  ///< engine events processed
+};
+
+/// Simulates the run.  `loads` is platform-indexed (zero = not enrolled).
+[[nodiscard]] DesResult execute(const StarPlatform& platform,
+                                const Scenario& scenario,
+                                std::span<const double> loads,
+                                const NoiseModel& noise = NoiseModel::none());
+
+}  // namespace dlsched::sim

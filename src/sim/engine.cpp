@@ -1,0 +1,61 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched::sim {
+
+void Engine::schedule_at(double t, Callback fn) {
+  DLSCHED_EXPECT(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(double delay, Callback fn) {
+  DLSCHED_EXPECT(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+double Engine::run() {
+  while (!queue_.empty()) {
+    // The queue may grow during the callback, so pop first.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+double Engine::run_until(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (queue_.empty() && now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+void PortResource::acquire(Engine::Callback on_grant) {
+  if (!busy_) {
+    busy_ = true;
+    engine_.schedule_in(0.0, std::move(on_grant));
+  } else {
+    waiting_.push(std::move(on_grant));
+  }
+}
+
+void PortResource::release() {
+  DLSCHED_EXPECT(busy_, "release of a free port");
+  if (waiting_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Engine::Callback next = std::move(waiting_.front());
+  waiting_.pop();
+  engine_.schedule_in(0.0, std::move(next));
+}
+
+}  // namespace dlsched::sim

@@ -1,0 +1,78 @@
+// A minimal discrete-event simulation engine.
+//
+// Events are (time, callback) pairs; ties break in scheduling order, which
+// makes runs fully deterministic.  The engine underlies the des_executor
+// that substitutes for the paper's MPI testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dlsched::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (>= now()).
+  void schedule_at(double t, Callback fn);
+  /// Schedules `fn` `delay` time units from now (delay >= 0).
+  void schedule_in(double delay, Callback fn);
+
+  /// Runs until the event queue drains; returns the final clock value.
+  double run();
+  /// Runs until the queue drains or the clock passes `deadline`.
+  double run_until(double deadline);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+/// A FIFO-granting exclusive resource (the master's network port).
+/// Requests are queued; `release` grants the next request at the current
+/// simulation time.
+class PortResource {
+ public:
+  explicit PortResource(Engine& engine) : engine_(engine) {}
+
+  /// Requests the port; `on_grant` fires (via the engine, at the current
+  /// time) once the port is free and all earlier requests completed.
+  void acquire(Engine::Callback on_grant);
+  /// Releases the port; the next queued acquire is granted immediately.
+  void release();
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiting_.size();
+  }
+
+ private:
+  Engine& engine_;
+  bool busy_ = false;
+  std::queue<Engine::Callback> waiting_;
+};
+
+}  // namespace dlsched::sim

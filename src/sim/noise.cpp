@@ -1,0 +1,34 @@
+#include "sim/noise.hpp"
+
+#include "util/error.hpp"
+
+namespace dlsched::sim {
+
+NoiseModel NoiseModel::cluster_like(std::uint64_t seed) {
+  NoiseModel model;
+  model.comm_latency = 1e-4;     // ~100 us per MPI message
+  model.comm_rel_stdev = 0.03;   // 3 % link variance
+  model.comp_rel_stdev = 0.05;   // 5 % CPU variance
+  model.seed = seed;
+  return model;
+}
+
+double NoiseSampler::message_time(double ideal) {
+  DLSCHED_EXPECT(ideal >= 0.0, "negative ideal duration");
+  double duration = ideal;
+  if (model_.comm_rel_stdev > 0.0) {
+    duration *= rng_.noise_factor(model_.comm_rel_stdev);
+  }
+  return model_.comm_latency + duration;
+}
+
+double NoiseSampler::compute_time(double ideal) {
+  DLSCHED_EXPECT(ideal >= 0.0, "negative ideal duration");
+  double duration = ideal;
+  if (model_.comp_rel_stdev > 0.0) {
+    duration *= rng_.noise_factor(model_.comp_rel_stdev);
+  }
+  return duration;
+}
+
+}  // namespace dlsched::sim

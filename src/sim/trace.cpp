@@ -1,0 +1,104 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dlsched::sim {
+
+void Trace::record(std::size_t worker, Activity activity, double start,
+                   double end, double load) {
+  DLSCHED_EXPECT(end >= start, "trace event with negative duration");
+  events.push_back(TraceEvent{worker, activity, start, end, load});
+  makespan = std::max(makespan, end);
+}
+
+Timeline Trace::to_timeline() const {
+  // Gather per-worker activities in encounter order.
+  std::vector<std::size_t> order;
+  std::map<std::size_t, WorkerLane> lanes;
+  for (const TraceEvent& event : events) {
+    auto [it, inserted] = lanes.try_emplace(event.worker);
+    if (inserted) {
+      it->second.worker = event.worker;
+      order.push_back(event.worker);
+    }
+    Interval span{event.start, event.end};
+    switch (event.activity) {
+      case Activity::Send: it->second.recv = span; break;
+      case Activity::Compute: it->second.compute = span; break;
+      case Activity::Return: it->second.ret = span; break;
+    }
+  }
+  Timeline timeline;
+  timeline.makespan = makespan;
+  for (std::size_t w : order) timeline.lanes.push_back(lanes.at(w));
+  std::sort(timeline.lanes.begin(), timeline.lanes.end(),
+            [](const WorkerLane& a, const WorkerLane& b) {
+              return a.recv.start < b.recv.start;
+            });
+  return timeline;
+}
+
+double Trace::master_utilization() const {
+  if (makespan <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const TraceEvent& event : events) {
+    if (event.activity != Activity::Compute) {
+      busy += event.end - event.start;
+    }
+  }
+  return busy / makespan;
+}
+
+std::string Trace::to_chrome_json(const StarPlatform& platform) const {
+  // Complete ("X") events; pid 0; tid 0 = master (communications),
+  // tid = worker index + 1 for computations.
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& name, std::size_t tid, double start,
+                  double duration, double load) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << tid << ",\"ts\":" << format_double(start * 1e6, 3)
+        << ",\"dur\":" << format_double(duration * 1e6, 3)
+        << ",\"args\":{\"load\":" << format_double(load, 9) << "}}";
+  };
+  for (const TraceEvent& event : events) {
+    const std::string& worker = platform.worker(event.worker).name;
+    const double duration = event.end - event.start;
+    switch (event.activity) {
+      case Activity::Send:
+        emit("send->" + worker, 0, event.start, duration, event.load);
+        break;
+      case Activity::Return:
+        emit("recv<-" + worker, 0, event.start, duration, event.load);
+        break;
+      case Activity::Compute:
+        emit("compute " + worker, event.worker + 1, event.start, duration,
+             event.load);
+        break;
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string Trace::to_csv(const StarPlatform& platform) const {
+  std::ostringstream out;
+  out << "worker,activity,start,end,load\n";
+  for (const TraceEvent& event : events) {
+    out << platform.worker(event.worker).name << ','
+        << to_string(event.activity) << ',' << format_double(event.start, 9)
+        << ',' << format_double(event.end, 9) << ','
+        << format_double(event.load, 9) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dlsched::sim

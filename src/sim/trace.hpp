@@ -1,0 +1,56 @@
+// Execution traces produced by the simulator (and convertible to the
+// schedule Timeline for validation / Gantt rendering).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/star_platform.hpp"
+#include "schedule/timeline.hpp"
+
+namespace dlsched::sim {
+
+enum class Activity { Send, Compute, Return };
+
+[[nodiscard]] constexpr const char* to_string(Activity a) noexcept {
+  switch (a) {
+    case Activity::Send: return "send";
+    case Activity::Compute: return "compute";
+    case Activity::Return: return "return";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::size_t worker = 0;
+  Activity activity = Activity::Send;
+  double start = 0.0;
+  double end = 0.0;
+  double load = 0.0;  ///< load units moved / processed by this activity
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+  double makespan = 0.0;
+
+  void record(std::size_t worker, Activity activity, double start, double end,
+              double load);
+
+  /// One lane per participating worker (workers with all-zero activity are
+  /// omitted), in first-reception order.
+  [[nodiscard]] Timeline to_timeline() const;
+
+  /// Fraction of [0, makespan] during which the master port is busy.
+  [[nodiscard]] double master_utilization() const;
+
+  /// CSV rows: worker,activity,start,end,load.
+  [[nodiscard]] std::string to_csv(const StarPlatform& platform) const;
+
+  /// Chrome-tracing ("about://tracing" / Perfetto) JSON: complete events
+  /// with one row per worker plus a master row for the communications.
+  /// Times are exported in microseconds (the format's unit).
+  [[nodiscard]] std::string to_chrome_json(const StarPlatform& platform) const;
+};
+
+}  // namespace dlsched::sim

@@ -1,0 +1,49 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+double Rng::uniform(double lo, double hi) {
+  DLSCHED_EXPECT(lo <= hi, "uniform: lo > hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DLSCHED_EXPECT(lo <= hi, "uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stdev) {
+  DLSCHED_EXPECT(stdev >= 0.0, "normal: negative stdev");
+  std::normal_distribution<double> dist(mean, stdev);
+  return dist(engine_);
+}
+
+double Rng::noise_factor(double rel_stdev, double floor) {
+  DLSCHED_EXPECT(floor > 0.0, "noise floor must be positive");
+  return std::max(floor, 1.0 + normal(0.0, rel_stdev));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::uint64_t Rng::fork_seed() {
+  // splitmix-style scramble of the next engine draw keeps child streams
+  // decorrelated from the parent sequence.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dlsched

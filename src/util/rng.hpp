@@ -1,0 +1,38 @@
+// Deterministic random-number helpers.  Every stochastic component of the
+// library (platform generators, noise models) takes an explicit seed so that
+// experiments and tests are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dlsched {
+
+/// Thin wrapper over mt19937_64 with convenience draws.  Not thread safe;
+/// create one per thread / per experiment.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Normal draw.
+  [[nodiscard]] double normal(double mean, double stdev);
+  /// Multiplicative noise factor: max(floor, 1 + normal(0, rel_stdev)).
+  [[nodiscard]] double noise_factor(double rel_stdev, double floor = 0.05);
+  /// Random permutation of {0, .., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child seed (for per-trial streams).
+  [[nodiscard]] std::uint64_t fork_seed();
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dlsched

@@ -1,0 +1,54 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses to
+// aggregate over the 50-platform ensembles of the paper's Section 5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlsched {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for samples of size < 2.
+[[nodiscard]] double stdev(std::span<const double> xs);
+
+/// Median (average of middle two for even sizes); 0 for empty samples.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Full summary in one pass (median requires a copy + sort).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive values.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Incremental accumulator (Welford) for streaming aggregation.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double stdev() const;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dlsched

@@ -1,0 +1,68 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace dlsched {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double value = bytes;
+  while (std::fabs(value) >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return format_double(value, 2) + " " + kUnits[unit];
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0 || abs == 0.0) return format_double(seconds, 3) + " s";
+  if (abs >= 1e-3) return format_double(seconds * 1e3, 3) + " ms";
+  if (abs >= 1e-6) return format_double(seconds * 1e6, 3) + " us";
+  return format_double(seconds * 1e9, 3) + " ns";
+}
+
+}  // namespace dlsched

@@ -1,0 +1,29 @@
+// Minimal string helpers shared by trace dumps and benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlsched {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Human-readable byte count ("1.5 MiB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Seconds rendered with an adaptive unit ("12.3 ms", "4.56 s").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace dlsched

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  std::string s = out.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DLSCHED_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::set_precision(int digits) {
+  DLSCHED_EXPECT(digits >= 0 && digits <= 17, "unreasonable precision");
+  precision_ = digits;
+}
+
+Table& Table::begin_row() {
+  check_row_complete();
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  DLSCHED_EXPECT(!rows_.empty(), "cell() before begin_row()");
+  DLSCHED_EXPECT(rows_.back().size() < header_.size(), "row overflow");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value) { return cell(format_double(value, precision_)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  DLSCHED_EXPECT(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+void Table::check_row_complete() const {
+  if (!rows_.empty()) {
+    DLSCHED_EXPECT(rows_.back().size() == header_.size(),
+                   "previous row is incomplete");
+  }
+}
+
+void Table::print_aligned(std::ostream& out) const {
+  check_row_complete();
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& out) const {
+  check_row_complete();
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << csv_escape(cells[c]);
+      if (c + 1 < cells.size()) out << ',';
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dlsched

@@ -1,0 +1,49 @@
+// Tabular output: aligned text tables and CSV, used by every figure bench to
+// print the series the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlsched {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// human-readable table or as CSV.  Cells are stored as text; numeric
+/// convenience overloads format with a configurable precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Number formatting precision for the double overload of `cell`.
+  void set_precision(int digits);
+
+  /// Starts a new row.  Must be followed by exactly `width()` cells.
+  Table& begin_row();
+  Table& cell(std::string value);
+  Table& cell(double value);
+  Table& cell(long long value);
+  Table& cell(std::size_t value);
+
+  [[nodiscard]] std::size_t width() const noexcept { return header_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Renders with padded columns and a header separator.
+  void print_aligned(std::ostream& out) const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  void check_row_complete() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 6;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+}  // namespace dlsched

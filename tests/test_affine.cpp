@@ -1,0 +1,152 @@
+// Tests of the affine cost model extension (paper Section 6; NP-hard per
+// Legrand-Yang-Casanova [20], so only fixed-scenario LPs and explicit
+// selection strategies are provided).
+#include <gtest/gtest.h>
+
+#include "core/affine.hpp"
+#include "core/fifo_optimal.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+std::vector<std::size_t> all_of(const StarPlatform& platform) {
+  std::vector<std::size_t> ids(platform.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+TEST(Affine, ZeroLatenciesReduceToLinearModel) {
+  Rng rng(221);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto linear = solve_fifo_optimal(platform);
+  const auto affine =
+      solve_affine_fifo(platform, all_of(platform), AffineCosts{});
+  EXPECT_EQ(affine.throughput, linear.solution.throughput);
+}
+
+TEST(Affine, LatencyStrictlyReducesThroughput) {
+  Rng rng(222);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto base =
+      solve_affine_fifo(platform, all_of(platform), AffineCosts{});
+  AffineCosts costs;
+  costs.send_latency = 0.01;
+  costs.return_latency = 0.01;
+  const auto delayed = solve_affine_fifo(platform, all_of(platform), costs);
+  ASSERT_TRUE(delayed.lp_feasible);
+  EXPECT_LT(delayed.throughput, base.throughput);
+}
+
+TEST(Affine, SingleWorkerHandComputation) {
+  // One worker, c = w = d = 1/4, latencies 1/8 each: the chain uses
+  // 3 * 1/8 = 3/8 of the horizon, leaving 5/8 for 3/4 per unit ->
+  // alpha = (5/8)/(3/4) = 5/6.
+  const StarPlatform platform({Worker{0.25, 0.25, 0.25, "P1"}});
+  AffineCosts costs;
+  costs.send_latency = 0.125;
+  costs.compute_latency = 0.125;
+  costs.return_latency = 0.125;
+  const auto result = solve_affine_fifo(platform, {0}, costs);
+  ASSERT_TRUE(result.lp_feasible);
+  EXPECT_EQ(result.throughput, Rational(5, 6));
+}
+
+TEST(Affine, ConstantsCanMakeAScenarioInfeasible) {
+  const StarPlatform platform({Worker{0.25, 0.25, 0.25, "P1"},
+                               Worker{0.25, 0.25, 0.25, "P2"}});
+  AffineCosts costs;
+  costs.send_latency = 0.4;  // two sends alone exceed T = 1 via (2b)
+  costs.return_latency = 0.4;
+  const auto result = solve_affine_fifo(platform, all_of(platform), costs);
+  EXPECT_FALSE(result.lp_feasible);
+  EXPECT_TRUE(result.throughput.is_zero());
+}
+
+TEST(Affine, SelectionDropsWorkersUnderHighLatency) {
+  // With large per-message constants, enrolling everyone wastes horizon on
+  // start-ups; the best subset is smaller.
+  const StarPlatform platform({Worker{0.05, 0.2, 0.025, "a"},
+                               Worker{0.05, 0.2, 0.025, "b"},
+                               Worker{0.05, 0.2, 0.025, "c"},
+                               Worker{0.05, 0.2, 0.025, "d"}});
+  AffineCosts costs;
+  costs.send_latency = 0.2;
+  costs.return_latency = 0.2;
+  const auto best = solve_affine_fifo_best_subset(platform, costs);
+  EXPECT_LT(best.participants.size(), platform.size());
+  EXPECT_EQ(best.subsets_tried, 15u);  // 2^4 - 1
+}
+
+TEST(Affine, SelectionKeepsEveryoneWithoutLatency) {
+  Rng rng(223);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5, 0.1, 0.3,
+                                                 0.5, 2.0);
+  const auto best =
+      solve_affine_fifo_best_subset(platform, AffineCosts{});
+  EXPECT_EQ(best.participants.size(), platform.size());
+}
+
+TEST(Affine, SubsetGuardRejectsLargePlatforms) {
+  Rng rng(224);
+  const StarPlatform platform = gen::random_star(13, rng, 0.5);
+  EXPECT_THROW(
+      solve_affine_fifo_best_subset(platform, AffineCosts{}, 12),
+      Error);
+}
+
+class AffineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AffineSweep, GreedyPrefixMatchesExhaustiveOnUniformWorkers) {
+  // With identical workers the optimal subset is a prefix of any order, so
+  // greedy must find the exhaustive optimum.
+  Rng rng(GetParam());
+  const double cw = rng.uniform(0.02, 0.08);
+  std::vector<Worker> workers(6, Worker{cw, rng.uniform(0.1, 0.4),
+                                        cw / 2.0, ""});
+  const StarPlatform platform(workers);
+  AffineCosts costs;
+  costs.send_latency = rng.uniform(0.02, 0.1);
+  costs.return_latency = costs.send_latency / 2.0;
+  const auto greedy = solve_affine_fifo_greedy(platform, costs);
+  const auto exact = solve_affine_fifo_best_subset(platform, costs);
+  EXPECT_EQ(greedy.best.throughput, exact.best.throughput);
+}
+
+TEST_P(AffineSweep, GreedyNeverBeatsExhaustive) {
+  Rng rng(GetParam() ^ 0xdead);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5, 0.05, 0.3);
+  AffineCosts costs;
+  costs.send_latency = rng.uniform(0.0, 0.05);
+  costs.compute_latency = rng.uniform(0.0, 0.05);
+  costs.return_latency = rng.uniform(0.0, 0.05);
+  const auto greedy = solve_affine_fifo_greedy(platform, costs);
+  const auto exact = solve_affine_fifo_best_subset(platform, costs);
+  EXPECT_LE(greedy.best.throughput, exact.best.throughput);
+}
+
+TEST_P(AffineSweep, ThroughputIsMonotoneInLatency) {
+  Rng rng(GetParam() ^ 0xbeef);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  Rational previous = solve_affine_fifo(platform, all_of(platform),
+                                        AffineCosts{})
+                          .throughput;
+  for (double latency : {0.005, 0.01, 0.02, 0.04}) {
+    AffineCosts costs;
+    costs.send_latency = latency;
+    costs.return_latency = latency / 2.0;
+    const auto result = solve_affine_fifo(platform, all_of(platform), costs);
+    if (!result.lp_feasible) break;
+    EXPECT_LE(result.throughput, previous);
+    previous = result.throughput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(BruteForce, CountsPermutationPairs) {
+  Rng rng(71);
+  const StarPlatform platform = gen::random_star(3, rng, 0.5);
+  BruteForceOptions all;
+  EXPECT_EQ(brute_force_best(platform, all).scenarios_tried, 36u);  // 3!^2
+  BruteForceOptions fifo;
+  fifo.fifo_only = true;
+  EXPECT_EQ(brute_force_best(platform, fifo).scenarios_tried, 6u);
+  BruteForceOptions lifo;
+  lifo.lifo_only = true;
+  EXPECT_EQ(brute_force_best(platform, lifo).scenarios_tried, 6u);
+}
+
+TEST(BruteForce, GuardsAgainstExplosion) {
+  Rng rng(72);
+  const StarPlatform platform = gen::random_star(8, rng, 0.5);
+  BruteForceOptions options;
+  options.max_workers = 7;
+  EXPECT_THROW(brute_force_best(platform, options), Error);
+}
+
+TEST(BruteForce, FifoAndLifoAreMutuallyExclusive) {
+  Rng rng(73);
+  const StarPlatform platform = gen::random_star(2, rng, 0.5);
+  BruteForceOptions options;
+  options.fifo_only = true;
+  options.lifo_only = true;
+  EXPECT_THROW(brute_force_best(platform, options), Error);
+}
+
+TEST(BruteForce, GeneralSearchDominatesRestrictedSearches) {
+  Rng rng(74);
+  const StarPlatform platform = gen::random_star(3, rng, 0.5);
+  BruteForceOptions all;
+  BruteForceOptions fifo;
+  fifo.fifo_only = true;
+  BruteForceOptions lifo;
+  lifo.lifo_only = true;
+  const auto best_all = brute_force_best(platform, all);
+  const auto best_fifo = brute_force_best(platform, fifo);
+  const auto best_lifo = brute_force_best(platform, lifo);
+  EXPECT_GE(best_all.best.throughput, best_fifo.best.throughput);
+  EXPECT_GE(best_all.best.throughput, best_lifo.best.throughput);
+}
+
+TEST(BruteForce, DoubleSearchTracksExact) {
+  Rng rng(75);
+  const StarPlatform platform = gen::random_star(3, rng, 0.5);
+  BruteForceOptions options;
+  const auto exact = brute_force_best(platform, options);
+  const auto approx = brute_force_best_double(platform, options);
+  EXPECT_NEAR(exact.best.throughput.to_double(), approx.best.throughput,
+              1e-7);
+}
+
+TEST(BruteForce, VisitorSeesEveryScenario) {
+  Rng rng(76);
+  const StarPlatform platform = gen::random_star(3, rng, 0.5);
+  BruteForceOptions options;
+  options.fifo_only = true;
+  std::size_t count = 0;
+  Rational best(0);
+  for_each_scenario(platform, options, [&](const ScenarioSolution& s) {
+    ++count;
+    best = numeric::max(best, s.throughput);
+    EXPECT_TRUE(s.scenario.is_fifo());
+  });
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(best, brute_force_best(platform, options).best.throughput);
+}
+
+class BruteForceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceSweep, GeneralOptimumIsAtLeastFifoOptimum) {
+  // The paper conjectures the general problem harder than FIFO; at minimum
+  // the general optimum dominates, and on some instances strictly.
+  Rng rng(GetParam());
+  const StarPlatform platform = gen::random_star_grid(3, rng, 1, 2);
+  const auto fifo = solve_fifo_optimal(platform);
+  const auto general = brute_force_best(platform, BruteForceOptions{});
+  EXPECT_GE(general.best.throughput, fifo.solution.throughput);
+}
+
+TEST_P(BruteForceSweep, LifoOptimumMatchesClosedFormSearch) {
+  Rng rng(GetParam() ^ 0x4321);
+  const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
+  BruteForceOptions options;
+  options.lifo_only = true;
+  const auto brute = brute_force_best(platform, options);
+  const auto closed = solve_lifo_closed_form(platform);
+  EXPECT_EQ(brute.best.throughput, closed.throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,159 @@
+// Tests of Theorem 2 (closed-form FIFO throughput on a bus) and the
+// Adler-Gong-Rosenberg observation (all bus FIFO orderings are equal).
+#include <gtest/gtest.h>
+
+#include "core/bus_closed_form.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(BusClosedForm, RequiresBus) {
+  const StarPlatform star({Worker{1, 1, 0.5, ""}, Worker{2, 1, 1, ""}});
+  EXPECT_THROW(solve_bus_closed_form(star), Error);
+}
+
+TEST(BusClosedForm, SingleWorkerFormula) {
+  // p = 1: u_1 = 1/(c + w1); rho~ = u1/(1 + d u1) = 1/(c + w1 + d).
+  const StarPlatform bus = StarPlatform::bus(0.25, 0.125, {0.5});
+  const auto result = solve_bus_closed_form(bus);
+  EXPECT_EQ(result.throughput, Rational(8, 7));
+  EXPECT_FALSE(result.comm_limited);
+}
+
+TEST(BusClosedForm, CommLimitedBranch) {
+  // Nearly-free computation on many workers: rho~ would exceed 1/(c+d), so
+  // the one-port bound binds.  (Binary-exact parameters keep the rational
+  // comparison exact.)
+  const StarPlatform bus =
+      StarPlatform::bus(0.25, 0.125, {0.015625, 0.015625, 0.015625});
+  const auto result = solve_bus_closed_form(bus);
+  EXPECT_TRUE(result.comm_limited);
+  EXPECT_EQ(result.throughput, Rational(8, 3));  // 1 / 0.375
+  EXPECT_GT(result.two_port_throughput, result.throughput);
+}
+
+TEST(BusClosedForm, AllWorkersEnrolled) {
+  Rng rng(41);
+  const StarPlatform bus = gen::random_bus(7, rng, 0.5);
+  const auto result = solve_bus_closed_form(bus);
+  for (const Rational& a : result.alpha) EXPECT_TRUE(a.is_positive());
+  EXPECT_EQ(result.schedule.entries.size(), 7u);
+}
+
+TEST(BusClosedForm, ScheduleValidatesAndMatchesThroughput) {
+  Rng rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    const StarPlatform bus =
+        gen::random_bus(5, rng, rng.uniform(0.1, 0.9));
+    const auto result = solve_bus_closed_form(bus);
+    const auto report = validate(bus, result.schedule);
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+    EXPECT_NEAR(result.schedule.total_load(), result.throughput.to_double(),
+                1e-9);
+  }
+}
+
+class BusSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BusSweep, ClosedFormEqualsFifoLpExactly) {
+  // Theorem 2's formula and the Theorem 1 LP algorithm are independent
+  // paths to the same optimum; on grid buses both are exact and must agree
+  // bit-for-bit.
+  Rng rng(GetParam());
+  const int c_num = static_cast<int>(rng.uniform_int(1, 16));
+  const double c = c_num / 16.0;
+  const double d = c / 2.0;
+  std::vector<double> w(5);
+  for (double& wi : w) {
+    wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
+  }
+  const StarPlatform bus = StarPlatform::bus(c, d, w);
+
+  const auto closed = solve_bus_closed_form(bus);
+  const auto lp = solve_fifo_optimal(bus);
+  EXPECT_EQ(closed.throughput, lp.solution.throughput)
+      << "closed form " << closed.throughput.to_string() << " vs LP "
+      << lp.solution.throughput.to_string();
+}
+
+TEST_P(BusSweep, EveryFifoOrderingIsEquivalentOnABus) {
+  // Adler-Gong-Rosenberg: on a bus, all FIFO strategies perform equally.
+  Rng rng(GetParam() ^ 0x6666);
+  const double c = static_cast<double>(rng.uniform_int(1, 16)) / 16.0;
+  std::vector<double> w(4);
+  for (double& wi : w) {
+    wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
+  }
+  const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
+  const auto reference = solve_bus_closed_form(bus);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto order = rng.permutation(bus.size());
+    const auto sol = solve_scenario(bus, Scenario::fifo(order));
+    EXPECT_EQ(sol.throughput, reference.throughput);
+  }
+}
+
+TEST_P(BusSweep, USumIsOrderInvariant) {
+  // The formula's sum_i u_i does not depend on the worker order (the
+  // algebraic fact behind the ordering equivalence).
+  Rng rng(GetParam() ^ 0x7777);
+  const double c = static_cast<double>(rng.uniform_int(1, 16)) / 16.0;
+  std::vector<double> w(5);
+  for (double& wi : w) {
+    wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
+  }
+  const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
+  const Rational reference = solve_bus_closed_form(bus).throughput;
+
+  const auto perm = rng.permutation(bus.size());
+  const StarPlatform shuffled = bus.subset(perm);
+  EXPECT_EQ(solve_bus_closed_form(shuffled).throughput, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(BusClosedForm, TwoPortBoundsOnePort) {
+  // rho_opt <= rho~ always (one-port is a restriction of two-port).
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StarPlatform bus =
+        gen::random_bus(6, rng, rng.uniform(0.1, 0.9));
+    const auto result = solve_bus_closed_form(bus);
+    EXPECT_LE(result.throughput, result.two_port_throughput);
+  }
+}
+
+TEST(BusClosedForm, HomogeneousWorkersShareLoadByFormula) {
+  // All workers identical: u_i follows a geometric progression with ratio
+  // (d+w)/(c+w) < 1, so earlier workers carry more load.
+  const StarPlatform bus = StarPlatform::bus(0.25, 0.125, {1.0, 1.0, 1.0});
+  const auto result = solve_bus_closed_form(bus);
+  EXPECT_GT(result.alpha[0], result.alpha[1]);
+  EXPECT_GT(result.alpha[1], result.alpha[2]);
+  const Rational ratio1 = result.alpha[1] / result.alpha[0];
+  const Rational ratio2 = result.alpha[2] / result.alpha[1];
+  EXPECT_EQ(ratio1, ratio2);
+  EXPECT_EQ(ratio1, Rational(9, 10));  // (0.125+1)/(0.25+1)
+}
+
+TEST(BusClosedForm, DegenerateZeroDHandled) {
+  // d = 0 (no return data): rho = min(1/c, U) with u_i = prod/(w_i)...
+  // formula remains finite and the schedule valid.
+  const StarPlatform bus = StarPlatform::bus(0.5, 0.0, {1.0, 1.0});
+  const auto result = solve_bus_closed_form(bus);
+  EXPECT_GT(result.throughput, Rational(0));
+  EXPECT_TRUE(validate(bus, result.schedule).ok);
+}
+
+}  // namespace
+}  // namespace dlsched

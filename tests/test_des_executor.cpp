@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/throughput.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "sim/des_executor.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::sim {
+namespace {
+
+TEST(DesExecutor, SingleWorkerChain) {
+  const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
+  const Scenario scenario = Scenario::fifo(std::vector<std::size_t>{0});
+  const std::vector<double> loads{1.0};
+  const auto result = execute(platform, scenario, loads);
+  EXPECT_NEAR(result.makespan, 0.875, 1e-12);
+  EXPECT_EQ(result.trace.events.size(), 3u);  // send, compute, return
+}
+
+TEST(DesExecutor, SkipsZeroLoadWorkers) {
+  const StarPlatform platform({Worker{0.1, 0.2, 0.05, ""},
+                               Worker{0.1, 0.2, 0.05, ""}});
+  const Scenario scenario = Scenario::fifo(std::vector<std::size_t>{0, 1});
+  const std::vector<double> loads{1.0, 0.0};
+  const auto result = execute(platform, scenario, loads);
+  for (const TraceEvent& e : result.trace.events) {
+    EXPECT_EQ(e.worker, 0u);
+  }
+}
+
+class DesAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesAgreement, NoiseFreeDesMatchesAnalyticSweepExactly) {
+  // The DES executes the protocol event-by-event; the analytic forward
+  // sweep computes the same times algebraically.  They must agree to
+  // floating-point roundoff on every heuristic and random loads.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 1.5));
+    for (Heuristic h : {Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo}) {
+      const auto sol = solve_heuristic(platform, h);
+      const auto des = execute(platform, sol.scenario, sol.alpha);
+      const double analytic =
+          packed_makespan(platform, sol.scenario, sol.alpha);
+      EXPECT_NEAR(des.makespan, analytic, 1e-9) << heuristic_name(h);
+    }
+  }
+}
+
+TEST_P(DesAgreement, TraceValidatesAsOnePortTimeline) {
+  Rng rng(GetParam() ^ 0x9999);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto des = execute(platform, sol.scenario, sol.alpha);
+  const Timeline timeline = des.trace.to_timeline();
+  const auto report =
+      validate_timeline(platform, timeline, des.makespan + 1e-9);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(DesExecutor, LatencyIncreasesMakespan) {
+  Rng rng(91);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto exact = execute(platform, sol.scenario, sol.alpha);
+  NoiseModel latency;
+  latency.comm_latency = 0.01;
+  const auto delayed = execute(platform, sol.scenario, sol.alpha, latency);
+  EXPECT_GT(delayed.makespan, exact.makespan);
+}
+
+TEST(DesExecutor, NoiseIsDeterministicPerSeed) {
+  Rng rng(92);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const NoiseModel noise = NoiseModel::cluster_like(17);
+  const auto a = execute(platform, sol.scenario, sol.alpha, noise);
+  const auto b = execute(platform, sol.scenario, sol.alpha, noise);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  NoiseModel other = noise;
+  other.seed = 18;
+  const auto c = execute(platform, sol.scenario, sol.alpha, other);
+  EXPECT_NE(a.makespan, c.makespan);
+}
+
+TEST(DesExecutor, NoisyRunStaysNearPrediction) {
+  // A few percent of noise should keep the makespan within ~25 % of the
+  // ideal (the paper observed <= 20 % model error).
+  Rng rng(93);
+  const StarPlatform platform = gen::random_star(6, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto noisy = execute(platform, sol.scenario, sol.alpha,
+                             NoiseModel::cluster_like(5));
+  EXPECT_GT(noisy.makespan, 0.75);
+  EXPECT_LT(noisy.makespan, 1.25);
+}
+
+TEST(DesExecutor, ReturnOrderFollowsSigma2EvenWhenInverted) {
+  // sigma_2 reverses sigma_1 (LIFO): the first-served worker's return is
+  // recorded last even though it finished computing first.
+  const StarPlatform platform({Worker{0.05, 0.05, 0.02, "A"},
+                               Worker{0.05, 0.05, 0.02, "B"}});
+  const Scenario scenario = Scenario::lifo(std::vector<std::size_t>{0, 1});
+  const std::vector<double> loads{1.0, 1.0};
+  const auto result = execute(platform, scenario, loads);
+  std::vector<std::size_t> return_order;
+  for (const TraceEvent& e : result.trace.events) {
+    if (e.activity == Activity::Return) return_order.push_back(e.worker);
+  }
+  EXPECT_EQ(return_order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(DesExecutor, MasterUtilizationIsSaneFraction) {
+  Rng rng(94);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto result = execute(platform, sol.scenario, sol.alpha);
+  const double util = result.trace.master_utilization();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+TEST(DesExecutor, CsvContainsAllEvents) {
+  const StarPlatform platform({Worker{0.1, 0.1, 0.05, "P1"}});
+  const Scenario scenario = Scenario::fifo(std::vector<std::size_t>{0});
+  const std::vector<double> loads{2.0};
+  const auto result = execute(platform, scenario, loads);
+  const std::string csv = result.trace.to_csv(platform);
+  EXPECT_NE(csv.find("P1,send"), std::string::npos);
+  EXPECT_NE(csv.find("P1,compute"), std::string::npos);
+  EXPECT_NE(csv.find("P1,return"), std::string::npos);
+}
+
+TEST(DesExecutor, ChromeJsonExportIsWellFormed) {
+  const StarPlatform platform({Worker{0.1, 0.1, 0.05, "P1"},
+                               Worker{0.1, 0.1, 0.05, "P2"}});
+  const Scenario scenario = Scenario::fifo(std::vector<std::size_t>{0, 1});
+  const std::vector<double> loads{1.0, 1.0};
+  const auto result = execute(platform, scenario, loads);
+  const std::string json = result.trace.to_chrome_json(platform);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("send->P1"), std::string::npos);
+  EXPECT_NE(json.find("recv<-P2"), std::string::npos);
+  EXPECT_NE(json.find("compute P1"), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness check).
+  long braces = 0;
+  long brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{';
+    braces -= ch == '}';
+    brackets += ch == '[';
+    brackets -= ch == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(NoiseModel, ExactDetection) {
+  EXPECT_TRUE(NoiseModel::none().is_exact());
+  EXPECT_FALSE(NoiseModel::cluster_like(1).is_exact());
+}
+
+TEST(NoiseSampler, ExactModelIsIdentity) {
+  NoiseSampler sampler{NoiseModel::none()};
+  EXPECT_DOUBLE_EQ(sampler.message_time(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.compute_time(0.25), 0.25);
+}
+
+TEST(NoiseSampler, RejectsNegativeDurations) {
+  NoiseSampler sampler{NoiseModel::none()};
+  EXPECT_THROW((void)sampler.message_time(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace dlsched::sim

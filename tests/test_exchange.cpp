@@ -1,0 +1,196 @@
+// Tests of the Lemma 2 exchange transformations ("proof as code").
+#include <gtest/gtest.h>
+
+#include "core/exchange.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+/// A packed FIFO schedule for the given order, loads from that order's LP.
+Schedule fifo_schedule_for_order(const StarPlatform& platform,
+                                 const std::vector<std::size_t>& order) {
+  const auto sol = solve_scenario_double(platform, Scenario::fifo(order));
+  return realize_schedule(platform, sol);
+}
+
+TEST(Exchange, SwapAdjacentIncreasesLoadWhenCiGreater) {
+  // The heart of Theorem 1: with z < 1, swapping an out-of-order pair
+  // (c_i > c_j) strictly increases the processed load.
+  Rng rng(401);
+  for (int trial = 0; trial < 8; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(4, rng, rng.uniform(0.1, 0.9));
+    // Deliberately reversed (worst) order.
+    const auto order = platform.order_by_c_desc();
+    Schedule schedule = fifo_schedule_for_order(platform, order);
+
+    // Find an adjacent inversion with both loads positive.
+    for (std::size_t i = 0; i + 1 < schedule.entries.size(); ++i) {
+      const double ci = platform.worker(schedule.entries[i].worker).c;
+      const double cj = platform.worker(schedule.entries[i + 1].worker).c;
+      if (ci <= cj) continue;
+      if (schedule.entries[i].alpha <= 0.0) continue;
+      const ExchangeResult result = swap_adjacent(platform, schedule, i);
+      EXPECT_GT(result.load_gain, -1e-12);
+      const auto report = validate(platform, result.schedule);
+      EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                     ? ""
+                                     : report.violations.front());
+      break;
+    }
+  }
+}
+
+TEST(Exchange, SwapGainMatchesThePaperFormula) {
+  // load gain = alpha_i (c_i - c_j)(1 - z) / (c_j + w_j).
+  const StarPlatform platform({Worker{0.4, 0.3, 0.2, "slow_link"},
+                               Worker{0.2, 0.5, 0.1, "fast_link"}});
+  const std::vector<std::size_t> order{0, 1};  // c decreasing: inversion
+  Schedule schedule = fifo_schedule_for_order(platform, order);
+  const double alpha_i = schedule.entries[0].alpha;
+  ASSERT_GT(alpha_i, 0.0);
+  const ExchangeResult result = swap_adjacent(platform, schedule, 0);
+  const double expected =
+      alpha_i * (0.4 - 0.2) * (1.0 - 0.5) / (0.2 + 0.5);
+  EXPECT_NEAR(result.load_gain, expected, 1e-9);
+}
+
+TEST(Exchange, SortByExchangesReachesTheOptimalOrderAndLoad) {
+  // Bubble-sorting by swaps executes the proof: the final schedule is in
+  // non-decreasing c order and its load matches the schedule obtained by
+  // solving the sorted order directly from the same starting loads'
+  // transformations... at minimum it must dominate the start and validate.
+  Rng rng(402);
+  for (int trial = 0; trial < 6; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 0.9));
+    const Schedule start =
+        fifo_schedule_for_order(platform, platform.order_by_c_desc());
+    const Schedule sorted = sort_by_exchanges(platform, start);
+
+    // Non-decreasing c order.
+    for (std::size_t i = 0; i + 1 < sorted.entries.size(); ++i) {
+      EXPECT_LE(platform.worker(sorted.entries[i].worker).c,
+                platform.worker(sorted.entries[i + 1].worker).c + 1e-12);
+    }
+    EXPECT_GE(sorted.total_load(), start.total_load() - 1e-9);
+    EXPECT_TRUE(validate(platform, sorted).ok);
+  }
+}
+
+TEST(Exchange, EveryBubbleStepIsMonotone) {
+  // Stronger than the endpoint check: each individual swap's gain >= 0.
+  Rng rng(403);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  Schedule schedule =
+      fifo_schedule_for_order(platform, platform.order_by_c_desc());
+  bool swapped = true;
+  while (swapped) {
+    swapped = false;
+    for (std::size_t i = 0; i + 1 < schedule.entries.size(); ++i) {
+      const double ci = platform.worker(schedule.entries[i].worker).c;
+      const double cj = platform.worker(schedule.entries[i + 1].worker).c;
+      if (ci > cj) {
+        const ExchangeResult step = swap_adjacent(platform, schedule, i);
+        EXPECT_GE(step.load_gain, -1e-12);
+        schedule = step.schedule;
+        swapped = true;
+      }
+    }
+  }
+}
+
+TEST(Exchange, ShiftIdleRightMovesTheGapAndNeverLosesLoad) {
+  // Construct a schedule with a deliberate interior gap: shrink a middle
+  // worker's load below its LP value.
+  Rng rng(404);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto order = platform.order_by_c();
+  const auto sol = solve_scenario_double(platform, Scenario::fifo(order));
+  std::vector<double> alpha = sol.alpha;
+  // Find an interior enrolled worker and shave off load: a gap appears.
+  const std::size_t victim = order[1];
+  ASSERT_GT(alpha[victim], 0.0);
+  alpha[victim] *= 0.6;
+  Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  const std::size_t pos = 1;
+  ASSERT_GT(schedule.entries[pos].idle, 1e-9);
+  const double ci = platform.worker(schedule.entries[pos].worker).c;
+  const double cj = platform.worker(schedule.entries[pos + 1].worker).c;
+  if (ci > cj) GTEST_SKIP() << "pair not in the c_i <= c_j proof case";
+
+  const ExchangeResult result = shift_idle_right(platform, schedule, pos);
+  EXPECT_GE(result.load_gain, -1e-12);
+  EXPECT_TRUE(validate(platform, result.schedule).ok);
+  // The gap moved off the transformed worker.
+  EXPECT_NEAR(result.schedule.entries[pos].idle, 0.0, 1e-9);
+}
+
+TEST(Exchange, ShiftGainMatchesThePaperFormula) {
+  // gain = (c_j - c_i)/c_j * x_i / (c_i + w_i).
+  const StarPlatform platform({Worker{0.1, 0.4, 0.05, "i"},
+                               Worker{0.3, 0.2, 0.15, "j"}});
+  const std::vector<std::size_t> order{0, 1};
+  // Hand-build loads with a gap on worker i: alpha small enough.
+  std::vector<double> alpha{0.5, 1.0};
+  Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  const double x_i = schedule.entries[0].idle;
+  ASSERT_GT(x_i, 1e-9);
+  const ExchangeResult result = shift_idle_right(platform, schedule, 0);
+  const double expected = (0.3 - 0.1) / 0.3 * x_i / (0.1 + 0.4);
+  EXPECT_NEAR(result.load_gain, expected, 1e-9);
+}
+
+TEST(Exchange, GuardsAndPreconditions) {
+  const StarPlatform platform({Worker{0.1, 0.2, 0.05, "a"},
+                               Worker{0.2, 0.2, 0.1, "b"}});
+  const std::vector<std::size_t> order{0, 1};
+  const std::vector<double> alpha{0.5, 0.5};
+  Schedule fifo = make_packed_fifo(platform, order, alpha, 1.0);
+
+  EXPECT_THROW(swap_adjacent(platform, fifo, 5), Error);
+  EXPECT_THROW(shift_idle_right(platform, fifo, 5), Error);
+
+  Schedule lifo = make_packed_lifo(platform, order, alpha, 1.0);
+  EXPECT_THROW(swap_adjacent(platform, lifo, 0), Error);
+
+  // Reversed order: c_1 > c_2 is not the shift proof case.
+  const std::vector<std::size_t> reversed{1, 0};
+  Schedule bad = make_packed_fifo(platform, reversed, alpha, 1.0);
+  EXPECT_THROW(shift_idle_right(platform, bad, 0), Error);
+
+  // z > 1 requires the mirror first.
+  const StarPlatform inverted({Worker{0.1, 0.2, 0.3, "a"},
+                               Worker{0.05, 0.2, 0.15, "b"}});
+  Schedule zbig = make_packed_fifo(inverted, order,
+                                   std::vector<double>{0.3, 0.3}, 1.0);
+  EXPECT_THROW(swap_adjacent(inverted, zbig, 0), Error);
+}
+
+class ExchangeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExchangeSweep, SortingFromAnyOrderNeverBeatsTheLpOptimum) {
+  // Exchange-sorted schedules are feasible FIFO schedules in sorted order,
+  // so they are bounded by Theorem 1's LP optimum -- and starting from the
+  // sorted order's own LP loads they match it.
+  Rng rng(GetParam());
+  const StarPlatform platform =
+      gen::random_star(5, rng, rng.uniform(0.1, 0.9));
+  const auto optimal = solve_fifo_optimal(platform);
+  const auto start_order = rng.permutation(platform.size());
+  const Schedule sorted = sort_by_exchanges(
+      platform, fifo_schedule_for_order(platform, start_order));
+  EXPECT_LE(sorted.total_load(),
+            optimal.solution.throughput.to_double() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,134 @@
+// Tests of the experiment machinery that drives the Figures 10-13 benches.
+#include <gtest/gtest.h>
+
+#include "experiments/figures.hpp"
+#include "platform/generators.hpp"
+#include "platform/matrix_app.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::experiments {
+namespace {
+
+StarPlatform small_platform() {
+  const MatrixApp app({.matrix_size = 80});
+  Rng rng(501);
+  return app.platform(gen::heterogeneous_speeds(6, rng));
+}
+
+TEST(Experiments, RunHeuristicProducesConsistentTimes) {
+  const StarPlatform platform = small_platform();
+  const HeuristicTimes times =
+      run_heuristic(platform, Heuristic::IncC, 500, 42);
+  EXPECT_GT(times.lp, 0.0);
+  // The noisy integral execution is near (and essentially never below) the
+  // LP bound.
+  EXPECT_GT(times.real, times.lp * 0.97);
+  EXPECT_LT(times.real, times.lp * 1.25);
+}
+
+TEST(Experiments, RunHeuristicIsDeterministicPerSeed) {
+  const StarPlatform platform = small_platform();
+  const HeuristicTimes a = run_heuristic(platform, Heuristic::Lifo, 500, 7);
+  const HeuristicTimes b = run_heuristic(platform, Heuristic::Lifo, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lp, b.lp);
+  EXPECT_DOUBLE_EQ(a.real, b.real);
+  const HeuristicTimes c = run_heuristic(platform, Heuristic::Lifo, 500, 8);
+  EXPECT_NE(a.real, c.real);  // different noise stream
+}
+
+TEST(Experiments, LpTimeScalesLinearlyWithLoad) {
+  const StarPlatform platform = small_platform();
+  const HeuristicTimes m500 =
+      run_heuristic(platform, Heuristic::IncC, 500, 1);
+  const HeuristicTimes m1000 =
+      run_heuristic(platform, Heuristic::IncC, 1000, 1);
+  EXPECT_NEAR(m1000.lp / m500.lp, 2.0, 1e-9);
+}
+
+TEST(Experiments, EnsembleRowHasSaneRatios) {
+  FigureConfig config;
+  config.platforms = 5;  // keep the test quick
+  config.workers = 6;
+  const EnsembleRow row = run_ensemble(
+      config,
+      [](std::size_t p, Rng& rng) {
+        return gen::heterogeneous_speeds(p, rng);
+      },
+      /*matrix_size=*/80, /*include_inc_w=*/true);
+  EXPECT_EQ(row.matrix_size, 80u);
+  EXPECT_GT(row.inc_c_lp, 0.0);
+  // INC_C is the optimal FIFO: INC_W can only be slower (ratio >= 1).
+  EXPECT_GE(row.inc_w_lp_ratio, 1.0 - 1e-9);
+  // Noisy real runs hover near their LP predictions.
+  EXPECT_GT(row.inc_c_real_ratio, 0.95);
+  EXPECT_LT(row.inc_c_real_ratio, 1.2);
+  EXPECT_GT(row.lifo_real_ratio, 0.9);
+  EXPECT_LT(row.lifo_real_ratio, 1.2);
+}
+
+TEST(Experiments, EnsembleIsDeterministic) {
+  FigureConfig config;
+  config.platforms = 3;
+  config.workers = 5;
+  auto generator = [](std::size_t p, Rng& rng) {
+    return gen::heterogeneous_speeds(p, rng);
+  };
+  const EnsembleRow a = run_ensemble(config, generator, 60, true);
+  const EnsembleRow b = run_ensemble(config, generator, 60, true);
+  EXPECT_DOUBLE_EQ(a.inc_c_lp, b.inc_c_lp);
+  EXPECT_DOUBLE_EQ(a.inc_c_real_ratio, b.inc_c_real_ratio);
+  EXPECT_DOUBLE_EQ(a.lifo_lp_ratio, b.lifo_lp_ratio);
+}
+
+TEST(Experiments, ParallelEnsembleIsBitIdenticalToSerial) {
+  // The trial pool claims work dynamically, but seeds are pre-derived and
+  // results folded in trial order: thread count must not change a digit.
+  auto generator = [](std::size_t p, Rng& rng) {
+    return gen::heterogeneous_speeds(p, rng);
+  };
+  FigureConfig serial;
+  serial.platforms = 8;
+  serial.workers = 6;
+  serial.threads = 1;
+  FigureConfig parallel = serial;
+  parallel.threads = 4;
+  const EnsembleRow a = run_ensemble(serial, generator, 80, true);
+  const EnsembleRow b = run_ensemble(parallel, generator, 80, true);
+  EXPECT_DOUBLE_EQ(a.inc_c_lp, b.inc_c_lp);
+  EXPECT_DOUBLE_EQ(a.inc_c_real_ratio, b.inc_c_real_ratio);
+  EXPECT_DOUBLE_EQ(a.inc_w_lp_ratio, b.inc_w_lp_ratio);
+  EXPECT_DOUBLE_EQ(a.inc_w_real_ratio, b.inc_w_real_ratio);
+  EXPECT_DOUBLE_EQ(a.lifo_lp_ratio, b.lifo_lp_ratio);
+  EXPECT_DOUBLE_EQ(a.lifo_real_ratio, b.lifo_real_ratio);
+}
+
+TEST(Experiments, SpeedUpConfigChangesTheRegime) {
+  // Figure 13(a): 10x computation makes jobs cheaper -> smaller absolute
+  // LP times.
+  auto generator = [](std::size_t p, Rng& rng) {
+    return gen::heterogeneous_speeds(p, rng);
+  };
+  FigureConfig base;
+  base.platforms = 5;
+  base.workers = 6;
+  FigureConfig fast_comp = base;
+  fast_comp.comp_speed_up = 10.0;
+  const EnsembleRow slow = run_ensemble(base, generator, 100, false);
+  const EnsembleRow fast = run_ensemble(fast_comp, generator, 100, false);
+  EXPECT_LT(fast.inc_c_lp, slow.inc_c_lp);
+}
+
+TEST(Experiments, HomogeneousEnsembleMakesFifoOrdersCoincide) {
+  FigureConfig config;
+  config.platforms = 4;
+  config.workers = 6;
+  const EnsembleRow row = run_ensemble(
+      config,
+      [](std::size_t p, Rng& rng) { return gen::homogeneous_speeds(p, rng); },
+      100, /*include_inc_w=*/true);
+  // All links equal -> INC_W's LP equals INC_C's exactly.
+  EXPECT_NEAR(row.inc_w_lp_ratio, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dlsched::experiments

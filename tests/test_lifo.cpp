@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/lifo.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(Lifo, SingleWorkerMatchesChainInverse) {
+  const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
+  const auto result = solve_lifo_closed_form(platform);
+  EXPECT_EQ(result.throughput, Rational(8, 7));
+}
+
+TEST(Lifo, TwoWorkerRecurrenceByHand) {
+  // Workers (c, w, d) = (1/4, 1/2, 1/8) and (1/2, 1, 1/4), order by c.
+  // alpha_1 = 1/(7/8) = 8/7; alpha_2 = alpha_1 * w_1 / (c+w+d)_2
+  //         = (8/7) * (1/2) / (7/4) = 16/49.
+  const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"},
+                               Worker{0.5, 1.0, 0.25, "P2"}});
+  const auto result = solve_lifo_closed_form(platform);
+  EXPECT_EQ(result.alpha[0], Rational(8, 7));
+  EXPECT_EQ(result.alpha[1], Rational(16, 49));
+  EXPECT_EQ(result.throughput, Rational(8, 7) + Rational(16, 49));
+}
+
+TEST(Lifo, AllWorkersEnrolledWithNoIdle) {
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(6, rng, rng.uniform(0.1, 2.0));
+    const auto result = solve_lifo_closed_form(platform);
+    ASSERT_EQ(result.schedule.entries.size(), platform.size());
+    for (const ScheduleEntry& e : result.schedule.entries) {
+      EXPECT_GT(e.alpha, 0.0);
+      EXPECT_NEAR(e.idle, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Lifo, ScheduleValidates) {
+  Rng rng(32);
+  for (int trial = 0; trial < 8; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 2.0));
+    const auto result = solve_lifo_closed_form(platform);
+    const auto report = validate(platform, result.schedule);
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+    EXPECT_TRUE(result.schedule.is_lifo());
+  }
+}
+
+class LifoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifoSweep, ClosedFormMatchesLpExactly) {
+  // The closed form and the scenario LP are two independent computations of
+  // the same optimum; over grid platforms both are exact rationals and must
+  // agree bit-for-bit.
+  Rng rng(GetParam());
+  const StarPlatform platform = gen::random_star_grid(5, rng, 1, 2);
+  const auto closed = solve_lifo_closed_form(platform);
+  const auto lp = solve_lifo_lp(platform);
+  EXPECT_EQ(closed.throughput, lp.throughput);
+  for (std::size_t w = 0; w < platform.size(); ++w) {
+    EXPECT_EQ(closed.alpha[w], lp.alpha[w]) << "worker " << w;
+  }
+}
+
+TEST_P(LifoSweep, NoLifoOrderBeatsTheClosedForm) {
+  // Optimality of the LIFO solution among all LIFO orderings: the one-port
+  // LIFO optimum equals the two-port LIFO optimum, which the closed form
+  // achieves regardless of order -- verified exhaustively over 4! orders.
+  Rng rng(GetParam() ^ 0xaaaa);
+  const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
+  const auto closed = solve_lifo_closed_form(platform);
+  BruteForceOptions options;
+  options.lifo_only = true;
+  const auto brute = brute_force_best(platform, options);
+  EXPECT_EQ(brute.scenarios_tried, 24u);
+  EXPECT_LE(brute.best.throughput, closed.throughput);
+}
+
+TEST_P(LifoSweep, PerOrderFormulaIsFeasibleHenceAtMostLp) {
+  // The no-idle all-workers construction is one feasible LIFO schedule for
+  // any order, so its throughput never exceeds the per-order LP optimum
+  // (which may additionally drop workers).
+  Rng rng(GetParam() ^ 0xbbbb);
+  const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto order = rng.permutation(platform.size());
+    const Rational formula = lifo_throughput_for_order(platform, order);
+    const auto lp = solve_scenario(platform, Scenario::lifo(order));
+    EXPECT_LE(formula, lp.throughput);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifoSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Lifo, ZGreaterThanOneStillFeasible) {
+  // Return messages larger than inputs (z = 3): the LIFO construction is
+  // one-port feasible for any z.
+  Rng rng(33);
+  const StarPlatform platform = gen::random_star(5, rng, 3.0);
+  const auto result = solve_lifo_closed_form(platform);
+  EXPECT_TRUE(validate(platform, result.schedule).ok);
+  EXPECT_GT(result.throughput, Rational(0));
+}
+
+TEST(Lifo, EmptyPlatformRejected) {
+  EXPECT_THROW(solve_lifo_closed_form(StarPlatform()), Error);
+}
+
+TEST(Lifo, ThroughputDecreasesWithSlowerComputation) {
+  // Monotonicity sanity: scaling every w up strictly reduces throughput.
+  Rng rng(34);
+  const StarPlatform fast = gen::random_star(4, rng, 0.5);
+  const StarPlatform slow = fast.speed_up(1.0, 0.5);  // halve compute speed
+  EXPECT_LT(solve_lifo_closed_form(slow).throughput,
+            solve_lifo_closed_form(fast).throughput);
+}
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,124 @@
+// Tests of the permutation-pair local search (attacking the paper's open
+// problem heuristically).
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "core/local_search.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+TEST(LocalSearch, SingleWorkerTrivial) {
+  const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
+  const auto result = local_search_best_pair(platform);
+  EXPECT_NEAR(result.best.throughput, 8.0 / 7.0, 1e-9);
+}
+
+TEST(LocalSearch, NeverWorseThanFifoAndLifoOptima) {
+  Rng rng(301);
+  for (int trial = 0; trial < 6; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(6, rng, rng.uniform(0.1, 2.0));
+    const auto search = local_search_best_pair(platform);
+    const auto fifo = solve_fifo_optimal(platform);
+    const auto lifo = solve_lifo_lp(platform);
+    EXPECT_GE(search.best.throughput,
+              fifo.solution.throughput.to_double() - 1e-9);
+    EXPECT_GE(search.best.throughput, lifo.throughput.to_double() - 1e-9);
+  }
+}
+
+TEST(LocalSearch, ResultRealizesToAValidSchedule) {
+  Rng rng(302);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto search = local_search_best_pair(platform);
+  const Schedule schedule = realize_schedule(platform, search.best);
+  const auto report = validate(platform, schedule);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  EXPECT_NEAR(schedule.total_load(), search.best.throughput, 1e-6);
+}
+
+class LocalSearchQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchQuality, ReachesTheBruteForceOptimumOnSmallPlatforms) {
+  // Adjacent-transposition ascent with FIFO/LIFO/random starts finds the
+  // p = 3 global optimum (36 scenarios) -- verified per seed.
+  Rng rng(GetParam());
+  const StarPlatform platform =
+      gen::random_star(3, rng, rng.uniform(0.2, 0.8));
+  const auto brute = brute_force_best_double(platform, BruteForceOptions{});
+  LocalSearchOptions options;
+  options.seed = GetParam();
+  const auto search = local_search_best_pair(platform, options);
+  EXPECT_NEAR(search.best.throughput, brute.best.throughput,
+              1e-7 * brute.best.throughput);
+}
+
+TEST_P(LocalSearchQuality, CloseToBruteForceOnFourWorkers) {
+  // p = 4 (576 scenarios): the search must land within 1 % of optimal.
+  Rng rng(GetParam() ^ 0xc0de);
+  const StarPlatform platform =
+      gen::random_star(4, rng, rng.uniform(0.2, 0.8));
+  const auto brute = brute_force_best_double(platform, BruteForceOptions{});
+  LocalSearchOptions options;
+  options.seed = GetParam();
+  options.random_restarts = 4;
+  const auto search = local_search_best_pair(platform, options);
+  EXPECT_GE(search.best.throughput, 0.99 * brute.best.throughput);
+  // And exponentially cheaper than enumeration.
+  EXPECT_LT(search.lp_evaluations, 576u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchQuality,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LocalSearch, Sigma2OnlyModeKeepsSendOrderFixed) {
+  Rng rng(303);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  LocalSearchOptions options;
+  options.search_sigma2_only = true;
+  options.random_restarts = 0;
+  const auto search = local_search_best_pair(platform, options);
+  // The winning scenario's sigma_1 must be one of the structured starts.
+  const auto inc_c = platform.order_by_c();
+  EXPECT_EQ(search.best.scenario.send_order, inc_c);
+}
+
+TEST(LocalSearch, DeterministicForFixedSeed) {
+  Rng rng(304);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  LocalSearchOptions options;
+  options.seed = 99;
+  const auto a = local_search_best_pair(platform, options);
+  const auto b = local_search_best_pair(platform, options);
+  EXPECT_DOUBLE_EQ(a.best.throughput, b.best.throughput);
+  EXPECT_EQ(a.lp_evaluations, b.lp_evaluations);
+}
+
+TEST(LocalSearch, GeneralPairsBeatFifoOnSomePlatforms) {
+  // The motivation for the open problem: free permutation pairs buy
+  // throughput on real instances.  Over a small ensemble the search must
+  // find at least one strict improvement.
+  Rng rng(305);
+  bool strict_improvement = false;
+  for (int trial = 0; trial < 6 && !strict_improvement; ++trial) {
+    const StarPlatform platform = gen::random_star(5, rng, 0.5);
+    const auto fifo = solve_fifo_optimal(platform);
+    const auto lifo = solve_lifo_lp(platform);
+    const double structured = std::max(
+        fifo.solution.throughput.to_double(), lifo.throughput.to_double());
+    const auto search = local_search_best_pair(platform);
+    strict_improvement = search.best.throughput > structured * 1.001;
+  }
+  EXPECT_TRUE(strict_improvement);
+}
+
+}  // namespace
+}  // namespace dlsched

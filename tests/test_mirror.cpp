@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "core/mirror.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(Mirror, PlatformMirrorIsInvolution) {
+  Rng rng(51);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const StarPlatform twice = platform.mirrored().mirrored();
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    EXPECT_DOUBLE_EQ(twice.worker(i).c, platform.worker(i).c);
+    EXPECT_DOUBLE_EQ(twice.worker(i).d, platform.worker(i).d);
+    EXPECT_DOUBLE_EQ(twice.worker(i).w, platform.worker(i).w);
+  }
+}
+
+TEST(Mirror, FlipPreservesLoadAndFeasibility) {
+  // Build a FIFO schedule on the mirrored platform, flip it back, check it
+  // is feasible on the original with the same total load.
+  Rng rng(52);
+  const StarPlatform platform = gen::random_star(5, rng, 2.0);  // z > 1
+  const StarPlatform mirror = platform.mirrored();              // z' = 1/2
+
+  const auto mirror_solution =
+      solve_scenario(mirror, Scenario::fifo(mirror.order_by_c()));
+  const Schedule mirror_schedule = realize_schedule(mirror, mirror_solution);
+  ASSERT_TRUE(validate(mirror, mirror_schedule).ok);
+
+  const Schedule flipped = flip_schedule(platform, mirror_schedule);
+  const auto report = validate(platform, flipped);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  EXPECT_NEAR(flipped.total_load(), mirror_schedule.total_load(), 1e-9);
+  EXPECT_DOUBLE_EQ(flipped.horizon, mirror_schedule.horizon);
+}
+
+TEST(Mirror, FifoFlipsToFifoWithReversedOrder) {
+  Rng rng(53);
+  const StarPlatform platform = gen::random_star(4, rng, 3.0);
+  const StarPlatform mirror = platform.mirrored();
+  const auto sol = solve_scenario(mirror, Scenario::fifo(mirror.order_by_c()));
+  const Schedule mirror_schedule = realize_schedule(mirror, sol);
+  const Schedule flipped = flip_schedule(platform, mirror_schedule);
+  EXPECT_TRUE(flipped.is_fifo());
+  // New send order must reverse the mirror's (for enrolled workers).
+  std::vector<std::size_t> mirror_workers;
+  for (const auto& e : mirror_schedule.entries) mirror_workers.push_back(e.worker);
+  std::vector<std::size_t> flipped_workers;
+  for (const auto& e : flipped.entries) flipped_workers.push_back(e.worker);
+  std::reverse(mirror_workers.begin(), mirror_workers.end());
+  EXPECT_EQ(flipped_workers, mirror_workers);
+}
+
+TEST(Mirror, LifoFlipsToLifo) {
+  Rng rng(54);
+  const StarPlatform platform = gen::random_star(4, rng, 2.0);
+  const StarPlatform mirror = platform.mirrored();
+  const auto lifo = solve_lifo_closed_form(mirror);
+  const Schedule flipped = flip_schedule(platform, lifo.schedule);
+  EXPECT_TRUE(flipped.is_lifo());
+  EXPECT_TRUE(validate(platform, flipped).ok);
+}
+
+class MirrorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MirrorSweep, MirroredThroughputsAreEqualExactly) {
+  // The mirror bijection preserves throughput: optimal FIFO on (c,w,d)
+  // equals optimal FIFO on (d,w,c).
+  Rng rng(GetParam());
+  const StarPlatform platform = gen::random_star_grid(4, rng, 3, 1);  // z = 3
+  const auto direct = solve_fifo_optimal(platform);            // uses mirror
+  const auto of_mirror = solve_fifo_optimal(platform.mirrored());  // direct
+  EXPECT_EQ(direct.solution.throughput, of_mirror.solution.throughput);
+}
+
+TEST_P(MirrorSweep, DoubleFlipReproducesTheSchedule) {
+  Rng rng(GetParam() ^ 0x8888);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol =
+      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+  const Schedule original = realize_schedule(platform, sol);
+  const Schedule twice =
+      flip_schedule(platform, flip_schedule(platform.mirrored(), original));
+  ASSERT_EQ(twice.entries.size(), original.entries.size());
+  for (std::size_t i = 0; i < original.entries.size(); ++i) {
+    EXPECT_EQ(twice.entries[i].worker, original.entries[i].worker);
+    EXPECT_NEAR(twice.entries[i].alpha, original.entries[i].alpha, 1e-12);
+    EXPECT_NEAR(twice.entries[i].idle, original.entries[i].idle, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MirrorSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dlsched

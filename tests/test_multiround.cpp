@@ -1,0 +1,161 @@
+// Tests of the multi-round execution extension (paper Section 6).
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/multiround.hpp"
+#include "core/throughput.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+TEST(MultiRound, OneRoundMatchesSingleRoundSweep) {
+  // R = 1 with zero latencies is exactly the single-round packed
+  // execution.
+  Rng rng(231);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+
+  MultiRoundPlan plan;
+  plan.order = sol.scenario.send_order;
+  plan.loads = sol.alpha;
+  plan.rounds = 1;
+  const auto result = execute_multi_round(platform, plan);
+  const double reference =
+      packed_makespan(platform, sol.scenario, sol.alpha);
+  EXPECT_NEAR(result.makespan, reference, 1e-9);
+}
+
+TEST(MultiRound, MoreRoundsDoNotHurtWithoutLatency) {
+  // With linear costs, splitting into installments lets computation start
+  // earlier.  (Round-robin chunking can also *delay* a worker's last
+  // installment, so strict per-step monotonicity does not hold in general;
+  // the end-to-end comparison R = 8 vs R = 1 is the meaningful one.)
+  Rng rng(232);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto points = sweep_rounds(platform, sol.alpha, AffineCosts{}, 8);
+  EXPECT_LE(points.back().makespan, points.front().makespan * 1.001);
+}
+
+TEST(MultiRound, LatencyCreatesAnInteriorOptimum) {
+  // With per-message latency, large R pays R * latency per worker: the
+  // best round count is finite and the curve turns upward.
+  const StarPlatform platform({Worker{0.2, 0.4, 0.1, "a"},
+                               Worker{0.2, 0.4, 0.1, "b"}});
+  std::vector<double> loads{1.0, 1.0};
+  AffineCosts costs;
+  costs.send_latency = 0.05;
+  const auto points = sweep_rounds(platform, loads, costs, 16);
+  const auto best = std::min_element(
+      points.begin(), points.end(),
+      [](const RoundSweepPoint& a, const RoundSweepPoint& b) {
+        return a.makespan < b.makespan;
+      });
+  EXPECT_LT(best->rounds, 16u);  // not monotone decreasing
+  EXPECT_GT(points.back().makespan, best->makespan);
+}
+
+TEST(MultiRound, TraceIsOnePortFeasible) {
+  // Every pair of master-side intervals (sends of all rounds + returns)
+  // must be disjoint.
+  Rng rng(233);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  MultiRoundPlan plan;
+  plan.order = sol.scenario.send_order;
+  plan.loads = sol.alpha;
+  plan.rounds = 4;
+  const auto result = execute_multi_round(platform, plan);
+
+  std::vector<Interval> master;
+  for (const sim::TraceEvent& e : result.trace.events) {
+    if (e.activity != sim::Activity::Compute) {
+      master.push_back(Interval{e.start, e.end});
+    }
+  }
+  std::sort(master.begin(), master.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 0; i + 1 < master.size(); ++i) {
+    EXPECT_LE(master[i].end, master[i + 1].start + 1e-9);
+  }
+  // Sends per worker: exactly `rounds`.
+  std::vector<int> sends(platform.size(), 0);
+  for (const sim::TraceEvent& e : result.trace.events) {
+    if (e.activity == sim::Activity::Send) ++sends[e.worker];
+  }
+  for (std::size_t w : plan.order) {
+    if (plan.loads[w] > 0.0) {
+      EXPECT_EQ(sends[w], 4);
+    }
+  }
+}
+
+TEST(MultiRound, WorkerComputesChunksSequentially) {
+  const StarPlatform platform({Worker{0.1, 0.5, 0.05, "solo"}});
+  MultiRoundPlan plan;
+  plan.order = {0};
+  plan.loads = {2.0};
+  plan.rounds = 4;
+  const auto result = execute_multi_round(platform, plan);
+  std::vector<Interval> computes;
+  for (const sim::TraceEvent& e : result.trace.events) {
+    if (e.activity == sim::Activity::Compute) {
+      computes.push_back(Interval{e.start, e.end});
+    }
+  }
+  ASSERT_EQ(computes.size(), 4u);
+  for (std::size_t i = 0; i + 1 < computes.size(); ++i) {
+    EXPECT_LE(computes[i].end, computes[i + 1].start + 1e-9);
+  }
+  // Each chunk computes 0.5 load units for 0.25 time units.
+  for (const Interval& iv : computes) {
+    EXPECT_NEAR(iv.duration(), 0.25, 1e-9);
+  }
+}
+
+TEST(MultiRound, ZeroLoadWorkersAreSkipped) {
+  const StarPlatform platform({Worker{0.1, 0.2, 0.05, "used"},
+                               Worker{0.1, 0.2, 0.05, "unused"}});
+  MultiRoundPlan plan;
+  plan.order = {0, 1};
+  plan.loads = {1.0, 0.0};
+  plan.rounds = 3;
+  const auto result = execute_multi_round(platform, plan);
+  for (const sim::TraceEvent& e : result.trace.events) {
+    EXPECT_EQ(e.worker, 0u);
+  }
+}
+
+TEST(MultiRound, RejectsBadPlans) {
+  const StarPlatform platform({Worker{0.1, 0.2, 0.05, ""}});
+  MultiRoundPlan plan;
+  plan.order = {0};
+  plan.loads = {1.0};
+  plan.rounds = 0;
+  EXPECT_THROW(execute_multi_round(platform, plan), Error);
+  plan.rounds = 1;
+  plan.loads = {1.0, 2.0};  // wrong width
+  EXPECT_THROW(execute_multi_round(platform, plan), Error);
+}
+
+TEST(MultiRound, PipeliningBeatsSingleRoundWhenChainsDominate) {
+  // A worker whose reception and computation are comparable: installments
+  // overlap the two phases.  Single round: c + w + d = 1.01 per worker
+  // chain; with R = 4 the first chunk computes while the second transfers.
+  // (When the makespan is pinned by the one-port communication bound
+  // instead, rounds cannot help -- that regime is covered by
+  // MoreRoundsDoNotHurtWithoutLatency.)
+  const StarPlatform platform({Worker{0.5, 0.5, 0.01, "solo"}});
+  std::vector<double> loads{1.0};
+  const auto points = sweep_rounds(platform, loads, AffineCosts{}, 4);
+  EXPECT_NEAR(points[0].makespan, 1.01, 1e-9);
+  EXPECT_LT(points[3].makespan, points[0].makespan - 0.2);
+}
+
+}  // namespace
+}  // namespace dlsched

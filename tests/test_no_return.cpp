@@ -1,0 +1,154 @@
+// Tests of the classical no-return-message baselines ([5, 6, 10]).
+#include <gtest/gtest.h>
+
+#include "core/fifo_optimal.hpp"
+#include "core/no_return.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(NoReturn, SingleWorker) {
+  const StarPlatform platform({Worker{0.25, 0.5, 0.0, "P1"}});
+  const auto result = solve_no_return_optimal(platform);
+  EXPECT_EQ(result.throughput, Rational(4, 3));  // 1 / 0.75
+}
+
+TEST(NoReturn, BusRecurrenceByHand) {
+  // c = 1/4, w = {1/2, 1}: alpha_1 = 1/(3/4) = 4/3,
+  // alpha_2 = alpha_1 * (1/2) / (5/4) = 8/15.
+  const StarPlatform bus = StarPlatform::bus(0.25, 0.0, {0.5, 1.0});
+  const auto result = solve_no_return_optimal(bus);
+  EXPECT_EQ(result.alpha[0], Rational(4, 3));
+  EXPECT_EQ(result.alpha[1], Rational(8, 15));
+}
+
+TEST(NoReturn, AllWorkersParticipateAndFinishTogether) {
+  // The classical "all workers finish simultaneously" optimality property.
+  Rng rng(211);
+  const StarPlatform platform = gen::random_star(6, rng, 0.5);
+  const auto result = solve_no_return_optimal(platform);
+  for (const Rational& a : result.alpha) EXPECT_TRUE(a.is_positive());
+
+  // Chain of every worker ends exactly at T = 1.
+  Rational prefix;
+  for (std::size_t i = 0; i < result.order.size(); ++i) {
+    const Worker& w = platform.worker(result.order[i]);
+    prefix += result.alpha[result.order[i]] * Rational::from_double(w.c);
+    const Rational finish =
+        prefix +
+        result.alpha[result.order[i]] * Rational::from_double(w.w);
+    EXPECT_EQ(finish, Rational(1)) << "worker " << i;
+  }
+}
+
+TEST(NoReturn, MatchesScenarioLpWithZeroD) {
+  // The general LP machinery with d = 0 must reproduce the closed form.
+  Rng rng(212);
+  for (int trial = 0; trial < 5; ++trial) {
+    const StarPlatform with_returns = gen::random_star_grid(5, rng, 1, 2);
+    std::vector<Worker> stripped(with_returns.workers().begin(),
+                                 with_returns.workers().end());
+    for (Worker& w : stripped) w.d = 0.0;
+    const StarPlatform platform(stripped);
+
+    const auto closed = solve_no_return_optimal(platform);
+    const auto lp =
+        solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+    EXPECT_EQ(closed.throughput, lp.throughput);
+  }
+}
+
+TEST(NoReturn, IncCOrderIsOptimalExhaustively) {
+  // [6]: serve larger-bandwidth (smaller c) workers first.  Checked over
+  // all 4! orders with exact arithmetic.
+  Rng rng(213);
+  const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
+  const Rational best = solve_no_return_optimal(platform).throughput;
+  std::vector<std::size_t> order{0, 1, 2, 3};
+  std::sort(order.begin(), order.end());
+  do {
+    EXPECT_LE(no_return_throughput_for_order(platform, order), best);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(NoReturn, OrderingIrrelevantOnBus) {
+  // On a bus the no-return throughput is order-invariant (the classical
+  // result behind [5, 10]'s closed form).
+  Rng rng(214);
+  const StarPlatform bus = StarPlatform::bus(0.25, 0.0, {0.5, 1.0, 2.0});
+  const Rational reference = solve_no_return_optimal(bus).throughput;
+  std::vector<std::size_t> order{0, 1, 2};
+  do {
+    EXPECT_EQ(no_return_throughput_for_order(bus, order), reference);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(NoReturn, ScheduleValidates) {
+  Rng rng(215);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto result = solve_no_return_optimal(platform);
+  // Validate against the stripped platform (d = 0).
+  std::vector<Worker> stripped(platform.workers().begin(),
+                               platform.workers().end());
+  for (Worker& w : stripped) w.d = 0.0;
+  const auto report = validate(StarPlatform(stripped), result.schedule);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+class ReturnCost : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReturnCost, ReturnMessagesOnlyEverHurt) {
+  // The paper's motivation quantified: for the same (c, w), throughput
+  // with return messages is at most the no-return throughput, and strictly
+  // decreases as z grows.
+  Rng rng(GetParam());
+  const StarPlatform base = gen::random_star(5, rng, 0.5);
+  const auto no_returns = solve_no_return_optimal(base);
+
+  Rational previous = no_returns.throughput;
+  for (double z : {0.2, 0.5, 1.0, 2.0}) {
+    std::vector<Worker> workers(base.workers().begin(),
+                                base.workers().end());
+    for (Worker& w : workers) w.d = z * w.c;
+    const auto with_returns = solve_fifo_optimal(StarPlatform(workers));
+    EXPECT_LE(with_returns.solution.throughput, previous)
+        << "throughput increased when z grew to " << z;
+    previous = with_returns.solution.throughput;
+  }
+}
+
+TEST_P(ReturnCost, FifoOptimumIsContinuousAtZEqualsZero) {
+  // As z -> 0 the one-port FIFO optimum converges to the classical
+  // no-return optimum (the LP is continuous in d).
+  Rng rng(GetParam() ^ 0x9f);
+  const StarPlatform base = gen::random_star(5, rng, 0.5);
+  const double no_returns =
+      solve_no_return_optimal(base).throughput.to_double();
+  double previous_gap = 1e100;
+  for (double z : {0.1, 0.01, 0.001}) {
+    std::vector<Worker> workers(base.workers().begin(),
+                                base.workers().end());
+    for (Worker& w : workers) w.d = z * w.c;
+    const double rho = solve_fifo_optimal(StarPlatform(workers))
+                           .solution.throughput.to_double();
+    const double gap = no_returns - rho;
+    EXPECT_GE(gap, -1e-9);
+    EXPECT_LE(gap, previous_gap + 1e-12);
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 0.01 * no_returns);  // within 1 % at z = 0.001
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReturnCost,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "numeric/rational.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::numeric {
+namespace {
+
+Rational rat(std::int64_t n, std::int64_t d) { return Rational(n, d); }
+
+// ---------------------------------------------------------- normalization --
+
+TEST(Rational, DefaultIsZero) {
+  Rational z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.den(), BigInt(1));
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  const Rational r = rat(6, 8);
+  EXPECT_EQ(r.num(), BigInt(3));
+  EXPECT_EQ(r.den(), BigInt(4));
+}
+
+TEST(Rational, DenominatorAlwaysPositive) {
+  const Rational r = rat(3, -4);
+  EXPECT_EQ(r.num(), BigInt(-3));
+  EXPECT_EQ(r.den(), BigInt(4));
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroNormalizesToCanonicalForm) {
+  const Rational r = rat(0, -17);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(rat(1, 0), dlsched::Error);
+}
+
+// ------------------------------------------------------------- arithmetic --
+
+TEST(Rational, AdditionWithCommonFactors) {
+  EXPECT_EQ(rat(1, 6) + rat(1, 3), rat(1, 2));
+  EXPECT_EQ(rat(1, 2) + rat(-1, 2), Rational(0));
+}
+
+TEST(Rational, SubtractionKnownValues) {
+  EXPECT_EQ(rat(3, 4) - rat(1, 4), rat(1, 2));
+  EXPECT_EQ(rat(1, 4) - rat(3, 4), rat(-1, 2));
+}
+
+TEST(Rational, MultiplicationAndDivision) {
+  EXPECT_EQ(rat(2, 3) * rat(3, 4), rat(1, 2));
+  EXPECT_EQ(rat(2, 3) / rat(4, 3), rat(1, 2));
+  EXPECT_THROW(rat(1, 2) / Rational(0), dlsched::Error);
+}
+
+TEST(Rational, InverseFlipsFraction) {
+  EXPECT_EQ(rat(3, 7).inverse(), rat(7, 3));
+  EXPECT_EQ(rat(-3, 7).inverse(), rat(-7, 3));
+  EXPECT_THROW(Rational(0).inverse(), dlsched::Error);
+}
+
+TEST(Rational, NegationAndAbs) {
+  EXPECT_EQ(-rat(3, 5), rat(-3, 5));
+  EXPECT_EQ(rat(-3, 5).abs(), rat(3, 5));
+  EXPECT_EQ(rat(3, 5).abs(), rat(3, 5));
+}
+
+// ------------------------------------------------------------- comparison --
+
+TEST(Rational, CompareByCrossMultiplication) {
+  EXPECT_LT(rat(1, 3), rat(1, 2));
+  EXPECT_LT(rat(-1, 2), rat(-1, 3));
+  EXPECT_LT(rat(-1, 2), rat(1, 1000000));
+  EXPECT_LE(rat(2, 4), rat(1, 2));
+  EXPECT_GE(rat(2, 4), rat(1, 2));
+}
+
+TEST(Rational, MinMaxHelpers) {
+  EXPECT_EQ(min(rat(1, 3), rat(1, 2)), rat(1, 3));
+  EXPECT_EQ(max(rat(1, 3), rat(1, 2)), rat(1, 2));
+}
+
+// -------------------------------------------------------------- conversion --
+
+TEST(Rational, FromDoubleIsExactForBinaryFractions) {
+  EXPECT_EQ(Rational::from_double(0.5), rat(1, 2));
+  EXPECT_EQ(Rational::from_double(0.375), rat(3, 8));
+  EXPECT_EQ(Rational::from_double(-2.25), rat(-9, 4));
+  EXPECT_EQ(Rational::from_double(3.0), Rational(3));
+  EXPECT_EQ(Rational::from_double(0.0), Rational(0));
+}
+
+TEST(Rational, FromDoubleRoundTripsThroughToDouble) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int i = 0; i < 200; ++i) {
+    const double x = dist(rng);
+    EXPECT_DOUBLE_EQ(Rational::from_double(x).to_double(), x);
+  }
+}
+
+TEST(Rational, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Rational::from_double(std::nan("")), dlsched::Error);
+  EXPECT_THROW(Rational::from_double(INFINITY), dlsched::Error);
+}
+
+TEST(Rational, FromStringForms) {
+  EXPECT_EQ(Rational::from_string("3/4"), rat(3, 4));
+  EXPECT_EQ(Rational::from_string("-6/8"), rat(-3, 4));
+  EXPECT_EQ(Rational::from_string("5"), Rational(5));
+  EXPECT_EQ(Rational::from_string("1.25"), rat(5, 4));
+  EXPECT_EQ(Rational::from_string(" 0.5 "), rat(1, 2));
+}
+
+TEST(Rational, ToStringForms) {
+  EXPECT_EQ(rat(1, 2).to_string(), "1/2");
+  EXPECT_EQ(rat(4, 2).to_string(), "2");
+  EXPECT_EQ(rat(-1, 3).to_string(), "-1/3");
+}
+
+TEST(Rational, FloorAndCeil) {
+  EXPECT_EQ(rat(7, 2).floor(), BigInt(3));
+  EXPECT_EQ(rat(7, 2).ceil(), BigInt(4));
+  EXPECT_EQ(rat(-7, 2).floor(), BigInt(-4));
+  EXPECT_EQ(rat(-7, 2).ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(5).floor(), BigInt(5));
+  EXPECT_EQ(Rational(5).ceil(), BigInt(5));
+}
+
+TEST(Rational, IsInteger) {
+  EXPECT_TRUE(rat(4, 2).is_integer());
+  EXPECT_FALSE(rat(1, 2).is_integer());
+  EXPECT_TRUE(Rational(0).is_integer());
+}
+
+// ---------------------------------------------------- randomized properties --
+
+class RationalRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalRandomized, FieldAxiomsHold) {
+  std::mt19937_64 rng(GetParam());
+  auto random_rat = [&] {
+    const std::int64_t n = static_cast<std::int64_t>(rng() % 2001) - 1000;
+    const std::int64_t d = static_cast<std::int64_t>(rng() % 1000) + 1;
+    return rat(n, d);
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Rational a = random_rat();
+    const Rational b = random_rat();
+    const Rational c = random_rat();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    EXPECT_EQ(a - a, Rational(0));
+  }
+}
+
+TEST_P(RationalRandomized, OrderIsConsistentWithDoubles) {
+  std::mt19937_64 rng(GetParam() ^ 0x5555);
+  auto random_rat = [&] {
+    const std::int64_t n = static_cast<std::int64_t>(rng() % 2001) - 1000;
+    const std::int64_t d = static_cast<std::int64_t>(rng() % 1000) + 1;
+    return rat(n, d);
+  };
+  for (int i = 0; i < 100; ++i) {
+    const Rational a = random_rat();
+    const Rational b = random_rat();
+    const double da = a.to_double();
+    const double db = b.to_double();
+    if (std::fabs(da - db) > 1e-9) {
+      EXPECT_EQ(a < b, da < db) << a << " vs " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalRandomized,
+                         ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace dlsched::numeric

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "schedule/rounding.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+std::uint64_t total(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+TEST(Rounding, PaperExampleFromSection5) {
+  // alpha = (200.4, 300.2, 139.8, 359.6), M = 1000: floors sum to 998,
+  // K = 2, so the first two workers get one extra matrix each.
+  const std::vector<double> alpha{200.4, 300.2, 139.8, 359.6};
+  const auto loads = round_loads(alpha, 1000);
+  EXPECT_EQ(loads, (std::vector<std::uint64_t>{201, 301, 139, 359}));
+}
+
+TEST(Rounding, ExactIntegersUntouched) {
+  const std::vector<double> alpha{10.0, 20.0, 30.0};
+  EXPECT_EQ(round_loads(alpha, 60), (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(Rounding, SingleWorkerGetsEverything) {
+  const std::vector<double> alpha{99.7};
+  EXPECT_EQ(round_loads(alpha, 100), (std::vector<std::uint64_t>{100}));
+}
+
+TEST(Rounding, ZeroTasks) {
+  const std::vector<double> alpha{0.0, 0.0};
+  EXPECT_EQ(total(round_loads(alpha, 0)), 0u);
+}
+
+TEST(Rounding, TrimsFloatingPointExcess) {
+  // Floors already exceed the target (drifted alphas); excess comes off the
+  // last workers.
+  const std::vector<double> alpha{5.0, 5.0, 5.0};
+  const auto loads = round_loads(alpha, 12);
+  EXPECT_EQ(total(loads), 12u);
+  EXPECT_EQ(loads, (std::vector<std::uint64_t>{5, 5, 2}));
+}
+
+TEST(Rounding, RejectsNegative) {
+  const std::vector<double> alpha{-1.0};
+  EXPECT_THROW(round_loads(alpha, 1), Error);
+}
+
+TEST(Rounding, ManyLeftoversCycle) {
+  // Alphas sum far below the target; the policy keeps cycling.
+  const std::vector<double> alpha{0.0, 0.0, 0.0};
+  const auto loads = round_loads(alpha, 7);
+  EXPECT_EQ(total(loads), 7u);
+  EXPECT_EQ(loads, (std::vector<std::uint64_t>{3, 2, 2}));
+}
+
+class RoundingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundingSweep, InvariantsHoldOnRandomLoads) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 2000));
+    // Random fractional split of m.
+    std::vector<double> weights(n);
+    double weight_sum = 0.0;
+    for (double& w : weights) {
+      w = rng.uniform(0.01, 1.0);
+      weight_sum += w;
+    }
+    std::vector<double> alpha(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      alpha[i] = static_cast<double>(m) * weights[i] / weight_sum;
+    }
+    const auto loads = round_loads(alpha, m);
+    // Invariant 1: exact total.
+    EXPECT_EQ(total(loads), m);
+    // Invariant 2: each within 1 of its floor (sums match closely enough).
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto floor_i = static_cast<std::uint64_t>(std::floor(alpha[i]));
+      EXPECT_GE(loads[i] + 1, floor_i);  // loads[i] >= floor - 1 (trim case)
+      EXPECT_LE(loads[i], floor_i + 1);
+    }
+  }
+}
+
+TEST_P(RoundingSweep, ScaleToTotalPreservesProportions) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    std::vector<double> alpha(n);
+    for (double& a : alpha) a = rng.uniform(0.1, 2.0);
+    const double target = rng.uniform(1.0, 500.0);
+    const auto scaled = scale_loads_to_total(alpha, target);
+    double sum = 0.0;
+    for (double s : scaled) sum += s;
+    EXPECT_NEAR(sum, target, 1e-9 * target);
+    // Ratios preserved.
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_NEAR(scaled[i] / scaled[0], alpha[i] / alpha[0], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ScaleLoads, ZeroSumRejectedForPositiveTarget) {
+  const std::vector<double> alpha{0.0, 0.0};
+  EXPECT_THROW(scale_loads_to_total(alpha, 10.0), Error);
+  EXPECT_NO_THROW(scale_loads_to_total(alpha, 0.0));
+}
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/channel.hpp"
+#include "runtime/matmul.hpp"
+#include "runtime/one_port.hpp"
+#include "runtime/runtime_app.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::rt {
+namespace {
+
+// ---------------------------------------------------------------- channel --
+
+TEST(Channel, SendThenReceive) {
+  Channel ch;
+  Message m;
+  m.tag = 7;
+  m.count = 3;
+  m.payload = {1.0, 2.0};
+  ch.send(std::move(m));
+  const auto received = ch.receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->tag, 7u);
+  EXPECT_EQ(received->count, 3u);
+  EXPECT_EQ(received->payload, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Channel, TryReceiveOnEmptyIsNull) {
+  Channel ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, CloseUnblocksReceivers) {
+  Channel ch;
+  std::atomic<bool> got_null{false};
+  std::thread t([&] {
+    const auto m = ch.receive();
+    got_null = !m.has_value();
+  });
+  ch.close();
+  t.join();
+  EXPECT_TRUE(got_null);
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, PendingMessagesSurviveClose) {
+  Channel ch;
+  ch.send(Message{1, 0, {}});
+  ch.close();
+  EXPECT_TRUE(ch.receive().has_value());
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, BlockingReceiveWaitsForSender) {
+  Channel ch;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.send(Message{42, 0, {}});
+  });
+  const auto m = ch.receive();
+  t.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 42u);
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  Channel ch;
+  for (std::uint64_t i = 0; i < 10; ++i) ch.send(Message{i, 0, {}});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ch.receive()->tag, i);
+  }
+}
+
+// --------------------------------------------------------------- one-port --
+
+TEST(OnePortArbiter, MutualExclusionUnderContention) {
+  OnePortArbiter port;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        port.acquire();
+        const int now = ++inside;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        --inside;
+        port.release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_inside.load(), 1);
+  EXPECT_EQ(port.grants(), 400u);
+}
+
+TEST(OrderedGate, EnforcesDeclaredOrder) {
+  OrderedGate gate({2, 0, 1});
+  std::vector<std::size_t> order;
+  std::mutex m;
+  std::vector<std::thread> threads;
+  for (std::size_t id : {0u, 1u, 2u}) {
+    threads.emplace_back([&, id] {
+      gate.wait_turn(id);
+      {
+        const std::lock_guard<std::mutex> lock(m);
+        order.push_back(id);
+      }
+      gate.advance();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_TRUE(gate.finished());
+}
+
+TEST(OrderedGate, UnknownParticipantRejected) {
+  OrderedGate gate({0});
+  EXPECT_THROW(gate.wait_turn(5), Error);
+}
+
+TEST(PacedSleep, ScalesDuration) {
+  const auto begin = std::chrono::steady_clock::now();
+  paced_sleep(0.2, 20.0);  // 10 ms wall
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_GE(wall, 0.008);
+  EXPECT_LT(wall, 0.2);
+  EXPECT_THROW(paced_sleep(1.0, 0.0), Error);
+}
+
+// ----------------------------------------------------------------- matmul --
+
+TEST(Matmul, IdentityTimesAnything) {
+  const std::size_t n = 8;
+  Matrix eye(n);
+  for (std::size_t i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  Matrix b(n);
+  Rng rng(3);
+  b.fill_random(rng);
+  Matrix c(n);
+  gemm(eye, b, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(c.at(i, j), b.at(i, j));
+    }
+  }
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  Matrix a(2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  Matrix c(2);
+  gemm(a, b, c);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matmul, PartialRowsComputeOnlyPrefix) {
+  const std::size_t n = 6;
+  Rng rng(5);
+  Matrix a(n);
+  Matrix b(n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Matrix full(n);
+  gemm(a, b, full);
+  Matrix partial(n);
+  gemm_rows(a, b, partial, 2);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_DOUBLE_EQ(partial.at(0, j), full.at(0, j));
+    EXPECT_DOUBLE_EQ(partial.at(1, j), full.at(1, j));
+    EXPECT_DOUBLE_EQ(partial.at(2, j), 0.0);  // untouched
+  }
+}
+
+TEST(Matmul, DimensionMismatchRejected) {
+  Matrix a(3);
+  Matrix b(4);
+  Matrix c(3);
+  EXPECT_THROW(gemm(a, b, c), Error);
+}
+
+TEST(Matmul, CalibrationReturnsPositiveRate) {
+  const double flops = calibrate_gemm_flops(32, 1);
+  EXPECT_GT(flops, 1e6);  // any machine does > 1 MFlop/s
+}
+
+// ----------------------------------------------------- end-to-end runtime --
+
+TEST(RuntimeApp, TransferAndComputeFormulas) {
+  RuntimeConfig config;
+  config.matrix_size = 10;
+  config.base_bandwidth = 1000.0;
+  config.base_flops = 2000.0;
+  config.message_latency = 0.5;
+  EXPECT_DOUBLE_EQ(transfer_seconds(config, 2000.0, 2.0), 0.5 + 1.0);
+  EXPECT_DOUBLE_EQ(compute_seconds(config, 1, 1.0), 2.0 * 1000.0 / 2000.0);
+}
+
+TEST(RuntimeApp, MatchingAppSharesRates) {
+  RuntimeConfig config;
+  config.matrix_size = 20;
+  config.base_bandwidth = 123.0;
+  config.base_flops = 456.0;
+  const MatrixApp app = matching_app(config);
+  EXPECT_EQ(app.matrix_size(), 20u);
+  EXPECT_DOUBLE_EQ(app.config().base_bandwidth, 123.0);
+  EXPECT_DOUBLE_EQ(app.config().base_flops, 456.0);
+}
+
+TEST(RuntimeApp, SleepModeMeasurementTracksLpPrediction) {
+  // Virtual platform with generous time scaling: the measured makespan
+  // should match the LP prediction within scheduling jitter.
+  RuntimeExperiment exp;
+  exp.speeds = {WorkerSpeeds{2.0, 3.0}, WorkerSpeeds{1.0, 1.0},
+                WorkerSpeeds{3.0, 2.0}};
+  exp.heuristic = Heuristic::IncC;
+  exp.total_tasks = 40;
+  exp.config.matrix_size = 16;
+  exp.config.base_bandwidth = 16.0 * 16.0 * 8.0 * 3.0 * 10.0;  // ~comm 1/30 s
+  exp.config.base_flops = 2.0 * 16.0 * 16.0 * 16.0 * 20.0;     // ~1/20 s
+  exp.config.real_compute = false;
+  exp.config.time_scale = 20.0;  // shrink wall time
+
+  const RuntimeOutcome outcome = run_experiment(exp);
+  EXPECT_GT(outcome.lp_makespan, 0.0);
+  EXPECT_GT(outcome.measured_makespan, 0.0);
+  // Rounding + sleep jitter: stay within 30 %.
+  EXPECT_NEAR(outcome.measured_makespan / outcome.lp_makespan, 1.0, 0.3);
+  std::uint64_t total = 0;
+  for (std::uint64_t t : outcome.tasks) total += t;
+  EXPECT_EQ(total, exp.total_tasks);
+}
+
+TEST(RuntimeApp, RealComputeModeProducesResults) {
+  RuntimeExperiment exp;
+  exp.speeds = {WorkerSpeeds{1.0, 1.0}, WorkerSpeeds{1.0, 2.0}};
+  exp.heuristic = Heuristic::IncC;
+  exp.total_tasks = 6;
+  exp.config.matrix_size = 24;
+  exp.config.base_bandwidth = 1e9;  // communication nearly free
+  exp.config.base_flops = calibrate_gemm_flops(24, 1);
+  exp.config.real_compute = true;
+  exp.config.time_scale = 1.0;
+  const RuntimeOutcome outcome = run_experiment(exp);
+  EXPECT_GT(outcome.measured_makespan, 0.0);
+  EXPECT_EQ(outcome.workers_used, 2u);
+}
+
+TEST(RuntimeApp, RealComputeRejectsTimeScaling) {
+  RuntimeConfig config;
+  config.real_compute = true;
+  config.time_scale = 10.0;
+  const Scenario scenario = Scenario::fifo(std::vector<std::size_t>{0});
+  const std::vector<std::uint64_t> tasks{1};
+  const std::vector<WorkerSpeeds> speeds{WorkerSpeeds{1.0, 1.0}};
+  EXPECT_THROW(run_master_worker(speeds, scenario, tasks, config), Error);
+}
+
+TEST(RuntimeApp, LifoAndFifoBothComplete) {
+  for (Heuristic h : {Heuristic::IncC, Heuristic::Lifo}) {
+    RuntimeExperiment exp;
+    exp.speeds = {WorkerSpeeds{1.0, 1.0}, WorkerSpeeds{2.0, 2.0}};
+    exp.heuristic = h;
+    exp.total_tasks = 10;
+    exp.config.matrix_size = 8;
+    exp.config.base_bandwidth = 8.0 * 8.0 * 8.0 * 2.0 * 100.0;
+    exp.config.base_flops = 2.0 * 8.0 * 8.0 * 8.0 * 100.0;
+    exp.config.time_scale = 50.0;
+    const RuntimeOutcome outcome = run_experiment(exp);
+    EXPECT_GT(outcome.measured_makespan, 0.0) << heuristic_name(h);
+  }
+}
+
+TEST(RuntimeApp, SixteenWorkerStress) {
+  // Many threads contending for the port and the return gate; verifies the
+  // protocol completes, every task is accounted for, and the measured
+  // trace respects the one-port discipline.
+  RuntimeExperiment exp;
+  Rng rng(777);
+  for (int i = 0; i < 16; ++i) {
+    exp.speeds.push_back(
+        WorkerSpeeds{rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0)});
+  }
+  exp.heuristic = Heuristic::IncC;
+  exp.total_tasks = 64;
+  exp.config.matrix_size = 8;
+  exp.config.base_bandwidth = 8.0 * 8.0 * 8.0 * 2.0 * 200.0;
+  exp.config.base_flops = 2.0 * 8.0 * 8.0 * 8.0 * 200.0;
+  exp.config.time_scale = 100.0;
+  const RuntimeOutcome outcome = run_experiment(exp);
+
+  std::uint64_t total = 0;
+  for (std::uint64_t t : outcome.tasks) total += t;
+  EXPECT_EQ(total, exp.total_tasks);
+  EXPECT_GT(outcome.measured_makespan, 0.0);
+
+  // One-port check on the measured master-side intervals.
+  std::vector<std::pair<double, double>> master;
+  for (const sim::TraceEvent& e : outcome.trace.events) {
+    if (e.activity != sim::Activity::Compute) {
+      master.emplace_back(e.start, e.end);
+    }
+  }
+  std::sort(master.begin(), master.end());
+  for (std::size_t i = 0; i + 1 < master.size(); ++i) {
+    // Timestamps come from different threads; allow scheduler slop scaled
+    // into virtual time.
+    EXPECT_LE(master[i].second, master[i + 1].first + 0.05)
+        << "master intervals overlap";
+  }
+}
+
+TEST(RuntimeApp, TraceRecordsSendsComputesReturns) {
+  RuntimeExperiment exp;
+  exp.speeds = {WorkerSpeeds{1.0, 1.0}};
+  exp.total_tasks = 3;
+  exp.config.matrix_size = 8;
+  exp.config.base_bandwidth = 8.0 * 8.0 * 8.0 * 2.0 * 100.0;
+  exp.config.base_flops = 2.0 * 8.0 * 8.0 * 8.0 * 100.0;
+  exp.config.time_scale = 50.0;
+  const RuntimeOutcome outcome = run_experiment(exp);
+  bool saw_send = false;
+  bool saw_compute = false;
+  bool saw_return = false;
+  for (const sim::TraceEvent& e : outcome.trace.events) {
+    saw_send |= e.activity == sim::Activity::Send;
+    saw_compute |= e.activity == sim::Activity::Compute;
+    saw_return |= e.activity == sim::Activity::Return;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_return);
+}
+
+}  // namespace
+}  // namespace dlsched::rt

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/timeline.hpp"
+#include "schedule/gantt.hpp"
+#include "util/error.hpp"
+
+namespace dlsched {
+namespace {
+
+StarPlatform simple_platform() {
+  // Comfortable platform where everything fits in T = 1.
+  return StarPlatform({Worker{0.1, 0.2, 0.05, "P1"},
+                       Worker{0.2, 0.3, 0.1, "P2"},
+                       Worker{0.3, 0.1, 0.15, "P3"}});
+}
+
+// ----------------------------------------------------------- construction --
+
+TEST(PackedSchedule, FifoPackingDerivesIdleGaps) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  const Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_TRUE(schedule.is_fifo());
+  EXPECT_FALSE(schedule.is_lifo());
+  EXPECT_DOUBLE_EQ(schedule.total_load(), 3.0);
+
+  // Returns occupy [1 - 0.3, 1]; worker 1's return starts at 0.7, its
+  // compute ends at 0.1 + 0.2 = 0.3 -> idle 0.4.
+  EXPECT_NEAR(schedule.entries[0].idle, 0.4, 1e-12);
+}
+
+TEST(PackedSchedule, LifoPackingReversesReturns) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{0.5, 0.5, 0.5};
+  const Schedule schedule = make_packed_lifo(platform, order, alpha, 1.0);
+  EXPECT_TRUE(schedule.is_lifo());
+  EXPECT_FALSE(schedule.is_fifo());
+  EXPECT_EQ(schedule.return_positions, (std::vector<std::size_t>{2, 1, 0}));
+}
+
+TEST(PackedSchedule, DropsZeroLoadWorkers) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 0.0, 1.0};
+  const Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule.entries[0].worker, 0u);
+  EXPECT_EQ(schedule.entries[1].worker, 2u);
+  EXPECT_EQ(schedule.return_positions.size(), 2u);
+}
+
+TEST(PackedSchedule, SingleWorkerChainTight) {
+  const StarPlatform platform({Worker{0.25, 0.5, 0.25, "P1"}});
+  const std::vector<std::size_t> order{0};
+  const std::vector<double> alpha{1.0};
+  const Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  // c + w + d = 1 exactly -> zero idle.
+  EXPECT_NEAR(schedule.entries[0].idle, 0.0, 1e-12);
+}
+
+TEST(PackedSchedule, ThrowsWhenReturnWouldPrecedeCompute) {
+  const StarPlatform platform({Worker{0.5, 0.6, 0.5, "P1"}});
+  const std::vector<std::size_t> order{0};
+  const std::vector<double> alpha{1.0};  // chain = 1.6 > 1
+  EXPECT_THROW(make_packed_fifo(platform, order, alpha, 1.0), Error);
+}
+
+TEST(PackedSchedule, ThrowsWhenCommunicationOverflows) {
+  // Two workers whose total communication exceeds the horizon.
+  const StarPlatform platform({Worker{0.4, 0.01, 0.3, "P1"},
+                               Worker{0.4, 0.01, 0.3, "P2"}});
+  const std::vector<std::size_t> order{0, 1};
+  const std::vector<double> alpha{1.0, 1.0};  // sends 0.8 + returns 0.6 > 1
+  EXPECT_THROW(make_packed_fifo(platform, order, alpha, 1.0), Error);
+}
+
+TEST(PackedSchedule, RejectsDuplicateWorkers) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 0};
+  const std::vector<double> alpha{0.1, 0.1, 0.1};
+  EXPECT_THROW(make_packed_fifo(platform, order, alpha, 1.0), Error);
+}
+
+TEST(PackedSchedule, RejectsMismatchedOrders) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> send{0, 1};
+  const std::vector<std::size_t> ret{0, 2};  // different set
+  const std::vector<double> alpha{0.1, 0.1, 0.1};
+  EXPECT_THROW(make_packed_schedule(platform, send, ret, alpha, 1.0), Error);
+}
+
+// ----------------------------------------------------------------- scaling --
+
+TEST(Schedule, ScalingIsLinear) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{0.8, 0.6, 0.4};
+  const Schedule base = make_packed_fifo(platform, order, alpha, 1.0);
+  const Schedule doubled = base.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.horizon, 2.0);
+  EXPECT_DOUBLE_EQ(doubled.total_load(), 2.0 * base.total_load());
+  for (std::size_t i = 0; i < base.entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(doubled.entries[i].idle, 2.0 * base.entries[i].idle);
+  }
+}
+
+TEST(Schedule, ReturnRankInvertsPositions) {
+  Schedule s;
+  s.entries.resize(3);
+  s.return_positions = {2, 0, 1};
+  const auto rank = s.return_rank();
+  EXPECT_EQ(rank[2], 0u);
+  EXPECT_EQ(rank[0], 1u);
+  EXPECT_EQ(rank[1], 2u);
+}
+
+TEST(Schedule, DescribeShowsLoadsAndOrder) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{0.5, 0.5, 0.5};
+  const Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  const std::string text = schedule.describe(platform);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+  EXPECT_NE(text.find("alpha=0.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- timeline --
+
+TEST(Timeline, LanesAreSequentialAndBackToBack) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  const Schedule schedule = make_packed_fifo(platform, order, alpha, 1.0);
+  const Timeline timeline = build_timeline(platform, schedule);
+
+  ASSERT_EQ(timeline.lanes.size(), 3u);
+  EXPECT_DOUBLE_EQ(timeline.lanes[0].recv.start, 0.0);
+  for (std::size_t i = 1; i < timeline.lanes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(timeline.lanes[i].recv.start,
+                     timeline.lanes[i - 1].recv.end);
+  }
+  for (const WorkerLane& lane : timeline.lanes) {
+    EXPECT_DOUBLE_EQ(lane.compute.start, lane.recv.end);
+    EXPECT_GE(lane.ret.start, lane.compute.end - 1e-12);
+  }
+  EXPECT_NEAR(timeline.makespan, 1.0, 1e-12);
+}
+
+TEST(Timeline, MasterBusyIntervalsSortedAndDisjoint) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  const Timeline timeline =
+      build_timeline(platform, make_packed_fifo(platform, order, alpha, 1.0));
+  const auto busy = timeline.master_busy();
+  ASSERT_EQ(busy.size(), 6u);  // 3 sends + 3 returns
+  for (std::size_t i = 0; i + 1 < busy.size(); ++i) {
+    EXPECT_LE(busy[i].start, busy[i + 1].start);
+    EXPECT_LE(busy[i].end, busy[i + 1].start + 1e-12);
+  }
+}
+
+TEST(Interval, OverlapSemantics) {
+  const Interval a{0.0, 1.0};
+  const Interval b{1.0, 2.0};
+  const Interval c{0.5, 1.5};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+  EXPECT_DOUBLE_EQ(a.duration(), 1.0);
+  EXPECT_TRUE((Interval{1.0, 1.0}).empty());
+}
+
+// ------------------------------------------------------------------- gantt --
+
+TEST(Gantt, AsciiContainsAllLanes) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  const Timeline timeline =
+      build_timeline(platform, make_packed_fifo(platform, order, alpha, 1.0));
+  const std::string art = render_ascii_gantt(platform, timeline);
+  EXPECT_NE(art.find("P1"), std::string::npos);
+  EXPECT_NE(art.find("P3"), std::string::npos);
+  EXPECT_NE(art.find("master"), std::string::npos);
+  EXPECT_NE(art.find('r'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  EXPECT_NE(art.find('s'), std::string::npos);
+}
+
+TEST(Gantt, SvgIsWellFormedEnough) {
+  const StarPlatform platform = simple_platform();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  const Timeline timeline =
+      build_timeline(platform, make_packed_fifo(platform, order, alpha, 1.0));
+  const std::string svg = render_svg_gantt(platform, timeline);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  // 3 lanes x 3 phases + master's 6 intervals = at least 15 rects.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, 15u);
+}
+
+}  // namespace
+}  // namespace dlsched

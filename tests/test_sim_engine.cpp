@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::sim {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.schedule_at(2.0, [&] { log.push_back(2); });
+  engine.schedule_at(1.0, [&] { log.push_back(1); });
+  engine.schedule_at(3.0, [&] { log.push_back(3); });
+  const double end = engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.schedule_at(1.0, [&] { log.push_back(1); });
+  engine.schedule_at(1.0, [&] { log.push_back(2); });
+  engine.schedule_at(1.0, [&] { log.push_back(3); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CallbacksMayScheduleMoreEvents) {
+  Engine engine;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(engine.now());
+    if (times.size() < 5) engine.schedule_in(0.5, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 2.0);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [] {}), dlsched::Error);
+  EXPECT_THROW(engine.schedule_in(-0.1, [] {}), dlsched::Error);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenQueueDrains) {
+  Engine engine;
+  const double end = engine.run_until(7.5);
+  EXPECT_DOUBLE_EQ(end, 7.5);
+}
+
+TEST(Engine, ZeroDelaySelfSchedulingIsOrdered) {
+  Engine engine;
+  std::vector<int> log;
+  engine.schedule_at(0.0, [&] {
+    log.push_back(1);
+    engine.schedule_in(0.0, [&] { log.push_back(3); });
+  });
+  engine.schedule_at(0.0, [&] { log.push_back(2); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+// -------------------------------------------------------------- port ------
+
+TEST(PortResource, GrantsImmediatelyWhenFree) {
+  Engine engine;
+  PortResource port(engine);
+  bool granted = false;
+  port.acquire([&] { granted = true; });
+  engine.run();
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(port.busy());
+}
+
+TEST(PortResource, QueuesInFifoOrder) {
+  Engine engine;
+  PortResource port(engine);
+  std::vector<int> order;
+  engine.schedule_at(0.0, [&] {
+    port.acquire([&] {
+      order.push_back(1);
+      engine.schedule_in(1.0, [&] { port.release(); });
+    });
+    port.acquire([&] {
+      order.push_back(2);
+      engine.schedule_in(1.0, [&] { port.release(); });
+    });
+    port.acquire([&] {
+      order.push_back(3);
+      port.release();
+    });
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(port.busy());
+}
+
+TEST(PortResource, ReleaseOfFreePortThrows) {
+  Engine engine;
+  PortResource port(engine);
+  EXPECT_THROW(port.release(), dlsched::Error);
+}
+
+TEST(PortResource, QueueLengthObservable) {
+  Engine engine;
+  PortResource port(engine);
+  engine.schedule_at(0.0, [&] {
+    port.acquire([] {});
+    port.acquire([] {});
+    port.acquire([] {});
+  });
+  engine.run_until(0.0);
+  EXPECT_EQ(port.queue_length(), 2u);
+}
+
+}  // namespace
+}  // namespace dlsched::sim

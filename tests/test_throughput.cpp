@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/throughput.hpp"
+#include "platform/generators.hpp"
+#include "schedule/rounding.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+TEST(Throughput, MakespanForLoadIsLinear) {
+  EXPECT_DOUBLE_EQ(makespan_for_load(2.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(makespan_for_load(0.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(makespan_for_load(1.0, 0.0), 0.0);
+  EXPECT_THROW((void)makespan_for_load(0.0, 1.0), Error);
+}
+
+TEST(Throughput, ScheduleForLoadCarriesExactTotal) {
+  Rng rng(81);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const Schedule schedule = schedule_for_load(platform, sol, 1000.0);
+  EXPECT_NEAR(schedule.total_load(), 1000.0, 1e-6);
+  EXPECT_NEAR(schedule.horizon, 1000.0 / sol.throughput, 1e-6);
+  EXPECT_TRUE(validate(platform, schedule).ok);
+}
+
+TEST(Throughput, PackedMakespanMatchesRealizedSchedule) {
+  // For LP-optimal fractional loads the forward sweep reproduces the LP
+  // horizon (T = 1) exactly.
+  Rng rng(82);
+  for (int trial = 0; trial < 6; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 0.9));
+    const auto sol = solve_heuristic(platform, Heuristic::IncC);
+    const double makespan =
+        packed_makespan(platform, sol.scenario, sol.alpha);
+    EXPECT_NEAR(makespan, 1.0, 1e-9);
+  }
+}
+
+TEST(Throughput, PackedMakespanDetectsRoundingPenalty) {
+  // Integral loads deviate from the fractional optimum; the sweep's
+  // makespan can only get worse (or equal), never better than load/rho.
+  Rng rng(83);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const std::uint64_t m = 100;
+
+  std::vector<double> ordered_alpha;
+  for (std::size_t w : sol.scenario.send_order) {
+    ordered_alpha.push_back(sol.alpha[w] * static_cast<double>(m) /
+                            sol.throughput);
+  }
+  const auto integral = round_loads(ordered_alpha, m);
+  std::vector<double> loads(platform.size(), 0.0);
+  for (std::size_t k = 0; k < sol.scenario.send_order.size(); ++k) {
+    loads[sol.scenario.send_order[k]] = static_cast<double>(integral[k]);
+  }
+  const double real = packed_makespan(platform, sol.scenario, loads);
+  const double ideal = makespan_for_load(sol.throughput, static_cast<double>(m));
+  EXPECT_GE(real, ideal - 1e-9);
+  // And the penalty of +-1 task per worker is bounded by the cost of a few
+  // tasks on the slowest chain.
+  EXPECT_LT(real, ideal * 1.5 + 1.0);
+}
+
+TEST(Throughput, PackedTimelineRespectsOnePort) {
+  Rng rng(84);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const auto sol = solve_heuristic(platform, Heuristic::Lifo);
+  const Timeline timeline =
+      packed_timeline(platform, sol.scenario, sol.alpha);
+  const auto report =
+      validate_timeline(platform, timeline, timeline.makespan + 1e-9);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+TEST(Throughput, PackedTimelineSkipsZeroLoadWorkers) {
+  const StarPlatform platform({Worker{0.1, 0.2, 0.05, ""},
+                               Worker{0.2, 0.2, 0.1, ""}});
+  const Scenario scenario =
+      Scenario::fifo(std::vector<std::size_t>{0, 1});
+  const std::vector<double> loads{1.0, 0.0};
+  const Timeline timeline = packed_timeline(platform, scenario, loads);
+  EXPECT_EQ(timeline.lanes.size(), 1u);
+}
+
+TEST(Throughput, ReturnsWaitForSlowComputation) {
+  // Worker 2 computes long after the sends finish; its return must wait for
+  // the computation, delaying worker 3's return behind it (FIFO order).
+  const StarPlatform platform({Worker{0.1, 0.1, 0.05, "quick"},
+                               Worker{0.1, 2.0, 0.05, "slowpoke"},
+                               Worker{0.1, 0.1, 0.05, "third"}});
+  const Scenario scenario =
+      Scenario::fifo(std::vector<std::size_t>{0, 1, 2});
+  const std::vector<double> loads{1.0, 1.0, 1.0};
+  const Timeline timeline = packed_timeline(platform, scenario, loads);
+  ASSERT_EQ(timeline.lanes.size(), 3u);
+  const WorkerLane& slow = timeline.lanes[1];
+  const WorkerLane& third = timeline.lanes[2];
+  EXPECT_DOUBLE_EQ(slow.ret.start, slow.compute.end);
+  EXPECT_GE(third.ret.start, slow.ret.end - 1e-12);
+}
+
+}  // namespace
+}  // namespace dlsched

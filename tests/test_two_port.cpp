@@ -1,0 +1,149 @@
+// Tests of the two-port model ([7, 8]) and its Figure 7 relation to the
+// one-port optimum.
+#include <gtest/gtest.h>
+
+#include "core/bus_closed_form.hpp"
+#include "core/fifo_optimal.hpp"
+#include "core/lifo.hpp"
+#include "core/two_port.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+using numeric::Rational;
+
+TEST(TwoPort, DominatesOnePortAlways) {
+  Rng rng(201);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 2.0));
+    const Scenario scenario = Scenario::fifo(platform.order_by_c());
+    const auto one = solve_scenario(platform, scenario);
+    const auto two = solve_scenario_two_port(platform, scenario);
+    EXPECT_GE(two.throughput, one.throughput);
+  }
+}
+
+TEST(TwoPort, EqualsOnePortWhenCommunicationIsCheap) {
+  // With negligible communication the one-port row never binds, so the
+  // models coincide.
+  const StarPlatform platform({Worker{0.001, 1.0, 0.0005, "a"},
+                               Worker{0.002, 2.0, 0.001, "b"}});
+  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  const auto one = solve_scenario(platform, scenario);
+  const auto two = solve_scenario_two_port(platform, scenario);
+  EXPECT_EQ(one.throughput, two.throughput);
+}
+
+TEST(TwoPort, BusFifoEqualsRhoTildeExactly) {
+  // The two-port FIFO optimum on a bus is Theorem 2's rho~ -- the very
+  // quantity the closed form computes as its upper bound.
+  Rng rng(202);
+  for (int trial = 0; trial < 5; ++trial) {
+    const double c = static_cast<double>(rng.uniform_int(1, 16)) / 16.0;
+    std::vector<double> w(4);
+    for (double& wi : w) {
+      wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
+    }
+    const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
+    const auto closed = solve_bus_closed_form(bus);
+    const auto two = solve_fifo_optimal_two_port(bus);
+    EXPECT_EQ(two.solution.throughput, closed.two_port_throughput);
+  }
+}
+
+TEST(TwoPort, Figure7TransformationOnBusReachesTheOnePortOptimum) {
+  // On a bus, scaling the two-port optimum by its communication overload
+  // yields exactly the one-port optimum (Theorem 2's achievability proof).
+  Rng rng(203);
+  const StarPlatform bus = StarPlatform::bus(0.125, 0.0625, {0.25, 0.5, 0.125});
+  const auto two = solve_fifo_optimal_two_port(bus);
+  const auto one = solve_fifo_optimal(bus);
+  EXPECT_EQ(two.one_port_throughput, one.solution.throughput);
+}
+
+TEST(TwoPort, TransformedScheduleIsOnePortFeasible) {
+  Rng rng(204);
+  for (int trial = 0; trial < 8; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.1, 0.9));
+    const auto two = solve_fifo_optimal_two_port(platform);
+    const Schedule schedule =
+        one_port_from_two_port(platform, two.solution);
+    const auto report = validate(platform, schedule);
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+    // Its load must match the transformed throughput and never beat the
+    // true one-port optimum.
+    EXPECT_NEAR(schedule.total_load(), two.one_port_throughput.to_double(),
+                1e-9);
+    const auto one = solve_fifo_optimal(platform);
+    EXPECT_LE(two.one_port_throughput.to_double(),
+              one.solution.throughput.to_double() + 1e-9);
+  }
+}
+
+TEST(TwoPort, LifoClosedFormIsAlsoTheTwoPortLifoOptimum) {
+  // Paper Section 5: "By construction, the optimal two-port LIFO solution
+  // of [7, 8] is indeed a one-port schedule."  So the one-port LIFO closed
+  // form must match the two-port LIFO LP.
+  Rng rng(205);
+  for (int trial = 0; trial < 5; ++trial) {
+    const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
+    const auto closed = solve_lifo_closed_form(platform);
+    const auto two = solve_scenario_two_port(
+        platform, Scenario::lifo(platform.order_by_c()));
+    EXPECT_EQ(closed.throughput, two.throughput);
+  }
+}
+
+TEST(TwoPort, OptimalFifoDominatesOnePortOptimalForAnyZ) {
+  // Including z > 1, where both models switch to non-increasing c order
+  // via the mirror argument.
+  Rng rng(206);
+  for (double z : {0.3, 1.0, 1.5, 3.0}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const StarPlatform platform = gen::random_star(5, rng, z);
+      const auto one = solve_fifo_optimal(platform);
+      const auto two = solve_fifo_optimal_two_port(platform);
+      EXPECT_GE(two.solution.throughput, one.solution.throughput)
+          << "z = " << z;
+    }
+  }
+}
+
+class TwoPortGap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoPortGap, GapGrowsWithZ) {
+  // The one-port penalty is communication contention; the larger the
+  // return messages, the bigger the two-port advantage (on ensemble
+  // average).
+  Rng rng(GetParam());
+  double gap_small_z = 0.0;
+  double gap_large_z = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng small_rng(rng.fork_seed());
+    Rng large_rng = small_rng;  // identical platform geometry, different z
+    const StarPlatform small_z = gen::random_star(5, small_rng, 0.1,
+                                                  0.5, 2.0, 0.1, 1.0);
+    const StarPlatform large_z = gen::random_star(5, large_rng, 0.9,
+                                                  0.5, 2.0, 0.1, 1.0);
+    auto ratio = [](const StarPlatform& p) {
+      const Scenario s = Scenario::fifo(p.order_by_c());
+      return solve_scenario_two_port(p, s).throughput.to_double() /
+             solve_scenario(p, s).throughput.to_double();
+    };
+    gap_small_z += ratio(small_z);
+    gap_large_z += ratio(large_z);
+  }
+  EXPECT_GE(gap_large_z, gap_small_z - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoPortGap, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace dlsched

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "platform/generators.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/timeline.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+StarPlatform platform3() {
+  return StarPlatform({Worker{0.1, 0.2, 0.05, "P1"},
+                       Worker{0.2, 0.3, 0.1, "P2"},
+                       Worker{0.3, 0.1, 0.15, "P3"}});
+}
+
+Schedule good_schedule(const StarPlatform& platform) {
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{1.0, 1.0, 1.0};
+  return make_packed_fifo(platform, order, alpha, 1.0);
+}
+
+TEST(Validator, AcceptsPackedFifo) {
+  const StarPlatform platform = platform3();
+  const ValidationReport report = validate(platform, good_schedule(platform));
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+TEST(Validator, AcceptsPackedLifo) {
+  const StarPlatform platform = platform3();
+  const std::vector<std::size_t> order{0, 1, 2};
+  const std::vector<double> alpha{0.7, 0.7, 0.7};
+  const ValidationReport report =
+      validate(platform, make_packed_lifo(platform, order, alpha, 1.0));
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(Validator, FlagsNegativeLoad) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.entries[1].alpha = -0.5;
+  const ValidationReport report = validate(platform, s);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, FlagsNegativeIdle) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.entries[0].idle = -0.2;
+  EXPECT_FALSE(validate(platform, s).ok);
+}
+
+TEST(Validator, FlagsHorizonOverrun) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.horizon = 0.5;  // activities laid out for T = 1 now bust the bound
+  const ValidationReport report = validate(platform, s);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, HorizonCheckCanBeDisabled) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.horizon = 0.5;
+  ValidationOptions options;
+  options.check_horizon = false;
+  EXPECT_TRUE(validate(platform, s, options).ok);
+}
+
+TEST(Validator, FlagsOnePortViolation) {
+  // Shrinking worker 1's idle makes its return overlap worker 2's... build
+  // an overlap by giving the first worker a huge idle pushing its return
+  // into the others' packed block -- instead, directly craft overlapping
+  // returns by reducing idle of the last entry below its packed value.
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  // Pull worker 3's return earlier so it overlaps worker 2's return.
+  s.entries[2].idle = std::max(0.0, s.entries[2].idle - 0.1);
+  ValidationOptions options;
+  options.check_horizon = false;
+  options.check_return_order = false;
+  const ValidationReport report = validate(platform, s, options);
+  EXPECT_FALSE(report.ok);
+  bool mentions_one_port = false;
+  for (const std::string& v : report.violations) {
+    mentions_one_port |= v.find("one-port") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_one_port);
+}
+
+TEST(Validator, FlagsReturnOrderViolation) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  // Claim the reverse return order without moving any interval.
+  std::reverse(s.return_positions.begin(), s.return_positions.end());
+  const ValidationReport report = validate(platform, s);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, FlagsDuplicateWorker) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.entries[2].worker = s.entries[0].worker;
+  EXPECT_FALSE(validate(platform, s).ok);
+}
+
+TEST(Validator, FlagsOutOfRangeWorker) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.entries[0].worker = 99;
+  EXPECT_FALSE(validate(platform, s).ok);
+}
+
+TEST(Validator, FlagsBrokenReturnPermutation) {
+  const StarPlatform platform = platform3();
+  Schedule s = good_schedule(platform);
+  s.return_positions = {0, 0, 1};
+  EXPECT_FALSE(validate(platform, s).ok);
+}
+
+TEST(ValidatorTimeline, FlagsComputeBeforeReceive) {
+  const StarPlatform platform = platform3();
+  Timeline t;
+  WorkerLane lane;
+  lane.worker = 0;
+  lane.recv = {0.0, 0.2};
+  lane.compute = {0.1, 0.3};  // starts before recv ends
+  lane.ret = {0.4, 0.5};
+  t.lanes.push_back(lane);
+  t.makespan = 0.5;
+  EXPECT_FALSE(validate_timeline(platform, t, 1.0).ok);
+}
+
+TEST(ValidatorTimeline, FlagsNegativeDurations) {
+  const StarPlatform platform = platform3();
+  Timeline t;
+  WorkerLane lane;
+  lane.worker = 0;
+  lane.recv = {0.2, 0.1};
+  lane.compute = {0.2, 0.2};
+  lane.ret = {0.3, 0.4};
+  t.lanes.push_back(lane);
+  EXPECT_FALSE(validate_timeline(platform, t, 1.0).ok);
+}
+
+// ------------------------------------------------ failure injection sweep --
+
+class ValidatorFaultInjection : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ValidatorFaultInjection, RandomCorruptionsOfValidSchedulesAreCaught) {
+  // Start from LP-optimal (tight) schedules and inject one random fault;
+  // the validator must flag every corruption that matters.  LP-tight
+  // schedules have no slack, so any load increase or idle decrease breaks
+  // feasibility.
+  Rng rng(GetParam());
+  int caught = 0;
+  int injected = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const StarPlatform platform =
+        gen::random_star(5, rng, rng.uniform(0.2, 0.8));
+    const auto sol = solve_heuristic(platform, Heuristic::IncC);
+    Schedule schedule = realize_schedule(platform, sol);
+    ASSERT_TRUE(validate(platform, schedule).ok);
+    if (schedule.entries.empty()) continue;
+
+    const std::size_t victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(schedule.size()) - 1));
+    const int fault = static_cast<int>(rng.uniform_int(0, 3));
+    bool must_catch = true;
+    switch (fault) {
+      case 0:  // inflate a load: chains and the one-port budget overflow
+        schedule.entries[victim].alpha *= 1.5;
+        break;
+      case 1:  // negative idle: return starts before computation ends
+        schedule.entries[victim].idle = -0.05;
+        break;
+      case 2:  // shrink the horizon under a tight schedule
+        schedule.horizon *= 0.9;
+        break;
+      case 3:  // duplicate a worker
+        schedule.entries[victim].worker =
+            schedule.entries[(victim + 1) % schedule.size()].worker;
+        break;
+      default:
+        break;
+    }
+    ++injected;
+    const ValidationReport report = validate(platform, schedule);
+    if (!report.ok) ++caught;
+    EXPECT_TRUE(!must_catch || !report.ok)
+        << "fault " << fault << " on entry " << victim << " not caught";
+  }
+  EXPECT_EQ(caught, injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorFaultInjection,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ValidatorTimeline, AcceptsDisjointMasterUsage) {
+  const StarPlatform platform = platform3();
+  Timeline t;
+  WorkerLane a;
+  a.worker = 0;
+  a.recv = {0.0, 0.1};
+  a.compute = {0.1, 0.3};
+  a.ret = {0.5, 0.6};
+  WorkerLane b;
+  b.worker = 1;
+  b.recv = {0.1, 0.3};
+  b.compute = {0.3, 0.4};
+  b.ret = {0.6, 0.8};
+  t.lanes = {a, b};
+  t.makespan = 0.8;
+  EXPECT_TRUE(validate_timeline(platform, t, 1.0).ok);
+}
+
+}  // namespace
+}  // namespace dlsched
