@@ -6,10 +6,7 @@
 // the LP-evaluation budget each needs.
 #include <iostream>
 
-#include "core/brute_force.hpp"
-#include "core/fifo_optimal.hpp"
-#include "core/lifo.hpp"
-#include "core/local_search.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -34,19 +31,20 @@ int main() {
 
     const int trials = 20;
     for (int trial = 0; trial < trials; ++trial) {
-      const StarPlatform platform = gen::random_star(p, rng, 0.5);
-      const double fifo =
-          solve_fifo_optimal(platform).solution.throughput.to_double();
-      const double lifo = solve_lifo_lp(platform).throughput.to_double();
-      LocalSearchOptions options;
-      options.seed = 1000 + static_cast<std::uint64_t>(trial);
-      const auto search = local_search_best_pair(platform, options);
-      vs_structured.add(search.best.throughput / std::max(fifo, lifo));
+      SolveRequest request;
+      request.platform = gen::random_star(p, rng, 0.5);
+      const auto& registry = SolverRegistry::instance();
+      const double fifo = registry.run("fifo_optimal", request).throughput();
+      const double lifo = registry.run("lifo", request).throughput();
+      request.seed = 1000 + static_cast<std::uint64_t>(trial);
+      const SolveResult search = registry.run("local_search", request);
+      vs_structured.add(search.throughput() / std::max(fifo, lifo));
       lp_evals.add(static_cast<double>(search.lp_evaluations));
       if (exhaustive) {
-        const auto brute =
-            brute_force_best_double(platform, BruteForceOptions{});
-        vs_brute.add(search.best.throughput / brute.best.throughput);
+        request.precision = Precision::Fast;
+        const SolveResult brute = registry.run("brute_force", request);
+        vs_brute.add(search.throughput() / brute.throughput());
+        request.precision = Precision::Exact;
       }
     }
     table.begin_row()

@@ -8,8 +8,8 @@
 #include <algorithm>
 #include <iostream>
 
-#include "core/heuristics.hpp"
 #include "core/multiround.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
 #include "util/table.hpp"
 
@@ -23,7 +23,11 @@ int main() {
   Rng rng(31337);
   const StarPlatform platform =
       gen::random_star(4, rng, 0.5, 0.3, 0.6, 0.8, 1.6);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  SolveRequest request;
+  request.platform = platform;
+  request.precision = Precision::Fast;
+  const SolveResult sol = SolverRegistry::instance().run("inc_c", request);
+  const std::vector<double> alpha = sol.solution.alpha_double();
 
   const std::vector<double> latencies{0.0, 0.002, 0.01, 0.05};
   std::vector<std::string> header{"rounds"};
@@ -37,7 +41,7 @@ int main() {
   for (double lat : latencies) {
     AffineCosts costs;
     costs.send_latency = lat;
-    curves.push_back(sweep_rounds(platform, sol.alpha, costs, 12));
+    curves.push_back(sweep_rounds(platform, alpha, costs, 12));
   }
   for (std::size_t r = 0; r < curves[0].size(); ++r) {
     table.begin_row().cell(curves[0][r].rounds);

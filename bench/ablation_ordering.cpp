@@ -6,8 +6,7 @@
 // over all permutation pairs.
 #include <iostream>
 
-#include "core/brute_force.hpp"
-#include "core/heuristics.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -26,22 +25,22 @@ int main() {
     const bool exhaustive = workers <= 4;
 
     Rng rng(2024 + workers);
+    const auto& registry = SolverRegistry::instance();
     const int trials = 30;
     for (int trial = 0; trial < trials; ++trial) {
-      const StarPlatform platform = gen::random_star(workers, rng, 0.5);
-      const double base =
-          solve_heuristic(platform, Heuristic::IncC).throughput;
-      inc_w.add(solve_heuristic(platform, Heuristic::IncW).throughput / base);
-      dec_c.add(solve_heuristic(platform, Heuristic::DecC).throughput / base);
-      random_fifo.add(
-          solve_heuristic(platform, Heuristic::RandomFifo, &rng).throughput /
-          base);
-      lifo.add(solve_heuristic(platform, Heuristic::Lifo).throughput / base);
+      SolveRequest request;
+      request.platform = gen::random_star(workers, rng, 0.5);
+      request.precision = Precision::Fast;
+      request.seed = rng.fork_seed();
+      const double base = registry.run("inc_c", request).throughput();
+      inc_w.add(registry.run("inc_w", request).throughput() / base);
+      dec_c.add(registry.run("dec_c", request).throughput() / base);
+      random_fifo.add(registry.run("random_fifo", request).throughput() /
+                      base);
+      lifo.add(registry.run("lifo", request).throughput() / base);
       if (exhaustive) {
-        general_best.add(
-            brute_force_best_double(platform, BruteForceOptions{})
-                .best.throughput /
-            base);
+        general_best.add(registry.run("brute_force", request).throughput() /
+                         base);
       }
     }
 

@@ -6,8 +6,8 @@
 // the "use everyone" policy loses.
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
 #include "core/scenario_lp.hpp"
+#include "core/solver.hpp"
 #include "lp/problem.hpp"
 #include "platform/generators.hpp"
 #include "util/stats.hpp"
@@ -62,8 +62,11 @@ int main() {
       workers.push_back(weak);
       const StarPlatform platform(workers);
 
-      const auto optimal = solve_fifo_optimal(platform);
-      const double best = optimal.solution.throughput.to_double();
+      SolveRequest request;
+      request.platform = platform;
+      const SolveResult optimal =
+          SolverRegistry::instance().run("fifo_optimal", request);
+      const double best = optimal.throughput();
       if (optimal.solution.enrolled().size() < platform.size()) ++dropped;
       const double forced =
           forced_participation_throughput(platform, 1e-4 * best);

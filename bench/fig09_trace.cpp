@@ -7,7 +7,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "platform/matrix_app.hpp"
 #include "schedule/gantt.hpp"
@@ -30,7 +30,10 @@ int main() {
   std::cout << "Figure 9 -- execution trace on a heterogeneous platform\n\n";
   std::cout << platform.describe() << "\n";
 
-  const auto result = solve_fifo_optimal(platform);
+  SolveRequest request;
+  request.platform = platform;
+  const SolveResult result =
+      SolverRegistry::instance().run("fifo_optimal", request);
   std::cout << "optimal FIFO (INC_C) throughput: "
             << result.solution.throughput.to_double() << " tasks per unit\n";
   std::cout << "workers enrolled: " << result.solution.enrolled().size()

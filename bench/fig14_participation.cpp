@@ -9,7 +9,7 @@
 // with x = 3 it is used and the 4-worker time improves slightly.
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "platform/generators.hpp"
 #include "platform/matrix_app.hpp"
@@ -34,7 +34,10 @@ int main() {
       std::vector<std::size_t> subset(available);
       for (std::size_t i = 0; i < available; ++i) subset[i] = i;
       const StarPlatform platform = full.subset(subset);
-      const auto result = solve_fifo_optimal(platform);
+      SolveRequest request;
+      request.platform = platform;
+      const SolveResult result =
+          SolverRegistry::instance().run("fifo_optimal", request);
       const double rho = result.solution.throughput.to_double();
       const double lp_time = makespan_for_load(rho, static_cast<double>(m));
 

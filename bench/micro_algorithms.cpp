@@ -1,82 +1,130 @@
-// Microbenchmarks of the scheduling algorithms: the polynomial Theorem 1
-// solve, the closed forms (which beat the LP by orders of magnitude where
-// they apply), and the factorial growth of exhaustive search.
-#include <benchmark/benchmark.h>
+// Registry-driven microbenchmark of the scheduling algorithms.
+//
+// Times every registered solver (the polynomial Theorem 1 solve, the
+// closed forms, the factorial exhaustive searches, ...) across platform
+// sizes and emits machine-readable JSON so successive runs can be diffed
+// into a perf trajectory:
+//
+//   [{"solver": "fifo_optimal", "workers": 8, "repeats": 9,
+//     "wall_seconds_min": 3.1e-05, "wall_seconds_mean": 3.4e-05,
+//     "throughput": 1.904, "validated": true}, ...]
+//
+//   $ ./micro_algorithms [--sizes 4,8,12] [--repeats N] [--out FILE]
+//                        [--solvers a,b,c] [--bus]
+//
+// Platforms are deterministic per (size, seed); solvers that are not
+// applicable at a size (exhaustive search beyond the p!^2 guard, Theorem 2
+// off the bus) are skipped.  Pass --bus to draw bus platforms instead of
+// general stars so the closed forms participate.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
 
-#include "core/brute_force.hpp"
-#include "core/bus_closed_form.hpp"
-#include "core/fifo_optimal.hpp"
-#include "core/lifo.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/string_util.hpp"
 
 namespace {
 
 using namespace dlsched;
 
-void BM_FifoOptimal(benchmark::State& state) {
-  Rng rng(11 + state.range(0));
-  const StarPlatform platform =
-      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_fifo_optimal(platform));
-  }
-}
-BENCHMARK(BM_FifoOptimal)->Arg(4)->Arg(8)->Arg(12);
+struct Row {
+  std::string solver;
+  std::size_t workers = 0;
+  std::size_t repeats = 0;
+  double wall_min = 0.0;
+  double wall_mean = 0.0;
+  double throughput = 0.0;
+  bool validated = false;
+};
 
-void BM_LifoClosedForm(benchmark::State& state) {
-  Rng rng(12 + state.range(0));
-  const StarPlatform platform =
-      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_lifo_closed_form(platform));
+std::string to_json(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"solver\": \"" << r.solver << "\", \"workers\": " << r.workers
+        << ", \"repeats\": " << r.repeats
+        << ", \"wall_seconds_min\": " << r.wall_min
+        << ", \"wall_seconds_mean\": " << r.wall_mean
+        << ", \"throughput\": " << r.throughput << ", \"validated\": "
+        << (r.validated ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+  out << "]\n";
+  return out.str();
 }
-BENCHMARK(BM_LifoClosedForm)->Arg(4)->Arg(12)->Arg(32);
-
-void BM_BusClosedForm(benchmark::State& state) {
-  Rng rng(13 + state.range(0));
-  const StarPlatform platform =
-      gen::random_bus(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_bus_closed_form(platform));
-  }
-}
-BENCHMARK(BM_BusClosedForm)->Arg(4)->Arg(12)->Arg(32);
-
-void BM_BusViaLp(benchmark::State& state) {
-  // The same optimum through Theorem 1's LP: quantifies what the closed
-  // form saves.
-  Rng rng(13 + state.range(0));
-  const StarPlatform platform =
-      gen::random_bus(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_fifo_optimal(platform));
-  }
-}
-BENCHMARK(BM_BusViaLp)->Arg(4)->Arg(12);
-
-void BM_BruteForceFifo(benchmark::State& state) {
-  Rng rng(14);
-  const StarPlatform platform =
-      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  BruteForceOptions options;
-  options.fifo_only = true;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(brute_force_best_double(platform, options));
-  }
-}
-BENCHMARK(BM_BruteForceFifo)->Arg(3)->Arg(4)->Arg(5);
-
-void BM_BruteForceGeneral(benchmark::State& state) {
-  Rng rng(15);
-  const StarPlatform platform =
-      gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        brute_force_best_double(platform, BruteForceOptions{}));
-  }
-}
-BENCHMARK(BM_BruteForceGeneral)->Arg(3)->Arg(4);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv, {"bus"});
+  std::vector<std::size_t> sizes;
+  for (const std::string& token :
+       split(args.get_or("sizes", "4,8,12"), ',')) {
+    sizes.push_back(static_cast<std::size_t>(std::stoul(token)));
+  }
+  const auto repeats = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("repeats", 9)));
+  std::vector<std::string> solvers;
+  if (const auto chosen = args.get("solvers")) {
+    solvers = split(*chosen, ',');
+  } else {
+    solvers = SolverRegistry::instance().names();
+  }
+
+  std::vector<Row> rows;
+  for (const std::size_t p : sizes) {
+    Rng rng(11 + p);
+    SolveRequest request;
+    request.platform = args.has("bus") ? gen::random_bus(p, rng, 0.5)
+                                       : gen::random_star(p, rng, 0.5);
+    request.precision = Precision::Fast;
+    for (const std::string& name : solvers) {
+      const auto solver = SolverRegistry::instance().create(name);
+      if (!solver->applicable(request)) continue;
+      Row row;
+      row.solver = name;
+      row.workers = p;
+      row.repeats = repeats;
+      row.wall_min = std::numeric_limits<double>::infinity();
+      double total = 0.0;
+      SolveResult last;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        last = solver->solve(request);
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        row.wall_min = std::min(row.wall_min, seconds);
+        total += seconds;
+      }
+      row.wall_mean = total / static_cast<double>(repeats);
+      row.throughput = last.throughput();
+      row.validated = validate(last.schedule_platform, last.schedule).ok;
+      rows.push_back(row);
+      std::cerr << name << " p=" << p << ": min "
+                << 1e6 * row.wall_min << " us\n";
+    }
+  }
+
+  const std::string json = to_json(rows);
+  if (const auto out_path = args.get("out")) {
+    std::ofstream out(*out_path);
+    if (!out.good()) {
+      std::cerr << "cannot write " << *out_path << "\n";
+      return 1;
+    }
+    out << json;
+    std::cerr << "JSON written to " << *out_path << "\n";
+  } else {
+    std::cout << json;
+  }
+  return 0;
+}

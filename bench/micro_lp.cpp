@@ -4,8 +4,8 @@
 // the exact replacement.)
 #include <benchmark/benchmark.h>
 
-#include "core/heuristics.hpp"
 #include "core/scenario_lp.hpp"
+#include "core/solver.hpp"
 #include "numeric/bigint.hpp"
 #include "platform/generators.hpp"
 #include "util/rng.hpp"
@@ -20,21 +20,24 @@ StarPlatform make_platform(std::size_t p) {
 }
 
 void BM_ScenarioLpExact(benchmark::State& state) {
-  const StarPlatform platform =
-      make_platform(static_cast<std::size_t>(state.range(0)));
-  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  SolveRequest request;
+  request.platform = make_platform(static_cast<std::size_t>(state.range(0)));
+  request.scenario = Scenario::fifo(request.platform.order_by_c());
+  const auto solver = SolverRegistry::instance().create("scenario_lp");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_scenario(platform, scenario));
+    benchmark::DoNotOptimize(solver->solve(request));
   }
 }
 BENCHMARK(BM_ScenarioLpExact)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_ScenarioLpDouble(benchmark::State& state) {
-  const StarPlatform platform =
-      make_platform(static_cast<std::size_t>(state.range(0)));
-  const Scenario scenario = Scenario::fifo(platform.order_by_c());
+  SolveRequest request;
+  request.platform = make_platform(static_cast<std::size_t>(state.range(0)));
+  request.scenario = Scenario::fifo(request.platform.order_by_c());
+  request.precision = Precision::Fast;
+  const auto solver = SolverRegistry::instance().create("scenario_lp");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_scenario_double(platform, scenario));
+    benchmark::DoNotOptimize(solver->solve(request));
   }
 }
 BENCHMARK(BM_ScenarioLpDouble)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(24);

@@ -2,7 +2,7 @@
 // threaded runtime's channel/arbiter primitives.
 #include <benchmark/benchmark.h>
 
-#include "core/heuristics.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/matmul.hpp"
@@ -34,10 +34,14 @@ void BM_DesExecution(benchmark::State& state) {
   Rng rng(21);
   const StarPlatform platform =
       gen::random_star(static_cast<std::size_t>(state.range(0)), rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  SolveRequest request;
+  request.platform = platform;
+  request.precision = Precision::Fast;
+  const SolveResult sol = SolverRegistry::instance().run("inc_c", request);
+  const Scenario scenario = sol.solution.scenario;
+  const std::vector<double> alpha = sol.solution.alpha_double();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim::execute(platform, sol.scenario, sol.alpha));
+    benchmark::DoNotOptimize(sim::execute(platform, scenario, alpha));
   }
 }
 BENCHMARK(BM_DesExecution)->Arg(4)->Arg(16)->Arg(64);

@@ -10,8 +10,7 @@
 //   $ ./crypto_keygen
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
-#include "core/scenario_lp.hpp"
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "schedule/gantt.hpp"
 #include "sim/des_executor.hpp"
@@ -38,12 +37,16 @@ int main() {
   std::cout << "key-generation platform (z = " << platform.z() << "):\n"
             << platform.describe() << "\n";
 
-  const FifoOptimalResult optimal = solve_fifo_optimal(platform);
+  SolveRequest request;
+  request.platform = platform;
+  const SolveResult optimal =
+      SolverRegistry::instance().run("fifo_optimal", request);
   std::cout << "optimal FIFO (mirror argument, non-increasing c): rho = "
-            << optimal.solution.throughput.to_double() << "\n";
+            << optimal.throughput() << "\n";
 
+  request.scenario = Scenario::fifo(platform.order_by_c());
   const ScenarioSolution naive =
-      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+      SolverRegistry::instance().run("scenario_lp", request).solution;
   std::cout << "naive FIFO (non-decreasing c):                rho = "
             << naive.throughput.to_double() << "\n";
   std::cout << "improvement: "

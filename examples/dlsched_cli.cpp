@@ -1,12 +1,17 @@
-// dlsched_cli -- drive the library from a platform description file.
+// dlsched_cli -- drive the solver portfolio from a platform description.
 //
-//   dlsched_cli describe <platform-file>
-//   dlsched_cli fifo     <platform-file> [--load M] [--two-port]
-//   dlsched_cli lifo     <platform-file> [--load M]
-//   dlsched_cli compare  <platform-file> [--load M]
-//   dlsched_cli brute    <platform-file> [--fifo-only] [--lifo-only]
-//   dlsched_cli gantt    <platform-file> [--svg out.svg] [--width N]
-//   dlsched_cli simulate <platform-file> [--load M] [--noise SEED]
+//   dlsched_cli --list-solvers
+//   dlsched_cli describe [platform-file]
+//   dlsched_cli solve    [platform-file] [--solver NAME] [--load M] [...]
+//   dlsched_cli compare  [platform-file] [--solvers a,b,c] [--load M]
+//   dlsched_cli gantt    [platform-file] [--solver NAME] [--svg out.svg]
+//   dlsched_cli simulate [platform-file] [--solver NAME] [--load M]
+//
+// Every scheduling strategy is selected by registry name (see
+// --list-solvers); the CLI itself knows nothing about individual
+// algorithms.  When no platform file is given, a built-in 4-worker demo
+// bus (z = 1/2, heterogeneous compute) is used -- every registered solver
+// is applicable to it.
 //
 // Platform file format (see src/platform/platform_io.hpp):
 //   z 0.5
@@ -15,17 +20,16 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/brute_force.hpp"
-#include "core/fifo_optimal.hpp"
-#include "core/lifo.hpp"
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
-#include "core/two_port.hpp"
 #include "platform/platform_io.hpp"
 #include "schedule/gantt.hpp"
 #include "schedule/rounding.hpp"
+#include "schedule/timeline.hpp"
 #include "schedule/validator.hpp"
 #include "sim/des_executor.hpp"
 #include "util/cli.hpp"
+#include "util/string_util.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,11 +38,21 @@ using namespace dlsched;
 
 int usage() {
   std::cerr
-      << "usage: dlsched_cli <describe|fifo|lifo|compare|brute|gantt|"
-         "simulate> <platform-file> [options]\n"
-         "  --load M       schedule M load units (default: throughput form)\n"
-         "  --two-port     fifo: use the two-port model of [7,8]\n"
-         "  --fifo-only / --lifo-only   restrict the brute-force search\n"
+      << "usage: dlsched_cli <command> [platform-file] [options]\n"
+         "       dlsched_cli --list-solvers\n"
+         "commands: describe, solve, compare, gantt, simulate\n"
+         "  (omit the platform file to use a built-in demo bus)\n"
+         "options:\n"
+         "  --solver NAME  scheduling strategy (default fifo_optimal;\n"
+         "                 see --list-solvers)\n"
+         "  --solvers a,b  compare: comma-separated subset (default: all\n"
+         "                 applicable)\n"
+         "  --load M       schedule M load units (default: throughput "
+         "form)\n"
+         "  --exact        rational LP arithmetic (default: fast/double)\n"
+         "  --seed N       seed for randomized solvers\n"
+         "  --budget SEC   time budget for search solvers\n"
+         "  --threads N    compare: thread-pool size (0 = hardware)\n"
          "  --svg FILE     gantt: also write an SVG\n"
          "  --width N      gantt: ASCII width (default 100)\n"
          "  --noise SEED   simulate: cluster-like noise with this seed\n"
@@ -46,32 +60,81 @@ int usage() {
   return 2;
 }
 
-void print_solution(const StarPlatform& platform,
-                    const ScenarioSolution& solution, double load) {
-  std::cout << "scenario: " << solution.scenario.describe() << "\n";
-  std::cout << "throughput (T = 1): " << solution.throughput.to_double()
-            << "\n";
+/// The built-in demo platform: a bus with a uniform return ratio z = 1/2
+/// and heterogeneous compute, so every registered solver (including
+/// Theorem 2 and the Lemma 2 exchanges) is applicable.
+StarPlatform demo_platform() {
+  return StarPlatform::bus(0.25, 0.125, {0.5, 1.0, 2.0, 4.0});
+}
+
+StarPlatform resolve_platform(const CliArgs& args) {
+  if (args.positional().size() < 2 || args.positional()[1] == "demo") {
+    return demo_platform();
+  }
+  return load_platform(args.positional()[1]);
+}
+
+SolveRequest request_from(const StarPlatform& platform, const CliArgs& args) {
+  SolveRequest request;
+  request.platform = platform;
+  request.precision =
+      args.has("exact") ? Precision::Exact : Precision::Fast;
+  request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  request.time_budget_seconds = args.get_double("budget", 0.0);
+  return request;
+}
+
+int list_solvers() {
+  Table table({"solver", "paper", "description"});
+  for (const SolverInfo& info : SolverRegistry::instance().infos()) {
+    table.begin_row().cell(info.name).cell(info.paper_ref).cell(
+        info.description);
+  }
+  table.print_aligned(std::cout);
+  std::cout << "\n" << SolverRegistry::instance().names().size()
+            << " solvers registered\n";
+  return 0;
+}
+
+void print_solution(const StarPlatform& platform, const SolveResult& result,
+                    double load) {
+  std::cout << "scenario: " << result.solution.scenario.describe() << "\n";
+  std::cout << "throughput (T = 1): " << result.throughput() << "\n";
   if (load > 0.0) {
-    std::cout << "time for " << load << " load units: "
-              << makespan_for_load(solution.throughput.to_double(), load)
+    std::cout << "time for " << load
+              << " load units: " << makespan_for_load(result.throughput(), load)
               << "\n";
   }
   Table table({"worker", "alpha", "share_%"});
   table.set_precision(5);
-  const double total = solution.throughput.to_double();
+  const double total = result.throughput();
   for (std::size_t w = 0; w < platform.size(); ++w) {
-    if (!solution.alpha[w].is_positive()) continue;
+    if (!result.solution.alpha[w].is_positive()) continue;
     table.begin_row()
         .cell(platform.worker(w).name)
-        .cell(solution.alpha[w].to_double())
-        .cell(100.0 * solution.alpha[w].to_double() / total);
+        .cell(result.solution.alpha[w].to_double())
+        .cell(100.0 * result.solution.alpha[w].to_double() / total);
   }
   table.print_aligned(std::cout);
-  const std::size_t used = solution.enrolled().size();
+  const std::size_t used = result.solution.enrolled().size();
   if (used < platform.size()) {
     std::cout << "(resource selection dropped " << platform.size() - used
               << " worker(s))\n";
   }
+  if (result.provably_optimal) std::cout << "provably optimal: yes\n";
+  if (result.mirrored) std::cout << "solved through the z > 1 mirror\n";
+  if (result.alt_throughput) {
+    std::cout << "secondary throughput: " << result.alt_throughput->to_double()
+              << "\n";
+  }
+  if (result.scenarios_tried > 0) {
+    std::cout << "scenarios tried: " << result.scenarios_tried << "\n";
+  }
+  if (result.lp_evaluations > 0) {
+    std::cout << "LP evaluations: " << result.lp_evaluations << "\n";
+  }
+  if (!result.notes.empty()) std::cout << "note: " << result.notes << "\n";
+  std::cout << "wall time: " << 1e3 * result.wall_seconds << " ms\n";
 }
 
 int cmd_describe(const StarPlatform& platform) {
@@ -80,67 +143,78 @@ int cmd_describe(const StarPlatform& platform) {
   return 0;
 }
 
-int cmd_fifo(const StarPlatform& platform, const CliArgs& args) {
-  const double load = args.get_double("load", 0.0);
-  if (args.has("two-port")) {
-    const auto result = solve_fifo_optimal_two_port(platform);
-    std::cout << "two-port model ([7,8])\n";
-    print_solution(platform, result.solution, load);
-    std::cout << "one-port feasible throughput after the Figure 7 "
-                 "transformation: "
-              << result.one_port_throughput.to_double() << "\n";
-    return 0;
+int cmd_solve(const StarPlatform& platform, const CliArgs& args) {
+  const std::string name = args.get_or("solver", "fifo_optimal");
+  const SolveRequest request = request_from(platform, args);
+  const auto solver = SolverRegistry::instance().create(name);
+  std::string why;
+  if (!solver->applicable(request, &why)) {
+    std::cerr << "solver '" << name << "' is not applicable here: " << why
+              << "\n";
+    return 1;
   }
-  const auto result = solve_fifo_optimal(platform);
-  std::cout << "one-port FIFO optimum (Theorem 1"
-            << (result.mirrored ? ", z > 1 mirror" : "") << ")\n";
-  print_solution(platform, result.solution, load);
-  return 0;
-}
-
-int cmd_lifo(const StarPlatform& platform, const CliArgs& args) {
-  const auto lp = solve_lifo_lp(platform);
-  std::cout << "one-port LIFO optimum ([7,8])\n";
-  print_solution(platform, lp, args.get_double("load", 0.0));
+  const SolveResult result = SolverRegistry::instance().run(name, request);
+  std::cout << name << " -- " << solver->description() << " ["
+            << solver->paper_ref() << "]\n";
+  print_solution(platform, result, args.get_double("load", 0.0));
+  const ValidationReport report =
+      validate(result.schedule_platform, result.schedule);
+  if (!report.ok) {
+    std::cerr << "SCHEDULE FAILED VALIDATION: " << report.violations.front()
+              << "\n";
+    return 1;
+  }
+  std::cout << "schedule validated: ok\n";
   return 0;
 }
 
 int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
   const double load = args.get_double("load", 1000.0);
-  Table table({"strategy", "throughput", "time_for_load", "workers"});
-  table.set_precision(5);
-  auto add = [&](const char* name, const ScenarioSolution& s) {
-    table.begin_row()
-        .cell(std::string(name))
-        .cell(s.throughput.to_double())
-        .cell(makespan_for_load(s.throughput.to_double(), load))
-        .cell(s.enrolled().size());
-  };
-  add("FIFO (optimal)", solve_fifo_optimal(platform).solution);
-  add("LIFO (optimal)", solve_lifo_lp(platform));
-  add("two-port FIFO", solve_fifo_optimal_two_port(platform).solution);
-  table.print_aligned(std::cout);
-  return 0;
-}
+  const SolveRequest request = request_from(platform, args);
+  std::vector<std::string> names;
+  if (const auto chosen = args.get("solvers")) {
+    names = split(*chosen, ',');
+  } else {
+    names = SolverRegistry::instance().names();
+  }
+  const auto outcomes = solve_batch_across_solvers(
+      request, names,
+      static_cast<std::size_t>(args.get_int("threads", 0)));
 
-int cmd_brute(const StarPlatform& platform, const CliArgs& args) {
-  BruteForceOptions options;
-  options.fifo_only = args.has("fifo-only");
-  options.lifo_only = args.has("lifo-only");
-  const auto result = brute_force_best(platform, options);
-  std::cout << "exhaustive search over " << result.scenarios_tried
-            << " scenario(s)\n";
-  print_solution(platform, result.best, args.get_double("load", 0.0));
+  Table table({"solver", "throughput", "time_for_load", "workers", "valid",
+               "wall_ms"});
+  table.set_precision(5);
+  for (const BatchOutcome& outcome : outcomes) {
+    table.begin_row().cell(outcome.solver);
+    if (!outcome.solved) {
+      table.cell("error").cell(outcome.error).cell("-").cell("-").cell("-");
+      continue;
+    }
+    const double rho = outcome.result.throughput();
+    table.cell(rho)
+        .cell(makespan_for_load(rho, load))
+        .cell(outcome.result.solution.enrolled().size())
+        .cell(outcome.ok ? "ok" : "FAIL")
+        .cell(1e3 * outcome.result.wall_seconds);
+  }
+  table.print_aligned(std::cout);
+  const std::size_t skipped = names.size() - outcomes.size();
+  if (skipped > 0) {
+    std::cout << "(" << skipped
+              << " solver(s) not applicable to this platform)\n";
+  }
   return 0;
 }
 
 int cmd_gantt(const StarPlatform& platform, const CliArgs& args) {
-  const auto result = solve_fifo_optimal(platform);
-  const Timeline timeline = build_timeline(platform, result.schedule);
+  const SolveResult result = SolverRegistry::instance().run(
+      args.get_or("solver", "fifo_optimal"), request_from(platform, args));
+  const Timeline timeline =
+      build_timeline(result.schedule_platform, result.schedule);
   GanttOptions options;
-  options.width =
-      static_cast<std::size_t>(args.get_int("width", 100));
-  std::cout << render_ascii_gantt(platform, timeline, options);
+  options.width = static_cast<std::size_t>(args.get_int("width", 100));
+  std::cout << render_ascii_gantt(result.schedule_platform, timeline,
+                                  options);
   if (const auto svg_path = args.get("svg")) {
     std::ofstream svg(*svg_path);
     if (!svg.good()) {
@@ -149,17 +223,17 @@ int cmd_gantt(const StarPlatform& platform, const CliArgs& args) {
     }
     GanttOptions svg_options;
     svg_options.svg_pixels_per_unit = 700.0 / timeline.makespan;
-    svg << render_svg_gantt(platform, timeline, svg_options);
+    svg << render_svg_gantt(result.schedule_platform, timeline, svg_options);
     std::cout << "SVG written to " << *svg_path << "\n";
   }
   return 0;
 }
 
 int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
-  const auto load =
-      static_cast<std::uint64_t>(args.get_int("load", 1000));
-  const auto result = solve_fifo_optimal(platform);
-  const double rho = result.solution.throughput.to_double();
+  const auto load = static_cast<std::uint64_t>(args.get_int("load", 1000));
+  const SolveResult result = SolverRegistry::instance().run(
+      args.get_or("solver", "fifo_optimal"), request_from(platform, args));
+  const double rho = result.throughput();
 
   std::vector<double> ordered;
   for (std::size_t w : result.solution.scenario.send_order) {
@@ -178,8 +252,8 @@ int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
     noise = sim::NoiseModel::cluster_like(
         static_cast<std::uint64_t>(args.get_int("noise", 1)));
   }
-  const auto des = sim::execute(platform, result.solution.scenario, loads,
-                                noise);
+  const auto des =
+      sim::execute(platform, result.solution.scenario, loads, noise);
   std::cout << "LP-predicted time: "
             << makespan_for_load(rho, static_cast<double>(load)) << "\n";
   std::cout << "simulated time:    " << des.makespan << "\n";
@@ -201,17 +275,16 @@ int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args = CliArgs::parse(
-      argc, argv, {"two-port", "fifo-only", "lifo-only"});
-  if (args.positional().size() < 2) return usage();
-  const std::string& command = args.positional()[0];
+  const CliArgs args =
+      CliArgs::parse(argc, argv, {"list-solvers", "exact"});
   try {
-    const StarPlatform platform = load_platform(args.positional()[1]);
+    if (args.has("list-solvers")) return list_solvers();
+    if (args.positional().empty()) return usage();
+    const std::string& command = args.positional()[0];
+    const StarPlatform platform = resolve_platform(args);
     if (command == "describe") return cmd_describe(platform);
-    if (command == "fifo") return cmd_fifo(platform, args);
-    if (command == "lifo") return cmd_lifo(platform, args);
+    if (command == "solve") return cmd_solve(platform, args);
     if (command == "compare") return cmd_compare(platform, args);
-    if (command == "brute") return cmd_brute(platform, args);
     if (command == "gantt") return cmd_gantt(platform, args);
     if (command == "simulate") return cmd_simulate(platform, args);
   } catch (const std::exception& e) {

@@ -9,12 +9,9 @@
 //   $ ./open_problem
 #include <iostream>
 
-#include "core/brute_force.hpp"
 #include "core/exchange.hpp"
-#include "core/fifo_optimal.hpp"
-#include "core/lifo.hpp"
-#include "core/local_search.hpp"
 #include "core/scenario_lp.hpp"
+#include "core/solver.hpp"
 #include "platform/generators.hpp"
 #include "util/table.hpp"
 
@@ -25,31 +22,34 @@ int main() {
   std::cout << "platform:\n" << platform.describe() << "\n";
 
   // --- the landscape of structured schedules ------------------------------
-  const auto fifo = solve_fifo_optimal(platform);
-  const auto lifo = solve_lifo_lp(platform);
-  const auto search = local_search_best_pair(platform);
+  SolveRequest request;
+  request.platform = platform;
+  const auto& registry = SolverRegistry::instance();
+  const SolveResult fifo = registry.run("fifo_optimal", request);
+  const SolveResult lifo = registry.run("lifo", request);
+  const SolveResult search = registry.run("local_search", request);
 
   Table table({"strategy", "throughput", "vs INC_C"});
   table.set_precision(5);
-  const double base = fifo.solution.throughput.to_double();
+  const double base = fifo.throughput();
   auto row = [&](const char* name, double rho) {
     table.begin_row().cell(std::string(name)).cell(rho).cell(rho / base);
   };
   row("FIFO optimal (Theorem 1)", base);
-  row("LIFO optimal", lifo.throughput.to_double());
-  row("local search over (s1,s2)", search.best.throughput);
+  row("LIFO optimal", lifo.throughput());
+  row("local search over (s1,s2)", search.throughput());
   table.print_aligned(std::cout);
   std::cout << "search explored " << search.lp_evaluations
             << " scenario LPs; best pair: "
-            << search.best.scenario.describe() << "\n\n";
+            << search.solution.scenario.describe() << "\n\n";
 
   // --- Lemma 2's proof, executed ------------------------------------------
   std::cout << "Lemma 2 exchange argument on the worst FIFO order "
                "(non-increasing c):\n";
-  const auto worst_order = platform.order_by_c_desc();
-  const auto worst =
-      solve_scenario_double(platform, Scenario::fifo(worst_order));
-  Schedule schedule = realize_schedule(platform, worst);
+  SolveRequest worst_request = request;
+  worst_request.scenario = Scenario::fifo(platform.order_by_c_desc());
+  worst_request.precision = Precision::Fast;
+  Schedule schedule = registry.run("scenario_lp", worst_request).schedule;
   std::cout << "  start:   load = " << schedule.total_load() << "\n";
   bool swapped = true;
   int step = 0;

@@ -5,8 +5,7 @@
 //   $ ./quickstart
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
-#include "core/lifo.hpp"
+#include "core/solver.hpp"
 #include "schedule/gantt.hpp"
 #include "schedule/timeline.hpp"
 #include "schedule/validator.hpp"
@@ -25,8 +24,11 @@ int main() {
   });
   std::cout << platform.describe() << "\n";
 
-  // --- optimal FIFO (the paper's Theorem 1) -------------------------------
-  const FifoOptimalResult fifo = solve_fifo_optimal(platform);
+  // --- optimal FIFO (the paper's Theorem 1), selected by registry name ----
+  SolveRequest request;
+  request.platform = platform;
+  const SolveResult fifo =
+      SolverRegistry::instance().run("fifo_optimal", request);
   std::cout << "optimal FIFO throughput: "
             << fifo.solution.throughput.to_double()
             << " load units per time unit"
@@ -40,12 +42,10 @@ int main() {
   std::cout << "schedule valid: " << (report.ok ? "yes" : "NO") << "\n\n";
 
   // --- LIFO comparator -----------------------------------------------------
-  const LifoResult lifo = solve_lifo_closed_form(platform);
-  std::cout << "optimal LIFO throughput: " << lifo.throughput.to_double()
+  const SolveResult lifo = SolverRegistry::instance().run("lifo", request);
+  std::cout << "optimal LIFO throughput: " << lifo.throughput()
             << "  (FIFO/LIFO ratio: "
-            << fifo.solution.throughput.to_double() /
-                   lifo.throughput.to_double()
-            << ")\n\n";
+            << fifo.throughput() / lifo.throughput() << ")\n\n";
 
   // --- visualize -----------------------------------------------------------
   const Timeline timeline = build_timeline(platform, fifo.schedule);

@@ -8,7 +8,7 @@
 //   $ ./resource_selection
 #include <iostream>
 
-#include "core/fifo_optimal.hpp"
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "platform/generators.hpp"
 #include "platform/matrix_app.hpp"
@@ -29,13 +29,18 @@ int main() {
   table.set_precision(3);
   for (double x : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0}) {
     const StarPlatform full = app.platform(gen::participation_speeds(x));
-    const auto with_all = solve_fifo_optimal(full);
-    const double rho = with_all.solution.throughput.to_double();
+    SolveRequest request;
+    request.platform = full;
+    const SolveResult with_all =
+        SolverRegistry::instance().run("fifo_optimal", request);
+    const double rho = with_all.throughput();
     const bool slow_used = with_all.solution.alpha[3].is_positive();
 
     const std::vector<std::size_t> strong{0, 1, 2};
-    const auto without = solve_fifo_optimal(full.subset(strong));
-    const double rho3 = without.solution.throughput.to_double();
+    request.platform = full.subset(strong);
+    const SolveResult without =
+        SolverRegistry::instance().run("fifo_optimal", request);
+    const double rho3 = without.throughput();
 
     table.begin_row()
         .cell(format_double(x, 2))

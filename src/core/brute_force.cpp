@@ -1,6 +1,7 @@
 #include "core/brute_force.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -9,7 +10,8 @@ namespace dlsched {
 
 namespace {
 
-/// Calls `body` with every (sigma_1, sigma_2) pair permitted by `options`.
+/// Calls `body` with every (sigma_1, sigma_2) pair permitted by `options`;
+/// `body` returns false to stop the enumeration early (time budget).
 template <class Body>
 void enumerate(const StarPlatform& platform, const BruteForceOptions& options,
                Body body) {
@@ -23,18 +25,37 @@ void enumerate(const StarPlatform& platform, const BruteForceOptions& options,
   std::iota(sigma1.begin(), sigma1.end(), std::size_t{0});
   do {
     if (options.fifo_only) {
-      body(Scenario::fifo(sigma1));
+      if (!body(Scenario::fifo(sigma1))) return;
     } else if (options.lifo_only) {
-      body(Scenario::lifo(sigma1));
+      if (!body(Scenario::lifo(sigma1))) return;
     } else {
       std::vector<std::size_t> sigma2(sigma1.begin(), sigma1.end());
       std::sort(sigma2.begin(), sigma2.end());
       do {
-        body(Scenario::general(sigma1, sigma2));
+        if (!body(Scenario::general(sigma1, sigma2))) return;
       } while (std::next_permutation(sigma2.begin(), sigma2.end()));
     }
   } while (std::next_permutation(sigma1.begin(), sigma1.end()));
 }
+
+/// Stateful deadline check; at least one scenario is always evaluated.
+class Deadline {
+ public:
+  explicit Deadline(double seconds) : enabled_(seconds > 0.0) {
+    if (enabled_) {
+      end_ = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(seconds));
+    }
+  }
+  [[nodiscard]] bool expired() const {
+    return enabled_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point end_;
+};
 
 }  // namespace
 
@@ -42,6 +63,7 @@ BruteForceResult brute_force_best(const StarPlatform& platform,
                                   const BruteForceOptions& options) {
   BruteForceResult result;
   bool have_best = false;
+  const Deadline deadline(options.time_budget_seconds);
   enumerate(platform, options, [&](const Scenario& scenario) {
     ScenarioSolution solution = solve_scenario(platform, scenario);
     ++result.scenarios_tried;
@@ -49,6 +71,8 @@ BruteForceResult brute_force_best(const StarPlatform& platform,
       result.best = std::move(solution);
       have_best = true;
     }
+    result.budget_exhausted = deadline.expired();
+    return !result.budget_exhausted;
   });
   DLSCHED_EXPECT(have_best, "no scenario was evaluated");
   return result;
@@ -58,6 +82,7 @@ BruteForceResultD brute_force_best_double(const StarPlatform& platform,
                                           const BruteForceOptions& options) {
   BruteForceResultD result;
   bool have_best = false;
+  const Deadline deadline(options.time_budget_seconds);
   enumerate(platform, options, [&](const Scenario& scenario) {
     ScenarioSolutionD solution = solve_scenario_double(platform, scenario);
     ++result.scenarios_tried;
@@ -65,6 +90,8 @@ BruteForceResultD brute_force_best_double(const StarPlatform& platform,
       result.best = std::move(solution);
       have_best = true;
     }
+    result.budget_exhausted = deadline.expired();
+    return !result.budget_exhausted;
   });
   DLSCHED_EXPECT(have_best, "no scenario was evaluated");
   return result;
@@ -75,6 +102,7 @@ void for_each_scenario(
     const std::function<void(const ScenarioSolution&)>& visit) {
   enumerate(platform, options, [&](const Scenario& scenario) {
     visit(solve_scenario(platform, scenario));
+    return true;
   });
 }
 

@@ -23,11 +23,16 @@ struct BruteForceOptions {
   bool fifo_only = false;      ///< restrict to sigma_2 == sigma_1
   bool lifo_only = false;      ///< restrict to sigma_2 == reverse(sigma_1)
   std::size_t max_workers = 7; ///< refuse larger platforms (p!^2 blow-up)
+  /// Stop enumerating after this many seconds and report the best scenario
+  /// seen so far (0 = search to completion).  A truncated search loses the
+  /// exactness guarantee, flagged via `budget_exhausted`.
+  double time_budget_seconds = 0.0;
 };
 
 struct BruteForceResult {
   ScenarioSolution best;          ///< exact optimum over the searched space
   std::size_t scenarios_tried = 0;
+  bool budget_exhausted = false;  ///< stopped early on time_budget_seconds
 };
 
 /// Exact exhaustive search.  Throws if platform.size() > options.max_workers.
@@ -37,6 +42,7 @@ struct BruteForceResult {
 struct BruteForceResultD {
   ScenarioSolutionD best;
   std::size_t scenarios_tried = 0;
+  bool budget_exhausted = false;  ///< stopped early on time_budget_seconds
 };
 
 /// Double-precision exhaustive search (for slightly larger p in benches).

@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -39,27 +40,64 @@ Scenario Scenario::general(std::span<const std::size_t> send,
   std::vector<std::size_t> b = s.return_order;
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
-  DLSCHED_EXPECT(a == b, "send and return orders must cover the same workers");
-  DLSCHED_EXPECT(std::adjacent_find(a.begin(), a.end()) == a.end(),
-                 "duplicate worker in scenario");
+  // DLSCHED_EXPECT builds its message only on failure, so *dup is safe.
+  const auto dup = std::adjacent_find(a.begin(), a.end());
+  DLSCHED_EXPECT(dup == a.end(), "worker " + std::to_string(*dup) +
+                                     " appears twice in the send order");
+  const auto dup_ret = std::adjacent_find(b.begin(), b.end());
+  DLSCHED_EXPECT(dup_ret == b.end(),
+                 "worker " + std::to_string(*dup_ret) +
+                     " appears twice in the return order");
+  if (a != b) {
+    // Name the first worker present in one order but not the other.
+    std::vector<std::size_t> send_only;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(send_only));
+    std::vector<std::size_t> ret_only;
+    std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                        std::back_inserter(ret_only));
+    std::string detail = "send and return orders must cover the same "
+                         "workers:";
+    if (!send_only.empty()) {
+      detail += " worker " + std::to_string(send_only.front()) +
+                " only in send order";
+    }
+    if (!ret_only.empty()) {
+      detail += std::string(send_only.empty() ? " " : "; ") + "worker " +
+                std::to_string(ret_only.front()) + " only in return order";
+    }
+    DLSCHED_FAIL(detail);
+  }
   return s;
 }
 
 void Scenario::check(const StarPlatform& platform) const {
   DLSCHED_EXPECT(send_order.size() == return_order.size(),
-                 "scenario orders differ in length");
+                 "scenario orders differ in length (" +
+                     std::to_string(send_order.size()) + " sends vs " +
+                     std::to_string(return_order.size()) + " returns)");
   std::vector<bool> seen_send(platform.size(), false);
   std::vector<bool> seen_ret(platform.size(), false);
   for (std::size_t w : send_order) {
-    DLSCHED_EXPECT(w < platform.size(), "scenario worker out of range");
-    DLSCHED_EXPECT(!seen_send[w], "duplicate worker in send order");
+    DLSCHED_EXPECT(w < platform.size(),
+                   "send order references worker " + std::to_string(w) +
+                       " but the platform has only " +
+                       std::to_string(platform.size()) + " workers");
+    DLSCHED_EXPECT(!seen_send[w], "worker " + std::to_string(w) +
+                                      " appears twice in the send order");
     seen_send[w] = true;
   }
   for (std::size_t w : return_order) {
-    DLSCHED_EXPECT(w < platform.size(), "scenario worker out of range");
-    DLSCHED_EXPECT(!seen_ret[w], "duplicate worker in return order");
+    DLSCHED_EXPECT(w < platform.size(),
+                   "return order references worker " + std::to_string(w) +
+                       " but the platform has only " +
+                       std::to_string(platform.size()) + " workers");
+    DLSCHED_EXPECT(!seen_ret[w], "worker " + std::to_string(w) +
+                                     " appears twice in the return order");
     seen_ret[w] = true;
-    DLSCHED_EXPECT(seen_send[w], "return order mentions unsent worker");
+    DLSCHED_EXPECT(seen_send[w],
+                   "return order mentions worker " + std::to_string(w) +
+                       ", which is missing from the send order");
   }
 }
 

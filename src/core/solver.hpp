@@ -1,0 +1,220 @@
+// Unified solver interface over every scheduling algorithm in src/core.
+//
+// The paper is fundamentally a *comparison* of solution methodologies --
+// optimal FIFO/LIFO, exhaustive search, ordering heuristics, local search,
+// multi-round dispatch -- evaluated on the same star platform.  This module
+// makes that comparison an architectural fact: each algorithm is wrapped in
+// a `Solver` adapter registered by name in the `SolverRegistry`, every
+// consumer (CLI, benches, figure sweeps, tests) selects back-ends by name,
+// and `solve_batch` fans a set of jobs across a thread pool with every
+// produced schedule re-checked by the independent validator.
+//
+// Adding an algorithm means registering one adapter; no consumer changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "core/heuristics.hpp"
+#include "core/scenario.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/validator.hpp"
+
+namespace dlsched {
+
+/// Numeric back-end for a solve.  `Exact` keeps rational arithmetic end to
+/// end (theorem-level guarantees); `Fast` allows the double-precision LP
+/// where one exists (ensemble sweeps, large platforms).
+enum class Precision { Exact, Fast };
+
+/// One problem instance plus solve options, shared by every solver.
+/// Solvers ignore the options that do not apply to them (a closed form has
+/// no use for `time_budget_seconds`) and honour the ones that do.
+struct SolveRequest {
+  StarPlatform platform;
+
+  /// Explicit communication orders for the `scenario_lp` solver; other
+  /// solvers choose their own scenario and ignore this.
+  std::optional<Scenario> scenario;
+
+  /// Explicit participant set for the affine solvers (empty = all workers).
+  std::vector<std::size_t> participants;
+
+  bool two_port = false;           ///< drop the one-port row where supported
+  AffineCosts costs;               ///< affine latencies (zero = linear model)
+  Precision precision = Precision::Exact;
+  double horizon = 1.0;            ///< schedule realization horizon T
+
+  std::uint64_t seed = 1;          ///< randomized solvers (random_fifo, ...)
+  double time_budget_seconds = 0.0;  ///< 0 = unlimited (search solvers)
+  std::size_t max_workers_brute = 7;   ///< p!^2 guard (brute force)
+  std::size_t max_workers_subset = 12; ///< 2^p guard (affine subsets)
+  std::size_t local_search_restarts = 3;
+  std::size_t local_search_max_steps = 200;
+  std::size_t max_rounds = 8;      ///< multiround sweep upper bound
+};
+
+/// What every solver returns: the solution in the common `ScenarioSolution`
+/// shape, a realized schedule, and provenance/diagnostics.
+struct SolveResult {
+  std::string solver;              ///< registry name that produced this
+
+  /// Loads/throughput, platform-indexed.  Under `Precision::Fast` the
+  /// rationals are lossless conversions of the double LP solution (so
+  /// `.to_double()` round-trips bit-exactly).
+  ScenarioSolution solution;
+
+  /// Realized schedule for `request.horizon`.  Feasible on
+  /// `schedule_platform` -- usually the request's platform, but e.g. the
+  /// no-return model strips the d terms.
+  Schedule schedule;
+  StarPlatform schedule_platform;
+
+  // ----- provenance -------------------------------------------------------
+  bool provably_optimal = false;   ///< a theorem covers this instance
+  bool mirrored = false;           ///< solved through the z > 1 mirror
+  bool used_two_port = false;      ///< solution is for the two-port model
+  bool exact = true;               ///< rational (not double) arithmetic
+
+  /// Secondary throughput where the algorithm produces one: the one-port
+  /// throughput after the Figure 7 transformation (`two_port_fifo`) or the
+  /// two-port upper bound of Theorem 2 (`bus_closed_form`).
+  std::optional<Rational> alt_throughput;
+  bool comm_limited = false;       ///< Theorem 2: 1/(c+d) branch taken
+
+  // ----- search / evaluation statistics -----------------------------------
+  std::size_t scenarios_tried = 0; ///< brute force / affine subset count
+  std::size_t lp_evaluations = 0;  ///< local search oracle calls
+  std::size_t ascents = 0;         ///< local search accepted steps
+  std::size_t best_rounds = 0;     ///< multiround: optimal R found
+  double multiround_makespan = 0.0;
+  bool budget_exhausted = false;   ///< stopped early on time_budget_seconds
+
+  double wall_seconds = 0.0;       ///< filled by SolverRegistry::run
+  std::string notes;               ///< free-form diagnostics
+
+  [[nodiscard]] double throughput() const {
+    return solution.throughput.to_double();
+  }
+
+  /// The solution reshaped for double-precision consumers (sweeps, DES
+  /// feeds).  Lossless: under `Precision::Fast` this round-trips the
+  /// double LP's numbers bit-exactly.
+  [[nodiscard]] ScenarioSolutionD solution_double() const;
+};
+
+/// Abstract solution methodology.  Implementations are stateless; options
+/// travel in the request.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Paper anchor (theorem / section / reference) this method implements.
+  [[nodiscard]] virtual std::string paper_ref() const = 0;
+
+  /// Whether this method can handle the request (e.g. Theorem 2 requires a
+  /// bus).  On false, `why` (if given) receives a human-readable reason.
+  [[nodiscard]] virtual bool applicable(const SolveRequest& request,
+                                        std::string* why = nullptr) const;
+
+  /// Solves the request.  Throws `dlsched::Error` on precondition
+  /// violations (including inapplicable requests).
+  [[nodiscard]] virtual SolveResult solve(const SolveRequest& request) const = 0;
+};
+
+using SolverFactory = std::function<std::unique_ptr<Solver>()>;
+
+/// Descriptive registry entry (what `--list-solvers` prints).
+struct SolverInfo {
+  std::string name;
+  std::string description;
+  std::string paper_ref;
+};
+
+/// Name -> factory map over all registered solution methodologies.  The
+/// process-wide instance comes pre-populated with every algorithm in
+/// src/core; library users may register additional back-ends.
+class SolverRegistry {
+ public:
+  /// The process-wide registry (builtins registered on first use).
+  static SolverRegistry& instance();
+
+  /// Registers a factory.  Throws on duplicate names.
+  void add(SolverFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Instantiates a solver.  Throws with the list of known names on miss.
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Name/description/paper-ref rows, sorted by name.
+  [[nodiscard]] std::vector<SolverInfo> infos() const;
+
+  /// create + solve + wall-clock stamping in one call -- the main entry
+  /// point for consumers.
+  [[nodiscard]] SolveResult run(const std::string& name,
+                                const SolveRequest& request) const;
+
+  /// An empty registry (for tests); the process-wide instance is usually
+  /// what you want.
+  SolverRegistry() = default;
+
+ private:
+  std::vector<std::pair<std::string, SolverFactory>> factories_;
+};
+
+// --------------------------------------------------------------- batching --
+
+/// One unit of batch work: a solver name plus its request.
+struct BatchJob {
+  std::string solver;
+  SolveRequest request;
+};
+
+/// Outcome of one batch job.  `ok` means the solve completed and the
+/// schedule passed the independent validator.
+struct BatchOutcome {
+  std::string solver;
+  bool solved = false;             ///< solve() returned without throwing
+  bool ok = false;                 ///< solved and validator-clean
+  std::string error;               ///< exception text when !solved
+  SolveResult result;              ///< valid when solved
+  ValidationReport validation;     ///< valid when solved
+};
+
+/// Runs every job on a pool of `threads` std::threads (0 = hardware
+/// concurrency, capped at the job count) and validates each produced
+/// schedule through schedule/validator.  Outcomes are returned in job
+/// order regardless of thread interleaving; a throwing job yields an
+/// outcome with `solved == false` instead of aborting the batch.
+[[nodiscard]] std::vector<BatchOutcome> solve_batch(
+    std::span<const BatchJob> jobs, std::size_t threads = 0);
+
+/// Portfolio convenience: one request across many solvers.  Inapplicable
+/// solvers are skipped (not errors) when `skip_inapplicable`.
+[[nodiscard]] std::vector<BatchOutcome> solve_batch_across_solvers(
+    const SolveRequest& request, std::span<const std::string> solvers,
+    std::size_t threads = 0, bool skip_inapplicable = true);
+
+/// Sweep convenience: one solver across many platforms (all other request
+/// fields shared).
+[[nodiscard]] std::vector<BatchOutcome> solve_batch_across_platforms(
+    const std::string& solver, std::span<const StarPlatform> platforms,
+    const SolveRequest& base_request = {}, std::size_t threads = 0);
+
+/// Registry name of the adapter wrapping heuristic `h` ("inc_c", "inc_w",
+/// "lifo", "dec_c", "random_fifo").
+[[nodiscard]] const char* solver_name_for(Heuristic h) noexcept;
+
+}  // namespace dlsched

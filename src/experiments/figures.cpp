@@ -5,6 +5,7 @@
 #include <iostream>
 #include <thread>
 
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "schedule/rounding.hpp"
 #include "sim/des_executor.hpp"
@@ -17,7 +18,13 @@ HeuristicTimes run_heuristic(const StarPlatform& platform,
                              Heuristic heuristic,
                              std::uint64_t total_tasks,
                              std::uint64_t noise_seed) {
-  const ScenarioSolutionD solution = solve_heuristic(platform, heuristic);
+  SolveRequest request;
+  request.platform = platform;
+  request.precision = Precision::Fast;
+  const ScenarioSolutionD solution =
+      SolverRegistry::instance()
+          .run(solver_name_for(heuristic), request)
+          .solution_double();
   HeuristicTimes times;
   times.lp = makespan_for_load(solution.throughput,
                                static_cast<double>(total_tasks));

@@ -1,5 +1,6 @@
 #include "runtime/runtime_app.hpp"
 
+#include "core/solver.hpp"
 #include "core/throughput.hpp"
 #include "schedule/rounding.hpp"
 #include "util/error.hpp"
@@ -19,8 +20,13 @@ RuntimeOutcome run_experiment(const RuntimeExperiment& experiment) {
   const MatrixApp app = matching_app(experiment.config);
   const StarPlatform platform = app.platform(experiment.speeds);
 
+  SolveRequest request;
+  request.platform = platform;
+  request.precision = Precision::Fast;
   const ScenarioSolutionD solution =
-      solve_heuristic(platform, experiment.heuristic);
+      SolverRegistry::instance()
+          .run(solver_name_for(experiment.heuristic), request)
+          .solution_double();
   DLSCHED_EXPECT(solution.throughput > 0.0, "heuristic found zero throughput");
 
   RuntimeOutcome outcome;

@@ -1,0 +1,202 @@
+// Registry-backed entry points for the test suite.
+//
+// Every algorithm assertion in tests/ goes through the SolverRegistry --
+// the same path the CLI, the benches and the figure sweeps use -- so a
+// mis-wired adapter fails the suite, not just the consumers.  The shims
+// reshape `SolveResult` into the per-algorithm result structs the
+// theorem-level tests assert on (exact loads, orders, secondary
+// throughputs), keeping the test bodies focused on the math.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "numeric/rational.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace dlsched::shim {
+
+using numeric::Rational;
+
+inline SolveRequest request_for(const StarPlatform& platform) {
+  SolveRequest request;
+  request.platform = platform;
+  return request;
+}
+
+inline SolveResult run(const std::string& solver,
+                       const SolveRequest& request) {
+  return SolverRegistry::instance().run(solver, request);
+}
+
+/// Theorem 1 FIFO optimum.  `SolveResult` carries the same fields the old
+/// `FifoOptimalResult` exposed (solution, schedule, mirrored,
+/// provably_optimal).
+inline SolveResult fifo_optimal(const StarPlatform& platform) {
+  return run("fifo_optimal", request_for(platform));
+}
+
+struct LifoShim {
+  Rational throughput;
+  std::vector<Rational> alpha;
+  std::vector<std::size_t> order;
+  Schedule schedule;
+};
+
+/// Closed-form optimal LIFO in the old `LifoResult` shape.
+inline LifoShim lifo_closed_form(const StarPlatform& platform) {
+  SolveResult result = run("lifo", request_for(platform));
+  return {std::move(result.solution.throughput),
+          std::move(result.solution.alpha),
+          std::move(result.solution.scenario.send_order),
+          std::move(result.schedule)};
+}
+
+/// Optimal LIFO through the scenario LP.
+inline ScenarioSolution lifo_lp(const StarPlatform& platform) {
+  SolveRequest request = request_for(platform);
+  request.scenario = Scenario::lifo(platform.order_by_c());
+  return run("scenario_lp", request).solution;
+}
+
+/// Exact scenario LP (paper LP (2)); `options` covers the two-port and
+/// affine variants.
+inline ScenarioSolution scenario_exact(const StarPlatform& platform,
+                                       const Scenario& scenario,
+                                       const LpOptions& options = {}) {
+  SolveRequest request = request_for(platform);
+  request.scenario = scenario;
+  request.two_port = !options.one_port;
+  request.costs.send_latency = options.send_latency;
+  request.costs.compute_latency = options.compute_latency;
+  request.costs.return_latency = options.return_latency;
+  return run("scenario_lp", request).solution;
+}
+
+/// Double-precision scenario LP in the old `ScenarioSolutionD` shape.
+inline ScenarioSolutionD scenario_double(const StarPlatform& platform,
+                                         const Scenario& scenario) {
+  SolveRequest request = request_for(platform);
+  request.scenario = scenario;
+  request.precision = Precision::Fast;
+  return run("scenario_lp", request).solution_double();
+}
+
+/// Two-port scenario LP (the paper's LP without row (2b)).
+inline ScenarioSolution scenario_two_port(const StarPlatform& platform,
+                                          const Scenario& scenario) {
+  LpOptions options;
+  options.one_port = false;
+  return scenario_exact(platform, scenario, options);
+}
+
+struct TwoPortShim {
+  ScenarioSolution solution;
+  Rational one_port_throughput;
+};
+
+/// Optimal two-port FIFO in the old `TwoPortFifoResult` shape.
+inline TwoPortShim fifo_two_port(const StarPlatform& platform) {
+  SolveResult result = run("two_port_fifo", request_for(platform));
+  return {std::move(result.solution), std::move(*result.alt_throughput)};
+}
+
+struct BusShim {
+  Rational throughput;
+  Rational two_port_throughput;
+  bool comm_limited = false;
+  std::vector<Rational> alpha;
+  Schedule schedule;
+};
+
+/// Theorem 2 in the old `BusClosedFormResult` shape.
+inline BusShim bus_closed_form(const StarPlatform& platform) {
+  SolveResult result = run("bus_closed_form", request_for(platform));
+  return {std::move(result.solution.throughput),
+          std::move(*result.alt_throughput), result.comm_limited,
+          std::move(result.solution.alpha), std::move(result.schedule)};
+}
+
+struct NoReturnShim {
+  Rational throughput;
+  std::vector<Rational> alpha;
+  std::vector<std::size_t> order;
+  Schedule schedule;
+};
+
+/// No-return baseline in the old `NoReturnResult` shape.
+inline NoReturnShim no_return_optimal(const StarPlatform& platform) {
+  SolveResult result = run("no_return", request_for(platform));
+  return {std::move(result.solution.throughput),
+          std::move(result.solution.alpha),
+          std::move(result.solution.scenario.send_order),
+          std::move(result.schedule)};
+}
+
+inline SolveRequest heuristic_request(const StarPlatform& platform,
+                                      Rng* rng) {
+  SolveRequest request = request_for(platform);
+  if (rng != nullptr) request.seed = rng->fork_seed();
+  return request;
+}
+
+/// Section 5 heuristics, exact LP.
+inline ScenarioSolution heuristic_exact(const StarPlatform& platform,
+                                        Heuristic h, Rng* rng = nullptr) {
+  return run(solver_name_for(h), heuristic_request(platform, rng)).solution;
+}
+
+/// Section 5 heuristics, double LP, in the old `ScenarioSolutionD` shape.
+inline ScenarioSolutionD heuristic_double(const StarPlatform& platform,
+                                          Heuristic h, Rng* rng = nullptr) {
+  SolveRequest request = heuristic_request(platform, rng);
+  request.precision = Precision::Fast;
+  return run(solver_name_for(h), request).solution_double();
+}
+
+/// Affine FIFO LP over an explicit participant set.
+inline ScenarioSolution affine_fifo(const StarPlatform& platform,
+                                    std::vector<std::size_t> participants,
+                                    const AffineCosts& costs) {
+  SolveRequest request = request_for(platform);
+  request.participants = std::move(participants);
+  request.costs = costs;
+  return run("affine_fifo", request).solution;
+}
+
+struct AffineSelectionShim {
+  ScenarioSolution best;
+  std::vector<std::size_t> participants;
+  std::size_t subsets_tried = 0;
+};
+
+/// Exact affine resource selection in the old `AffineSelectionResult`
+/// shape.
+inline AffineSelectionShim affine_best_subset(const StarPlatform& platform,
+                                              const AffineCosts& costs,
+                                              std::size_t max_workers = 12) {
+  SolveRequest request = request_for(platform);
+  request.costs = costs;
+  request.max_workers_subset = max_workers;
+  SolveResult result = run("affine_subset", request);
+  std::vector<std::size_t> participants = result.solution.enrolled();
+  return {std::move(result.solution), std::move(participants),
+          result.scenarios_tried};
+}
+
+/// Greedy affine resource selection.
+inline AffineSelectionShim affine_greedy(const StarPlatform& platform,
+                                         const AffineCosts& costs) {
+  SolveRequest request = request_for(platform);
+  request.costs = costs;
+  SolveResult result = run("affine_greedy", request);
+  std::vector<std::size_t> participants = result.solution.enrolled();
+  return {std::move(result.solution), std::move(participants),
+          result.scenarios_tried};
+}
+
+}  // namespace dlsched::shim

@@ -7,6 +7,7 @@
 #include "core/fifo_optimal.hpp"
 #include "platform/generators.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -22,9 +23,9 @@ std::vector<std::size_t> all_of(const StarPlatform& platform) {
 TEST(Affine, ZeroLatenciesReduceToLinearModel) {
   Rng rng(221);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto linear = solve_fifo_optimal(platform);
+  const auto linear = shim::fifo_optimal(platform);
   const auto affine =
-      solve_affine_fifo(platform, all_of(platform), AffineCosts{});
+      shim::affine_fifo(platform, all_of(platform), AffineCosts{});
   EXPECT_EQ(affine.throughput, linear.solution.throughput);
 }
 
@@ -32,11 +33,11 @@ TEST(Affine, LatencyStrictlyReducesThroughput) {
   Rng rng(222);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
   const auto base =
-      solve_affine_fifo(platform, all_of(platform), AffineCosts{});
+      shim::affine_fifo(platform, all_of(platform), AffineCosts{});
   AffineCosts costs;
   costs.send_latency = 0.01;
   costs.return_latency = 0.01;
-  const auto delayed = solve_affine_fifo(platform, all_of(platform), costs);
+  const auto delayed = shim::affine_fifo(platform, all_of(platform), costs);
   ASSERT_TRUE(delayed.lp_feasible);
   EXPECT_LT(delayed.throughput, base.throughput);
 }
@@ -50,7 +51,7 @@ TEST(Affine, SingleWorkerHandComputation) {
   costs.send_latency = 0.125;
   costs.compute_latency = 0.125;
   costs.return_latency = 0.125;
-  const auto result = solve_affine_fifo(platform, {0}, costs);
+  const auto result = shim::affine_fifo(platform, {0}, costs);
   ASSERT_TRUE(result.lp_feasible);
   EXPECT_EQ(result.throughput, Rational(5, 6));
 }
@@ -61,7 +62,7 @@ TEST(Affine, ConstantsCanMakeAScenarioInfeasible) {
   AffineCosts costs;
   costs.send_latency = 0.4;  // two sends alone exceed T = 1 via (2b)
   costs.return_latency = 0.4;
-  const auto result = solve_affine_fifo(platform, all_of(platform), costs);
+  const auto result = shim::affine_fifo(platform, all_of(platform), costs);
   EXPECT_FALSE(result.lp_feasible);
   EXPECT_TRUE(result.throughput.is_zero());
 }
@@ -76,7 +77,7 @@ TEST(Affine, SelectionDropsWorkersUnderHighLatency) {
   AffineCosts costs;
   costs.send_latency = 0.2;
   costs.return_latency = 0.2;
-  const auto best = solve_affine_fifo_best_subset(platform, costs);
+  const auto best = shim::affine_best_subset(platform, costs);
   EXPECT_LT(best.participants.size(), platform.size());
   EXPECT_EQ(best.subsets_tried, 15u);  // 2^4 - 1
 }
@@ -86,7 +87,7 @@ TEST(Affine, SelectionKeepsEveryoneWithoutLatency) {
   const StarPlatform platform = gen::random_star(4, rng, 0.5, 0.1, 0.3,
                                                  0.5, 2.0);
   const auto best =
-      solve_affine_fifo_best_subset(platform, AffineCosts{});
+      shim::affine_best_subset(platform, AffineCosts{});
   EXPECT_EQ(best.participants.size(), platform.size());
 }
 
@@ -94,7 +95,7 @@ TEST(Affine, SubsetGuardRejectsLargePlatforms) {
   Rng rng(224);
   const StarPlatform platform = gen::random_star(13, rng, 0.5);
   EXPECT_THROW(
-      solve_affine_fifo_best_subset(platform, AffineCosts{}, 12),
+      shim::affine_best_subset(platform, AffineCosts{}, 12),
       Error);
 }
 
@@ -111,8 +112,8 @@ TEST_P(AffineSweep, GreedyPrefixMatchesExhaustiveOnUniformWorkers) {
   AffineCosts costs;
   costs.send_latency = rng.uniform(0.02, 0.1);
   costs.return_latency = costs.send_latency / 2.0;
-  const auto greedy = solve_affine_fifo_greedy(platform, costs);
-  const auto exact = solve_affine_fifo_best_subset(platform, costs);
+  const auto greedy = shim::affine_greedy(platform, costs);
+  const auto exact = shim::affine_best_subset(platform, costs);
   EXPECT_EQ(greedy.best.throughput, exact.best.throughput);
 }
 
@@ -123,22 +124,22 @@ TEST_P(AffineSweep, GreedyNeverBeatsExhaustive) {
   costs.send_latency = rng.uniform(0.0, 0.05);
   costs.compute_latency = rng.uniform(0.0, 0.05);
   costs.return_latency = rng.uniform(0.0, 0.05);
-  const auto greedy = solve_affine_fifo_greedy(platform, costs);
-  const auto exact = solve_affine_fifo_best_subset(platform, costs);
+  const auto greedy = shim::affine_greedy(platform, costs);
+  const auto exact = shim::affine_best_subset(platform, costs);
   EXPECT_LE(greedy.best.throughput, exact.best.throughput);
 }
 
 TEST_P(AffineSweep, ThroughputIsMonotoneInLatency) {
   Rng rng(GetParam() ^ 0xbeef);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  Rational previous = solve_affine_fifo(platform, all_of(platform),
+  Rational previous = shim::affine_fifo(platform, all_of(platform),
                                         AffineCosts{})
                           .throughput;
   for (double latency : {0.005, 0.01, 0.02, 0.04}) {
     AffineCosts costs;
     costs.send_latency = latency;
     costs.return_latency = latency / 2.0;
-    const auto result = solve_affine_fifo(platform, all_of(platform), costs);
+    const auto result = shim::affine_fifo(platform, all_of(platform), costs);
     if (!result.lp_feasible) break;
     EXPECT_LE(result.throughput, previous);
     previous = result.throughput;

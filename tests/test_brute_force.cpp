@@ -5,6 +5,7 @@
 #include "core/lifo.hpp"
 #include "platform/generators.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -89,7 +90,7 @@ TEST_P(BruteForceSweep, GeneralOptimumIsAtLeastFifoOptimum) {
   // the general optimum dominates, and on some instances strictly.
   Rng rng(GetParam());
   const StarPlatform platform = gen::random_star_grid(3, rng, 1, 2);
-  const auto fifo = solve_fifo_optimal(platform);
+  const auto fifo = shim::fifo_optimal(platform);
   const auto general = brute_force_best(platform, BruteForceOptions{});
   EXPECT_GE(general.best.throughput, fifo.solution.throughput);
 }
@@ -100,7 +101,7 @@ TEST_P(BruteForceSweep, LifoOptimumMatchesClosedFormSearch) {
   BruteForceOptions options;
   options.lifo_only = true;
   const auto brute = brute_force_best(platform, options);
-  const auto closed = solve_lifo_closed_form(platform);
+  const auto closed = shim::lifo_closed_form(platform);
   EXPECT_EQ(brute.best.throughput, closed.throughput);
 }
 

@@ -8,6 +8,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -16,13 +17,13 @@ using numeric::Rational;
 
 TEST(BusClosedForm, RequiresBus) {
   const StarPlatform star({Worker{1, 1, 0.5, ""}, Worker{2, 1, 1, ""}});
-  EXPECT_THROW(solve_bus_closed_form(star), Error);
+  EXPECT_THROW(shim::bus_closed_form(star), Error);
 }
 
 TEST(BusClosedForm, SingleWorkerFormula) {
   // p = 1: u_1 = 1/(c + w1); rho~ = u1/(1 + d u1) = 1/(c + w1 + d).
   const StarPlatform bus = StarPlatform::bus(0.25, 0.125, {0.5});
-  const auto result = solve_bus_closed_form(bus);
+  const auto result = shim::bus_closed_form(bus);
   EXPECT_EQ(result.throughput, Rational(8, 7));
   EXPECT_FALSE(result.comm_limited);
 }
@@ -33,7 +34,7 @@ TEST(BusClosedForm, CommLimitedBranch) {
   // comparison exact.)
   const StarPlatform bus =
       StarPlatform::bus(0.25, 0.125, {0.015625, 0.015625, 0.015625});
-  const auto result = solve_bus_closed_form(bus);
+  const auto result = shim::bus_closed_form(bus);
   EXPECT_TRUE(result.comm_limited);
   EXPECT_EQ(result.throughput, Rational(8, 3));  // 1 / 0.375
   EXPECT_GT(result.two_port_throughput, result.throughput);
@@ -42,7 +43,7 @@ TEST(BusClosedForm, CommLimitedBranch) {
 TEST(BusClosedForm, AllWorkersEnrolled) {
   Rng rng(41);
   const StarPlatform bus = gen::random_bus(7, rng, 0.5);
-  const auto result = solve_bus_closed_form(bus);
+  const auto result = shim::bus_closed_form(bus);
   for (const Rational& a : result.alpha) EXPECT_TRUE(a.is_positive());
   EXPECT_EQ(result.schedule.entries.size(), 7u);
 }
@@ -52,7 +53,7 @@ TEST(BusClosedForm, ScheduleValidatesAndMatchesThroughput) {
   for (int trial = 0; trial < 6; ++trial) {
     const StarPlatform bus =
         gen::random_bus(5, rng, rng.uniform(0.1, 0.9));
-    const auto result = solve_bus_closed_form(bus);
+    const auto result = shim::bus_closed_form(bus);
     const auto report = validate(bus, result.schedule);
     EXPECT_TRUE(report.ok) << (report.violations.empty()
                                    ? ""
@@ -78,8 +79,8 @@ TEST_P(BusSweep, ClosedFormEqualsFifoLpExactly) {
   }
   const StarPlatform bus = StarPlatform::bus(c, d, w);
 
-  const auto closed = solve_bus_closed_form(bus);
-  const auto lp = solve_fifo_optimal(bus);
+  const auto closed = shim::bus_closed_form(bus);
+  const auto lp = shim::fifo_optimal(bus);
   EXPECT_EQ(closed.throughput, lp.solution.throughput)
       << "closed form " << closed.throughput.to_string() << " vs LP "
       << lp.solution.throughput.to_string();
@@ -94,10 +95,10 @@ TEST_P(BusSweep, EveryFifoOrderingIsEquivalentOnABus) {
     wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
   }
   const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
-  const auto reference = solve_bus_closed_form(bus);
+  const auto reference = shim::bus_closed_form(bus);
   for (int trial = 0; trial < 5; ++trial) {
     const auto order = rng.permutation(bus.size());
-    const auto sol = solve_scenario(bus, Scenario::fifo(order));
+    const auto sol = shim::scenario_exact(bus, Scenario::fifo(order));
     EXPECT_EQ(sol.throughput, reference.throughput);
   }
 }
@@ -112,11 +113,11 @@ TEST_P(BusSweep, USumIsOrderInvariant) {
     wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
   }
   const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
-  const Rational reference = solve_bus_closed_form(bus).throughput;
+  const Rational reference = shim::bus_closed_form(bus).throughput;
 
   const auto perm = rng.permutation(bus.size());
   const StarPlatform shuffled = bus.subset(perm);
-  EXPECT_EQ(solve_bus_closed_form(shuffled).throughput, reference);
+  EXPECT_EQ(shim::bus_closed_form(shuffled).throughput, reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BusSweep,
@@ -128,7 +129,7 @@ TEST(BusClosedForm, TwoPortBoundsOnePort) {
   for (int trial = 0; trial < 10; ++trial) {
     const StarPlatform bus =
         gen::random_bus(6, rng, rng.uniform(0.1, 0.9));
-    const auto result = solve_bus_closed_form(bus);
+    const auto result = shim::bus_closed_form(bus);
     EXPECT_LE(result.throughput, result.two_port_throughput);
   }
 }
@@ -137,7 +138,7 @@ TEST(BusClosedForm, HomogeneousWorkersShareLoadByFormula) {
   // All workers identical: u_i follows a geometric progression with ratio
   // (d+w)/(c+w) < 1, so earlier workers carry more load.
   const StarPlatform bus = StarPlatform::bus(0.25, 0.125, {1.0, 1.0, 1.0});
-  const auto result = solve_bus_closed_form(bus);
+  const auto result = shim::bus_closed_form(bus);
   EXPECT_GT(result.alpha[0], result.alpha[1]);
   EXPECT_GT(result.alpha[1], result.alpha[2]);
   const Rational ratio1 = result.alpha[1] / result.alpha[0];
@@ -150,7 +151,7 @@ TEST(BusClosedForm, DegenerateZeroDHandled) {
   // d = 0 (no return data): rho = min(1/c, U) with u_i = prod/(w_i)...
   // formula remains finite and the schedule valid.
   const StarPlatform bus = StarPlatform::bus(0.5, 0.0, {1.0, 1.0});
-  const auto result = solve_bus_closed_form(bus);
+  const auto result = shim::bus_closed_form(bus);
   EXPECT_GT(result.throughput, Rational(0));
   EXPECT_TRUE(validate(bus, result.schedule).ok);
 }

@@ -6,6 +6,7 @@
 #include "schedule/validator.hpp"
 #include "sim/des_executor.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched::sim {
 namespace {
@@ -41,7 +42,7 @@ TEST_P(DesAgreement, NoiseFreeDesMatchesAnalyticSweepExactly) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.1, 1.5));
     for (Heuristic h : {Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo}) {
-      const auto sol = solve_heuristic(platform, h);
+      const auto sol = shim::heuristic_double(platform, h);
       const auto des = execute(platform, sol.scenario, sol.alpha);
       const double analytic =
           packed_makespan(platform, sol.scenario, sol.alpha);
@@ -53,7 +54,7 @@ TEST_P(DesAgreement, NoiseFreeDesMatchesAnalyticSweepExactly) {
 TEST_P(DesAgreement, TraceValidatesAsOnePortTimeline) {
   Rng rng(GetParam() ^ 0x9999);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const auto des = execute(platform, sol.scenario, sol.alpha);
   const Timeline timeline = des.trace.to_timeline();
   const auto report =
@@ -69,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DesAgreement,
 TEST(DesExecutor, LatencyIncreasesMakespan) {
   Rng rng(91);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const auto exact = execute(platform, sol.scenario, sol.alpha);
   NoiseModel latency;
   latency.comm_latency = 0.01;
@@ -80,7 +81,7 @@ TEST(DesExecutor, LatencyIncreasesMakespan) {
 TEST(DesExecutor, NoiseIsDeterministicPerSeed) {
   Rng rng(92);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const NoiseModel noise = NoiseModel::cluster_like(17);
   const auto a = execute(platform, sol.scenario, sol.alpha, noise);
   const auto b = execute(platform, sol.scenario, sol.alpha, noise);
@@ -96,7 +97,7 @@ TEST(DesExecutor, NoisyRunStaysNearPrediction) {
   // ideal (the paper observed <= 20 % model error).
   Rng rng(93);
   const StarPlatform platform = gen::random_star(6, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const auto noisy = execute(platform, sol.scenario, sol.alpha,
                              NoiseModel::cluster_like(5));
   EXPECT_GT(noisy.makespan, 0.75);
@@ -121,7 +122,7 @@ TEST(DesExecutor, ReturnOrderFollowsSigma2EvenWhenInverted) {
 TEST(DesExecutor, MasterUtilizationIsSaneFraction) {
   Rng rng(94);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const auto result = execute(platform, sol.scenario, sol.alpha);
   const double util = result.trace.master_utilization();
   EXPECT_GT(util, 0.0);

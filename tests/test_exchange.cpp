@@ -7,6 +7,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -14,7 +15,7 @@ namespace {
 /// A packed FIFO schedule for the given order, loads from that order's LP.
 Schedule fifo_schedule_for_order(const StarPlatform& platform,
                                  const std::vector<std::size_t>& order) {
-  const auto sol = solve_scenario_double(platform, Scenario::fifo(order));
+  const auto sol = shim::scenario_double(platform, Scenario::fifo(order));
   return realize_schedule(platform, sol);
 }
 
@@ -111,7 +112,7 @@ TEST(Exchange, ShiftIdleRightMovesTheGapAndNeverLosesLoad) {
   Rng rng(404);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
   const auto order = platform.order_by_c();
-  const auto sol = solve_scenario_double(platform, Scenario::fifo(order));
+  const auto sol = shim::scenario_double(platform, Scenario::fifo(order));
   std::vector<double> alpha = sol.alpha;
   // Find an interior enrolled worker and shave off load: a gap appears.
   const std::size_t victim = order[1];
@@ -181,7 +182,7 @@ TEST_P(ExchangeSweep, SortingFromAnyOrderNeverBeatsTheLpOptimum) {
   Rng rng(GetParam());
   const StarPlatform platform =
       gen::random_star(5, rng, rng.uniform(0.1, 0.9));
-  const auto optimal = solve_fifo_optimal(platform);
+  const auto optimal = shim::fifo_optimal(platform);
   const auto start_order = rng.permutation(platform.size());
   const Schedule sorted = sort_by_exchanges(
       platform, fifo_schedule_for_order(platform, start_order));

@@ -7,6 +7,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -17,7 +18,7 @@ using numeric::Rational;
 
 TEST(FifoOptimal, SingleWorker) {
   const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   EXPECT_EQ(result.solution.throughput, Rational(8, 7));
   EXPECT_TRUE(result.provably_optimal);
   EXPECT_FALSE(result.mirrored);
@@ -27,7 +28,7 @@ TEST(FifoOptimal, SingleWorker) {
 TEST(FifoOptimal, UsesNonDecreasingCOrder) {
   const StarPlatform platform({Worker{0.3, 0.1, 0.15, "slow_link"},
                                Worker{0.1, 0.3, 0.05, "fast_link"}});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   ASSERT_EQ(result.solution.scenario.send_order.size(), 2u);
   EXPECT_EQ(result.solution.scenario.send_order[0], 1u);  // smaller c first
   EXPECT_TRUE(result.solution.scenario.is_fifo());
@@ -38,7 +39,7 @@ TEST(FifoOptimal, ScheduleValidatesOnRandomPlatforms) {
   for (int i = 0; i < 10; ++i) {
     const StarPlatform platform =
         gen::random_star(6, rng, rng.uniform(0.1, 0.95));
-    const auto result = solve_fifo_optimal(platform);
+    const auto result = shim::fifo_optimal(platform);
     const auto report = validate(platform, result.schedule);
     EXPECT_TRUE(report.ok) << (report.violations.empty()
                                    ? ""
@@ -57,7 +58,7 @@ TEST_P(Theorem1Sweep, SortedOrderBeatsEveryOtherFifoOrder) {
   // order achieves a strictly larger throughput (z < 1).
   Rng rng(GetParam());
   const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
-  const auto optimal = solve_fifo_optimal(platform);
+  const auto optimal = shim::fifo_optimal(platform);
 
   BruteForceOptions options;
   options.fifo_only = true;
@@ -78,7 +79,7 @@ TEST_P(Theorem1Sweep, AtMostOneEnrolledWorkerIdles) {
   Rng rng(GetParam() ^ 0xf1f0);
   const double z = rng.uniform(0.1, 0.9);
   const StarPlatform platform = gen::random_star(5, rng, z);
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   if (result.solution.enrolled().size() != platform.size()) {
     GTEST_SKIP() << "resource selection dropped a worker; vertex counting "
                     "does not directly apply";
@@ -95,7 +96,7 @@ TEST_P(Theorem1Sweep, MirrorSolvesZGreaterThanOne) {
   // must send in non-increasing c order.
   Rng rng(GetParam() ^ 0x2222);
   const StarPlatform platform = gen::random_star_grid(4, rng, 2, 1);  // z = 2
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   EXPECT_TRUE(result.mirrored);
   EXPECT_TRUE(validate(platform, result.schedule).ok);
 
@@ -115,10 +116,10 @@ TEST_P(Theorem1Sweep, ZEqualsOneIsOrderInsensitive) {
   // z = 1 (c_i = d_i): every FIFO order achieves the optimum.
   Rng rng(GetParam() ^ 0x3333);
   const StarPlatform platform = gen::random_star_grid(4, rng, 1, 1);
-  const auto reference = solve_fifo_optimal(platform);
+  const auto reference = shim::fifo_optimal(platform);
   for (int trial = 0; trial < 4; ++trial) {
     const auto order = rng.permutation(platform.size());
-    const auto sol = solve_scenario(platform, Scenario::fifo(order));
+    const auto sol = shim::scenario_exact(platform, Scenario::fifo(order));
     EXPECT_EQ(sol.throughput, reference.solution.throughput);
   }
 }
@@ -135,7 +136,7 @@ TEST(FifoOptimal, DropsUselessWorker) {
   const StarPlatform platform({Worker{0.05, 0.2, 0.025, "good1"},
                                Worker{0.06, 0.25, 0.03, "good2"},
                                Worker{5.0, 50.0, 2.5, "hopeless"}});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   const auto used = result.solution.enrolled();
   EXPECT_LT(used.size(), platform.size());
   for (std::size_t w : used) EXPECT_NE(platform.worker(w).name, "hopeless");
@@ -144,7 +145,7 @@ TEST(FifoOptimal, DropsUselessWorker) {
 TEST(FifoOptimal, EnrollsEveryoneWhenWorthwhile) {
   // Identical strong workers: all are enrolled.
   const StarPlatform platform = StarPlatform::bus(0.1, 0.05, {1.0, 1.0, 1.0});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   EXPECT_EQ(result.solution.enrolled().size(), 3u);
 }
 
@@ -159,8 +160,8 @@ TEST(FifoOptimal, MoreWorkersNeverHurt) {
                           "extra"});
     plus.back().d = 0.5 * plus.back().c;
     const StarPlatform big(plus);
-    const auto small_result = solve_fifo_optimal(small);
-    const auto big_result = solve_fifo_optimal(big);
+    const auto small_result = shim::fifo_optimal(small);
+    const auto big_result = shim::fifo_optimal(big);
     EXPECT_GE(big_result.solution.throughput, small_result.solution.throughput);
   }
 }
@@ -168,13 +169,13 @@ TEST(FifoOptimal, MoreWorkersNeverHurt) {
 // -------------------------------------------------------------- edge cases --
 
 TEST(FifoOptimal, EmptyPlatformRejected) {
-  EXPECT_THROW(solve_fifo_optimal(StarPlatform()), Error);
+  EXPECT_THROW(shim::fifo_optimal(StarPlatform()), Error);
 }
 
 TEST(FifoOptimal, NonUniformZFlaggedAsHeuristic) {
   const StarPlatform platform({Worker{1.0, 1.0, 0.5, ""},
                                Worker{1.0, 1.0, 0.9, ""}});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   EXPECT_FALSE(result.provably_optimal);
   EXPECT_TRUE(validate(platform, result.schedule).ok);
 }
@@ -182,11 +183,11 @@ TEST(FifoOptimal, NonUniformZFlaggedAsHeuristic) {
 TEST(FifoOptimal, TwoIdenticalWorkersSplitSymmetrically) {
   const StarPlatform platform({Worker{0.2, 0.4, 0.1, "P1"},
                                Worker{0.2, 0.4, 0.1, "P2"}});
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   // Both enrolled; the optimum is unique here up to the LP vertex choice,
   // but total load must exceed the single-worker throughput.
   const StarPlatform solo({Worker{0.2, 0.4, 0.1, "P1"}});
-  const auto solo_result = solve_fifo_optimal(solo);
+  const auto solo_result = shim::fifo_optimal(solo);
   EXPECT_GT(result.solution.throughput, solo_result.solution.throughput);
 }
 

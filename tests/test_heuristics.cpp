@@ -4,6 +4,7 @@
 #include "platform/generators.hpp"
 #include "platform/matrix_app.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -51,14 +52,14 @@ TEST_P(HeuristicOrderSweep, IncCDominatesOtherFifoHeuristics) {
   Rng rng(GetParam());
   const StarPlatform platform =
       gen::random_star(6, rng, rng.uniform(0.1, 0.9));
-  const auto inc_c = solve_heuristic_exact(platform, Heuristic::IncC);
-  const auto inc_w = solve_heuristic_exact(platform, Heuristic::IncW);
-  const auto dec_c = solve_heuristic_exact(platform, Heuristic::DecC);
+  const auto inc_c = shim::heuristic_exact(platform, Heuristic::IncC);
+  const auto inc_w = shim::heuristic_exact(platform, Heuristic::IncW);
+  const auto dec_c = shim::heuristic_exact(platform, Heuristic::DecC);
   EXPECT_GE(inc_c.throughput, inc_w.throughput);
   EXPECT_GE(inc_c.throughput, dec_c.throughput);
   for (int trial = 0; trial < 3; ++trial) {
     const auto random =
-        solve_heuristic_exact(platform, Heuristic::RandomFifo, &rng);
+        shim::heuristic_exact(platform, Heuristic::RandomFifo, &rng);
     EXPECT_GE(inc_c.throughput, random.throughput);
   }
 }
@@ -74,8 +75,8 @@ TEST_P(HeuristicOrderSweep, LifoBeatsFifoOnMatrixAppPlatformsOnAverage) {
   double fifo_total = 0.0;
   for (int trial = 0; trial < 10; ++trial) {
     const StarPlatform platform = gen::random_star(8, rng, 0.5);
-    lifo_total += solve_heuristic(platform, Heuristic::Lifo).throughput;
-    fifo_total += solve_heuristic(platform, Heuristic::IncC).throughput;
+    lifo_total += shim::heuristic_double(platform, Heuristic::Lifo).throughput;
+    fifo_total += shim::heuristic_double(platform, Heuristic::IncC).throughput;
   }
   EXPECT_GE(lifo_total, fifo_total * 0.999);
 }
@@ -88,8 +89,8 @@ TEST(Heuristics, DoubleAndExactAgree) {
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
   for (Heuristic h : {Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo,
                       Heuristic::DecC}) {
-    const auto exact = solve_heuristic_exact(platform, h);
-    const auto approx = solve_heuristic(platform, h);
+    const auto exact = shim::heuristic_exact(platform, h);
+    const auto approx = shim::heuristic_double(platform, h);
     EXPECT_NEAR(exact.throughput.to_double(), approx.throughput, 1e-7)
         << heuristic_name(h);
   }
@@ -97,9 +98,9 @@ TEST(Heuristics, DoubleAndExactAgree) {
 
 TEST(Heuristics, AllCoincideOnSingleWorker) {
   const StarPlatform platform({Worker{0.2, 0.5, 0.1, ""}});
-  const auto a = solve_heuristic_exact(platform, Heuristic::IncC);
-  const auto b = solve_heuristic_exact(platform, Heuristic::IncW);
-  const auto c = solve_heuristic_exact(platform, Heuristic::Lifo);
+  const auto a = shim::heuristic_exact(platform, Heuristic::IncC);
+  const auto b = shim::heuristic_exact(platform, Heuristic::IncW);
+  const auto c = shim::heuristic_exact(platform, Heuristic::Lifo);
   EXPECT_EQ(a.throughput, b.throughput);
   EXPECT_EQ(a.throughput, c.throughput);
 }

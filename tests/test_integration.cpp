@@ -13,6 +13,7 @@
 #include "sim/des_executor.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -22,7 +23,7 @@ namespace {
 /// cluster-like noise.  Returns (lp_time, real_time).
 std::pair<double, double> run_real(const StarPlatform& platform, Heuristic h,
                                    std::uint64_t m, std::uint64_t seed) {
-  const auto sol = solve_heuristic(platform, h);
+  const auto sol = shim::heuristic_double(platform, h);
   const double lp_time = makespan_for_load(sol.throughput, static_cast<double>(m));
   std::vector<double> ordered;
   for (std::size_t w : sol.scenario.send_order) {
@@ -46,7 +47,7 @@ TEST(Integration, SlowWorkerExcludedWhenXIsOne) {
   const MatrixApp app({.matrix_size = 400});
   const StarPlatform platform =
       app.platform(gen::participation_speeds(1.0));
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   const auto used = result.solution.enrolled();
   EXPECT_EQ(used.size(), 3u);
   for (std::size_t w : used) EXPECT_NE(w, 3u);
@@ -58,11 +59,11 @@ TEST(Integration, SlowWorkerIncludedWhenXIsThree) {
   const MatrixApp app({.matrix_size = 400});
   const StarPlatform platform =
       app.platform(gen::participation_speeds(3.0));
-  const auto result = solve_fifo_optimal(platform);
+  const auto result = shim::fifo_optimal(platform);
   EXPECT_EQ(result.solution.enrolled().size(), 4u);
 
   const std::vector<std::size_t> first3{0, 1, 2};
-  const auto restricted = solve_fifo_optimal(platform.subset(first3));
+  const auto restricted = shim::fifo_optimal(platform.subset(first3));
   EXPECT_GT(result.solution.throughput, restricted.solution.throughput);
 }
 
@@ -76,7 +77,7 @@ TEST(Integration, ParticipationGrowsWithAvailableWorkers) {
   for (std::size_t k = 1; k <= 4; ++k) {
     std::vector<std::size_t> available(k);
     for (std::size_t i = 0; i < k; ++i) available[i] = i;
-    const auto result = solve_fifo_optimal(full.subset(available));
+    const auto result = shim::fifo_optimal(full.subset(available));
     const double time =
         makespan_for_load(result.solution.throughput.to_double(), 1000.0);
     EXPECT_LE(time, previous + 1e-9);
@@ -99,8 +100,8 @@ TEST(Integration, LpRanksLifoBeforeIncCBeforeIncW) {
   double inc_c_total = 0.0;
   for (int trial = 0; trial < 20; ++trial) {
     const StarPlatform platform = gen::random_star(11, rng, 0.5);
-    lifo_total += 1.0 / solve_heuristic(platform, Heuristic::Lifo).throughput;
-    inc_c_total += 1.0 / solve_heuristic(platform, Heuristic::IncC).throughput;
+    lifo_total += 1.0 / shim::heuristic_double(platform, Heuristic::Lifo).throughput;
+    inc_c_total += 1.0 / shim::heuristic_double(platform, Heuristic::IncC).throughput;
   }
   EXPECT_LE(lifo_total, inc_c_total + 1e-9);
 
@@ -111,9 +112,9 @@ TEST(Integration, LpRanksLifoBeforeIncCBeforeIncW) {
   for (int trial = 0; trial < 20; ++trial) {
     const StarPlatform platform =
         app.platform(gen::heterogeneous_speeds(8, rng));
-    m_lifo += 1.0 / solve_heuristic(platform, Heuristic::Lifo).throughput;
-    m_inc_c += 1.0 / solve_heuristic(platform, Heuristic::IncC).throughput;
-    m_inc_w += 1.0 / solve_heuristic(platform, Heuristic::IncW).throughput;
+    m_lifo += 1.0 / shim::heuristic_double(platform, Heuristic::Lifo).throughput;
+    m_inc_c += 1.0 / shim::heuristic_double(platform, Heuristic::IncC).throughput;
+    m_inc_w += 1.0 / shim::heuristic_double(platform, Heuristic::IncW).throughput;
   }
   EXPECT_LE(m_lifo, m_inc_c * 1.01);   // near-equal at this calibration
   EXPECT_LE(m_inc_c, m_inc_w + 1e-9);  // Theorem 1: INC_C is the best FIFO
@@ -164,8 +165,8 @@ TEST(Integration, BusPipelineClosedFormLpAndDesAgree) {
   // number.
   Rng rng(1004);
   const StarPlatform bus = gen::random_bus(6, rng, 0.5);
-  const auto closed = solve_bus_closed_form(bus);
-  const auto fifo = solve_fifo_optimal(bus);
+  const auto closed = shim::bus_closed_form(bus);
+  const auto fifo = shim::fifo_optimal(bus);
   EXPECT_NEAR(closed.throughput.to_double(),
               fifo.solution.throughput.to_double(), 1e-9);
 
@@ -182,10 +183,10 @@ TEST(Integration, KeygenStyleZGreaterOneEndToEnd) {
   // FIFO ordering... by Theorem 1 (mirrored) it is optimal among FIFO.
   Rng rng(1005);
   const StarPlatform platform = gen::random_star(5, rng, 4.0);
-  const auto optimal = solve_fifo_optimal(platform);
+  const auto optimal = shim::fifo_optimal(platform);
   EXPECT_TRUE(optimal.mirrored);
   const auto naive =
-      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+      shim::scenario_exact(platform, Scenario::fifo(platform.order_by_c()));
   EXPECT_GE(optimal.solution.throughput, naive.throughput);
   EXPECT_TRUE(validate(platform, optimal.schedule).ok);
 
@@ -203,7 +204,7 @@ TEST(Integration, PaperRoundingKeepsDeviationBounded) {
   const MatrixApp app({.matrix_size = 100});
   const StarPlatform platform =
       app.platform(gen::heterogeneous_speeds(11, rng));
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const double lp_time = makespan_for_load(sol.throughput, 1000.0);
 
   std::vector<double> ordered;

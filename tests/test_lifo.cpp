@@ -6,6 +6,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -14,7 +15,7 @@ using numeric::Rational;
 
 TEST(Lifo, SingleWorkerMatchesChainInverse) {
   const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
-  const auto result = solve_lifo_closed_form(platform);
+  const auto result = shim::lifo_closed_form(platform);
   EXPECT_EQ(result.throughput, Rational(8, 7));
 }
 
@@ -24,7 +25,7 @@ TEST(Lifo, TwoWorkerRecurrenceByHand) {
   //         = (8/7) * (1/2) / (7/4) = 16/49.
   const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"},
                                Worker{0.5, 1.0, 0.25, "P2"}});
-  const auto result = solve_lifo_closed_form(platform);
+  const auto result = shim::lifo_closed_form(platform);
   EXPECT_EQ(result.alpha[0], Rational(8, 7));
   EXPECT_EQ(result.alpha[1], Rational(16, 49));
   EXPECT_EQ(result.throughput, Rational(8, 7) + Rational(16, 49));
@@ -35,7 +36,7 @@ TEST(Lifo, AllWorkersEnrolledWithNoIdle) {
   for (int trial = 0; trial < 8; ++trial) {
     const StarPlatform platform =
         gen::random_star(6, rng, rng.uniform(0.1, 2.0));
-    const auto result = solve_lifo_closed_form(platform);
+    const auto result = shim::lifo_closed_form(platform);
     ASSERT_EQ(result.schedule.entries.size(), platform.size());
     for (const ScheduleEntry& e : result.schedule.entries) {
       EXPECT_GT(e.alpha, 0.0);
@@ -49,7 +50,7 @@ TEST(Lifo, ScheduleValidates) {
   for (int trial = 0; trial < 8; ++trial) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.1, 2.0));
-    const auto result = solve_lifo_closed_form(platform);
+    const auto result = shim::lifo_closed_form(platform);
     const auto report = validate(platform, result.schedule);
     EXPECT_TRUE(report.ok) << (report.violations.empty()
                                    ? ""
@@ -66,8 +67,8 @@ TEST_P(LifoSweep, ClosedFormMatchesLpExactly) {
   // agree bit-for-bit.
   Rng rng(GetParam());
   const StarPlatform platform = gen::random_star_grid(5, rng, 1, 2);
-  const auto closed = solve_lifo_closed_form(platform);
-  const auto lp = solve_lifo_lp(platform);
+  const auto closed = shim::lifo_closed_form(platform);
+  const auto lp = shim::lifo_lp(platform);
   EXPECT_EQ(closed.throughput, lp.throughput);
   for (std::size_t w = 0; w < platform.size(); ++w) {
     EXPECT_EQ(closed.alpha[w], lp.alpha[w]) << "worker " << w;
@@ -80,7 +81,7 @@ TEST_P(LifoSweep, NoLifoOrderBeatsTheClosedForm) {
   // achieves regardless of order -- verified exhaustively over 4! orders.
   Rng rng(GetParam() ^ 0xaaaa);
   const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
-  const auto closed = solve_lifo_closed_form(platform);
+  const auto closed = shim::lifo_closed_form(platform);
   BruteForceOptions options;
   options.lifo_only = true;
   const auto brute = brute_force_best(platform, options);
@@ -97,7 +98,7 @@ TEST_P(LifoSweep, PerOrderFormulaIsFeasibleHenceAtMostLp) {
   for (int trial = 0; trial < 3; ++trial) {
     const auto order = rng.permutation(platform.size());
     const Rational formula = lifo_throughput_for_order(platform, order);
-    const auto lp = solve_scenario(platform, Scenario::lifo(order));
+    const auto lp = shim::scenario_exact(platform, Scenario::lifo(order));
     EXPECT_LE(formula, lp.throughput);
   }
 }
@@ -110,13 +111,13 @@ TEST(Lifo, ZGreaterThanOneStillFeasible) {
   // one-port feasible for any z.
   Rng rng(33);
   const StarPlatform platform = gen::random_star(5, rng, 3.0);
-  const auto result = solve_lifo_closed_form(platform);
+  const auto result = shim::lifo_closed_form(platform);
   EXPECT_TRUE(validate(platform, result.schedule).ok);
   EXPECT_GT(result.throughput, Rational(0));
 }
 
 TEST(Lifo, EmptyPlatformRejected) {
-  EXPECT_THROW(solve_lifo_closed_form(StarPlatform()), Error);
+  EXPECT_THROW(shim::lifo_closed_form(StarPlatform()), Error);
 }
 
 TEST(Lifo, ThroughputDecreasesWithSlowerComputation) {
@@ -124,8 +125,8 @@ TEST(Lifo, ThroughputDecreasesWithSlowerComputation) {
   Rng rng(34);
   const StarPlatform fast = gen::random_star(4, rng, 0.5);
   const StarPlatform slow = fast.speed_up(1.0, 0.5);  // halve compute speed
-  EXPECT_LT(solve_lifo_closed_form(slow).throughput,
-            solve_lifo_closed_form(fast).throughput);
+  EXPECT_LT(shim::lifo_closed_form(slow).throughput,
+            shim::lifo_closed_form(fast).throughput);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -25,8 +26,8 @@ TEST(LocalSearch, NeverWorseThanFifoAndLifoOptima) {
     const StarPlatform platform =
         gen::random_star(6, rng, rng.uniform(0.1, 2.0));
     const auto search = local_search_best_pair(platform);
-    const auto fifo = solve_fifo_optimal(platform);
-    const auto lifo = solve_lifo_lp(platform);
+    const auto fifo = shim::fifo_optimal(platform);
+    const auto lifo = shim::lifo_lp(platform);
     EXPECT_GE(search.best.throughput,
               fifo.solution.throughput.to_double() - 1e-9);
     EXPECT_GE(search.best.throughput, lifo.throughput.to_double() - 1e-9);
@@ -110,8 +111,8 @@ TEST(LocalSearch, GeneralPairsBeatFifoOnSomePlatforms) {
   bool strict_improvement = false;
   for (int trial = 0; trial < 6 && !strict_improvement; ++trial) {
     const StarPlatform platform = gen::random_star(5, rng, 0.5);
-    const auto fifo = solve_fifo_optimal(platform);
-    const auto lifo = solve_lifo_lp(platform);
+    const auto fifo = shim::fifo_optimal(platform);
+    const auto lifo = shim::lifo_lp(platform);
     const double structured = std::max(
         fifo.solution.throughput.to_double(), lifo.throughput.to_double());
     const auto search = local_search_best_pair(platform);

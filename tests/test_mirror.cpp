@@ -7,6 +7,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -32,7 +33,7 @@ TEST(Mirror, FlipPreservesLoadAndFeasibility) {
   const StarPlatform mirror = platform.mirrored();              // z' = 1/2
 
   const auto mirror_solution =
-      solve_scenario(mirror, Scenario::fifo(mirror.order_by_c()));
+      shim::scenario_exact(mirror, Scenario::fifo(mirror.order_by_c()));
   const Schedule mirror_schedule = realize_schedule(mirror, mirror_solution);
   ASSERT_TRUE(validate(mirror, mirror_schedule).ok);
 
@@ -49,7 +50,7 @@ TEST(Mirror, FifoFlipsToFifoWithReversedOrder) {
   Rng rng(53);
   const StarPlatform platform = gen::random_star(4, rng, 3.0);
   const StarPlatform mirror = platform.mirrored();
-  const auto sol = solve_scenario(mirror, Scenario::fifo(mirror.order_by_c()));
+  const auto sol = shim::scenario_exact(mirror, Scenario::fifo(mirror.order_by_c()));
   const Schedule mirror_schedule = realize_schedule(mirror, sol);
   const Schedule flipped = flip_schedule(platform, mirror_schedule);
   EXPECT_TRUE(flipped.is_fifo());
@@ -66,7 +67,7 @@ TEST(Mirror, LifoFlipsToLifo) {
   Rng rng(54);
   const StarPlatform platform = gen::random_star(4, rng, 2.0);
   const StarPlatform mirror = platform.mirrored();
-  const auto lifo = solve_lifo_closed_form(mirror);
+  const auto lifo = shim::lifo_closed_form(mirror);
   const Schedule flipped = flip_schedule(platform, lifo.schedule);
   EXPECT_TRUE(flipped.is_lifo());
   EXPECT_TRUE(validate(platform, flipped).ok);
@@ -79,8 +80,8 @@ TEST_P(MirrorSweep, MirroredThroughputsAreEqualExactly) {
   // equals optimal FIFO on (d,w,c).
   Rng rng(GetParam());
   const StarPlatform platform = gen::random_star_grid(4, rng, 3, 1);  // z = 3
-  const auto direct = solve_fifo_optimal(platform);            // uses mirror
-  const auto of_mirror = solve_fifo_optimal(platform.mirrored());  // direct
+  const auto direct = shim::fifo_optimal(platform);            // uses mirror
+  const auto of_mirror = shim::fifo_optimal(platform.mirrored());  // direct
   EXPECT_EQ(direct.solution.throughput, of_mirror.solution.throughput);
 }
 
@@ -88,7 +89,7 @@ TEST_P(MirrorSweep, DoubleFlipReproducesTheSchedule) {
   Rng rng(GetParam() ^ 0x8888);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
   const auto sol =
-      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+      shim::scenario_exact(platform, Scenario::fifo(platform.order_by_c()));
   const Schedule original = realize_schedule(platform, sol);
   const Schedule twice =
       flip_schedule(platform, flip_schedule(platform.mirrored(), original));

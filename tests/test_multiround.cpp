@@ -7,6 +7,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -16,7 +17,7 @@ TEST(MultiRound, OneRoundMatchesSingleRoundSweep) {
   // execution.
   Rng rng(231);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
 
   MultiRoundPlan plan;
   plan.order = sol.scenario.send_order;
@@ -35,7 +36,7 @@ TEST(MultiRound, MoreRoundsDoNotHurtWithoutLatency) {
   // the end-to-end comparison R = 8 vs R = 1 is the meaningful one.)
   Rng rng(232);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const auto points = sweep_rounds(platform, sol.alpha, AffineCosts{}, 8);
   EXPECT_LE(points.back().makespan, points.front().makespan * 1.001);
 }
@@ -63,7 +64,7 @@ TEST(MultiRound, TraceIsOnePortFeasible) {
   // must be disjoint.
   Rng rng(233);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   MultiRoundPlan plan;
   plan.order = sol.scenario.send_order;
   plan.loads = sol.alpha;

@@ -7,6 +7,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -15,7 +16,7 @@ using numeric::Rational;
 
 TEST(NoReturn, SingleWorker) {
   const StarPlatform platform({Worker{0.25, 0.5, 0.0, "P1"}});
-  const auto result = solve_no_return_optimal(platform);
+  const auto result = shim::no_return_optimal(platform);
   EXPECT_EQ(result.throughput, Rational(4, 3));  // 1 / 0.75
 }
 
@@ -23,7 +24,7 @@ TEST(NoReturn, BusRecurrenceByHand) {
   // c = 1/4, w = {1/2, 1}: alpha_1 = 1/(3/4) = 4/3,
   // alpha_2 = alpha_1 * (1/2) / (5/4) = 8/15.
   const StarPlatform bus = StarPlatform::bus(0.25, 0.0, {0.5, 1.0});
-  const auto result = solve_no_return_optimal(bus);
+  const auto result = shim::no_return_optimal(bus);
   EXPECT_EQ(result.alpha[0], Rational(4, 3));
   EXPECT_EQ(result.alpha[1], Rational(8, 15));
 }
@@ -32,7 +33,7 @@ TEST(NoReturn, AllWorkersParticipateAndFinishTogether) {
   // The classical "all workers finish simultaneously" optimality property.
   Rng rng(211);
   const StarPlatform platform = gen::random_star(6, rng, 0.5);
-  const auto result = solve_no_return_optimal(platform);
+  const auto result = shim::no_return_optimal(platform);
   for (const Rational& a : result.alpha) EXPECT_TRUE(a.is_positive());
 
   // Chain of every worker ends exactly at T = 1.
@@ -57,9 +58,9 @@ TEST(NoReturn, MatchesScenarioLpWithZeroD) {
     for (Worker& w : stripped) w.d = 0.0;
     const StarPlatform platform(stripped);
 
-    const auto closed = solve_no_return_optimal(platform);
+    const auto closed = shim::no_return_optimal(platform);
     const auto lp =
-        solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+        shim::scenario_exact(platform, Scenario::fifo(platform.order_by_c()));
     EXPECT_EQ(closed.throughput, lp.throughput);
   }
 }
@@ -69,7 +70,7 @@ TEST(NoReturn, IncCOrderIsOptimalExhaustively) {
   // all 4! orders with exact arithmetic.
   Rng rng(213);
   const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
-  const Rational best = solve_no_return_optimal(platform).throughput;
+  const Rational best = shim::no_return_optimal(platform).throughput;
   std::vector<std::size_t> order{0, 1, 2, 3};
   std::sort(order.begin(), order.end());
   do {
@@ -82,7 +83,7 @@ TEST(NoReturn, OrderingIrrelevantOnBus) {
   // result behind [5, 10]'s closed form).
   Rng rng(214);
   const StarPlatform bus = StarPlatform::bus(0.25, 0.0, {0.5, 1.0, 2.0});
-  const Rational reference = solve_no_return_optimal(bus).throughput;
+  const Rational reference = shim::no_return_optimal(bus).throughput;
   std::vector<std::size_t> order{0, 1, 2};
   do {
     EXPECT_EQ(no_return_throughput_for_order(bus, order), reference);
@@ -92,7 +93,7 @@ TEST(NoReturn, OrderingIrrelevantOnBus) {
 TEST(NoReturn, ScheduleValidates) {
   Rng rng(215);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto result = solve_no_return_optimal(platform);
+  const auto result = shim::no_return_optimal(platform);
   // Validate against the stripped platform (d = 0).
   std::vector<Worker> stripped(platform.workers().begin(),
                                platform.workers().end());
@@ -111,14 +112,14 @@ TEST_P(ReturnCost, ReturnMessagesOnlyEverHurt) {
   // decreases as z grows.
   Rng rng(GetParam());
   const StarPlatform base = gen::random_star(5, rng, 0.5);
-  const auto no_returns = solve_no_return_optimal(base);
+  const auto no_returns = shim::no_return_optimal(base);
 
   Rational previous = no_returns.throughput;
   for (double z : {0.2, 0.5, 1.0, 2.0}) {
     std::vector<Worker> workers(base.workers().begin(),
                                 base.workers().end());
     for (Worker& w : workers) w.d = z * w.c;
-    const auto with_returns = solve_fifo_optimal(StarPlatform(workers));
+    const auto with_returns = shim::fifo_optimal(StarPlatform(workers));
     EXPECT_LE(with_returns.solution.throughput, previous)
         << "throughput increased when z grew to " << z;
     previous = with_returns.solution.throughput;
@@ -131,13 +132,13 @@ TEST_P(ReturnCost, FifoOptimumIsContinuousAtZEqualsZero) {
   Rng rng(GetParam() ^ 0x9f);
   const StarPlatform base = gen::random_star(5, rng, 0.5);
   const double no_returns =
-      solve_no_return_optimal(base).throughput.to_double();
+      shim::no_return_optimal(base).throughput.to_double();
   double previous_gap = 1e100;
   for (double z : {0.1, 0.01, 0.001}) {
     std::vector<Worker> workers(base.workers().begin(),
                                 base.workers().end());
     for (Worker& w : workers) w.d = z * w.c;
-    const double rho = solve_fifo_optimal(StarPlatform(workers))
+    const double rho = shim::fifo_optimal(StarPlatform(workers))
                            .solution.throughput.to_double();
     const double gap = no_returns - rho;
     EXPECT_GE(gap, -1e-9);

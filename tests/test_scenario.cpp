@@ -1,0 +1,144 @@
+// Tests of the Scenario invariants, with emphasis on the error paths: a
+// rejected scenario must say *which* worker index is inconsistent, so a
+// failure deep inside a sweep is diagnosable from the message alone.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/error.hpp"
+
+namespace dlsched {
+namespace {
+
+StarPlatform three_workers() {
+  return StarPlatform({Worker{0.1, 0.2, 0.05, "P1"},
+                       Worker{0.2, 0.3, 0.10, "P2"},
+                       Worker{0.3, 0.4, 0.15, "P3"}});
+}
+
+/// Runs `body`, expecting a dlsched::Error whose message contains every
+/// fragment in `expected`.
+template <class Body>
+void expect_error_mentioning(Body body,
+                             const std::vector<std::string>& expected) {
+  try {
+    body();
+    FAIL() << "expected dlsched::Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    for (const std::string& fragment : expected) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "message \"" << message << "\" does not mention \"" << fragment
+          << "\"";
+    }
+  }
+}
+
+// ------------------------------------------------------------ happy path --
+
+TEST(Scenario, FifoAndLifoConstructors) {
+  const std::vector<std::size_t> order{2, 0, 1};
+  const Scenario fifo = Scenario::fifo(order);
+  EXPECT_TRUE(fifo.is_fifo());
+  EXPECT_FALSE(fifo.is_lifo());
+  const Scenario lifo = Scenario::lifo(order);
+  EXPECT_TRUE(lifo.is_lifo());
+  EXPECT_EQ(lifo.return_order, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(Scenario, GeneralAcceptsAnyCoveringPair) {
+  const std::vector<std::size_t> send{0, 1, 2};
+  const std::vector<std::size_t> ret{1, 2, 0};
+  const Scenario s = Scenario::general(send, ret);
+  EXPECT_FALSE(s.is_fifo());
+  EXPECT_FALSE(s.is_lifo());
+  s.check(three_workers());
+}
+
+// ---------------------------------------------- general() error reporting --
+
+TEST(Scenario, GeneralNamesTheWorkerOnlyInTheSendOrder) {
+  expect_error_mentioning(
+      [] {
+        (void)Scenario::general(std::vector<std::size_t>{0, 1, 2},
+                                std::vector<std::size_t>{0, 1, 3});
+      },
+      {"worker 2", "only in send order", "worker 3",
+       "only in return order"});
+}
+
+TEST(Scenario, GeneralNamesTheDuplicatedSendWorker) {
+  expect_error_mentioning(
+      [] {
+        (void)Scenario::general(std::vector<std::size_t>{0, 1, 1},
+                                std::vector<std::size_t>{0, 1, 2});
+      },
+      {"worker 1", "twice", "send order"});
+}
+
+TEST(Scenario, GeneralNamesTheDuplicatedReturnWorker) {
+  expect_error_mentioning(
+      [] {
+        (void)Scenario::general(std::vector<std::size_t>{0, 1, 2},
+                                std::vector<std::size_t>{2, 2, 0});
+      },
+      {"worker 2", "twice", "return order"});
+}
+
+// ------------------------------------------------ check() error reporting --
+
+TEST(Scenario, CheckNamesTheLengthMismatch) {
+  Scenario s;
+  s.send_order = {0, 1};
+  s.return_order = {0};
+  expect_error_mentioning([&] { s.check(three_workers()); },
+                          {"2 sends", "1 returns"});
+}
+
+TEST(Scenario, CheckNamesTheOutOfRangeSendWorker) {
+  Scenario s;
+  s.send_order = {0, 7};
+  s.return_order = {0, 7};
+  expect_error_mentioning(
+      [&] { s.check(three_workers()); },
+      {"send order", "worker 7", "only 3 workers"});
+}
+
+TEST(Scenario, CheckNamesTheOutOfRangeReturnWorker) {
+  Scenario s;
+  s.send_order = {0, 1};
+  s.return_order = {0, 9};
+  expect_error_mentioning(
+      [&] { s.check(three_workers()); },
+      {"return order", "worker 9", "only 3 workers"});
+}
+
+TEST(Scenario, CheckNamesTheDuplicatedWorker) {
+  Scenario s;
+  s.send_order = {1, 1};
+  s.return_order = {1, 0};
+  expect_error_mentioning([&] { s.check(three_workers()); },
+                          {"worker 1", "twice", "send order"});
+}
+
+TEST(Scenario, CheckNamesTheUnsentReturnWorker) {
+  Scenario s;
+  s.send_order = {0, 1};
+  s.return_order = {0, 2};
+  expect_error_mentioning(
+      [&] { s.check(three_workers()); },
+      {"worker 2", "missing from the send order"});
+}
+
+TEST(Scenario, DescribeTagsTheStructure) {
+  const std::vector<std::size_t> order{0, 1};
+  EXPECT_NE(Scenario::fifo(order).describe().find("[FIFO]"),
+            std::string::npos);
+  EXPECT_NE(Scenario::lifo(order).describe().find("[LIFO]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlsched

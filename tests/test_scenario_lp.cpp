@@ -6,6 +6,7 @@
 #include "schedule/validator.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -76,7 +77,7 @@ TEST(ScenarioLp, SingleWorkerThroughputIsChainInverse) {
   // constraint c + d <= 1 is looser).
   const StarPlatform platform({Worker{0.25, 0.5, 0.125, "P1"}});
   const auto sol =
-      solve_scenario(platform, Scenario::fifo(std::vector<std::size_t>{0}));
+      shim::scenario_exact(platform, Scenario::fifo(std::vector<std::size_t>{0}));
   EXPECT_EQ(sol.throughput, Rational(8, 7));  // 1 / 0.875
 }
 
@@ -85,7 +86,7 @@ TEST(ScenarioLp, OnePortBoundBindsWhenComputationIsFree) {
   // one-port constraint becomes the bottleneck.
   const StarPlatform platform({Worker{0.5, 1e-9, 0.5, "P1"},
                                Worker{0.5, 1e-9, 0.5, "P2"}});
-  const auto sol = solve_scenario(
+  const auto sol = shim::scenario_exact(
       platform, Scenario::fifo(std::vector<std::size_t>{0, 1}));
   EXPECT_NEAR(sol.throughput.to_double(), 1.0, 1e-6);
 }
@@ -93,7 +94,7 @@ TEST(ScenarioLp, OnePortBoundBindsWhenComputationIsFree) {
 TEST(ScenarioLp, ThroughputRespectsOnePortBudgetExactly) {
   Rng rng(3);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_scenario(
+  const auto sol = shim::scenario_exact(
       platform, Scenario::fifo(platform.order_by_c()));
   Rational comm_budget;
   for (std::size_t i = 0; i < platform.size(); ++i) {
@@ -111,7 +112,7 @@ TEST(ScenarioLp, IdleVariablesNeverChangeTheOptimum) {
   Rng rng(4);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
   const auto sol =
-      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+      shim::scenario_exact(platform, Scenario::fifo(platform.order_by_c()));
   const Schedule schedule = realize_schedule(platform, sol);
   EXPECT_NEAR(schedule.total_load(), sol.throughput.to_double(), 1e-9);
 }
@@ -121,8 +122,8 @@ TEST(ScenarioLp, DoubleSolverMatchesExact) {
   for (int i = 0; i < 5; ++i) {
     const StarPlatform platform = gen::random_star(5, rng, 0.5);
     const Scenario scenario = Scenario::fifo(platform.order_by_c());
-    const auto exact = solve_scenario(platform, scenario);
-    const auto approx = solve_scenario_double(platform, scenario);
+    const auto exact = shim::scenario_exact(platform, scenario);
+    const auto approx = shim::scenario_double(platform, scenario);
     EXPECT_NEAR(exact.throughput.to_double(), approx.throughput, 1e-7);
     for (std::size_t w = 0; w < platform.size(); ++w) {
       EXPECT_NEAR(exact.alpha[w].to_double(), approx.alpha[w], 1e-6);
@@ -134,7 +135,7 @@ TEST(ScenarioLp, EnrolledListsPositiveLoadsOnly) {
   // A grossly slow worker is dropped by resource selection.
   const StarPlatform platform({Worker{0.1, 0.1, 0.05, "fast"},
                                Worker{100.0, 100.0, 50.0, "slow"}});
-  const auto sol = solve_scenario(
+  const auto sol = shim::scenario_exact(
       platform, Scenario::fifo(platform.order_by_c()));
   const auto used = sol.enrolled();
   ASSERT_EQ(used.size(), 1u);
@@ -155,7 +156,7 @@ TEST_P(ScenarioRealization, FifoLifoAndShuffledScenariosAllValidate) {
     for (const Scenario& scenario :
          {Scenario::fifo(order), Scenario::lifo(order),
           Scenario::general(order, rng.permutation(platform.size()))}) {
-      const auto sol = solve_scenario(platform, scenario);
+      const auto sol = shim::scenario_exact(platform, scenario);
       EXPECT_GT(sol.throughput, Rational(0));
       const Schedule schedule = realize_schedule(platform, sol);
       const ValidationReport report = validate(platform, schedule);
@@ -171,7 +172,7 @@ TEST_P(ScenarioRealization, ThroughputScalesLinearlyWithHorizon) {
   Rng rng(GetParam() ^ 0xbeef);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
   const auto sol =
-      solve_scenario(platform, Scenario::fifo(platform.order_by_c()));
+      shim::scenario_exact(platform, Scenario::fifo(platform.order_by_c()));
   const Schedule unit = realize_schedule(platform, sol, 1.0);
   const Schedule tripled = realize_schedule(platform, sol, 3.0);
   EXPECT_NEAR(tripled.total_load(), 3.0 * unit.total_load(), 1e-9);

@@ -1,0 +1,222 @@
+// Tests of the unified solver interface: every registered methodology must
+// produce a validator-clean schedule, and the theorem-backed orderings must
+// dominate the ablation heuristics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/solver.hpp"
+#include "platform/generators.hpp"
+#include "schedule/validator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched {
+namespace {
+
+/// A platform every solver is applicable to: a bus (for Theorem 2) with a
+/// uniform return ratio z = 1/2 < 1 (for the exchange solver) and few
+/// enough workers for the exhaustive searches.
+StarPlatform all_solver_platform() {
+  return StarPlatform::bus(0.25, 0.125, {0.5, 1.0, 2.0, 4.0});
+}
+
+SolveRequest request_for(const StarPlatform& platform) {
+  SolveRequest request;
+  request.platform = platform;
+  return request;
+}
+
+TEST(SolverRegistry, RegistersThePortfolio) {
+  const std::vector<std::string> names = SolverRegistry::instance().names();
+  EXPECT_GE(names.size(), 8u);
+  for (const char* expected :
+       {"fifo_optimal", "lifo", "brute_force", "brute_force_fifo",
+        "brute_force_lifo", "inc_c", "inc_w", "dec_c", "random_fifo",
+        "local_search", "two_port_fifo", "bus_closed_form", "no_return",
+        "multiround", "exchange_sort", "mirror_fifo", "scenario_lp",
+        "affine_fifo", "affine_greedy", "affine_subset"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing solver: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, InfosCarryDescriptionsAndPaperRefs) {
+  for (const SolverInfo& info : SolverRegistry::instance().infos()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_FALSE(info.paper_ref.empty());
+  }
+}
+
+TEST(SolverRegistry, UnknownNameThrowsWithKnownNames) {
+  const SolveRequest request = request_for(all_solver_platform());
+  try {
+    (void)SolverRegistry::instance().run("does_not_exist", request);
+    FAIL() << "expected dlsched::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does_not_exist"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fifo_optimal"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry registry;  // private registry; builtins not registered
+  registry.add([] {
+    return SolverRegistry::instance().create("fifo_optimal");
+  });
+  EXPECT_THROW(registry.add([] {
+    return SolverRegistry::instance().create("fifo_optimal");
+  }),
+               Error);
+}
+
+TEST(SolverRegistry, EverySolverProducesAValidatorCleanSchedule) {
+  const StarPlatform platform = all_solver_platform();
+  const SolveRequest request = request_for(platform);
+  for (const std::string& name : SolverRegistry::instance().names()) {
+    const auto solver = SolverRegistry::instance().create(name);
+    std::string why;
+    ASSERT_TRUE(solver->applicable(request, &why)) << name << ": " << why;
+    const SolveResult result = SolverRegistry::instance().run(name, request);
+    EXPECT_EQ(result.solver, name);
+    EXPECT_GT(result.throughput(), 0.0) << name;
+    const ValidationReport report =
+        validate(result.schedule_platform, result.schedule);
+    EXPECT_TRUE(report.ok) << name << ": "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  }
+}
+
+TEST(SolverRegistry, FifoOptimalDominatesTheFifoHeuristics) {
+  Rng rng(20060419);
+  for (int trial = 0; trial < 5; ++trial) {
+    SolveRequest request;
+    request.platform = gen::random_star(6, rng, 0.5);
+    request.seed = 100 + static_cast<std::uint64_t>(trial);
+    const double best =
+        SolverRegistry::instance().run("fifo_optimal", request).throughput();
+    for (const char* heuristic : {"inc_c", "inc_w", "dec_c", "random_fifo"}) {
+      const double rho =
+          SolverRegistry::instance().run(heuristic, request).throughput();
+      EXPECT_LE(rho, best + 1e-9) << heuristic << " beat fifo_optimal";
+    }
+  }
+}
+
+TEST(SolverRegistry, ExplicitScenarioMatchesTheLifoClosedForm) {
+  const StarPlatform platform = all_solver_platform();
+  SolveRequest request = request_for(platform);
+  const SolveResult closed =
+      SolverRegistry::instance().run("lifo", request);
+  request.scenario = Scenario::lifo(platform.order_by_c());
+  const SolveResult lp =
+      SolverRegistry::instance().run("scenario_lp", request);
+  EXPECT_EQ(closed.solution.throughput, lp.solution.throughput);
+}
+
+TEST(SolverRegistry, BusClosedFormRequiresABus) {
+  Rng rng(7);
+  SolveRequest request;
+  request.platform = gen::random_star(4, rng, 0.5);
+  const auto solver = SolverRegistry::instance().create("bus_closed_form");
+  std::string why;
+  EXPECT_FALSE(solver->applicable(request, &why));
+  EXPECT_NE(why.find("bus"), std::string::npos);
+  EXPECT_THROW((void)solver->solve(request), Error);
+}
+
+TEST(SolverRegistry, BruteForceHonoursTheTimeBudget) {
+  Rng rng(11);
+  SolveRequest request;
+  request.platform = gen::random_star(6, rng, 0.5);
+  request.max_workers_brute = 6;
+  request.precision = Precision::Fast;
+  request.time_budget_seconds = 1e-6;  // expire essentially immediately
+  const SolveResult result =
+      SolverRegistry::instance().run("brute_force", request);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_FALSE(result.provably_optimal);
+  EXPECT_LT(result.scenarios_tried, 720u * 720u);
+  EXPECT_GT(result.throughput(), 0.0);
+  EXPECT_TRUE(validate(result.schedule_platform, result.schedule).ok);
+}
+
+TEST(SolverRegistry, WallClockIsStamped) {
+  const SolveResult result = SolverRegistry::instance().run(
+      "fifo_optimal", request_for(all_solver_platform()));
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+// ----------------------------------------------------------------- batch --
+
+TEST(SolveBatch, RunsOneRequestAcrossAllSolvers) {
+  const StarPlatform platform = all_solver_platform();
+  const std::vector<std::string> names = SolverRegistry::instance().names();
+  const std::vector<BatchOutcome> outcomes =
+      solve_batch_across_solvers(request_for(platform), names);
+  ASSERT_EQ(outcomes.size(), names.size());  // all applicable on the bus
+  for (const BatchOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.solved) << outcome.solver << ": " << outcome.error;
+    EXPECT_TRUE(outcome.ok) << outcome.solver;
+  }
+}
+
+TEST(SolveBatch, OutcomesAreDeterministicAcrossThreadCounts) {
+  const SolveRequest request = request_for(all_solver_platform());
+  const std::vector<std::string> names = SolverRegistry::instance().names();
+  const auto serial = solve_batch_across_solvers(request, names, 1);
+  const auto parallel = solve_batch_across_solvers(request, names, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].solver, parallel[i].solver);
+    EXPECT_EQ(serial[i].result.throughput(), parallel[i].result.throughput());
+  }
+}
+
+TEST(SolveBatch, SkipsInapplicableSolvers) {
+  Rng rng(3);
+  SolveRequest request;
+  request.platform = gen::random_star(4, rng, 2.0);  // z > 1, not a bus
+  const std::vector<std::string> names{"fifo_optimal", "bus_closed_form",
+                                       "exchange_sort"};
+  const auto outcomes = solve_batch_across_solvers(request, names);
+  ASSERT_EQ(outcomes.size(), 1u);  // only fifo_optimal survives the filter
+  EXPECT_EQ(outcomes[0].solver, "fifo_optimal");
+  EXPECT_TRUE(outcomes[0].ok);
+}
+
+TEST(SolveBatch, ReportsFailuresWithoutAbortingTheBatch) {
+  std::vector<BatchJob> jobs(2);
+  jobs[0].solver = "fifo_optimal";
+  jobs[0].request = request_for(all_solver_platform());
+  jobs[1].solver = "bus_closed_form";
+  Rng rng(5);
+  jobs[1].request.platform = gen::random_star(3, rng, 0.5);  // not a bus
+  const auto outcomes = solve_batch(jobs);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].solved);
+  EXPECT_FALSE(outcomes[1].error.empty());
+}
+
+TEST(SolveBatch, OneSolverAcrossManyPlatforms) {
+  Rng rng(13);
+  std::vector<StarPlatform> platforms;
+  for (int i = 0; i < 6; ++i) {
+    platforms.push_back(gen::random_star(5, rng, 0.5));
+  }
+  const auto outcomes =
+      solve_batch_across_platforms("fifo_optimal", platforms);
+  ASSERT_EQ(outcomes.size(), platforms.size());
+  for (const BatchOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+  }
+}
+
+}  // namespace
+}  // namespace dlsched

@@ -6,6 +6,7 @@
 #include "schedule/rounding.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -20,7 +21,7 @@ TEST(Throughput, MakespanForLoadIsLinear) {
 TEST(Throughput, ScheduleForLoadCarriesExactTotal) {
   Rng rng(81);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const Schedule schedule = schedule_for_load(platform, sol, 1000.0);
   EXPECT_NEAR(schedule.total_load(), 1000.0, 1e-6);
   EXPECT_NEAR(schedule.horizon, 1000.0 / sol.throughput, 1e-6);
@@ -34,7 +35,7 @@ TEST(Throughput, PackedMakespanMatchesRealizedSchedule) {
   for (int trial = 0; trial < 6; ++trial) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.1, 0.9));
-    const auto sol = solve_heuristic(platform, Heuristic::IncC);
+    const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
     const double makespan =
         packed_makespan(platform, sol.scenario, sol.alpha);
     EXPECT_NEAR(makespan, 1.0, 1e-9);
@@ -46,7 +47,7 @@ TEST(Throughput, PackedMakespanDetectsRoundingPenalty) {
   // makespan can only get worse (or equal), never better than load/rho.
   Rng rng(83);
   const StarPlatform platform = gen::random_star(4, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::IncC);
+  const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
   const std::uint64_t m = 100;
 
   std::vector<double> ordered_alpha;
@@ -70,7 +71,7 @@ TEST(Throughput, PackedMakespanDetectsRoundingPenalty) {
 TEST(Throughput, PackedTimelineRespectsOnePort) {
   Rng rng(84);
   const StarPlatform platform = gen::random_star(5, rng, 0.5);
-  const auto sol = solve_heuristic(platform, Heuristic::Lifo);
+  const auto sol = shim::heuristic_double(platform, Heuristic::Lifo);
   const Timeline timeline =
       packed_timeline(platform, sol.scenario, sol.alpha);
   const auto report =

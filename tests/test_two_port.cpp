@@ -9,6 +9,7 @@
 #include "platform/generators.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -21,8 +22,8 @@ TEST(TwoPort, DominatesOnePortAlways) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.1, 2.0));
     const Scenario scenario = Scenario::fifo(platform.order_by_c());
-    const auto one = solve_scenario(platform, scenario);
-    const auto two = solve_scenario_two_port(platform, scenario);
+    const auto one = shim::scenario_exact(platform, scenario);
+    const auto two = shim::scenario_two_port(platform, scenario);
     EXPECT_GE(two.throughput, one.throughput);
   }
 }
@@ -33,8 +34,8 @@ TEST(TwoPort, EqualsOnePortWhenCommunicationIsCheap) {
   const StarPlatform platform({Worker{0.001, 1.0, 0.0005, "a"},
                                Worker{0.002, 2.0, 0.001, "b"}});
   const Scenario scenario = Scenario::fifo(platform.order_by_c());
-  const auto one = solve_scenario(platform, scenario);
-  const auto two = solve_scenario_two_port(platform, scenario);
+  const auto one = shim::scenario_exact(platform, scenario);
+  const auto two = shim::scenario_two_port(platform, scenario);
   EXPECT_EQ(one.throughput, two.throughput);
 }
 
@@ -49,8 +50,8 @@ TEST(TwoPort, BusFifoEqualsRhoTildeExactly) {
       wi = static_cast<double>(rng.uniform_int(1, 32)) / 16.0;
     }
     const StarPlatform bus = StarPlatform::bus(c, c / 2.0, w);
-    const auto closed = solve_bus_closed_form(bus);
-    const auto two = solve_fifo_optimal_two_port(bus);
+    const auto closed = shim::bus_closed_form(bus);
+    const auto two = shim::fifo_two_port(bus);
     EXPECT_EQ(two.solution.throughput, closed.two_port_throughput);
   }
 }
@@ -60,8 +61,8 @@ TEST(TwoPort, Figure7TransformationOnBusReachesTheOnePortOptimum) {
   // yields exactly the one-port optimum (Theorem 2's achievability proof).
   Rng rng(203);
   const StarPlatform bus = StarPlatform::bus(0.125, 0.0625, {0.25, 0.5, 0.125});
-  const auto two = solve_fifo_optimal_two_port(bus);
-  const auto one = solve_fifo_optimal(bus);
+  const auto two = shim::fifo_two_port(bus);
+  const auto one = shim::fifo_optimal(bus);
   EXPECT_EQ(two.one_port_throughput, one.solution.throughput);
 }
 
@@ -70,7 +71,7 @@ TEST(TwoPort, TransformedScheduleIsOnePortFeasible) {
   for (int trial = 0; trial < 8; ++trial) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.1, 0.9));
-    const auto two = solve_fifo_optimal_two_port(platform);
+    const auto two = shim::fifo_two_port(platform);
     const Schedule schedule =
         one_port_from_two_port(platform, two.solution);
     const auto report = validate(platform, schedule);
@@ -81,7 +82,7 @@ TEST(TwoPort, TransformedScheduleIsOnePortFeasible) {
     // true one-port optimum.
     EXPECT_NEAR(schedule.total_load(), two.one_port_throughput.to_double(),
                 1e-9);
-    const auto one = solve_fifo_optimal(platform);
+    const auto one = shim::fifo_optimal(platform);
     EXPECT_LE(two.one_port_throughput.to_double(),
               one.solution.throughput.to_double() + 1e-9);
   }
@@ -94,8 +95,8 @@ TEST(TwoPort, LifoClosedFormIsAlsoTheTwoPortLifoOptimum) {
   Rng rng(205);
   for (int trial = 0; trial < 5; ++trial) {
     const StarPlatform platform = gen::random_star_grid(4, rng, 1, 2);
-    const auto closed = solve_lifo_closed_form(platform);
-    const auto two = solve_scenario_two_port(
+    const auto closed = shim::lifo_closed_form(platform);
+    const auto two = shim::scenario_two_port(
         platform, Scenario::lifo(platform.order_by_c()));
     EXPECT_EQ(closed.throughput, two.throughput);
   }
@@ -108,8 +109,8 @@ TEST(TwoPort, OptimalFifoDominatesOnePortOptimalForAnyZ) {
   for (double z : {0.3, 1.0, 1.5, 3.0}) {
     for (int trial = 0; trial < 4; ++trial) {
       const StarPlatform platform = gen::random_star(5, rng, z);
-      const auto one = solve_fifo_optimal(platform);
-      const auto two = solve_fifo_optimal_two_port(platform);
+      const auto one = shim::fifo_optimal(platform);
+      const auto two = shim::fifo_two_port(platform);
       EXPECT_GE(two.solution.throughput, one.solution.throughput)
           << "z = " << z;
     }
@@ -134,8 +135,8 @@ TEST_P(TwoPortGap, GapGrowsWithZ) {
                                                   0.5, 2.0, 0.1, 1.0);
     auto ratio = [](const StarPlatform& p) {
       const Scenario s = Scenario::fifo(p.order_by_c());
-      return solve_scenario_two_port(p, s).throughput.to_double() /
-             solve_scenario(p, s).throughput.to_double();
+      return shim::scenario_two_port(p, s).throughput.to_double() /
+             shim::scenario_exact(p, s).throughput.to_double();
     };
     gap_small_z += ratio(small_z);
     gap_large_z += ratio(large_z);

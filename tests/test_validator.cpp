@@ -7,6 +7,7 @@
 #include "schedule/timeline.hpp"
 #include "schedule/validator.hpp"
 #include "util/rng.hpp"
+#include "registry_shims.hpp"
 
 namespace dlsched {
 namespace {
@@ -164,7 +165,7 @@ TEST_P(ValidatorFaultInjection, RandomCorruptionsOfValidSchedulesAreCaught) {
   for (int trial = 0; trial < 30; ++trial) {
     const StarPlatform platform =
         gen::random_star(5, rng, rng.uniform(0.2, 0.8));
-    const auto sol = solve_heuristic(platform, Heuristic::IncC);
+    const auto sol = shim::heuristic_double(platform, Heuristic::IncC);
     Schedule schedule = realize_schedule(platform, sol);
     ASSERT_TRUE(validate(platform, schedule).ok);
     if (schedule.entries.empty()) continue;
