@@ -1,0 +1,40 @@
+// dlsched_bench -- the one bench binary: every paper figure, ablation and
+// microbenchmark is a named spec run through the experiment engine.
+//
+//   dlsched_bench --list-specs
+//   dlsched_bench --list-generators
+//   dlsched_bench --spec fig10 [--out BENCH_fig10.json] [--csv fig10.csv]
+//   dlsched_bench --spec-file my_sweep.toml
+//   dlsched_bench --all                       # every built-in spec
+//
+// Options:
+//   --out FILE        BENCH JSON artifact (default BENCH_<spec>.json)
+//   --csv FILE        figure-data CSV (default <spec>.csv)
+//   --no-json / --no-csv   suppress an artifact
+//   --cache-dir DIR   result cache (default .dlsched_cache; --no-cache
+//                     disables); overlapping sweeps re-use cached solves
+//   --threads N       solve pool size (0 = hardware concurrency)
+//   --quick           shrink axes (CI smoke: same shape, small grid)
+//   --seed N          override the spec's seed block
+//   --repetitions N   override instances per grid point
+//
+// Replaces the 15 former bench/*.cpp binaries; see README "Running
+// experiments" for the spec -> paper figure table.  The driver itself
+// lives in src/experiments/bench_driver.cpp and is also embedded in
+// dlsched_cli as the `bench` subcommand.
+#include <iostream>
+
+#include "experiments/bench_driver.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlsched;
+  const CliArgs args =
+      CliArgs::parse(argc, argv, experiments::bench_flags());
+  try {
+    return experiments::bench_main(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

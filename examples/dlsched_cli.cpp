@@ -4,8 +4,10 @@
 //   dlsched_cli describe [platform-file]
 //   dlsched_cli solve    [platform-file] [--solver NAME] [--load M] [...]
 //   dlsched_cli compare  [platform-file] [--solvers a,b,c] [--load M]
+//                        [--json] [--seed N]
 //   dlsched_cli gantt    [platform-file] [--solver NAME] [--svg out.svg]
 //   dlsched_cli simulate [platform-file] [--solver NAME] [--load M]
+//   dlsched_cli bench    --spec NAME | --spec-file FILE [--out FILE] [...]
 //
 // Every scheduling strategy is selected by registry name (see
 // --list-solvers); the CLI itself knows nothing about individual
@@ -19,9 +21,12 @@
 //   node-b 0.12 0.20 0.06
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "core/throughput.hpp"
+#include "experiments/bench_driver.hpp"
+#include "experiments/emitter.hpp"
 #include "platform/platform_io.hpp"
 #include "schedule/gantt.hpp"
 #include "schedule/rounding.hpp"
@@ -40,7 +45,7 @@ int usage() {
   std::cerr
       << "usage: dlsched_cli <command> [platform-file] [options]\n"
          "       dlsched_cli --list-solvers\n"
-         "commands: describe, solve, compare, gantt, simulate\n"
+         "commands: describe, solve, compare, gantt, simulate, bench\n"
          "  (omit the platform file to use a built-in demo bus)\n"
          "options:\n"
          "  --solver NAME  scheduling strategy (default fifo_optimal;\n"
@@ -50,13 +55,18 @@ int usage() {
          "  --load M       schedule M load units (default: throughput "
          "form)\n"
          "  --exact        rational LP arithmetic (default: fast/double)\n"
-         "  --seed N       seed for randomized solvers\n"
+         "  --seed N       seed for randomized solvers (reproducible "
+         "runs)\n"
          "  --budget SEC   time budget for search solvers\n"
-         "  --threads N    compare: thread-pool size (0 = hardware)\n"
+         "  --threads N    compare/bench: thread-pool size (0 = hardware)\n"
+         "  --json         compare: machine-readable rows on stdout\n"
          "  --svg FILE     gantt: also write an SVG\n"
          "  --width N      gantt: ASCII width (default 100)\n"
          "  --noise SEED   simulate: cluster-like noise with this seed\n"
-         "  --chrome-trace FILE   simulate: dump a chrome://tracing JSON\n";
+         "  --chrome-trace FILE   simulate: dump a chrome://tracing JSON\n"
+         "  bench: --spec NAME | --spec-file FILE | --list-specs, plus\n"
+         "         --out/--csv/--cache-dir/--no-cache/--quick (the\n"
+         "         dlsched_bench experiment driver, embedded)\n";
   return 2;
 }
 
@@ -181,6 +191,32 @@ int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
       request, names,
       static_cast<std::size_t>(args.get_int("threads", 0)));
 
+  if (args.has("json")) {
+    // Machine-readable rows: scriptable comparisons (`compare --json
+    // --seed N` is reproducible bit for bit).
+    std::cout << "[";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const BatchOutcome& outcome = outcomes[i];
+      experiments::JsonObject row;
+      row.add("solver", outcome.solver).add("solved", outcome.solved);
+      if (outcome.solved) {
+        const double rho = outcome.result.throughput();
+        row.add("throughput", rho)
+            .add("time_for_load", makespan_for_load(rho, load))
+            .add("workers_used", outcome.result.solution.enrolled().size())
+            .add("validated", outcome.ok)
+            .add("provably_optimal", outcome.result.provably_optimal)
+            .add("wall_seconds", outcome.result.wall_seconds)
+            .add("validate_seconds", outcome.validate_seconds);
+      } else {
+        row.add("error", outcome.error);
+      }
+      std::cout << (i > 0 ? ",\n " : "\n ") << row.render();
+    }
+    std::cout << "\n]\n";
+    return 0;
+  }
+
   Table table({"solver", "throughput", "time_for_load", "workers", "valid",
                "wall_ms"});
   table.set_precision(5);
@@ -275,12 +311,17 @@ int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args =
-      CliArgs::parse(argc, argv, {"list-solvers", "exact"});
+  // The bench subcommand shares the dlsched_bench driver (and its flag
+  // set) so the two entry points cannot drift.
+  std::vector<std::string> flags{"list-solvers", "exact", "json"};
+  flags.insert(flags.end(), experiments::bench_flags().begin(),
+               experiments::bench_flags().end());
+  const CliArgs args = CliArgs::parse(argc, argv, flags);
   try {
     if (args.has("list-solvers")) return list_solvers();
     if (args.positional().empty()) return usage();
     const std::string& command = args.positional()[0];
+    if (command == "bench") return experiments::bench_main(args);
     const StarPlatform platform = resolve_platform(args);
     if (command == "describe") return cmd_describe(platform);
     if (command == "solve") return cmd_solve(platform, args);

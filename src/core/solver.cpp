@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <sstream>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "core/brute_force.hpp"
@@ -808,23 +811,137 @@ const char* solver_name_for(Heuristic h) noexcept {
   return "?";
 }
 
+// ---------------------------------------------------------------- hashing --
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t hash = kFnvOffset) noexcept {
+  for (const char ch : bytes) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+void key_double(std::ostringstream& out, double value) {
+  // Bit pattern, not decimal text: the key must distinguish every distinct
+  // double and never depend on formatting.
+  out << std::hex << std::bit_cast<std::uint64_t>(value) << std::dec << ' ';
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string request_canonical_key(const SolveRequest& request) {
+  std::ostringstream out;
+  out << "platform ";
+  for (const Worker& w : request.platform.workers()) {
+    key_double(out, w.c);
+    key_double(out, w.w);
+    key_double(out, w.d);
+  }
+  out << "\nscenario ";
+  if (request.scenario) {
+    for (std::size_t i : request.scenario->send_order) out << i << ' ';
+    out << "| ";
+    for (std::size_t i : request.scenario->return_order) out << i << ' ';
+  } else {
+    out << "-";
+  }
+  out << "\nparticipants ";
+  for (std::size_t i : request.participants) out << i << ' ';
+  out << "\ntwo_port " << request.two_port;
+  out << "\ncosts ";
+  key_double(out, request.costs.send_latency);
+  key_double(out, request.costs.compute_latency);
+  key_double(out, request.costs.return_latency);
+  out << "\nprecision " << (request.precision == Precision::Exact ? 'e' : 'f');
+  out << "\nhorizon ";
+  key_double(out, request.horizon);
+  out << "\nseed " << request.seed;
+  out << "\nbudget ";
+  key_double(out, request.time_budget_seconds);
+  out << "\nguards " << request.max_workers_brute << ' '
+      << request.max_workers_subset << ' ' << request.local_search_restarts
+      << ' ' << request.local_search_max_steps << ' ' << request.max_rounds;
+  return out.str();
+}
+
+std::uint64_t request_hash(const SolveRequest& request) {
+  return fnv1a(request_canonical_key(request));
+}
+
+std::string job_canonical_key(const std::string& solver,
+                              const SolveRequest& request) {
+  return solver + "\n" + request_canonical_key(request);
+}
+
+std::string job_hash_from_key(std::string_view key) {
+  // Two independent FNV streams (the second over the reversed bytes) give a
+  // 128-bit identifier; the cache still verifies the full key on load.
+  const std::uint64_t lo = fnv1a(key);
+  std::uint64_t hi = kFnvOffset;
+  for (auto it = key.rbegin(); it != key.rend(); ++it) {
+    hi ^= static_cast<unsigned char>(*it);
+    hi *= kFnvPrime;
+  }
+  return hex16(lo) + hex16(hi);
+}
+
+std::string job_hash_hex(const std::string& solver,
+                         const SolveRequest& request) {
+  return job_hash_from_key(job_canonical_key(solver, request));
+}
+
 // --------------------------------------------------------------- batching --
 
-std::vector<BatchOutcome> solve_batch(std::span<const BatchJob> jobs,
+std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
                                       std::size_t threads) {
   std::vector<BatchOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
   const SolverRegistry& registry = SolverRegistry::instance();
 
+  // Within-batch dedupe: byte-identical (request, solver) jobs are solved
+  // and validated once, then copied.  `primary_of[i] == i` marks the job
+  // that actually runs.
+  std::vector<std::size_t> primary_of(jobs.size());
+  std::unordered_map<std::string, std::size_t> first_by_key;
+  first_by_key.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    DLSCHED_EXPECT(jobs[i].request != nullptr, "null request in batch job");
+    const auto [it, inserted] = first_by_key.try_emplace(
+        job_hash_hex(jobs[i].solver, *jobs[i].request), i);
+    primary_of[i] = it->second;
+  }
+
   auto run_job = [&](std::size_t index) {
-    const BatchJob& job = jobs[index];
+    const BatchJobView& job = jobs[index];
     BatchOutcome& outcome = outcomes[index];
     outcome.solver = job.solver;
+    if (primary_of[index] != index) return;  // copied after the pool joins
     try {
-      outcome.result = registry.run(job.solver, job.request);
+      outcome.result = registry.run(job.solver, *job.request);
       outcome.solved = true;
+      const auto start = std::chrono::steady_clock::now();
       outcome.validation = validate(outcome.result.schedule_platform,
                                     outcome.result.schedule);
+      outcome.validate_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
       outcome.ok = outcome.validation.ok;
     } catch (const std::exception& e) {
       outcome.error = e.what();
@@ -837,21 +954,38 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJob> jobs,
       1, std::min(thread_count, jobs.size()));
   if (thread_count == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
-    return outcomes;
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          run_job(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(thread_count);
-  for (std::size_t t = 0; t < thread_count; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < jobs.size();
-           i = next.fetch_add(1)) {
-        run_job(i);
-      }
-    });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (primary_of[i] == i) continue;
+    outcomes[i] = outcomes[primary_of[i]];
+    outcomes[i].deduped = true;
+    outcomes[i].validate_seconds = 0.0;  // the validator did not run again
   }
-  for (std::thread& t : pool) t.join();
   return outcomes;
+}
+
+std::vector<BatchOutcome> solve_batch(std::span<const BatchJob> jobs,
+                                      std::size_t threads) {
+  std::vector<BatchJobView> views;
+  views.reserve(jobs.size());
+  for (const BatchJob& job : jobs) {
+    views.push_back({job.solver, &job.request});
+  }
+  return solve_batch(views, threads);
 }
 
 std::vector<BatchOutcome> solve_batch_across_solvers(

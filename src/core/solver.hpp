@@ -19,6 +19,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/affine.hpp"
@@ -174,12 +175,47 @@ class SolverRegistry {
   std::vector<std::pair<std::string, SolverFactory>> factories_;
 };
 
+// ---------------------------------------------------------------- hashing --
+
+/// Canonical byte-exact serialization of a request: every field that can
+/// influence any solver's output, with doubles rendered by bit pattern.
+/// Two requests with equal keys are interchangeable for *every* registered
+/// solver; worker names are excluded (they never affect solving).
+[[nodiscard]] std::string request_canonical_key(const SolveRequest& request);
+
+/// FNV-1a over the canonical key.
+[[nodiscard]] std::uint64_t request_hash(const SolveRequest& request);
+
+/// The canonical identity of one (solver, request) job: the solver name
+/// prepended to `request_canonical_key`.  Serializing the platform is the
+/// expensive part -- callers that need both the key and its hash should
+/// build the key once and hash it with `job_hash_from_key`.
+[[nodiscard]] std::string job_canonical_key(const std::string& solver,
+                                            const SolveRequest& request);
+
+/// 128-bit hash of a `job_canonical_key` as 32 hex chars -- the
+/// experiment engine's cache-file name.  Collisions are guarded against
+/// by storing the canonical key alongside cached values.
+[[nodiscard]] std::string job_hash_from_key(std::string_view canonical_key);
+
+/// `job_hash_from_key(job_canonical_key(solver, request))`.
+[[nodiscard]] std::string job_hash_hex(const std::string& solver,
+                                       const SolveRequest& request);
+
 // --------------------------------------------------------------- batching --
 
 /// One unit of batch work: a solver name plus its request.
 struct BatchJob {
   std::string solver;
   SolveRequest request;
+};
+
+/// Non-owning batch job: the experiment grid stores each distinct request
+/// once and fans solver names over pointers, so enqueueing a p x z x seed x
+/// solver grid never copies a platform.
+struct BatchJobView {
+  std::string solver;
+  const SolveRequest* request = nullptr;
 };
 
 /// Outcome of one batch job.  `ok` means the solve completed and the
@@ -191,6 +227,11 @@ struct BatchOutcome {
   std::string error;               ///< exception text when !solved
   SolveResult result;              ///< valid when solved
   ValidationReport validation;     ///< valid when solved
+  /// True when this job was byte-identical (same request hash + solver) to
+  /// an earlier job in the batch: the outcome is a copy and neither the
+  /// solver nor the validator ran again for it.
+  bool deduped = false;
+  double validate_seconds = 0.0;   ///< validator wall time (0 when deduped)
 };
 
 /// Runs every job on a pool of `threads` std::threads (0 = hardware
@@ -198,8 +239,15 @@ struct BatchOutcome {
 /// schedule through schedule/validator.  Outcomes are returned in job
 /// order regardless of thread interleaving; a throwing job yields an
 /// outcome with `solved == false` instead of aborting the batch.
+/// Byte-identical (request, solver) jobs are solved and validated once;
+/// duplicates receive a copy of the outcome with `deduped` set.
 [[nodiscard]] std::vector<BatchOutcome> solve_batch(
     std::span<const BatchJob> jobs, std::size_t threads = 0);
+
+/// The non-owning primitive the owning overload and the experiment grid
+/// are built on.  Every `request` pointer must stay valid for the call.
+[[nodiscard]] std::vector<BatchOutcome> solve_batch(
+    std::span<const BatchJobView> jobs, std::size_t threads = 0);
 
 /// Portfolio convenience: one request across many solvers.  Inapplicable
 /// solvers are skipped (not errors) when `skip_inapplicable`.

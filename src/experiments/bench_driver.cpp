@@ -1,0 +1,104 @@
+#include "experiments/bench_driver.hpp"
+
+#include <iostream>
+
+#include "experiments/engine.hpp"
+#include "experiments/spec_registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace dlsched::experiments {
+
+namespace {
+
+int list_specs() {
+  Table table({"spec", "figure", "kind", "title"});
+  for (const ExperimentSpec& spec : builtin_specs()) {
+    table.begin_row()
+        .cell(spec.name)
+        .cell(spec.figure)
+        .cell(kind_name(spec.kind))
+        .cell(spec.title);
+  }
+  table.print_aligned(std::cout);
+  std::cout << "\n" << builtin_specs().size()
+            << " built-in specs; run one with --spec NAME or declare your "
+               "own with --spec-file FILE.toml\n";
+  return 0;
+}
+
+int list_generators() {
+  Table table({"generator", "parameters", "description"});
+  for (const gen::GeneratorInfo& info :
+       gen::GeneratorRegistry::instance().infos()) {
+    std::string params;
+    for (const std::string& key : info.params) {
+      if (!params.empty()) params += ",";
+      params += key;
+    }
+    table.begin_row().cell(info.name).cell(params).cell(info.description);
+  }
+  table.print_aligned(std::cout);
+  return 0;
+}
+
+int run_one(ExperimentSpec spec, const CliArgs& args) {
+  if (args.has("seed")) {
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  }
+  if (args.has("repetitions")) {
+    spec.repetitions =
+        static_cast<std::size_t>(args.get_int("repetitions", 1));
+  }
+  RunOptions options;
+  options.out_json = args.has("no-json")
+                         ? std::string()
+                         : args.get_or("out", "BENCH_" + spec.name + ".json");
+  options.out_csv = args.has("no-csv") ? std::string()
+                                       : args.get_or("csv", spec.name + ".csv");
+  options.cache_dir = args.has("no-cache")
+                          ? std::string()
+                          : args.get_or("cache-dir", ".dlsched_cache");
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  options.quick = args.has("quick");
+  const RunSummary summary = run_spec(spec, options);
+  return summary.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+const std::vector<std::string>& bench_flags() {
+  static const std::vector<std::string>* flags = new std::vector<std::string>{
+      "list-specs", "list-generators", "all",
+      "quick",      "no-cache",        "no-json",
+      "no-csv"};
+  return *flags;
+}
+
+int bench_main(const CliArgs& args) {
+  if (args.has("list-specs")) return list_specs();
+  if (args.has("list-generators")) return list_generators();
+  if (args.has("all")) {
+    if (args.get("out") || args.get("csv")) {
+      std::cerr << "--all names artifacts per spec; drop --out/--csv\n";
+      return 2;
+    }
+    int status = 0;
+    for (const ExperimentSpec& spec : builtin_specs()) {
+      status |= run_one(spec, args);
+      std::cout << "\n";
+    }
+    return status;
+  }
+  if (const auto path = args.get("spec-file")) {
+    return run_one(load_spec_file(*path), args);
+  }
+  if (const auto name = args.get("spec")) {
+    return run_one(find_builtin_spec(*name), args);
+  }
+  std::cerr << "bench needs --spec NAME, --spec-file FILE, --all, "
+               "--list-specs or --list-generators\n";
+  return 2;
+}
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,241 @@
+#include "experiments/cache.hpp"
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched::experiments {
+
+namespace fs = std::filesystem;
+
+CachedSolve cached_from_outcome(const BatchOutcome& outcome) {
+  CachedSolve solve;
+  solve.solver = outcome.solver;
+  solve.solved = outcome.solved;
+  solve.validated = outcome.ok;
+  solve.error = outcome.error;
+  solve.validate_seconds = outcome.validate_seconds;
+  if (!outcome.solved) return solve;
+  const SolveResult& result = outcome.result;
+  solve.throughput = result.throughput();
+  solve.alpha = result.solution.alpha_double();
+  solve.send_order = result.solution.scenario.send_order;
+  solve.return_order = result.solution.scenario.return_order;
+  solve.workers_used = result.solution.enrolled().size();
+  solve.provably_optimal = result.provably_optimal;
+  solve.mirrored = result.mirrored;
+  solve.used_two_port = result.used_two_port;
+  solve.exact = result.exact;
+  solve.budget_exhausted = result.budget_exhausted;
+  solve.has_alt = result.alt_throughput.has_value();
+  if (solve.has_alt) solve.alt_throughput = result.alt_throughput->to_double();
+  solve.scenarios_tried = result.scenarios_tried;
+  solve.lp_evaluations = result.lp_evaluations;
+  solve.best_rounds = result.best_rounds;
+  solve.wall_seconds = result.wall_seconds;
+  return solve;
+}
+
+ScenarioSolutionD solution_from_cached(const CachedSolve& solve) {
+  DLSCHED_EXPECT(solve.solved, "cannot replay an unsolved cache entry");
+  ScenarioSolutionD solution;
+  solution.throughput = solve.throughput;
+  solution.alpha = solve.alpha;
+  solution.scenario = Scenario::general(solve.send_order, solve.return_order);
+  return solution;
+}
+
+// ----------------------------------------------------------- serialization --
+
+namespace {
+
+// Entry files are a line-oriented text format; doubles travel as 64-bit
+// hex bit patterns so a cached value replays the original run's numbers
+// exactly, and free-form text (the key, error messages) is length-prefixed.
+
+void put_double(std::ostream& out, double value) {
+  out << std::hex << std::bit_cast<std::uint64_t>(value) << std::dec;
+}
+
+double get_double(std::istream& in) {
+  std::uint64_t bits = 0;
+  in >> std::hex >> bits >> std::dec;
+  return std::bit_cast<double>(bits);
+}
+
+void put_blob(std::ostream& out, const std::string& label,
+              const std::string& text) {
+  out << label << ' ' << text.size() << '\n' << text << '\n';
+}
+
+std::string get_blob(std::istream& in, const std::string& label) {
+  std::string seen;
+  std::size_t size = 0;
+  in >> seen >> size;
+  DLSCHED_EXPECT(seen == label && in.good(),
+                 "cache entry: expected '" + label + "' blob");
+  in.ignore(1);  // the newline after the size
+  std::string text(size, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(size));
+  in.ignore(1);
+  DLSCHED_EXPECT(in.good(), "cache entry: truncated '" + label + "' blob");
+  return text;
+}
+
+void put_indices(std::ostream& out, const std::string& label,
+                 const std::vector<std::size_t>& values) {
+  out << label << ' ' << values.size();
+  for (const std::size_t v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<std::size_t> get_indices(std::istream& in,
+                                     const std::string& label) {
+  std::string seen;
+  std::size_t count = 0;
+  in >> seen >> count;
+  DLSCHED_EXPECT(seen == label && in.good(),
+                 "cache entry: expected '" + label + "' list");
+  std::vector<std::size_t> values(count);
+  for (std::size_t& v : values) in >> v;
+  return values;
+}
+
+std::string serialize(const std::string& canonical_key,
+                      const CachedSolve& s) {
+  std::ostringstream out;
+  out << "dlsched-cache 1\n";
+  put_blob(out, "key", canonical_key);
+  put_blob(out, "solver", s.solver);
+  put_blob(out, "error", s.error);
+  out << "flags " << s.solved << ' ' << s.validated << ' '
+      << s.provably_optimal << ' ' << s.mirrored << ' ' << s.used_two_port
+      << ' ' << s.exact << ' ' << s.budget_exhausted << ' ' << s.has_alt
+      << '\n';
+  out << "counts " << s.workers_used << ' ' << s.scenarios_tried << ' '
+      << s.lp_evaluations << ' ' << s.best_rounds << '\n';
+  out << "scalars ";
+  put_double(out, s.throughput);
+  out << ' ';
+  put_double(out, s.alt_throughput);
+  out << ' ';
+  put_double(out, s.wall_seconds);
+  out << ' ';
+  put_double(out, s.validate_seconds);
+  out << '\n';
+  out << "alpha " << s.alpha.size();
+  for (const double a : s.alpha) {
+    out << ' ';
+    put_double(out, a);
+  }
+  out << '\n';
+  put_indices(out, "send", s.send_order);
+  put_indices(out, "ret", s.return_order);
+  out << "end\n";
+  return out.str();
+}
+
+/// Parses an entry; returns nullopt (never throws) on any mismatch so a
+/// corrupt or colliding file degrades to a cache miss.
+std::optional<CachedSolve> deserialize(const std::string& text,
+                                       const std::string& canonical_key) {
+  try {
+    std::istringstream in(text);
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 1,
+                   "cache entry: bad header");
+    in.ignore(1);
+    if (get_blob(in, "key") != canonical_key) return std::nullopt;
+    CachedSolve s;
+    s.solver = get_blob(in, "solver");
+    s.error = get_blob(in, "error");
+    std::string label;
+    in >> label;
+    DLSCHED_EXPECT(label == "flags", "cache entry: expected flags");
+    in >> s.solved >> s.validated >> s.provably_optimal >> s.mirrored >>
+        s.used_two_port >> s.exact >> s.budget_exhausted >> s.has_alt;
+    in >> label;
+    DLSCHED_EXPECT(label == "counts", "cache entry: expected counts");
+    in >> s.workers_used >> s.scenarios_tried >> s.lp_evaluations >>
+        s.best_rounds;
+    in >> label;
+    DLSCHED_EXPECT(label == "scalars", "cache entry: expected scalars");
+    s.throughput = get_double(in);
+    s.alt_throughput = get_double(in);
+    s.wall_seconds = get_double(in);
+    s.validate_seconds = get_double(in);
+    in >> label;
+    DLSCHED_EXPECT(label == "alpha", "cache entry: expected alpha");
+    std::size_t count = 0;
+    in >> count;
+    s.alpha.resize(count);
+    for (double& a : s.alpha) a = get_double(in);
+    s.send_order = get_indices(in, "send");
+    s.return_order = get_indices(in, "ret");
+    in >> label;
+    DLSCHED_EXPECT(label == "end" && !in.fail(),
+                   "cache entry: missing end marker");
+    return s;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory)) {
+  DLSCHED_EXPECT(!directory_.empty(), "empty cache directory");
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  DLSCHED_EXPECT(!ec, "cannot create cache directory '" + directory_ + "'");
+}
+
+std::optional<CachedSolve> ResultCache::lookup(
+    const std::string& hash_hex, const std::string& canonical_key) {
+  if (!enabled()) {
+    ++stats.misses;
+    return std::nullopt;
+  }
+  const fs::path path = fs::path(directory_) / (hash_hex + ".entry");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    ++stats.misses;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<CachedSolve> value =
+      deserialize(text.str(), canonical_key);
+  if (value) {
+    ++stats.hits;
+  } else {
+    ++stats.misses;
+  }
+  return value;
+}
+
+void ResultCache::store(const std::string& hash_hex,
+                        const std::string& canonical_key,
+                        const CachedSolve& value) {
+  if (!enabled()) return;
+  const fs::path path = fs::path(directory_) / (hash_hex + ".entry");
+  // Write-then-rename so a crashed run never leaves a torn entry.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    DLSCHED_EXPECT(out.good(),
+                   "cannot write cache entry under '" + directory_ + "'");
+    out << serialize(canonical_key, value);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (!ec) ++stats.stores;
+}
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,95 @@
+// Content-addressed result cache for the experiment engine.
+//
+// Every solve in a sweep is keyed by `job_hash_hex(solver, request)` over
+// the canonical request serialization (core/solver.hpp), so overlapping
+// sweeps -- a re-run, a superset spec, two figures sharing instances --
+// never re-solve a (request, solver) pair.  Values are `CachedSolve`
+// records: everything the emitters and the DES replay need, with doubles
+// stored by bit pattern so a cache hit reproduces the original run's
+// output byte for byte.  Entries live one-per-file under a cache
+// directory; the full canonical key is stored and verified on load, so a
+// hash collision degrades to a miss, never to a wrong result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace dlsched::experiments {
+
+/// The cacheable projection of a `BatchOutcome`: solution numbers (as
+/// doubles -- all emitters and the DES consume doubles), communication
+/// orders, provenance flags and diagnostics.
+struct CachedSolve {
+  std::string solver;
+  bool solved = false;
+  bool validated = false;
+  std::string error;  ///< exception text when !solved
+
+  double throughput = 0.0;
+  std::vector<double> alpha;               ///< platform-indexed
+  std::vector<std::size_t> send_order;     ///< sigma_1
+  std::vector<std::size_t> return_order;   ///< sigma_2
+  std::size_t workers_used = 0;            ///< alpha > 0 count
+
+  bool provably_optimal = false;
+  bool mirrored = false;
+  bool used_two_port = false;
+  bool exact = true;
+  bool budget_exhausted = false;
+  bool has_alt = false;
+  double alt_throughput = 0.0;
+  std::size_t scenarios_tried = 0;
+  std::size_t lp_evaluations = 0;
+  std::size_t best_rounds = 0;
+
+  double wall_seconds = 0.0;      ///< of the run that actually solved
+  double validate_seconds = 0.0;
+};
+
+/// Projects a batch outcome into its cacheable form.
+[[nodiscard]] CachedSolve cached_from_outcome(const BatchOutcome& outcome);
+
+/// Rebuilds the double-precision solution shape for DES replay /
+/// rounding.  Requires `solve.solved` and a non-empty scenario.
+[[nodiscard]] ScenarioSolutionD solution_from_cached(
+    const CachedSolve& solve);
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t stores = 0;
+};
+
+/// Directory-backed cache.  A default-constructed cache is disabled: every
+/// lookup misses and stores are dropped, so callers need no branching.
+class ResultCache {
+ public:
+  ResultCache() = default;
+  /// Opens (creating if needed) the cache directory.
+  explicit ResultCache(std::string directory);
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory_.empty(); }
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+  /// Returns the stored value for this job, verifying the canonical key.
+  [[nodiscard]] std::optional<CachedSolve> lookup(
+      const std::string& hash_hex, const std::string& canonical_key);
+
+  /// Persists a value (no-op when disabled).
+  void store(const std::string& hash_hex, const std::string& canonical_key,
+             const CachedSolve& value);
+
+  CacheStats stats;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,164 @@
+#include "experiments/emitter.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "experiments/spec.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::experiments {
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// ------------------------------------------------------------- JsonObject --
+
+JsonObject& JsonObject::add(const std::string& name,
+                            const std::string& value) {
+  return add_raw(name, json_string(value));
+}
+JsonObject& JsonObject::add(const std::string& name, const char* value) {
+  return add_raw(name, json_string(value));
+}
+JsonObject& JsonObject::add(const std::string& name, double value) {
+  return add_raw(name, json_double(value));
+}
+JsonObject& JsonObject::add(const std::string& name, bool value) {
+  return add_raw(name, value ? "true" : "false");
+}
+JsonObject& JsonObject::add(const std::string& name, std::size_t value) {
+  return add_raw(name, std::to_string(value));
+}
+JsonObject& JsonObject::add(const std::string& name, int value) {
+  return add_raw(name, std::to_string(value));
+}
+JsonObject& JsonObject::add_raw(const std::string& name, std::string json) {
+  fields_.emplace_back(name, std::move(json));
+  return *this;
+}
+
+std::string JsonObject::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_string(fields_[i].first);
+    out += ": ";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+// -------------------------------------------------------- BenchJsonWriter --
+
+BenchJsonWriter::BenchJsonWriter(
+    std::ostream& out, const ExperimentSpec& spec,
+    const std::vector<std::string>& resolved_solvers)
+    : out_(out) {
+  JsonObject header;
+  header.add("name", spec.name)
+      .add("title", spec.title)
+      .add("figure", spec.figure)
+      .add("kind", kind_name(spec.kind))
+      .add("generator", spec.generator)
+      .add_raw("solvers", json_string_array(resolved_solvers))
+      .add("seed", spec.seed)
+      .add("repetitions", spec.repetitions)
+      .add("precision",
+           spec.precision == Precision::Exact ? "exact" : "fast");
+  out_ << "{\n  \"spec\": " << header.render() << ",\n  \"rows\": [";
+}
+
+BenchJsonWriter::~BenchJsonWriter() { finish(); }
+
+void BenchJsonWriter::row(const JsonObject& object) {
+  DLSCHED_EXPECT(!finished_, "row() after finish()");
+  if (rows_ > 0) out_ << ",";
+  out_ << "\n    " << object.render();
+  ++rows_;
+}
+
+void BenchJsonWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (rows_ > 0) out_ << "\n  ";
+  out_ << "]\n}\n";
+  out_.flush();
+}
+
+// -------------------------------------------------------------- CsvWriter --
+
+CsvWriter::CsvWriter(std::ostream& out,
+                     const std::vector<std::string>& header)
+    : out_(out), columns_(header.size()) {
+  DLSCHED_EXPECT(columns_ > 0, "empty CSV header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  current_.push_back(value);
+  return *this;
+}
+CsvWriter& CsvWriter::cell(double value) {
+  return cell(json_double(value));
+}
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+void CsvWriter::end_row() {
+  DLSCHED_EXPECT(current_.size() == columns_,
+                 "CSV row has " + std::to_string(current_.size()) +
+                     " cells, header has " + std::to_string(columns_));
+  for (std::size_t i = 0; i < current_.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << current_[i];
+  }
+  out_ << '\n';
+  current_.clear();
+  out_.flush();
+}
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,88 @@
+// Deterministic machine-readable output for the experiment engine.
+//
+// `BenchJsonWriter` streams `BENCH_<spec>.json`: a header object carrying
+// the spec's identity plus a `rows` array with one object per
+// (solver, instance) measurement.  `CsvWriter` streams the figure-data
+// CSV.  All doubles are rendered with round-trip precision ("%.17g"
+// semantics) so a cached re-run emits byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlsched::experiments {
+
+struct ExperimentSpec;
+
+/// Renders a double as round-trip JSON (nan/inf become null).
+[[nodiscard]] std::string json_double(double value);
+/// Escapes a string for JSON (quotes included).
+[[nodiscard]] std::string json_string(const std::string& text);
+
+/// An ordered field list rendered as one JSON object.  Insertion order is
+/// emission order, so rows stay diffable.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& name, const std::string& value);
+  JsonObject& add(const std::string& name, const char* value);
+  JsonObject& add(const std::string& name, double value);
+  JsonObject& add(const std::string& name, bool value);
+  JsonObject& add(const std::string& name, std::size_t value);
+  JsonObject& add(const std::string& name, int value);
+  /// Pre-rendered JSON (for nested arrays/objects).
+  JsonObject& add_raw(const std::string& name, std::string json);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders a string list as a JSON array.
+[[nodiscard]] std::string json_string_array(
+    const std::vector<std::string>& values);
+
+/// Streams `{"spec": {...}, "rows": [...]}`.  The header is derived from
+/// the spec (name, title, figure, kind, generator, axes, solver list) and
+/// contains nothing run-dependent -- cache summaries go to the log, never
+/// into the artifact, so re-runs stay byte-identical.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::ostream& out, const ExperimentSpec& spec,
+                  const std::vector<std::string>& resolved_solvers);
+  ~BenchJsonWriter();
+
+  void row(const JsonObject& object);
+  /// Closes the rows array and the document (idempotent).
+  void finish();
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams a CSV with a fixed header; numeric cells are rendered with
+/// round-trip precision by the `cell` helpers.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, const std::vector<std::string>& header);
+
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::size_t value);
+  /// Terminates the current row.
+  void end_row();
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::vector<std::string> current_;
+};
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,518 @@
+#include "experiments/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "experiments/emitter.hpp"
+#include "experiments/figures.hpp"
+#include "experiments/special_runs.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dlsched::experiments {
+
+std::string RunSummary::describe() const {
+  std::ostringstream out;
+  out << spec << ": " << jobs << " job(s), " << cache_hits
+      << " cache hit(s), " << deduped << " deduped, " << solved
+      << " solved, " << failures << " failure(s)";
+  if (skipped > 0) out << ", " << skipped << " inapplicable";
+  out << "; " << rows << " row(s)";
+  if (cache.stores > 0) out << ", " << cache.stores << " cached";
+  out << "; " << format_double(wall_seconds, 3) << " s";
+  return out.str();
+}
+
+std::uint64_t instance_seed(std::uint64_t base, std::size_t p, double z,
+                            std::size_t rep) {
+  // FNV-1a over the coordinate bytes: stable across spec axis orderings,
+  // so overlapping sweeps regenerate identical platforms.
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(base);
+  mix(p);
+  mix(std::bit_cast<std::uint64_t>(z));
+  mix(rep);
+  return hash;
+}
+
+CachedRun run_solver_cached(ResultCache& cache, const std::string& solver,
+                            const SolveRequest& request) {
+  const std::string key = job_canonical_key(solver, request);
+  const std::string hash = job_hash_from_key(key);
+  if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
+    return {*hit, true};
+  }
+  const BatchJobView view{solver, &request};
+  const std::vector<BatchOutcome> outcomes =
+      solve_batch(std::span<const BatchJobView>(&view, 1), 1);
+  CachedSolve solve = cached_from_outcome(outcomes.front());
+  cache.store(hash, key, solve);
+  return {std::move(solve), false};
+}
+
+namespace {
+
+using std::chrono::steady_clock;
+
+/// The solver set a spec's JSON header advertises (and the grid runs).
+std::vector<std::string> resolved_solvers(const ExperimentSpec& spec) {
+  switch (spec.kind) {
+    case SpecKind::Grid:
+      return spec.solvers.empty() ? SolverRegistry::instance().names()
+                                  : spec.solvers;
+    case SpecKind::Ensemble: {
+      std::vector<std::string> solvers{"inc_c"};
+      if (spec.include_inc_w) solvers.emplace_back("inc_w");
+      solvers.emplace_back("lifo");
+      return solvers;
+    }
+    case SpecKind::Trace:
+    case SpecKind::Participation:
+    case SpecKind::Selection:
+      return {"fifo_optimal"};
+    case SpecKind::Multiround:
+      return {"inc_c"};
+    case SpecKind::Linearity:
+    case SpecKind::Micro:
+      return {};
+  }
+  return {};
+}
+
+/// `--quick`: same shape, small axes -- CI smoke and tests.
+ExperimentSpec shrink(ExperimentSpec spec) {
+  const auto cap = [](auto& values, std::size_t keep) {
+    if (values.size() > keep) values.resize(keep);
+  };
+  spec.repetitions = std::min<std::size_t>(spec.repetitions, 2);
+  cap(spec.workers, 2);
+  cap(spec.z_values, 2);
+  cap(spec.matrix_sizes, 2);
+  cap(spec.latencies, 2);
+  spec.platforms = std::min<std::size_t>(spec.platforms, 3);
+  spec.total_tasks = std::min<std::uint64_t>(spec.total_tasks, 200);
+  spec.max_rounds = std::min<std::size_t>(spec.max_rounds, 6);
+  return spec;
+}
+
+// ------------------------------------------------------------------- grid --
+
+/// One (instance, solver) cell of the compiled grid.
+struct GridSlot {
+  std::size_t instance = 0;           ///< index into the request deque
+  std::optional<double> z;            ///< z-axis value, when the axis exists
+  std::size_t rep = 0;
+  std::uint64_t seed = 0;
+  std::string solver;
+  CachedSolve solve;
+  bool from_cache = false;
+};
+
+void run_grid(const ExperimentSpec& spec, const RunOptions& options,
+              ResultCache& cache, BenchJsonWriter* json, std::ostream* csv,
+              RunSummary& summary, std::ostream& log) {
+  const std::vector<std::string> solvers = resolved_solvers(spec);
+  const SolverRegistry& registry = SolverRegistry::instance();
+  std::map<std::string, std::unique_ptr<Solver>> solver_objects;
+  for (const std::string& name : solvers) {
+    solver_objects.emplace(name, registry.create(name));
+  }
+
+  // Axis values; an absent axis contributes one point and no parameter.
+  std::vector<std::optional<std::size_t>> p_axis{std::nullopt};
+  if (!spec.workers.empty()) {
+    p_axis.assign(spec.workers.begin(), spec.workers.end());
+  }
+  std::vector<std::optional<double>> z_axis{std::nullopt};
+  if (!spec.z_values.empty()) {
+    z_axis.assign(spec.z_values.begin(), spec.z_values.end());
+  }
+
+  // ----- compile the grid: platforms once, solver jobs as views ----------
+  std::deque<SolveRequest> requests;  // deque: stable addresses for views
+  std::vector<GridSlot> slots;
+  for (const auto& p : p_axis) {
+    for (const auto& z : z_axis) {
+      for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+        const std::uint64_t seed =
+            instance_seed(spec.seed, p.value_or(0), z.value_or(-1.0), rep);
+        gen::GenParams params = spec.generator_params;
+        if (p) params["p"] = static_cast<double>(*p);
+        if (z) params["z"] = *z;
+        Rng rng(seed);
+        SolveRequest request;
+        request.platform =
+            gen::GeneratorRegistry::instance().make(spec.generator, params,
+                                                    rng);
+        request.precision = spec.precision;
+        request.time_budget_seconds = spec.time_budget_seconds;
+        request.max_workers_brute = spec.max_workers_brute;
+        request.seed = seed;
+        requests.push_back(std::move(request));
+        const std::size_t instance = requests.size() - 1;
+        for (const std::string& solver : solvers) {
+          if (!solver_objects.at(solver)->applicable(requests[instance])) {
+            ++summary.skipped;
+            continue;
+          }
+          GridSlot slot;
+          slot.instance = instance;
+          slot.z = z;
+          slot.rep = rep;
+          slot.seed = seed;
+          slot.solver = solver;
+          slots.push_back(std::move(slot));
+        }
+      }
+    }
+  }
+  summary.jobs = slots.size();
+
+  // ----- cache pass, then one sharded batch over the misses --------------
+  std::vector<BatchJobView> views;
+  std::vector<std::size_t> view_slot;
+  std::vector<std::pair<std::string, std::string>> view_keys;  // hash, key
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    GridSlot& slot = slots[i];
+    const SolveRequest& request = requests[slot.instance];
+    const std::string key = job_canonical_key(slot.solver, request);
+    const std::string hash = job_hash_from_key(key);
+    if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
+      slot.solve = std::move(*hit);
+      slot.from_cache = true;
+      ++summary.cache_hits;
+      continue;
+    }
+    views.push_back({slot.solver, &request});
+    view_slot.push_back(i);
+    view_keys.emplace_back(hash, key);
+  }
+  const std::vector<BatchOutcome> outcomes =
+      solve_batch(views, options.threads);
+  for (std::size_t v = 0; v < outcomes.size(); ++v) {
+    GridSlot& slot = slots[view_slot[v]];
+    slot.solve = cached_from_outcome(outcomes[v]);
+    if (outcomes[v].deduped) {
+      ++summary.deduped;
+    } else {
+      ++summary.solved;
+      cache.store(view_keys[v].first, view_keys[v].second, slot.solve);
+    }
+  }
+
+  // ----- emit rows + aggregate the figure data ----------------------------
+  std::vector<double> baseline_throughput(requests.size(), 0.0);
+  for (const GridSlot& slot : slots) {
+    if (slot.solver == spec.baseline && slot.solve.solved) {
+      baseline_throughput[slot.instance] = slot.solve.throughput;
+    }
+  }
+
+  struct Group {
+    std::size_t p;
+    std::optional<double> z;
+    std::string solver;
+    Accumulator throughput, ratio, wall;
+  };
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> group_index;
+
+  for (const GridSlot& slot : slots) {
+    const CachedSolve& s = slot.solve;
+    if (!s.solved || !s.validated) ++summary.failures;
+    const std::size_t p = requests[slot.instance].platform.size();
+    if (json) {
+      JsonObject row;
+      row.add("solver", slot.solver).add("p", p);
+      if (slot.z) row.add("z", *slot.z);
+      row.add("rep", slot.rep).add("seed", slot.seed);
+      row.add("solved", s.solved);
+      if (!s.solved) {
+        row.add("error", s.error);
+      } else {
+        row.add("throughput", s.throughput)
+            .add("workers_used", s.workers_used)
+            .add("validated", s.validated)
+            .add("provably_optimal", s.provably_optimal)
+            .add("exact", s.exact)
+            .add("scenarios_tried", s.scenarios_tried)
+            .add("lp_evaluations", s.lp_evaluations);
+        if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
+        row.add("wall_seconds", s.wall_seconds)
+            .add("validate_seconds", s.validate_seconds);
+      }
+      json->row(row);
+      ++summary.rows;
+    }
+    if (!s.solved) continue;
+    std::ostringstream group_key;
+    group_key << p << '|' << (slot.z ? json_double(*slot.z) : "-") << '|'
+              << slot.solver;
+    const auto [it, inserted] =
+        group_index.try_emplace(group_key.str(), groups.size());
+    if (inserted) {
+      groups.push_back({p, slot.z, slot.solver, {}, {}, {}});
+    }
+    Group& group = groups[it->second];
+    group.throughput.add(s.throughput);
+    group.wall.add(s.wall_seconds);
+    const double base = baseline_throughput[slot.instance];
+    if (!spec.baseline.empty() && base > 0.0) {
+      group.ratio.add(s.throughput / base);
+    }
+  }
+
+  const std::vector<std::string> header{
+      "p",           "z",         "solver",          "instances",
+      "mean_throughput", "mean_wall_seconds", "mean_ratio_vs_baseline",
+      "min_ratio",   "max_ratio"};
+  std::optional<CsvWriter> csv_writer;
+  if (csv) csv_writer.emplace(*csv, header);
+  Table table(header);
+  table.set_precision(5);
+  for (const Group& group : groups) {
+    const std::string z_cell =
+        group.z ? format_double(*group.z, 4) : std::string("-");
+    const bool has_ratio = group.ratio.count() > 0;
+    table.begin_row()
+        .cell(group.p)
+        .cell(z_cell)
+        .cell(group.solver)
+        .cell(group.throughput.count())
+        .cell(group.throughput.mean())
+        .cell(group.wall.mean())
+        .cell(has_ratio ? format_double(group.ratio.mean(), 5)
+                        : std::string("-"))
+        .cell(has_ratio ? format_double(group.ratio.min(), 5)
+                        : std::string("-"))
+        .cell(has_ratio ? format_double(group.ratio.max(), 5)
+                        : std::string("-"));
+    if (csv_writer) {
+      csv_writer->cell(std::to_string(group.p))
+          .cell(group.z ? json_double(*group.z) : std::string(""))
+          .cell(group.solver)
+          .cell(group.throughput.count())
+          .cell(group.throughput.mean())
+          .cell(group.wall.mean());
+      if (has_ratio) {
+        csv_writer->cell(group.ratio.mean())
+            .cell(group.ratio.min())
+            .cell(group.ratio.max());
+      } else {
+        csv_writer->cell(std::string(""))
+            .cell(std::string(""))
+            .cell(std::string(""));
+      }
+      csv_writer->end_row();
+    }
+  }
+  table.print_aligned(log);
+}
+
+// --------------------------------------------------------------- ensemble --
+
+/// Maps an ensemble spec's generator name onto the Section 5 speed-factor
+/// family it wraps.
+SpeedGenerator ensemble_generator(const ExperimentSpec& spec) {
+  const gen::SpeedRange range{
+      gen::param_or(spec.generator_params, "lo", 1.0),
+      gen::param_or(spec.generator_params, "hi", 10.0)};
+  if (spec.generator == "matrix_homogeneous") {
+    return [range](std::size_t p, Rng& rng) {
+      return gen::homogeneous_speeds(p, rng, range);
+    };
+  }
+  if (spec.generator == "matrix_bus_hetero_comp") {
+    return [range](std::size_t p, Rng& rng) {
+      return gen::bus_hetero_comp_speeds(p, rng, range);
+    };
+  }
+  if (spec.generator == "matrix_heterogeneous") {
+    return [range](std::size_t p, Rng& rng) {
+      return gen::heterogeneous_speeds(p, rng, range);
+    };
+  }
+  DLSCHED_FAIL("ensemble specs need a matrix_* generator "
+               "(matrix_homogeneous, matrix_bus_hetero_comp, "
+               "matrix_heterogeneous); got '" +
+               spec.generator + "'");
+}
+
+void run_ensemble_kind(const ExperimentSpec& spec, const RunOptions& options,
+                       BenchJsonWriter* json, std::ostream* csv,
+                       RunSummary& summary, std::ostream& log) {
+  FigureConfig config;
+  config.total_tasks = spec.total_tasks;
+  config.workers = spec.workers.empty() ? 11 : spec.workers.front();
+  config.platforms = spec.platforms;
+  config.seed = spec.seed;
+  config.comm_speed_up = spec.comm_speed_up;
+  config.comp_speed_up = spec.comp_speed_up;
+  config.threads = options.threads;
+  const SpeedGenerator generator = ensemble_generator(spec);
+
+  std::vector<std::string> header{"matrix_size", "inc_c_lp_seconds",
+                                  "inc_c_real_over_lp"};
+  if (spec.include_inc_w) {
+    header.emplace_back("inc_w_lp_over_lp");
+    header.emplace_back("inc_w_real_over_lp");
+  }
+  header.emplace_back("lifo_lp_over_lp");
+  header.emplace_back("lifo_real_over_lp");
+  std::optional<CsvWriter> csv_writer;
+  if (csv) csv_writer.emplace(*csv, header);
+  Table table(header);
+  table.set_precision(4);
+
+  const std::size_t series = spec.include_inc_w ? 3 : 2;
+  for (const std::size_t n : spec.matrix_sizes) {
+    const EnsembleRow row =
+        run_ensemble(config, generator, n, spec.include_inc_w);
+    summary.jobs += spec.platforms * series;
+    summary.solved += spec.platforms * series;
+    table.begin_row().cell(row.matrix_size).cell(row.inc_c_lp).cell(
+        row.inc_c_real_ratio);
+    if (csv_writer) {
+      csv_writer->cell(row.matrix_size)
+          .cell(row.inc_c_lp)
+          .cell(row.inc_c_real_ratio);
+    }
+    if (spec.include_inc_w) {
+      table.cell(row.inc_w_lp_ratio).cell(row.inc_w_real_ratio);
+      if (csv_writer) {
+        csv_writer->cell(row.inc_w_lp_ratio).cell(row.inc_w_real_ratio);
+      }
+    }
+    table.cell(row.lifo_lp_ratio).cell(row.lifo_real_ratio);
+    if (csv_writer) {
+      csv_writer->cell(row.lifo_lp_ratio).cell(row.lifo_real_ratio);
+      csv_writer->end_row();
+    }
+    if (json) {
+      json->row(JsonObject()
+                    .add("solver", "inc_c")
+                    .add("matrix_size", row.matrix_size)
+                    .add("lp_seconds", row.inc_c_lp)
+                    .add("lp_over_inc_c", 1.0)
+                    .add("real_over_inc_c", row.inc_c_real_ratio));
+      ++summary.rows;
+      if (spec.include_inc_w) {
+        json->row(JsonObject()
+                      .add("solver", "inc_w")
+                      .add("matrix_size", row.matrix_size)
+                      .add("lp_seconds",
+                           row.inc_w_lp_ratio * row.inc_c_lp)
+                      .add("lp_over_inc_c", row.inc_w_lp_ratio)
+                      .add("real_over_inc_c", row.inc_w_real_ratio));
+        ++summary.rows;
+      }
+      json->row(JsonObject()
+                    .add("solver", "lifo")
+                    .add("matrix_size", row.matrix_size)
+                    .add("lp_seconds", row.lifo_lp_ratio * row.inc_c_lp)
+                    .add("lp_over_inc_c", row.lifo_lp_ratio)
+                    .add("real_over_inc_c", row.lifo_real_ratio));
+      ++summary.rows;
+    }
+  }
+  table.print_aligned(log);
+  log << "(" << config.platforms << " random platforms per point, M = "
+      << config.total_tasks << " tasks, " << config.workers
+      << " workers; ratios normalized by the INC_C LP prediction)\n";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- run_spec --
+
+RunSummary run_spec(const ExperimentSpec& requested,
+                    const RunOptions& options) {
+  const ExperimentSpec spec =
+      options.quick ? shrink(requested) : requested;
+  validate_spec(spec);
+  std::ostream& log = options.log ? *options.log : std::cout;
+  RunSummary summary;
+  summary.spec = spec.name;
+  const auto start = steady_clock::now();
+
+  ResultCache cache;
+  if (!options.cache_dir.empty()) cache = ResultCache(options.cache_dir);
+
+  std::ofstream json_file;
+  std::optional<BenchJsonWriter> json;
+  if (!options.out_json.empty()) {
+    json_file.open(options.out_json, std::ios::binary);
+    DLSCHED_EXPECT(json_file.good(),
+                   "cannot write '" + options.out_json + "'");
+    json.emplace(json_file, spec, resolved_solvers(spec));
+  }
+  std::ofstream csv_file;
+  std::ostream* csv = nullptr;
+  if (!options.out_csv.empty()) {
+    csv_file.open(options.out_csv, std::ios::binary);
+    DLSCHED_EXPECT(csv_file.good(), "cannot write '" + options.out_csv + "'");
+    csv = &csv_file;
+  }
+
+  log << "== " << spec.name << " -- " << spec.title << " [" << spec.figure
+      << "]\n";
+  BenchJsonWriter* json_ptr = json ? &*json : nullptr;
+  switch (spec.kind) {
+    case SpecKind::Grid:
+      run_grid(spec, options, cache, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Ensemble:
+      run_ensemble_kind(spec, options, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Linearity:
+      detail::run_linearity(spec, options, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Trace:
+      detail::run_trace(spec, options, cache, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Participation:
+      detail::run_participation(spec, options, cache, json_ptr, csv,
+                                summary, log);
+      break;
+    case SpecKind::Selection:
+      detail::run_selection(spec, options, cache, json_ptr, csv, summary,
+                            log);
+      break;
+    case SpecKind::Multiround:
+      detail::run_multiround(spec, options, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Micro:
+      detail::run_micro(spec, options, json_ptr, csv, summary, log);
+      break;
+  }
+  if (json) json->finish();
+
+  summary.cache = cache.stats;
+  summary.wall_seconds =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+  log << summary.describe() << "\n";
+  if (!options.out_json.empty()) {
+    log << "JSON written to " << options.out_json << "\n";
+  }
+  if (!options.out_csv.empty()) {
+    log << "CSV written to " << options.out_csv << "\n";
+  }
+  return summary;
+}
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,69 @@
+// The experiment engine: compiles an `ExperimentSpec` into a job grid,
+// executes it through the cached, sharded `solve_batch` pipeline, and
+// streams machine-readable JSON (`BENCH_<spec>.json`) plus the figure-data
+// CSV.  The engine is the single entry point behind `dlsched_bench` and
+// the CLI's `bench` subcommand; adding a sweep means writing a spec, not a
+// binary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "experiments/cache.hpp"
+#include "experiments/spec.hpp"
+
+namespace dlsched::experiments {
+
+struct RunOptions {
+  std::string out_json;    ///< BENCH_*.json path; empty = don't write
+  std::string out_csv;     ///< figure-data CSV path; empty = don't write
+  std::string cache_dir;   ///< result-cache directory; empty = no cache
+  std::size_t threads = 0; ///< solve_batch pool size (0 = hardware)
+  bool quick = false;      ///< shrink axes (CI smoke / tests)
+  std::ostream* log = nullptr;  ///< tables + summary; null = std::cout
+};
+
+/// What one spec run did.  `cache_hits`/`deduped` are the re-use counters
+/// the acceptance criteria ask to see: a second run of an overlapping
+/// sweep should report `cache_hits == jobs` and identical artifacts.
+struct RunSummary {
+  std::string spec;
+  std::size_t jobs = 0;           ///< solver jobs the grid enumerated
+  std::size_t cache_hits = 0;     ///< served from the result cache
+  std::size_t deduped = 0;        ///< served by within-batch dedupe
+  std::size_t solved = 0;         ///< actually executed solves
+  std::size_t failures = 0;       ///< solve errors + validation failures
+  std::size_t skipped = 0;        ///< solver inapplicable at a grid point
+  std::size_t rows = 0;           ///< JSON rows emitted
+  double wall_seconds = 0.0;
+  CacheStats cache;               ///< final cache counters (incl. stores)
+
+  /// One-line human summary ("smoke: 16 jobs, 16 cache hits, ...").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs one spec end to end.  Throws dlsched::Error on structural
+/// problems (unknown generator/solver, unwritable outputs); individual
+/// job failures are recorded in the summary and the rows instead.
+[[nodiscard]] RunSummary run_spec(const ExperimentSpec& spec,
+                                  const RunOptions& options);
+
+/// Deterministic per-instance seed: a stable mix of the spec's seed block
+/// and the grid coordinates, so overlapping specs (a subset of another's
+/// axes) regenerate identical platforms and hit the shared cache.
+[[nodiscard]] std::uint64_t instance_seed(std::uint64_t base, std::size_t p,
+                                          double z, std::size_t rep);
+
+/// One cached solve outside a batch: cache lookup, else solve + validate +
+/// store.  Shared by the special-shaped figure runners (fig14, fig09).
+struct CachedRun {
+  CachedSolve solve;
+  bool from_cache = false;
+};
+[[nodiscard]] CachedRun run_solver_cached(ResultCache& cache,
+                                          const std::string& solver,
+                                          const SolveRequest& request);
+
+}  // namespace dlsched::experiments

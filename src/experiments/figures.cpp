@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <iostream>
 #include <thread>
 
 #include "core/solver.hpp"
@@ -10,7 +9,6 @@
 #include "schedule/rounding.hpp"
 #include "sim/des_executor.hpp"
 #include "util/stats.hpp"
-#include "util/table.hpp"
 
 namespace dlsched::experiments {
 
@@ -161,42 +159,6 @@ EnsembleRow run_ensemble(const FigureConfig& config,
     row.inc_w_real_ratio = inc_w_real.mean();
   }
   return row;
-}
-
-void print_figure_table(const std::string& title, const FigureConfig& config,
-                        const SpeedGenerator& generator, bool include_inc_w) {
-  std::cout << title << "\n";
-  std::cout << "M = " << config.total_tasks << " tasks, " << config.workers
-            << " workers, " << config.platforms
-            << " random platforms per point; ratios are normalized by the "
-               "INC_C LP prediction\n\n";
-
-  std::vector<std::string> header{"matrix_size", "INC_C_lp[s]",
-                                  "INC_C_real/lp"};
-  if (include_inc_w) {
-    header.push_back("INC_W_lp/lp");
-    header.push_back("INC_W_real/lp");
-  }
-  header.push_back("LIFO_lp/lp");
-  header.push_back("LIFO_real/lp");
-  Table table(header);
-  table.set_precision(4);
-
-  for (std::size_t n : config.matrix_sizes) {
-    const EnsembleRow row = run_ensemble(config, generator, n, include_inc_w);
-    table.begin_row();
-    table.cell(row.matrix_size);
-    table.cell(row.inc_c_lp);
-    table.cell(row.inc_c_real_ratio);
-    if (include_inc_w) {
-      table.cell(row.inc_w_lp_ratio);
-      table.cell(row.inc_w_real_ratio);
-    }
-    table.cell(row.lifo_lp_ratio);
-    table.cell(row.lifo_real_ratio);
-  }
-  table.print_aligned(std::cout);
-  std::cout << "\n";
 }
 
 }  // namespace dlsched::experiments

@@ -26,8 +26,6 @@ struct FigureConfig {
   std::uint64_t total_tasks = 1000;     ///< M
   std::size_t workers = 11;             ///< 12-node cluster: 1 master + 11
   std::size_t platforms = 50;           ///< ensemble size per data point
-  std::vector<std::size_t> matrix_sizes{40, 60, 80, 100, 120, 140, 160, 180,
-                                        200};
   std::uint64_t seed = 20061408;        ///< base seed (deterministic)
   double comm_speed_up = 1.0;           ///< Figure 13(b) uses 10
   double comp_speed_up = 1.0;           ///< Figure 13(a) uses 10
@@ -64,14 +62,11 @@ struct EnsembleRow {
   double lifo_real_ratio = 0.0;
 };
 
-/// Runs the full ensemble for one matrix size.
+/// Runs the full ensemble for one matrix size.  The engine's Ensemble kind
+/// (experiments/engine.hpp) drives this per spec and handles presentation.
 [[nodiscard]] EnsembleRow run_ensemble(const FigureConfig& config,
                                        const SpeedGenerator& generator,
                                        std::size_t matrix_size,
                                        bool include_inc_w);
-
-/// Prints the standard header/rows for a Figures 10-13 table.
-void print_figure_table(const std::string& title, const FigureConfig& config,
-                        const SpeedGenerator& generator, bool include_inc_w);
 
 }  // namespace dlsched::experiments

@@ -1,0 +1,321 @@
+#include "experiments/spec.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace dlsched::experiments {
+
+std::string kind_name(SpecKind kind) {
+  switch (kind) {
+    case SpecKind::Grid: return "grid";
+    case SpecKind::Ensemble: return "ensemble";
+    case SpecKind::Linearity: return "linearity";
+    case SpecKind::Trace: return "trace";
+    case SpecKind::Participation: return "participation";
+    case SpecKind::Selection: return "selection";
+    case SpecKind::Multiround: return "multiround";
+    case SpecKind::Micro: return "micro";
+  }
+  return "?";
+}
+
+SpecKind kind_from_name(const std::string& name) {
+  for (const SpecKind kind :
+       {SpecKind::Grid, SpecKind::Ensemble, SpecKind::Linearity,
+        SpecKind::Trace, SpecKind::Participation, SpecKind::Selection,
+        SpecKind::Multiround, SpecKind::Micro}) {
+    if (kind_name(kind) == name) return kind;
+  }
+  DLSCHED_FAIL("unknown spec kind '" + name +
+               "' (known: grid, ensemble, linearity, trace, participation, "
+               "selection, multiround, micro)");
+}
+
+namespace {
+
+/// One parsed TOML value: a scalar or a flat array of scalars.
+struct TomlValue {
+  std::vector<std::string> items;  ///< raw scalar tokens (quotes stripped)
+  bool is_array = false;
+
+  [[nodiscard]] const std::string& scalar(const std::string& key) const {
+    DLSCHED_EXPECT(!is_array && items.size() == 1,
+                   "key '" + key + "' expects a scalar value");
+    return items.front();
+  }
+};
+
+double to_double(const std::string& token, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    DLSCHED_EXPECT(used == token.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    DLSCHED_FAIL("key '" + key + "': '" + token + "' is not a number");
+  }
+}
+
+std::uint64_t to_uint(const std::string& token, const std::string& key) {
+  // Not via to_double: 64-bit seeds above 2^53 must parse exactly or the
+  // engine's byte-for-byte reproducibility contract silently breaks.
+  try {
+    DLSCHED_EXPECT(token.find('-') == std::string::npos, "negative");
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    DLSCHED_EXPECT(used == token.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    DLSCHED_FAIL("key '" + key + "': '" + token +
+                 "' is not a non-negative integer");
+  }
+}
+
+bool to_bool(const std::string& token, const std::string& key) {
+  if (token == "true") return true;
+  if (token == "false") return false;
+  DLSCHED_FAIL("key '" + key + "': expected true or false, got '" + token +
+               "'");
+}
+
+std::vector<double> to_doubles(const TomlValue& value,
+                               const std::string& key) {
+  std::vector<double> out;
+  out.reserve(value.items.size());
+  for (const std::string& token : value.items) {
+    out.push_back(to_double(token, key));
+  }
+  return out;
+}
+
+std::vector<std::size_t> to_sizes(const TomlValue& value,
+                                  const std::string& key) {
+  std::vector<std::size_t> out;
+  out.reserve(value.items.size());
+  for (const std::string& token : value.items) {
+    out.push_back(static_cast<std::size_t>(to_uint(token, key)));
+  }
+  return out;
+}
+
+/// Splits on commas that sit outside quoted strings.
+std::vector<std::string> split_outside_quotes(const std::string& body) {
+  std::vector<std::string> parts;
+  std::string current;
+  bool in_string = false;
+  for (const char ch : body) {
+    if (ch == '"') in_string = !in_string;
+    if (ch == ',' && !in_string) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// Splits a `[a, b, c]` body or a single scalar into quote-stripped tokens.
+TomlValue parse_value(std::string raw, const std::string& key,
+                      const std::string& where) {
+  raw = trim(raw);
+  DLSCHED_EXPECT(!raw.empty(), where + ": key '" + key + "' has no value");
+  TomlValue value;
+  std::string body = raw;
+  if (raw.front() == '[') {
+    DLSCHED_EXPECT(raw.back() == ']',
+                   where + ": key '" + key + "': unterminated array");
+    value.is_array = true;
+    body = raw.substr(1, raw.size() - 2);
+    if (trim(body).empty()) return value;
+  }
+  for (const std::string& part : split_outside_quotes(body)) {
+    std::string token = trim(part);
+    DLSCHED_EXPECT(!token.empty(),
+                   where + ": key '" + key + "': empty array element");
+    if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+      token = token.substr(1, token.size() - 2);
+    }
+    value.items.push_back(std::move(token));
+  }
+  if (!value.is_array) {
+    DLSCHED_EXPECT(value.items.size() == 1,
+                   where + ": key '" + key +
+                       "': commas outside an array (use [..])");
+  }
+  return value;
+}
+
+/// Cuts a trailing `# comment` that is not inside a quoted string.
+std::string strip_comment(const std::string& line) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_string = !in_string;
+    if (line[i] == '#' && !in_string) return line.substr(0, i);
+  }
+  return line;
+}
+
+const char* kKnownKeys =
+    "name, title, figure, kind, generator, workers, z, repetitions, seed, "
+    "solvers, baseline, precision, time_budget_seconds, max_workers_brute, "
+    "matrix_sizes, platforms, total_tasks, comm_speed_up, comp_speed_up, "
+    "include_inc_w, x, latencies, max_rounds";
+
+void apply_key(ExperimentSpec& spec, const std::string& key,
+               const TomlValue& value, const std::string& where) {
+  if (key == "name") {
+    spec.name = value.scalar(key);
+  } else if (key == "title") {
+    spec.title = value.scalar(key);
+  } else if (key == "figure") {
+    spec.figure = value.scalar(key);
+  } else if (key == "kind") {
+    spec.kind = kind_from_name(value.scalar(key));
+  } else if (key == "generator") {
+    spec.generator = value.scalar(key);
+  } else if (key == "workers") {
+    spec.workers = to_sizes(value, key);
+  } else if (key == "z") {
+    spec.z_values = to_doubles(value, key);
+  } else if (key == "repetitions") {
+    spec.repetitions = static_cast<std::size_t>(
+        to_uint(value.scalar(key), key));
+  } else if (key == "seed") {
+    spec.seed = to_uint(value.scalar(key), key);
+  } else if (key == "solvers") {
+    spec.solvers = value.items;
+  } else if (key == "baseline") {
+    spec.baseline = value.scalar(key);
+  } else if (key == "precision") {
+    const std::string& p = value.scalar(key);
+    if (p == "exact") {
+      spec.precision = Precision::Exact;
+    } else if (p == "fast") {
+      spec.precision = Precision::Fast;
+    } else {
+      DLSCHED_FAIL(where + ": precision must be \"exact\" or \"fast\"");
+    }
+  } else if (key == "time_budget_seconds") {
+    spec.time_budget_seconds = to_double(value.scalar(key), key);
+  } else if (key == "max_workers_brute") {
+    spec.max_workers_brute = static_cast<std::size_t>(
+        to_uint(value.scalar(key), key));
+  } else if (key == "matrix_sizes") {
+    spec.matrix_sizes = to_sizes(value, key);
+  } else if (key == "platforms") {
+    spec.platforms = static_cast<std::size_t>(
+        to_uint(value.scalar(key), key));
+  } else if (key == "total_tasks") {
+    spec.total_tasks = to_uint(value.scalar(key), key);
+  } else if (key == "comm_speed_up") {
+    spec.comm_speed_up = to_double(value.scalar(key), key);
+  } else if (key == "comp_speed_up") {
+    spec.comp_speed_up = to_double(value.scalar(key), key);
+  } else if (key == "include_inc_w") {
+    spec.include_inc_w = to_bool(value.scalar(key), key);
+  } else if (key == "x") {
+    spec.x_values = to_doubles(value, key);
+  } else if (key == "latencies") {
+    spec.latencies = to_doubles(value, key);
+  } else if (key == "max_rounds") {
+    spec.max_rounds = static_cast<std::size_t>(
+        to_uint(value.scalar(key), key));
+  } else {
+    DLSCHED_FAIL(where + ": unknown key '" + key +
+                 "' (known: " + kKnownKeys + ")");
+  }
+}
+
+}  // namespace
+
+ExperimentSpec parse_spec_toml(const std::string& text,
+                               const std::string& source) {
+  ExperimentSpec spec;
+  std::string section;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    const std::string where =
+        source + ":" + std::to_string(line_no);
+    if (line.front() == '[') {
+      DLSCHED_EXPECT(line.back() == ']', where + ": malformed section");
+      section = trim(line.substr(1, line.size() - 2));
+      DLSCHED_EXPECT(section == "generator.params" || section == "spec",
+                     where + ": unknown section [" + section +
+                         "] (known: [spec], [generator.params])");
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    DLSCHED_EXPECT(eq != std::string::npos,
+                   where + ": expected `key = value`");
+    const std::string key = trim(line.substr(0, eq));
+    const TomlValue value = parse_value(line.substr(eq + 1), key, where);
+    if (section == "generator.params") {
+      spec.generator_params[key] = to_double(value.scalar(key), key);
+    } else {
+      apply_key(spec, key, value, where);
+    }
+  }
+  return spec;
+}
+
+ExperimentSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  DLSCHED_EXPECT(in.good(), "cannot read spec file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  ExperimentSpec spec = parse_spec_toml(text.str(), path);
+  if (spec.name.empty()) {
+    spec.name = std::filesystem::path(path).stem().string();
+  }
+  return spec;
+}
+
+void validate_spec(const ExperimentSpec& spec) {
+  DLSCHED_EXPECT(!spec.name.empty(), "spec has no name");
+  const std::string who = "spec '" + spec.name + "'";
+  DLSCHED_EXPECT(spec.repetitions > 0, who + ": repetitions must be >= 1");
+  const bool uses_generator =
+      spec.kind == SpecKind::Grid || spec.kind == SpecKind::Ensemble ||
+      spec.kind == SpecKind::Selection;
+  if (uses_generator) {
+    // Resolves the name (throws with candidates on a miss) without
+    // building a platform.
+    DLSCHED_EXPECT(gen::GeneratorRegistry::instance().contains(spec.generator),
+                   who + ": unknown generator '" + spec.generator +
+                       "' (see dlsched_bench --list-generators)");
+  }
+  if (spec.kind == SpecKind::Grid || spec.kind == SpecKind::Selection) {
+    const SolverRegistry& registry = SolverRegistry::instance();
+    for (const std::string& solver : spec.solvers) {
+      (void)registry.create(solver);  // throws with known names on a miss
+    }
+    if (!spec.baseline.empty()) (void)registry.create(spec.baseline);
+  }
+  if (spec.kind == SpecKind::Ensemble) {
+    DLSCHED_EXPECT(!spec.matrix_sizes.empty(),
+                   who + ": ensemble specs need matrix_sizes");
+    DLSCHED_EXPECT(spec.platforms > 0, who + ": platforms must be >= 1");
+  }
+  if (spec.kind == SpecKind::Participation) {
+    DLSCHED_EXPECT(!spec.x_values.empty(),
+                   who + ": participation specs need x values");
+  }
+  if (spec.kind == SpecKind::Multiround) {
+    DLSCHED_EXPECT(!spec.latencies.empty() && spec.max_rounds > 0,
+                   who + ": multiround specs need latencies and max_rounds");
+  }
+}
+
+}  // namespace dlsched::experiments

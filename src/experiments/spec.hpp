@@ -1,0 +1,94 @@
+// Declarative experiment specifications.
+//
+// The paper's Section 5 is a family of sweeps over (platform family, worker
+// count p, return ratio z, solver set); an `ExperimentSpec` names those
+// axes once and the engine (experiments/engine.hpp) compiles them into a
+// job grid, so a figure is data, not a bench binary.  Specs come from the
+// built-in registry (experiments/spec_registry.hpp, one per paper figure
+// and ablation) or from a TOML file / CLI flags via `parse_spec_toml`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "platform/generators.hpp"
+
+namespace dlsched::experiments {
+
+/// How the engine interprets a spec.  `Grid` is the declarative core --
+/// generator x p x z x repetition x solver, cached and sharded.  The other
+/// kinds are the paper's special-shaped figures, still spec-configured but
+/// with bespoke run loops.
+enum class SpecKind {
+  Grid,           ///< generic solver-comparison sweep
+  Ensemble,       ///< Figures 10-13: matrix-size ensembles vs INC_C LP
+  Linearity,      ///< Figure 8: transfer-time linearity fits
+  Trace,          ///< Figure 9: one execution trace + Gantt
+  Participation,  ///< Figure 14: worker-participation study
+  Selection,      ///< ablation: resource selection vs forced participation
+  Multiround,     ///< ablation: rounds x latency makespan surface
+  Micro,          ///< substrate microbenchmarks (LP, DES, gemm)
+};
+
+[[nodiscard]] std::string kind_name(SpecKind kind);
+/// Inverse of `kind_name`; throws with the known kinds on a miss.
+[[nodiscard]] SpecKind kind_from_name(const std::string& name);
+
+/// One experiment: named axes compiled by the engine into jobs.  Fields
+/// are grouped by the kinds that read them; unused fields are ignored.
+struct ExperimentSpec {
+  std::string name;    ///< registry / file name, also names the outputs
+  std::string title;   ///< one-line human description
+  std::string figure;  ///< paper anchor ("Figure 10", "Section 7", ...)
+  SpecKind kind = SpecKind::Grid;
+
+  // ----- grid axes --------------------------------------------------------
+  std::string generator = "random_star";  ///< gen::GeneratorRegistry name
+  gen::GenParams generator_params;        ///< fixed generator parameters
+  std::vector<std::size_t> workers;       ///< p axis (empty: generator default)
+  std::vector<double> z_values;           ///< z axis (empty: generator default)
+  std::size_t repetitions = 1;            ///< instances per (p, z) point
+  std::uint64_t seed = 20061408;          ///< base of the seed block
+  std::vector<std::string> solvers;       ///< registry names (empty: all)
+  std::string baseline;                   ///< ratio denominator in the CSV
+  Precision precision = Precision::Fast;
+  double time_budget_seconds = 0.0;
+  std::size_t max_workers_brute = 7;      ///< forwarded p!^2 guard
+
+  // ----- ensemble (Figures 10-13) -----------------------------------------
+  std::vector<std::size_t> matrix_sizes{40,  60,  80,  100, 120,
+                                        140, 160, 180, 200};
+  std::size_t platforms = 50;             ///< ensemble size per data point
+  std::uint64_t total_tasks = 1000;       ///< M
+  double comm_speed_up = 1.0;             ///< Figure 13(b) uses 10
+  double comp_speed_up = 1.0;             ///< Figure 13(a) uses 10
+  bool include_inc_w = true;
+
+  // ----- participation (Figure 14) ----------------------------------------
+  std::vector<double> x_values{1.0, 3.0};
+
+  // ----- multiround ablation ----------------------------------------------
+  std::vector<double> latencies{0.0, 0.002, 0.01, 0.05};
+  std::size_t max_rounds = 12;
+};
+
+/// Parses the TOML subset used for spec files: `key = value` pairs with
+/// strings, numbers, booleans and flat arrays, `#` comments, and one
+/// optional `[generator.params]` table.  Unknown keys throw, naming the
+/// accepted ones.
+[[nodiscard]] ExperimentSpec parse_spec_toml(const std::string& text,
+                                             const std::string& source =
+                                                 "<string>");
+
+/// `parse_spec_toml` over a file's contents; the spec name defaults to the
+/// file's stem when the file does not set one.
+[[nodiscard]] ExperimentSpec load_spec_file(const std::string& path);
+
+/// Structural checks (generator exists, solvers exist, axes present for
+/// the kind).  Throws dlsched::Error with a spec-named message.
+void validate_spec(const ExperimentSpec& spec);
+
+}  // namespace dlsched::experiments

@@ -1,0 +1,24 @@
+// The built-in experiment specs: one per paper figure (fig08-fig14) and
+// per ablation, plus the microbenchmarks and the CI smoke sweep.  Each is
+// an `ExperimentSpec` value -- the engine knows nothing about individual
+// figures, and `dlsched_bench --spec NAME` resolves here first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/spec.hpp"
+
+namespace dlsched::experiments {
+
+/// All built-in specs, in presentation order (figures first, then
+/// ablations, micro, smoke).
+[[nodiscard]] const std::vector<ExperimentSpec>& builtin_specs();
+
+[[nodiscard]] bool has_builtin_spec(const std::string& name);
+
+/// Looks a spec up by name; throws with the known names on a miss.
+[[nodiscard]] const ExperimentSpec& find_builtin_spec(
+    const std::string& name);
+
+}  // namespace dlsched::experiments

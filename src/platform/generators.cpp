@@ -1,5 +1,9 @@
 #include "platform/generators.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "platform/matrix_app.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::gen {
@@ -81,6 +85,272 @@ StarPlatform random_star_grid(std::size_t p, Rng& rng, int z_num, int z_den,
     worker.d = (c_num * z_num) / (static_cast<double>(denominator) * z_den);
   }
   return StarPlatform(std::move(workers));
+}
+
+StarPlatform bimodal_star(std::size_t p, Rng& rng, double z,
+                          double fast_fraction, double slow_factor,
+                          double c_lo, double c_hi, double w_lo,
+                          double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  DLSCHED_EXPECT(fast_fraction >= 0.0 && fast_fraction <= 1.0,
+                 "fast_fraction must be in [0, 1]");
+  DLSCHED_EXPECT(slow_factor >= 1.0, "slow_factor must be >= 1");
+  const auto fast_count = static_cast<std::size_t>(
+      std::lround(fast_fraction * static_cast<double>(p)));
+  const std::vector<std::size_t> role = rng.permutation(p);
+  std::vector<Worker> workers(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    Worker& worker = workers[i];
+    worker.c = rng.uniform(c_lo, c_hi);
+    worker.w = rng.uniform(w_lo, w_hi);
+    if (role[i] >= fast_count) {  // the slow cluster
+      worker.c *= slow_factor;
+      worker.w *= slow_factor;
+    }
+    worker.d = z * worker.c;
+  }
+  return StarPlatform(std::move(workers));
+}
+
+StarPlatform satellite_star(std::size_t p, Rng& rng, double z,
+                            std::size_t satellites, double link_penalty,
+                            double c_lo, double c_hi, double w_lo,
+                            double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  DLSCHED_EXPECT(link_penalty >= 1.0, "link_penalty must be >= 1");
+  DLSCHED_EXPECT(satellites <= p, "more satellites than workers");
+  const std::vector<std::size_t> role = rng.permutation(p);
+  std::vector<Worker> workers(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    Worker& worker = workers[i];
+    worker.c = rng.uniform(c_lo, c_hi);
+    worker.w = rng.uniform(w_lo, w_hi);
+    if (role[i] < satellites) worker.c *= link_penalty;
+    worker.d = z * worker.c;
+  }
+  return StarPlatform(std::move(workers));
+}
+
+// ---------------------------------------------------------------- registry --
+
+double param_or(const GenParams& params, const std::string& key,
+                double fallback) {
+  const auto it = params.find(key);
+  return it != params.end() ? it->second : fallback;
+}
+
+namespace {
+
+std::size_t size_param(const GenParams& params, const std::string& key,
+                       std::size_t fallback) {
+  const double value =
+      param_or(params, key, static_cast<double>(fallback));
+  DLSCHED_EXPECT(value >= 0.0, "parameter '" + key + "' must be >= 0");
+  return static_cast<std::size_t>(std::llround(value));
+}
+
+/// Shared (c, w, d)-space parameter unpacking.
+struct StarParams {
+  std::size_t p;
+  double z, c_lo, c_hi, w_lo, w_hi;
+
+  explicit StarParams(const GenParams& params)
+      : p(size_param(params, "p", 8)),
+        z(param_or(params, "z", 0.5)),
+        c_lo(param_or(params, "c_lo", 0.1)),
+        c_hi(param_or(params, "c_hi", 2.0)),
+        w_lo(param_or(params, "w_lo", 0.1)),
+        w_hi(param_or(params, "w_hi", 5.0)) {}
+};
+
+const std::vector<std::string> kStarKeys{"p",    "z",    "c_lo",
+                                         "c_hi", "w_lo", "w_hi"};
+
+std::vector<std::string> star_keys_plus(std::vector<std::string> extra) {
+  extra.insert(extra.begin(), kStarKeys.begin(), kStarKeys.end());
+  return extra;
+}
+
+/// Section 5 matrix-application ensembles: speed factors in [lo, hi] feed
+/// the MatrixApp cost model (z = 1/2 by construction); the optional
+/// speed-up factors reproduce the Figure 13 regimes.
+StarPlatform matrix_platform(
+    const GenParams& params, Rng& rng,
+    std::vector<WorkerSpeeds> (*speeds)(std::size_t, Rng&, SpeedRange)) {
+  MatrixApp::Config config;
+  config.matrix_size = size_param(params, "matrix_size", 100);
+  const MatrixApp app(config);
+  const SpeedRange range{param_or(params, "lo", 1.0),
+                         param_or(params, "hi", 10.0)};
+  StarPlatform platform =
+      app.platform(speeds(size_param(params, "p", 11), rng, range));
+  const double comm = param_or(params, "comm_speed_up", 1.0);
+  const double comp = param_or(params, "comp_speed_up", 1.0);
+  if (comm != 1.0 || comp != 1.0) platform = platform.speed_up(comm, comp);
+  return platform;
+}
+
+const std::vector<std::string> kMatrixKeys{
+    "p", "matrix_size", "lo", "hi", "comm_speed_up", "comp_speed_up"};
+
+void register_builtins(GeneratorRegistry& registry) {
+  registry.add(
+      "random_star", "uniform (c, w) star, d = z * c", kStarKeys,
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        return random_star(sp.p, rng, sp.z, sp.c_lo, sp.c_hi, sp.w_lo,
+                           sp.w_hi);
+      });
+  registry.add(
+      "random_bus", "shared random link, uniform per-worker w", kStarKeys,
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        return random_bus(sp.p, rng, sp.z, sp.c_lo, sp.c_hi, sp.w_lo,
+                          sp.w_hi);
+      });
+  registry.add(
+      "random_star_grid",
+      "rational-friendly star on a 1/denominator grid, z = z_num/z_den",
+      {"p", "z_num", "z_den", "denominator", "max_numerator"},
+      [](const GenParams& params, Rng& rng) {
+        return random_star_grid(
+            size_param(params, "p", 8), rng,
+            static_cast<int>(size_param(params, "z_num", 1)),
+            static_cast<int>(size_param(params, "z_den", 2)),
+            static_cast<int>(size_param(params, "denominator", 8)),
+            static_cast<int>(size_param(params, "max_numerator", 24)));
+      });
+  registry.add(
+      "bimodal",
+      "two-cluster star: fast_fraction of the workers at base speed, the "
+      "rest slow_factor times slower in c and w",
+      star_keys_plus({"fast_fraction", "slow_factor"}),
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        return bimodal_star(sp.p, rng, sp.z,
+                            param_or(params, "fast_fraction", 0.5),
+                            param_or(params, "slow_factor", 8.0), sp.c_lo,
+                            sp.c_hi, sp.w_lo, sp.w_hi);
+      });
+  registry.add(
+      "satellite",
+      "star with `satellites` workers (default p/4; 0 = plain star) "
+      "behind link_penalty-times-slower links but cluster-grade CPUs",
+      star_keys_plus({"satellites", "link_penalty"}),
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        // Absent parameter -> p/4 default; an explicit 0 stays 0 so a
+        // sweep can include the no-satellite control case.
+        const std::size_t satellites =
+            params.contains("satellites")
+                ? size_param(params, "satellites", 0)
+                : std::max<std::size_t>(1, sp.p / 4);
+        return satellite_star(sp.p, rng, sp.z, satellites,
+                              param_or(params, "link_penalty", 25.0),
+                              sp.c_lo, sp.c_hi, sp.w_lo, sp.w_hi);
+      });
+  registry.add(
+      "matrix_homogeneous",
+      "Figure 10 ensemble: one comm and one comp factor shared by all "
+      "workers, MatrixApp costs",
+      kMatrixKeys, [](const GenParams& params, Rng& rng) {
+        return matrix_platform(params, rng, homogeneous_speeds);
+      });
+  registry.add(
+      "matrix_bus_hetero_comp",
+      "Figure 11 ensemble: shared comm factor, per-worker comp factors",
+      kMatrixKeys, [](const GenParams& params, Rng& rng) {
+        return matrix_platform(params, rng, bus_hetero_comp_speeds);
+      });
+  registry.add(
+      "matrix_heterogeneous",
+      "Figures 12-13 ensemble: per-worker comm and comp factors",
+      kMatrixKeys, [](const GenParams& params, Rng& rng) {
+        return matrix_platform(params, rng, heterogeneous_speeds);
+      });
+  registry.add(
+      "matrix_participation",
+      "the Section 5.3.4 4-worker participation platform (parameter x)",
+      {"x", "matrix_size"}, [](const GenParams& params, Rng&) {
+        MatrixApp::Config config;
+        config.matrix_size = size_param(params, "matrix_size", 400);
+        return MatrixApp(config).platform(
+            participation_speeds(param_or(params, "x", 1.0)));
+      });
+}
+
+}  // namespace
+
+GeneratorRegistry& GeneratorRegistry::instance() {
+  static GeneratorRegistry* registry = [] {
+    auto* r = new GeneratorRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void GeneratorRegistry::add(std::string name, std::string description,
+                            std::vector<std::string> params,
+                            Factory factory) {
+  DLSCHED_EXPECT(factory != nullptr, "null generator factory");
+  DLSCHED_EXPECT(!contains(name),
+                 "generator '" + name + "' is already registered");
+  entries_.push_back(
+      {{std::move(name), std::move(description), std::move(params)},
+       std::move(factory)});
+}
+
+bool GeneratorRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.info.name == name;
+  });
+}
+
+StarPlatform GeneratorRegistry::make(const std::string& name,
+                                     const GenParams& params,
+                                     Rng& rng) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name != name) continue;
+    for (const auto& [key, value] : params) {
+      if (std::find(entry.info.params.begin(), entry.info.params.end(),
+                    key) == entry.info.params.end()) {
+        std::string accepted;
+        for (const std::string& k : entry.info.params) {
+          if (!accepted.empty()) accepted += ", ";
+          accepted += k;
+        }
+        DLSCHED_FAIL("generator '" + name + "' does not take parameter '" +
+                     key + "' (accepted: " + accepted + ")");
+      }
+    }
+    return entry.factory(params, rng);
+  }
+  std::string known;
+  for (const std::string& n : names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  DLSCHED_FAIL("unknown generator '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> GeneratorRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) result.push_back(entry.info.name);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<GeneratorInfo> GeneratorRegistry::infos() const {
+  std::vector<GeneratorInfo> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) result.push_back(entry.info);
+  std::sort(result.begin(), result.end(),
+            [](const GeneratorInfo& a, const GeneratorInfo& b) {
+              return a.name < b.name;
+            });
+  return result;
 }
 
 }  // namespace dlsched::gen

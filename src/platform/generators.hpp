@@ -1,8 +1,13 @@
 // Platform generators matching the experimental setups of the paper's
-// Section 5.  All generators are deterministic given the Rng.
+// Section 5, plus additional scenario families and a registry so experiment
+// specs can select a generator by name.  All generators are deterministic
+// given the Rng.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "platform/star_platform.hpp"
@@ -55,5 +60,83 @@ struct SpeedRange {
                                             int z_num, int z_den,
                                             int denominator = 8,
                                             int max_numerator = 24);
+
+/// Bimodal-speed clusters: two worker populations on one star.  A
+/// `fast_fraction` share of workers draw (c, w) from the base ranges; the
+/// rest are uniformly `slow_factor` times slower in both dimensions (an
+/// old cluster federated with a new one).  Worker roles are shuffled so
+/// index order carries no information; d = z * c throughout.
+[[nodiscard]] StarPlatform bimodal_star(std::size_t p, Rng& rng, double z,
+                                        double fast_fraction = 0.5,
+                                        double slow_factor = 8.0,
+                                        double c_lo = 0.1, double c_hi = 2.0,
+                                        double w_lo = 0.1, double w_hi = 5.0);
+
+/// High-latency "satellite" links: `satellites` of the p workers (0 is
+/// valid: a plain star control case) sit behind links `link_penalty`
+/// times slower (c and d scaled together, preserving z) while their
+/// compute speeds match the rest of the cluster -- the regime where the
+/// paper's resource selection should drop remote workers despite their
+/// healthy CPUs.  Satellite roles are shuffled.  The registry entry
+/// defaults an *absent* `satellites` parameter to max(1, p / 4).
+[[nodiscard]] StarPlatform satellite_star(std::size_t p, Rng& rng, double z,
+                                          std::size_t satellites,
+                                          double link_penalty = 25.0,
+                                          double c_lo = 0.1, double c_hi = 2.0,
+                                          double w_lo = 0.1,
+                                          double w_hi = 5.0);
+
+// ---------------------------------------------------------------- registry --
+
+/// Named parameters an experiment spec passes to a generator.  Every value
+/// is a double; integral parameters (p, satellites, matrix_size, ...) are
+/// rounded.  Generators reject keys they do not understand so a typo in a
+/// spec fails loudly instead of silently running defaults.
+using GenParams = std::map<std::string, double>;
+
+/// `params[key]`, or `fallback` when absent.
+[[nodiscard]] double param_or(const GenParams& params, const std::string& key,
+                              double fallback);
+
+/// Descriptive registry row (what `dlsched_bench --list-generators` prints).
+struct GeneratorInfo {
+  std::string name;
+  std::string description;
+  std::vector<std::string> params;  ///< accepted GenParams keys
+};
+
+/// Name -> platform-generator map.  The process-wide instance comes
+/// pre-populated with every family in this header (both the abstract
+/// (c, w, d) stars and the Section 5 matrix-application ensembles); library
+/// users may register additional families.
+class GeneratorRegistry {
+ public:
+  using Factory = std::function<StarPlatform(const GenParams&, Rng&)>;
+
+  static GeneratorRegistry& instance();
+
+  /// Registers a family.  Throws on duplicate names.
+  void add(std::string name, std::string description,
+           std::vector<std::string> params, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Builds a platform.  Throws with the list of known names on an unknown
+  /// generator and with the accepted keys on an unknown parameter.
+  [[nodiscard]] StarPlatform make(const std::string& name,
+                                  const GenParams& params, Rng& rng) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Name/description/params rows, sorted by name.
+  [[nodiscard]] std::vector<GeneratorInfo> infos() const;
+
+  GeneratorRegistry() = default;
+
+ private:
+  struct Entry {
+    GeneratorInfo info;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
 
 }  // namespace dlsched::gen

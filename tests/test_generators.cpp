@@ -1,0 +1,194 @@
+// Tests of the platform generators: determinism per seed, parameter
+// validity, the named registry, and the new scenario families (bimodal
+// clusters, satellite links).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dlsched::gen {
+namespace {
+
+void expect_same_platform(const StarPlatform& a, const StarPlatform& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.worker(i).c, b.worker(i).c);
+    EXPECT_DOUBLE_EQ(a.worker(i).w, b.worker(i).w);
+    EXPECT_DOUBLE_EQ(a.worker(i).d, b.worker(i).d);
+  }
+}
+
+void expect_valid_costs(const StarPlatform& platform) {
+  for (const Worker& w : platform.workers()) {
+    EXPECT_GT(w.c, 0.0);
+    EXPECT_GT(w.w, 0.0);
+    EXPECT_GE(w.d, 0.0);
+  }
+}
+
+/// Parameters that make every registered generator happy.
+GenParams params_for(const std::string& name) {
+  if (name == "matrix_participation") return {{"x", 2.0}};
+  return {{"p", 7.0}};
+}
+
+TEST(Generators, EveryRegisteredFamilyIsDeterministicPerSeed) {
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const GenParams params = params_for(name);
+    Rng rng_a(1234);
+    Rng rng_b(1234);
+    const StarPlatform a = registry.make(name, params, rng_a);
+    const StarPlatform b = registry.make(name, params, rng_b);
+    SCOPED_TRACE(name);
+    expect_same_platform(a, b);
+  }
+}
+
+TEST(Generators, EveryRegisteredFamilyProducesValidCosts) {
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    for (const std::uint64_t seed : {1ULL, 99ULL, 31337ULL}) {
+      Rng rng(seed);
+      const StarPlatform platform =
+          registry.make(name, params_for(name), rng);
+      SCOPED_TRACE(name);
+      EXPECT_FALSE(platform.empty());
+      expect_valid_costs(platform);
+    }
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  const StarPlatform pa = random_star(6, a, 0.5);
+  const StarPlatform pb = random_star(6, b, 0.5);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa.worker(i).c != pb.worker(i).c) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generators, RegistryListsTheBuiltinFamilies) {
+  const std::vector<std::string> names =
+      GeneratorRegistry::instance().names();
+  for (const char* expected :
+       {"random_star", "random_bus", "random_star_grid", "bimodal",
+        "satellite", "matrix_homogeneous", "matrix_bus_hetero_comp",
+        "matrix_heterogeneous", "matrix_participation"}) {
+    EXPECT_EQ(std::count(names.begin(), names.end(), expected), 1)
+        << "missing generator: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Generators, UnknownNameThrowsNamingTheCandidates) {
+  Rng rng(5);
+  try {
+    (void)GeneratorRegistry::instance().make("no_such_family", {}, rng);
+    FAIL() << "expected dlsched::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_family"), std::string::npos);
+    // The error must name the candidates so a spec typo is self-healing.
+    EXPECT_NE(what.find("random_star"), std::string::npos);
+    EXPECT_NE(what.find("satellite"), std::string::npos);
+  }
+}
+
+TEST(Generators, UnknownParameterThrowsNamingAcceptedKeys) {
+  Rng rng(5);
+  try {
+    (void)GeneratorRegistry::instance().make(
+        "random_star", {{"p", 4.0}, {"latency", 9.0}}, rng);
+    FAIL() << "expected dlsched::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("latency"), std::string::npos);
+    EXPECT_NE(what.find("c_lo"), std::string::npos);
+  }
+}
+
+TEST(Generators, BimodalSplitsWorkersIntoTwoSpeedClusters) {
+  Rng rng(77);
+  // Narrow base ranges so the two modes cannot overlap.
+  const StarPlatform platform = bimodal_star(
+      /*p=*/8, rng, /*z=*/0.5, /*fast_fraction=*/0.5, /*slow_factor=*/8.0,
+      /*c_lo=*/1.0, /*c_hi=*/1.1, /*w_lo=*/1.0, /*w_hi=*/1.1);
+  std::size_t slow = 0;
+  for (const Worker& w : platform.workers()) {
+    EXPECT_DOUBLE_EQ(w.d, 0.5 * w.c);  // z preserved for both clusters
+    if (w.c > 4.0) {
+      ++slow;
+      EXPECT_GT(w.w, 4.0);  // slow in both dimensions
+    } else {
+      EXPECT_LT(w.w, 1.2);
+    }
+  }
+  EXPECT_EQ(slow, 4u);
+}
+
+TEST(Generators, SatelliteWorkersPayTheLinkPenaltyButComputeNormally) {
+  Rng rng(99);
+  const StarPlatform platform = satellite_star(
+      /*p=*/8, rng, /*z=*/0.5, /*satellites=*/2, /*link_penalty=*/25.0,
+      /*c_lo=*/1.0, /*c_hi=*/1.2, /*w_lo=*/2.0, /*w_hi=*/2.5);
+  std::size_t satellites = 0;
+  for (const Worker& w : platform.workers()) {
+    EXPECT_DOUBLE_EQ(w.d, 0.5 * w.c);
+    EXPECT_GE(w.w, 2.0);  // compute untouched for everyone
+    EXPECT_LE(w.w, 2.5);
+    if (w.c > 20.0) ++satellites;
+  }
+  EXPECT_EQ(satellites, 2u);
+}
+
+TEST(Generators, SatelliteRegistryDefaultsToAQuarterAndHonoursZero) {
+  Rng rng(11);
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  const StarPlatform platform =
+      registry.make("satellite", {{"p", 8.0}}, rng);
+  std::size_t satellites = 0;
+  for (const Worker& w : platform.workers()) {
+    // Defaults: base c in [0.1, 2.0], penalty 25x -- satellites sit above
+    // the 2.0 ceiling of the terrestrial links.
+    if (w.c > 2.2) ++satellites;
+  }
+  EXPECT_EQ(satellites, 2u);  // 8 / 4
+
+  // An explicit 0 is the plain-star control case, not "use the default".
+  Rng rng_zero(11);
+  const StarPlatform plain = registry.make(
+      "satellite", {{"p", 8.0}, {"satellites", 0.0}}, rng_zero);
+  for (const Worker& w : plain.workers()) EXPECT_LT(w.c, 2.2);
+}
+
+TEST(Generators, ParamOrFallsBack) {
+  const GenParams params{{"p", 5.0}};
+  EXPECT_DOUBLE_EQ(param_or(params, "p", 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(param_or(params, "missing", 2.5), 2.5);
+}
+
+TEST(Generators, MatrixFamiliesHonourSpeedUps) {
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  Rng a(3);
+  Rng b(3);
+  const StarPlatform base = registry.make(
+      "matrix_heterogeneous", {{"p", 5.0}, {"matrix_size", 80.0}}, a);
+  const StarPlatform fast = registry.make(
+      "matrix_heterogeneous",
+      {{"p", 5.0}, {"matrix_size", 80.0}, {"comp_speed_up", 10.0}}, b);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.worker(i).c, fast.worker(i).c);
+    EXPECT_NEAR(base.worker(i).w / 10.0, fast.worker(i).w, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dlsched::gen

@@ -204,6 +204,77 @@ TEST(SolveBatch, ReportsFailuresWithoutAbortingTheBatch) {
   EXPECT_FALSE(outcomes[1].error.empty());
 }
 
+TEST(RequestHash, CanonicalKeyIsStableAndFieldSensitive) {
+  const SolveRequest base = request_for(all_solver_platform());
+  EXPECT_EQ(request_canonical_key(base), request_canonical_key(base));
+  EXPECT_EQ(request_hash(base), request_hash(base));
+
+  SolveRequest other = base;
+  other.seed = base.seed + 1;
+  EXPECT_NE(request_hash(base), request_hash(other));
+
+  other = base;
+  other.precision = Precision::Fast;
+  EXPECT_NE(request_hash(base), request_hash(other));
+
+  other = base;
+  other.two_port = true;
+  EXPECT_NE(request_hash(base), request_hash(other));
+
+  Rng rng(3);
+  other = base;
+  other.platform = gen::random_star(4, rng, 0.5);
+  EXPECT_NE(request_hash(base), request_hash(other));
+}
+
+TEST(RequestHash, WorkerNamesDoNotAffectTheKey) {
+  SolveRequest named = request_for(all_solver_platform());
+  std::vector<Worker> workers(named.platform.workers().begin(),
+                              named.platform.workers().end());
+  for (Worker& w : workers) w.name = "renamed-" + w.name;
+  SolveRequest renamed = named;
+  renamed.platform = StarPlatform(std::move(workers));
+  EXPECT_EQ(request_hash(named), request_hash(renamed));
+}
+
+TEST(RequestHash, JobHashDistinguishesSolvers) {
+  const SolveRequest request = request_for(all_solver_platform());
+  const std::string a = job_hash_hex("fifo_optimal", request);
+  const std::string b = job_hash_hex("lifo", request);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, job_hash_hex("fifo_optimal", request));
+}
+
+TEST(SolveBatch, DedupesByteIdenticalJobsAndSkipsTheirValidation) {
+  const SolveRequest request = request_for(all_solver_platform());
+  std::vector<BatchJob> jobs(3);
+  jobs[0] = {"fifo_optimal", request};
+  jobs[1] = {"fifo_optimal", request};  // byte-identical duplicate
+  jobs[2] = {"lifo", request};
+  const auto outcomes = solve_batch(jobs, 2);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].deduped);
+  EXPECT_TRUE(outcomes[1].deduped);
+  EXPECT_FALSE(outcomes[2].deduped);
+  // The duplicate carries the primary's result but no validator re-run.
+  EXPECT_TRUE(outcomes[1].ok);
+  EXPECT_DOUBLE_EQ(outcomes[1].result.throughput(),
+                   outcomes[0].result.throughput());
+  EXPECT_GT(outcomes[0].validate_seconds, 0.0);
+  EXPECT_EQ(outcomes[1].validate_seconds, 0.0);
+}
+
+TEST(SolveBatch, ExposesPerJobWallTimeDiagnostics) {
+  const SolveRequest request = request_for(all_solver_platform());
+  const std::vector<BatchJob> jobs{{"fifo_optimal", request}};
+  const auto outcomes = solve_batch(jobs);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_GT(outcomes[0].result.wall_seconds, 0.0);
+  EXPECT_GE(outcomes[0].validate_seconds, 0.0);
+}
+
 TEST(SolveBatch, OneSolverAcrossManyPlatforms) {
   Rng rng(13);
   std::vector<StarPlatform> platforms;
