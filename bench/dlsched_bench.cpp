@@ -6,6 +6,7 @@
 //   dlsched_bench --spec fig10 [--out BENCH_fig10.json] [--csv fig10.csv]
 //   dlsched_bench --spec-file my_sweep.toml
 //   dlsched_bench --all                       # every built-in spec
+//   dlsched_bench --cache-stats [--cache-dir DIR]   # result-cache hygiene
 //
 // Options:
 //   --out FILE        BENCH JSON artifact (default BENCH_<spec>.json)

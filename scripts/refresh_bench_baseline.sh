@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench/baseline artifacts that the CI
+# bench-regression job gates on.  Run from the repository root on a quiet
+# machine after a PR that legitimately shifts the perf profile, and commit
+# the result together with the change that caused it.
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE_DIR=bench/baseline
+
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j --target dlsched_bench
+
+mkdir -p "${BASELINE_DIR}"
+for spec in micro_substrate micro_solvers smoke; do
+  "./${BUILD_DIR}/dlsched_bench" --spec "${spec}" --no-cache --no-csv \
+    --out "${BASELINE_DIR}/BENCH_${spec}.json"
+done
+
+echo
+echo "refreshed: ${BASELINE_DIR}/BENCH_{micro_substrate,micro_solvers,smoke}.json"
+echo "review the wall-time deltas, then commit."

@@ -1,7 +1,9 @@
 #include "core/mirror.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "schedule/validator.hpp"
 #include "util/error.hpp"
 
 namespace dlsched {
@@ -31,6 +33,13 @@ Schedule flip_schedule(const StarPlatform& platform,
   }
   return make_packed_schedule(platform, new_send, new_return, alpha,
                               mirrored_schedule.horizon);
+}
+
+std::optional<Schedule> try_flip_schedule(const StarPlatform& platform,
+                                          const Schedule& mirrored_schedule) {
+  Schedule flipped = flip_schedule(platform, mirrored_schedule);
+  if (!validate(platform, flipped).ok) return std::nullopt;
+  return std::optional<Schedule>(std::move(flipped));
 }
 
 }  // namespace dlsched

@@ -5,6 +5,8 @@
 // reversed) and LIFO maps to LIFO.
 #pragma once
 
+#include <optional>
+
 #include "platform/star_platform.hpp"
 #include "schedule/schedule.hpp"
 
@@ -17,5 +19,13 @@ namespace dlsched {
 ///   * identical loads and horizon (idle gaps are re-derived).
 [[nodiscard]] Schedule flip_schedule(const StarPlatform& platform,
                                      const Schedule& mirrored_schedule);
+
+/// `flip_schedule` plus a pass through the independent schedule validator:
+/// returns std::nullopt when the flipped schedule is not feasible on
+/// `platform`.  This is the guard of the `mirror_fifo` Precision::Fast
+/// path -- a double-LP vertex can carry rounding noise that only shows up
+/// after the time reversal, in which case the caller re-solves exactly.
+[[nodiscard]] std::optional<Schedule> try_flip_schedule(
+    const StarPlatform& platform, const Schedule& mirrored_schedule);
 
 }  // namespace dlsched

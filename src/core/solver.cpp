@@ -483,16 +483,39 @@ class MirrorFifoSolver final : public Solver {
     const StarPlatform& platform = request.platform;
     DLSCHED_EXPECT(!platform.empty(), "empty platform");
     const StarPlatform mirror = platform.mirrored();
-    const ScenarioSolution mirror_solution =
-        solve_scenario(mirror, Scenario::fifo(mirror.order_by_c()));
-    const Schedule mirror_schedule =
-        realize_schedule(mirror, mirror_solution, request.horizon);
+    const Scenario mirror_scenario = Scenario::fifo(mirror.order_by_c());
     SolveResult out;
     out.solver = name();
     out.schedule_platform = platform;
     out.mirrored = true;
     out.provably_optimal =
         platform.has_uniform_z() && platform.z() >= 1.0;
+    if (request.precision == Precision::Fast) {
+      // Same routing as fifo_optimal's Fast path: the double simplex on
+      // the mirrored platform, lifted losslessly.  The flipped schedule is
+      // re-checked by the independent validator; on any violation (a
+      // degenerate double vertex surviving the time reversal) we fall
+      // through to the exact LP below.
+      const ScenarioSolution fast =
+          lift(solve_scenario_double(mirror, mirror_scenario));
+      const Schedule mirror_schedule =
+          realize_schedule(mirror, fast, request.horizon);
+      if (std::optional<Schedule> flipped =
+              try_flip_schedule(platform, mirror_schedule)) {
+        out.schedule = std::move(*flipped);
+        out.solution = solution_from_schedule(platform, out.schedule);
+        out.solution.throughput = fast.throughput;
+        out.solution.alpha = fast.alpha;
+        out.solution.lp_pivots = fast.lp_pivots;
+        out.exact = false;
+        return out;
+      }
+      out.notes = "fast mirror flip failed validation; re-solved exactly";
+    }
+    const ScenarioSolution mirror_solution =
+        solve_scenario(mirror, mirror_scenario);
+    const Schedule mirror_schedule =
+        realize_schedule(mirror, mirror_solution, request.horizon);
     out.schedule = flip_schedule(platform, mirror_schedule);
     out.solution = solution_from_schedule(platform, out.schedule);
     // The flip preserves loads exactly; keep the mirror LP's rationals.

@@ -42,6 +42,27 @@ int list_generators() {
   return 0;
 }
 
+int cache_stats(const CliArgs& args) {
+  const std::string dir = args.get_or("cache-dir", ".dlsched_cache");
+  const CacheInventory inventory = ResultCache::inspect(dir);
+  if (!inventory.exists) {
+    std::cout << "cache directory '" << dir << "' does not exist\n";
+    return 0;
+  }
+  std::cout << "cache directory: " << dir << "\n"
+            << "entries:         " << inventory.entries << "\n"
+            << "total bytes:     " << inventory.total_bytes << "\n";
+  if (inventory.has_last_run) {
+    std::cout << "last run:        " << inventory.last_spec << " ("
+              << inventory.last_run.hits << " hit(s), "
+              << inventory.last_run.misses << " miss(es), "
+              << inventory.last_run.stores << " store(s))\n";
+  } else {
+    std::cout << "last run:        (no stats recorded yet)\n";
+  }
+  return 0;
+}
+
 int run_one(ExperimentSpec spec, const CliArgs& args) {
   if (args.has("seed")) {
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
@@ -69,15 +90,15 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
 
 const std::vector<std::string>& bench_flags() {
   static const std::vector<std::string>* flags = new std::vector<std::string>{
-      "list-specs", "list-generators", "all",
-      "quick",      "no-cache",        "no-json",
-      "no-csv"};
+      "list-specs", "list-generators", "all",     "quick",
+      "no-cache",   "no-json",         "no-csv",  "cache-stats"};
   return *flags;
 }
 
 int bench_main(const CliArgs& args) {
   if (args.has("list-specs")) return list_specs();
   if (args.has("list-generators")) return list_generators();
+  if (args.has("cache-stats")) return cache_stats(args);
   if (args.has("all")) {
     if (args.get("out") || args.get("csv")) {
       std::cerr << "--all names artifacts per spec; drop --out/--csv\n";
@@ -97,7 +118,7 @@ int bench_main(const CliArgs& args) {
     return run_one(find_builtin_spec(*name), args);
   }
   std::cerr << "bench needs --spec NAME, --spec-file FILE, --all, "
-               "--list-specs or --list-generators\n";
+               "--list-specs, --list-generators or --cache-stats\n";
   return 2;
 }
 

@@ -238,4 +238,60 @@ void ResultCache::store(const std::string& hash_hex,
   if (!ec) ++stats.stores;
 }
 
+namespace {
+constexpr const char* kLastRunFile = "last_run.stats";
+}  // namespace
+
+void ResultCache::write_last_run(const std::string& spec) const {
+  if (!enabled()) return;
+  const fs::path path = fs::path(directory_) / kLastRunFile;
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return;  // stats are advisory; never fail a run on them
+  out << "dlsched-cache-stats 1\n"
+      << "spec " << spec << '\n'
+      << "hits " << stats.hits << '\n'
+      << "misses " << stats.misses << '\n'
+      << "stores " << stats.stores << '\n';
+}
+
+CacheInventory ResultCache::inspect(const std::string& directory) {
+  CacheInventory inventory;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec) || ec) return inventory;
+  inventory.exists = true;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (entry.path().extension() != ".entry") continue;
+    ++inventory.entries;
+    const std::uintmax_t size = entry.file_size(ec);
+    if (!ec) inventory.total_bytes += size;
+  }
+  std::ifstream in(fs::path(directory) / kLastRunFile, std::ios::binary);
+  if (in.good()) {
+    std::string magic, label;
+    int version = 0;
+    in >> magic >> version;
+    if (magic == "dlsched-cache-stats" && version == 1) {
+      CacheInventory parsed = inventory;
+      // Spec names may contain spaces (they come from user spec files):
+      // take the rest of the line, not one >> token.
+      bool ok = static_cast<bool>(in >> label) && label == "spec" &&
+                static_cast<bool>(std::getline(in, parsed.last_spec));
+      if (ok) {
+        const std::size_t start = parsed.last_spec.find_first_not_of(' ');
+        parsed.last_spec =
+            start == std::string::npos ? "" : parsed.last_spec.substr(start);
+      }
+      parsed.has_last_run =
+          ok && (in >> label >> parsed.last_run.hits) && label == "hits" &&
+          (in >> label >> parsed.last_run.misses) && label == "misses" &&
+          (in >> label >> parsed.last_run.stores) && label == "stores";
+      if (parsed.has_last_run) inventory = parsed;
+    }
+  }
+  return inventory;
+}
+
 }  // namespace dlsched::experiments

@@ -65,6 +65,18 @@ struct CacheStats {
   std::size_t stores = 0;
 };
 
+/// On-disk inventory of a cache directory plus the hit/miss counters of
+/// the run that last used it (`dlsched_bench --cache-stats`).  Engine runs
+/// persist their counters via `ResultCache::write_last_run`.
+struct CacheInventory {
+  bool exists = false;          ///< the directory is present
+  std::size_t entries = 0;      ///< *.entry files
+  std::uint64_t total_bytes = 0;  ///< summed entry sizes
+  bool has_last_run = false;    ///< a last-run marker was found and parsed
+  std::string last_spec;        ///< spec name of the most recent run
+  CacheStats last_run;          ///< its hit/miss/store counters
+};
+
 /// Directory-backed cache.  A default-constructed cache is disabled: every
 /// lookup misses and stores are dropped, so callers need no branching.
 class ResultCache {
@@ -85,6 +97,14 @@ class ResultCache {
   /// Persists a value (no-op when disabled).
   void store(const std::string& hash_hex, const std::string& canonical_key,
              const CachedSolve& value);
+
+  /// Writes `stats` and the spec name as the directory's last-run marker
+  /// (no-op when disabled).  `inspect` reads it back.
+  void write_last_run(const std::string& spec) const;
+
+  /// Scans a cache directory without opening it as a cache: entry count,
+  /// total bytes, and the persisted counters of the last run.
+  [[nodiscard]] static CacheInventory inspect(const std::string& directory);
 
   CacheStats stats;
 

@@ -503,6 +503,7 @@ RunSummary run_spec(const ExperimentSpec& requested,
   if (json) json->finish();
 
   summary.cache = cache.stats;
+  cache.write_last_run(spec.name);  // what --cache-stats reports
   summary.wall_seconds =
       std::chrono::duration<double>(steady_clock::now() - start).count();
   log << summary.describe() << "\n";

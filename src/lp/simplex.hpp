@@ -46,12 +46,23 @@ struct Solution {
 };
 
 /// Scalar-dependent comparison policy.  Rational is exact; double uses a
-/// fixed tolerance.
+/// fixed tolerance.  `sub_mul` is the `target -= a * b` update of every
+/// pivot inner loop: the Rational overload short-circuits zero factors
+/// before any arithmetic (see Rational::sub_mul).
 template <class T>
 struct ScalarPolicy {
   static bool is_positive(const T& v) { return v.is_positive(); }
   static bool is_negative(const T& v) { return v.is_negative(); }
   static bool is_zero(const T& v) { return v.is_zero(); }
+  /// Safe-to-skip test for the pivot inner loops.  For exact scalars this
+  /// is the same as `is_zero`; for double it must be a *bitwise* zero:
+  /// skipping a sub-tolerance entry that the pivot scaling would have
+  /// amplified (pivot elements can themselves sit near the tolerance)
+  /// would silently change the elimination.
+  static bool is_skippable_zero(const T& v) { return v.is_zero(); }
+  static void sub_mul(T& target, const T& a, const T& b) {
+    target.sub_mul(a, b);
+  }
 };
 
 template <>
@@ -60,6 +71,8 @@ struct ScalarPolicy<double> {
   static bool is_positive(double v) { return v > kEps; }
   static bool is_negative(double v) { return v < -kEps; }
   static bool is_zero(double v) { return v >= -kEps && v <= kEps; }
+  static bool is_skippable_zero(double v) { return v == 0.0; }
+  static void sub_mul(double& target, double a, double b) { target -= a * b; }
 };
 
 /// Dense standard-form LP instance, scalar type T.
@@ -192,8 +205,10 @@ class Simplex {
     for (std::size_t i = 0; i < basis_.size(); ++i) {
       const T cb = cost_of(basis_[i]);
       if (P::is_zero(cb)) continue;
+      const std::vector<T>& row = tab_[i];
       for (std::size_t j = 0; j < total; ++j) {
-        reduced_[j] -= cb * tab_[i][j];
+        if (P::is_skippable_zero(row[j])) continue;
+        P::sub_mul(reduced_[j], cb, row[j]);
       }
       objective_value_ += cb * rhs_[i];
     }
@@ -221,12 +236,18 @@ class Simplex {
       }
       if (entering == reduced_.size()) return true;  // optimal for this phase
 
+      // Capture the entering column (its eta form) once; the ratio test
+      // and the pivot's row updates both read from this cache instead of
+      // re-indexing the tableau per access.
+      capture_column(entering);
+
       // Ratio test; Bland tie-break on the smallest basis variable index.
       std::size_t leaving = tab_.size();
       T best_ratio{};
       for (std::size_t i = 0; i < tab_.size(); ++i) {
-        if (!P::is_positive(tab_[i][entering])) continue;
-        T ratio = rhs_[i] / tab_[i][entering];
+        const T& coeff = *eta_[i];
+        if (!P::is_positive(coeff)) continue;
+        T ratio = rhs_[i] / coeff;
         if (leaving == tab_.size() || ratio < best_ratio ||
             (!(best_ratio < ratio) && basis_[i] < basis_[leaving])) {
           leaving = i;
@@ -239,26 +260,57 @@ class Simplex {
     DLSCHED_FAIL("simplex iteration cap exceeded (cycling?)");
   }
 
+  /// Points `eta_` at the given tableau column.  The pointers stay valid
+  /// across pivots (rows are mutated in place, never reallocated).
+  void capture_column(std::size_t col) {
+    eta_.resize(tab_.size());
+    for (std::size_t i = 0; i < tab_.size(); ++i) eta_[i] = &tab_[i][col];
+  }
+
+  /// Pivots on (row, col), reusing the eta cache when it already holds
+  /// this column (the run_phase loop captures it for the ratio test) and
+  /// re-capturing otherwise, so callers carry no temporal coupling.
+  /// The inner loops pre-test pivot-row entries for zero: after a few
+  /// pivots most tableau columns hold exact zeros (slack identity
+  /// sub-blocks), and skipping them avoids the whole scalar update --
+  /// which for Rational means skipping allocations and gcds, not just a
+  /// multiply.
   void pivot(std::size_t row, std::size_t col) {
     ++pivots_;
-    const T inv = T{1} / tab_[row][col];
-    for (auto& v : tab_[row]) v *= inv;
+    if (eta_.size() != tab_.size() || eta_[0] != &tab_[0][col]) {
+      capture_column(col);
+    }
+    std::vector<T>& prow = tab_[row];
+    const T inv = T{1} / prow[col];
+    for (auto& v : prow) {
+      if (!P::is_skippable_zero(v)) v *= inv;
+    }
     rhs_[row] *= inv;
-    tab_[row][col] = T{1};  // kill residual rounding in the double instance
+    prow[col] = T{1};  // kill residual rounding in the double instance
     for (std::size_t i = 0; i < tab_.size(); ++i) {
       if (i == row) continue;
-      const T factor = tab_[i][col];
+      // The eta cache aliases tab_[i][col]; the j == col entry is skipped
+      // in the loop and zeroed after the last `factor` read, so no copy of
+      // the factor is needed.
+      const T& factor = *eta_[i];
       if (P::is_zero(factor)) continue;
-      for (std::size_t j = 0; j < tab_[i].size(); ++j) {
-        tab_[i][j] -= factor * tab_[row][j];
+      std::vector<T>& trow = tab_[i];
+      for (std::size_t j = 0; j < trow.size(); ++j) {
+        if (j == col) continue;
+        const T& pv = prow[j];
+        if (P::is_skippable_zero(pv)) continue;
+        P::sub_mul(trow[j], factor, pv);
       }
-      tab_[i][col] = T{};
-      rhs_[i] -= factor * rhs_[row];
+      P::sub_mul(rhs_[i], factor, rhs_[row]);
+      trow[col] = T{};
     }
     const T rfactor = reduced_[col];
     if (!P::is_zero(rfactor)) {
       for (std::size_t j = 0; j < reduced_.size(); ++j) {
-        reduced_[j] -= rfactor * tab_[row][j];
+        if (j == col) continue;
+        const T& pv = prow[j];
+        if (P::is_skippable_zero(pv)) continue;
+        P::sub_mul(reduced_[j], rfactor, pv);
       }
       reduced_[col] = T{};
       objective_value_ += rfactor * rhs_[row];
@@ -306,6 +358,7 @@ class Simplex {
   std::vector<std::vector<T>> tab_;
   std::vector<T> rhs_;
   std::vector<T> reduced_;
+  std::vector<const T*> eta_;  ///< cached entering column (see pivot)
   std::vector<std::size_t> basis_;
   std::vector<bool> forbidden_;
   T objective_value_{};

@@ -16,24 +16,32 @@ constexpr std::size_t kKaratsubaThreshold = 32;
 }  // namespace
 
 BigInt::BigInt(std::int64_t value) {
-  if (value == 0) return;
+  if (value > -kSmallLimit && value < kSmallLimit) {
+    small_ = value;
+    return;
+  }
+  is_small_ = false;
   sign_ = value < 0 ? -1 : 1;
   // Avoid UB on INT64_MIN: negate in unsigned space.
-  std::uint64_t mag =
-      value < 0 ? ~static_cast<std::uint64_t>(value) + 1ULL
-                : static_cast<std::uint64_t>(value);
-  while (mag != 0) {
-    limbs_.push_back(static_cast<Limb>(mag & 0xffffffffULL));
-    mag >>= kLimbBits;
-  }
+  assign_magnitude(value < 0 ? ~static_cast<std::uint64_t>(value) + 1ULL
+                             : static_cast<std::uint64_t>(value));
 }
 
 BigInt::BigInt(std::uint64_t value) {
-  if (value == 0) return;
+  if (value < static_cast<std::uint64_t>(kSmallLimit)) {
+    small_ = static_cast<std::int64_t>(value);
+    return;
+  }
+  is_small_ = false;
   sign_ = 1;
-  while (value != 0) {
-    limbs_.push_back(static_cast<Limb>(value & 0xffffffffULL));
-    value >>= kLimbBits;
+  assign_magnitude(value);
+}
+
+void BigInt::assign_magnitude(unsigned __int128 magnitude) {
+  limbs_.clear();
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffULL));
+    magnitude >>= kLimbBits;
   }
 }
 
@@ -48,7 +56,6 @@ BigInt BigInt::from_string(std::string_view text) {
   DLSCHED_EXPECT(pos < text.size(), "BigInt::from_string: sign only");
   BigInt result;
   // Consume 9 decimal digits at a time: result = result * 10^9 + chunk.
-  const BigInt chunk_base(static_cast<std::int64_t>(1000000000));
   while (pos < text.size()) {
     const std::size_t take = std::min<std::size_t>(9, text.size() - pos);
     std::uint64_t chunk = 0;
@@ -70,15 +77,25 @@ BigInt BigInt::from_string(std::string_view text) {
 }
 
 std::size_t BigInt::bit_length() const noexcept {
+  if (is_small_) {
+    return static_cast<std::size_t>(std::bit_width(small_magnitude()));
+  }
   if (limbs_.empty()) return 0;
   const Limb top = limbs_.back();
   const unsigned top_bits = kLimbBits - static_cast<unsigned>(std::countl_zero(top));
   return (limbs_.size() - 1) * kLimbBits + top_bits;
 }
 
+std::size_t BigInt::limb_count() const noexcept {
+  if (!is_small_) return limbs_.size();
+  const std::uint64_t mag = small_magnitude();
+  if (mag == 0) return 0;
+  return (mag >> kLimbBits) != 0 ? 2 : 1;
+}
+
 BigInt BigInt::abs() const {
   BigInt result = *this;
-  if (result.sign_ < 0) result.sign_ = 1;
+  if (result.is_negative()) result.negate();
   return result;
 }
 
@@ -87,8 +104,43 @@ void BigInt::trim(std::vector<Limb>& limbs) noexcept {
 }
 
 void BigInt::normalize() noexcept {
+  if (is_small_) return;
   trim(limbs_);
-  if (limbs_.empty()) sign_ = 0;
+  if (limbs_.empty()) {
+    is_small_ = true;
+    small_ = 0;
+    sign_ = 0;
+    return;
+  }
+  if (limbs_.size() <= 2) {
+    const std::uint64_t mag =
+        limbs_.size() == 2
+            ? (static_cast<std::uint64_t>(limbs_[1]) << kLimbBits) | limbs_[0]
+            : limbs_[0];
+    if (mag < static_cast<std::uint64_t>(kSmallLimit)) {
+      small_ = sign_ < 0 ? -static_cast<std::int64_t>(mag)
+                         : static_cast<std::int64_t>(mag);
+      limbs_.clear();
+      is_small_ = true;
+      sign_ = 0;
+    }
+  }
+}
+
+void BigInt::promote() {
+  if (!is_small_) return;
+  is_small_ = false;
+  sign_ = (small_ > 0) - (small_ < 0);
+  const std::uint64_t mag = small_magnitude();
+  small_ = 0;
+  assign_magnitude(mag);
+}
+
+const BigInt& BigInt::promoted(const BigInt& x, BigInt& scratch) {
+  if (!x.is_small_) return x;
+  scratch = x;
+  scratch.promote();
+  return scratch;
 }
 
 int BigInt::compare_magnitude(const std::vector<Limb>& a,
@@ -345,23 +397,40 @@ void BigInt::divmod_magnitude(const std::vector<Limb>& u_in,
 }
 
 BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (rhs.sign_ == 0) return *this;
-  if (sign_ == 0) {
-    *this = rhs;
+  if (is_small_ && rhs.is_small_) {
+    // |a|, |b| < 2^62, so the int64 sum cannot overflow.
+    const std::int64_t sum = small_ + rhs.small_;
+    if (sum > -kSmallLimit && sum < kSmallLimit) {
+      small_ = sum;
+    } else {
+      *this = BigInt(sum);
+    }
     return *this;
   }
-  if (sign_ == rhs.sign_) {
-    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  BigInt scratch;
+  const BigInt& r = promoted(rhs, scratch);
+  promote();
+  if (r.sign_ == 0) {
+    normalize();
+    return *this;
+  }
+  if (sign_ == 0) {
+    *this = r;
+    normalize();
+    return *this;
+  }
+  if (sign_ == r.sign_) {
+    limbs_ = add_magnitude(limbs_, r.limbs_);
   } else {
-    const int cmp = compare_magnitude(limbs_, rhs.limbs_);
+    const int cmp = compare_magnitude(limbs_, r.limbs_);
     if (cmp == 0) {
       limbs_.clear();
       sign_ = 0;
     } else if (cmp > 0) {
-      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+      limbs_ = sub_magnitude(limbs_, r.limbs_);
     } else {
-      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
-      sign_ = rhs.sign_;
+      limbs_ = sub_magnitude(r.limbs_, limbs_);
+      sign_ = r.sign_;
     }
   }
   normalize();
@@ -369,19 +438,50 @@ BigInt& BigInt::operator+=(const BigInt& rhs) {
 }
 
 BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (is_small_ && rhs.is_small_) {
+    const std::int64_t diff = small_ - rhs.small_;
+    if (diff > -kSmallLimit && diff < kSmallLimit) {
+      small_ = diff;
+    } else {
+      *this = BigInt(diff);
+    }
+    return *this;
+  }
   BigInt negated = rhs;
   negated.negate();
   return *this += negated;
 }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
-  if (sign_ == 0 || rhs.sign_ == 0) {
-    limbs_.clear();
-    sign_ = 0;
+  if (is_small_ && rhs.is_small_) {
+    std::int64_t product = 0;
+    if (!__builtin_mul_overflow(small_, rhs.small_, &product)) {
+      if (product > -kSmallLimit && product < kSmallLimit) {
+        small_ = product;
+        return *this;
+      }
+    }
+    // Inline overflow: |a|, |b| < 2^62 keeps |a*b| under 124 bits, so the
+    // limb form can be assembled directly from a 128-bit product.
+    const bool negative = (small_ < 0) != (rhs.small_ < 0);
+    const unsigned __int128 mag =
+        static_cast<unsigned __int128>(small_magnitude()) *
+        rhs.small_magnitude();
+    is_small_ = false;
+    small_ = 0;
+    sign_ = negative ? -1 : 1;
+    assign_magnitude(mag);
+    return *this;  // the product is >= 2^62 by construction: canonical
+  }
+  if (is_zero() || rhs.is_zero()) {
+    *this = BigInt();
     return *this;
   }
-  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
-  sign_ = sign_ * rhs.sign_;
+  BigInt scratch;
+  const BigInt& r = promoted(rhs, scratch);
+  promote();
+  limbs_ = mul_magnitude(limbs_, r.limbs_);
+  sign_ = sign_ * r.sign_;
   normalize();
   return *this;
 }
@@ -389,15 +489,34 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
 void BigInt::divmod(const BigInt& numerator, const BigInt& denominator,
                     BigInt& quotient, BigInt& remainder) {
   DLSCHED_EXPECT(!denominator.is_zero(), "BigInt division by zero");
+  if (numerator.is_small_ && denominator.is_small_) {
+    // |numerator| < 2^62 rules out the INT64_MIN / -1 overflow case, and
+    // C++ native division already has the required truncation semantics.
+    const std::int64_t q = numerator.small_ / denominator.small_;
+    const std::int64_t r = numerator.small_ % denominator.small_;
+    quotient = BigInt(q);
+    remainder = BigInt(r);
+    return;
+  }
+  const int num_sign = numerator.sign();
+  const int den_sign = denominator.sign();
+  BigInt scratch_n;
+  BigInt scratch_d;
+  const BigInt& n = promoted(numerator, scratch_n);
+  const BigInt& d = promoted(denominator, scratch_d);
   std::vector<Limb> q;
   std::vector<Limb> r;
-  divmod_magnitude(numerator.limbs_, denominator.limbs_, q, r);
+  divmod_magnitude(n.limbs_, d.limbs_, q, r);
+  quotient = BigInt();
+  quotient.is_small_ = false;
   quotient.limbs_ = std::move(q);
-  quotient.sign_ = quotient.limbs_.empty()
-                       ? 0
-                       : numerator.sign_ * denominator.sign_;
+  quotient.sign_ = quotient.limbs_.empty() ? 0 : num_sign * den_sign;
+  quotient.normalize();
+  remainder = BigInt();
+  remainder.is_small_ = false;
   remainder.limbs_ = std::move(r);
-  remainder.sign_ = remainder.limbs_.empty() ? 0 : numerator.sign_;
+  remainder.sign_ = remainder.limbs_.empty() ? 0 : num_sign;
+  remainder.normalize();
 }
 
 BigInt& BigInt::operator/=(const BigInt& rhs) {
@@ -417,7 +536,19 @@ BigInt& BigInt::operator%=(const BigInt& rhs) {
 }
 
 BigInt& BigInt::operator<<=(std::size_t bits) {
-  if (sign_ == 0 || bits == 0) return *this;
+  if (is_zero() || bits == 0) return *this;
+  if (is_small_) {
+    const std::uint64_t mag = small_magnitude();
+    const std::size_t width =
+        static_cast<std::size_t>(std::bit_width(mag));
+    if (bits <= 62 && width + bits <= 62) {
+      const std::uint64_t shifted = mag << bits;
+      small_ = small_ < 0 ? -static_cast<std::int64_t>(shifted)
+                          : static_cast<std::int64_t>(shifted);
+      return *this;
+    }
+    promote();
+  }
   const std::size_t limb_shift = bits / kLimbBits;
   const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
   std::vector<Limb> shifted(limbs_.size() + limb_shift + 1, 0);
@@ -432,11 +563,18 @@ BigInt& BigInt::operator<<=(std::size_t bits) {
 }
 
 BigInt& BigInt::operator>>=(std::size_t bits) {
-  if (sign_ == 0 || bits == 0) return *this;
+  if (is_zero() || bits == 0) return *this;
+  if (is_small_) {
+    // Magnitude shift, matching the limb-form semantics: -5 >> 1 == -2.
+    const std::uint64_t mag = small_magnitude();
+    const std::uint64_t shifted = bits >= 64 ? 0 : mag >> bits;
+    small_ = small_ < 0 ? -static_cast<std::int64_t>(shifted)
+                        : static_cast<std::int64_t>(shifted);
+    return *this;
+  }
   const std::size_t limb_shift = bits / kLimbBits;
   if (limb_shift >= limbs_.size()) {
-    limbs_.clear();
-    sign_ = 0;
+    *this = BigInt();
     return *this;
   }
   const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
@@ -461,29 +599,48 @@ BigInt BigInt::operator-() const {
 }
 
 int BigInt::compare(const BigInt& rhs) const noexcept {
-  if (sign_ != rhs.sign_) return sign_ < rhs.sign_ ? -1 : 1;
-  if (sign_ == 0) return 0;
+  if (is_small_ && rhs.is_small_) {
+    return (small_ > rhs.small_) - (small_ < rhs.small_);
+  }
+  const int ls = sign();
+  const int rs = rhs.sign();
+  if (ls != rs) return ls < rs ? -1 : 1;
+  if (is_small_ != rhs.is_small_) {
+    // The limb form always holds magnitude >= 2^62 and the inline form
+    // < 2^62, so the representation alone decides the magnitude order.
+    const int mag = is_small_ ? -1 : 1;
+    return ls > 0 ? mag : -mag;
+  }
   const int mag = compare_magnitude(limbs_, rhs.limbs_);
-  return sign_ > 0 ? mag : -mag;
+  return ls > 0 ? mag : -mag;
 }
 
 BigInt BigInt::gcd(BigInt a, BigInt b) {
-  if (a.sign_ < 0) a.sign_ = 1;
-  if (b.sign_ < 0) b.sign_ = 1;
-  // Euclid with full divisions; operand sizes in the simplex stay small
-  // enough that binary gcd's constant-factor win does not matter.
-  while (!b.is_zero()) {
+  while (true) {
+    if (a.is_small_ && b.is_small_) {
+      // Single-word Euclid: the whole loop runs on native integers.
+      std::uint64_t x = a.small_magnitude();
+      std::uint64_t y = b.small_magnitude();
+      while (y != 0) {
+        const std::uint64_t t = x % y;
+        x = y;
+        y = t;
+      }
+      return BigInt(x);
+    }
+    if (b.is_zero()) break;
     BigInt quotient;
     BigInt remainder;
     divmod(a, b, quotient, remainder);
     a = std::move(b);
     b = std::move(remainder);
   }
+  if (a.is_negative()) a.negate();
   return a;
 }
 
 BigInt BigInt::pow(std::uint64_t exponent) const {
-  const bool negative_result = sign_ < 0 && (exponent & 1ULL) != 0;
+  const bool negative_result = sign() < 0 && (exponent & 1ULL) != 0;
   BigInt base = this->abs();
   BigInt result(std::int64_t{1});
   while (exponent != 0) {
@@ -496,6 +653,7 @@ BigInt BigInt::pow(std::uint64_t exponent) const {
 }
 
 std::string BigInt::to_string() const {
+  if (is_small_) return std::to_string(small_);
   if (sign_ == 0) return "0";
   // Peel 9 decimal digits at a time via single-limb division by 10^9.
   std::vector<Limb> digits_chunks;
@@ -521,6 +679,7 @@ std::string BigInt::to_string() const {
 }
 
 double BigInt::to_double() const noexcept {
+  if (is_small_) return static_cast<double>(small_);
   if (sign_ == 0) return 0.0;
   double value = 0.0;
   // Only the top ~2 limbs contribute to a double's mantissa, but summing all
@@ -534,6 +693,7 @@ double BigInt::to_double() const noexcept {
 }
 
 bool BigInt::fits_int64() const noexcept {
+  if (is_small_) return true;
   if (limbs_.size() < 2) return true;
   if (limbs_.size() > 2) return false;
   const std::uint64_t mag =
@@ -543,12 +703,15 @@ bool BigInt::fits_int64() const noexcept {
 }
 
 std::int64_t BigInt::to_int64() const {
+  if (is_small_) return small_;
   DLSCHED_EXPECT(fits_int64(), "BigInt does not fit in int64");
   std::uint64_t mag = 0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
     mag = (mag << kLimbBits) | limbs_[i];
   }
-  if (sign_ < 0) return -static_cast<std::int64_t>(mag);
+  // Negate in unsigned space: mag may be 2^63 (INT64_MIN), whose signed
+  // negation would overflow.
+  if (sign_ < 0) return static_cast<std::int64_t>(~mag + 1ULL);
   return static_cast<std::int64_t>(mag);
 }
 

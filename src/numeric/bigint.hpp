@@ -1,4 +1,4 @@
-// Arbitrary-precision signed integer (sign-magnitude, base 2^32 limbs).
+// Arbitrary-precision signed integer with a small-value inline fast path.
 //
 // This is the foundation of the exact rational simplex (src/lp).  The
 // paper's optimality theorems are statements about exact LP optima; solving
@@ -6,9 +6,20 @@
 // reproduction, so the test suite can assert e.g. "sorting by non-decreasing
 // ci is optimal" as an exact inequality.
 //
+// Representation: a value v with |v| < 2^62 lives inline in a single
+// machine word (`small_`) and its arithmetic never touches the heap;
+// anything larger falls back to a sign-magnitude vector of base-2^32 limbs.
+// Add/sub/mul on the inline form are overflow-checked and promote to the
+// limb form exactly at the boundary.  LP pivots over platform parameters
+// lifted from doubles keep most intermediate values under 62 bits, so the
+// common case allocates nothing.
+//
 // Representation invariants:
-//   * limbs_ is little-endian with no trailing zero limb;
-//   * sign_ is -1, 0 or +1, and sign_ == 0 iff limbs_ is empty.
+//   * is_small_  => |small_| < 2^62 and limbs_ is empty;
+//   * !is_small_ => |value| >= 2^62, limbs_ is little-endian with no
+//     trailing zero limb, and sign_ is -1 or +1.
+// The second invariant (the limb form never holds a small value) is what
+// lets compare() decide mixed-representation orderings without promoting.
 #pragma once
 
 #include <cstdint>
@@ -32,23 +43,47 @@ class BigInt {
   /// malformed input.
   static BigInt from_string(std::string_view text);
 
-  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
-  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
-  [[nodiscard]] bool is_positive() const noexcept { return sign_ > 0; }
+  [[nodiscard]] bool is_zero() const noexcept {
+    return is_small_ && small_ == 0;
+  }
+  [[nodiscard]] bool is_negative() const noexcept {
+    return is_small_ ? small_ < 0 : sign_ < 0;
+  }
+  [[nodiscard]] bool is_positive() const noexcept {
+    return is_small_ ? small_ > 0 : sign_ > 0;
+  }
+  /// True when the value is exactly one (fast path for gcd results).
+  [[nodiscard]] bool is_one() const noexcept {
+    return is_small_ && small_ == 1;
+  }
   /// -1, 0 or +1.
-  [[nodiscard]] int sign() const noexcept { return sign_; }
+  [[nodiscard]] int sign() const noexcept {
+    return is_small_ ? (small_ > 0) - (small_ < 0) : sign_;
+  }
   /// True when the value is odd.
   [[nodiscard]] bool is_odd() const noexcept {
-    return !limbs_.empty() && (limbs_[0] & 1U) != 0;
+    return is_small_ ? (small_ & 1) != 0
+                     : !limbs_.empty() && (limbs_[0] & 1U) != 0;
   }
+  /// True when the value lives in the single-word inline representation
+  /// (exposed for benchmarks and the representation-equivalence tests).
+  [[nodiscard]] bool is_inline() const noexcept { return is_small_; }
 
   /// Number of significant bits of |*this| (0 for zero).
   [[nodiscard]] std::size_t bit_length() const noexcept;
-  /// Number of limbs (implementation detail exposed for benchmarks).
-  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+  /// Number of 32-bit limbs |*this| occupies (a derived quantity for the
+  /// inline representation; exposed for benchmarks).
+  [[nodiscard]] std::size_t limb_count() const noexcept;
 
   [[nodiscard]] BigInt abs() const;
-  void negate() noexcept { sign_ = -sign_; }
+  void negate() noexcept {
+    // |small_| < 2^62, so negation never overflows the inline word.
+    if (is_small_) {
+      small_ = -small_;
+    } else {
+      sign_ = -sign_;
+    }
+  }
 
   BigInt& operator+=(const BigInt& rhs);
   BigInt& operator-=(const BigInt& rhs);
@@ -120,6 +155,9 @@ class BigInt {
   using Limb = std::uint32_t;
   using DoubleLimb = std::uint64_t;
   static constexpr unsigned kLimbBits = 32;
+  /// Inline representation bound: |small_| < 2^62, so a sum of two inline
+  /// values always fits in the int64 word and overflow checks are cheap.
+  static constexpr std::int64_t kSmallLimit = std::int64_t{1} << 62;
 
   /// |a| vs |b|.
   static int compare_magnitude(const std::vector<Limb>& a,
@@ -141,10 +179,28 @@ class BigInt {
                                std::vector<Limb>& quotient,
                                std::vector<Limb>& remainder);
   static void trim(std::vector<Limb>& limbs) noexcept;
+  /// Replaces `limbs_` with the little-endian limb form of `magnitude`
+  /// (the single point that assembles limbs from machine words; 128 bits
+  /// covers the widest case, the inline-multiply overflow path).
+  void assign_magnitude(unsigned __int128 magnitude);
+  /// Restores both invariants: trims the limb form and shrinks back to the
+  /// inline word whenever the magnitude fits.
   void normalize() noexcept;
+  /// Converts the inline form to a (possibly sub-2^62) limb form in place;
+  /// only valid transiently inside an operation that re-normalizes.
+  void promote();
+  /// Returns `x` in limb form, using `scratch` as backing store when `x`
+  /// is inline.
+  static const BigInt& promoted(const BigInt& x, BigInt& scratch);
+  [[nodiscard]] std::uint64_t small_magnitude() const noexcept {
+    return small_ < 0 ? ~static_cast<std::uint64_t>(small_) + 1ULL
+                      : static_cast<std::uint64_t>(small_);
+  }
 
+  std::int64_t small_ = 0;
   std::vector<Limb> limbs_;
   int sign_ = 0;
+  bool is_small_ = true;
 };
 
 }  // namespace dlsched::numeric

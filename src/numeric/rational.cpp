@@ -24,7 +24,7 @@ void Rational::normalize() {
     return;
   }
   const BigInt g = BigInt::gcd(num_, den_);
-  if (g > BigInt(std::int64_t{1})) {
+  if (!g.is_one()) {
     num_ /= g;
     den_ /= g;
   }
@@ -70,37 +70,142 @@ Rational Rational::from_string(std::string_view text) {
   return Rational(BigInt::from_string(trimmed));
 }
 
-bool Rational::is_integer() const noexcept {
-  return den_ == BigInt(std::int64_t{1});
+bool Rational::is_integer() const noexcept { return den_.is_one(); }
+
+// Knuth TAOCP 4.5.1: reduce through the denominator gcd so the final
+// normalization gcd runs on operands no larger than that gcd -- and skip
+// it entirely in the common coprime-denominator case, where the sum of two
+// reduced fractions is already in lowest terms.
+void Rational::add_impl(const Rational& rhs, bool negate_rhs) {
+  const BigInt g = BigInt::gcd(den_, rhs.den_);
+  if (g.is_one()) {
+    BigInt t = num_ * rhs.den_;
+    BigInt u = rhs.num_ * den_;
+    if (negate_rhs) {
+      t -= u;
+    } else {
+      t += u;
+    }
+    if (t.is_zero()) {
+      num_ = BigInt();
+      den_ = BigInt(std::int64_t{1});
+      return;
+    }
+    num_ = std::move(t);
+    den_ *= rhs.den_;
+    return;
+  }
+  const BigInt d1 = den_ / g;
+  const BigInt d2 = rhs.den_ / g;
+  BigInt t = num_ * d2;
+  BigInt u = rhs.num_ * d1;
+  if (negate_rhs) {
+    t -= u;
+  } else {
+    t += u;
+  }
+  if (t.is_zero()) {
+    num_ = BigInt();
+    den_ = BigInt(std::int64_t{1});
+    return;
+  }
+  // Any common factor of t and d1 * rhs.den_ divides g.
+  const BigInt g2 = BigInt::gcd(t, g);
+  if (g2.is_one()) {
+    num_ = std::move(t);
+    den_ = d1 * rhs.den_;
+  } else {
+    num_ = t / g2;
+    den_ = d1 * (rhs.den_ / g2);
+  }
 }
 
 Rational& Rational::operator+=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ + rhs.num_ * den_;
-  den_ *= rhs.den_;
-  normalize();
+  add_impl(rhs, /*negate_rhs=*/false);
   return *this;
 }
 
 Rational& Rational::operator-=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ - rhs.num_ * den_;
-  den_ *= rhs.den_;
-  normalize();
+  add_impl(rhs, /*negate_rhs=*/true);
   return *this;
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
-  num_ *= rhs.num_;
-  den_ *= rhs.den_;
-  normalize();
+  if (is_zero() || rhs.is_zero()) {
+    num_ = BigInt();
+    den_ = BigInt(std::int64_t{1});
+    return *this;
+  }
+  if (this == &rhs) {
+    // Squaring a reduced fraction stays reduced.
+    num_ *= num_;
+    den_ *= den_;
+    return *this;
+  }
+  // Cross-reduce: gcd(n1, d2) and gcd(n2, d1) are all that can cancel
+  // between two reduced fractions, and they are far smaller operands than
+  // the full products.
+  const BigInt g1 = BigInt::gcd(num_, rhs.den_);
+  const BigInt g2 = BigInt::gcd(rhs.num_, den_);
+  if (g1.is_one() && g2.is_one()) {  // coprime: no copies, no divisions
+    num_ *= rhs.num_;
+    den_ *= rhs.den_;
+    return *this;
+  }
+  BigInt rn = rhs.num_;
+  BigInt rd = rhs.den_;
+  if (!g1.is_one()) {
+    num_ /= g1;
+    rd /= g1;
+  }
+  if (!g2.is_one()) {
+    den_ /= g2;
+    rn /= g2;
+  }
+  num_ *= rn;
+  den_ *= rd;
   return *this;
 }
 
 Rational& Rational::operator/=(const Rational& rhs) {
   DLSCHED_EXPECT(!rhs.is_zero(), "rational division by zero");
-  num_ *= rhs.den_;
-  den_ *= rhs.num_;
-  normalize();
+  if (is_zero()) return *this;
+  if (this == &rhs) {
+    num_ = BigInt(std::int64_t{1});
+    den_ = BigInt(std::int64_t{1});
+    return *this;
+  }
+  const BigInt g1 = BigInt::gcd(num_, rhs.num_);
+  const BigInt g2 = BigInt::gcd(rhs.den_, den_);
+  if (g1.is_one() && g2.is_one()) {  // coprime: no copies, no divisions
+    num_ *= rhs.den_;
+    den_ *= rhs.num_;
+  } else {
+    BigInt rn = rhs.num_;
+    BigInt rd = rhs.den_;
+    if (!g1.is_one()) {
+      num_ /= g1;
+      rn /= g1;
+    }
+    if (!g2.is_one()) {
+      den_ /= g2;
+      rd /= g2;
+    }
+    num_ *= rd;
+    den_ *= rn;
+  }
+  if (den_.is_negative()) {
+    num_.negate();
+    den_.negate();
+  }
   return *this;
+}
+
+Rational& Rational::sub_mul(const Rational& a, const Rational& b) {
+  if (a.is_zero() || b.is_zero()) return *this;
+  Rational product = a;
+  product *= b;
+  return *this -= product;
 }
 
 Rational Rational::operator-() const {

@@ -4,6 +4,14 @@
 // Every double is exactly representable as a rational (mantissa * 2^exp),
 // so platform parameters given as doubles convert losslessly via
 // `Rational::from_double` -- the LPs solved in src/lp are then exact.
+//
+// Operators keep the reduced-form invariant without running a full-size
+// gcd per operation: multiplication and division cross-reduce against the
+// opposite operand first (gcd(n1, d2), gcd(n2, d1) -- Knuth 4.5.1), and
+// addition reduces through the denominator gcd, skipping the final gcd
+// entirely when the denominators are coprime.  Together with BigInt's
+// inline small-value representation this keeps the simplex pivot loops
+// allocation-free in the common case.
 #pragma once
 
 #include <iosfwd>
@@ -49,6 +57,12 @@ class Rational {
   Rational& operator*=(const Rational& rhs);
   /// Throws on division by zero.
   Rational& operator/=(const Rational& rhs);
+
+  /// `*this -= a * b` -- the shape of every simplex pivot update
+  /// (`tab[i][j] -= factor * pivot_row[j]`).  Zero factors short-circuit
+  /// before any arithmetic; otherwise this is the cross-gcd multiply
+  /// followed by the denominator-gcd subtraction in one call.
+  Rational& sub_mul(const Rational& a, const Rational& b);
 
   [[nodiscard]] Rational operator-() const;
   [[nodiscard]] Rational abs() const;
@@ -106,6 +120,8 @@ class Rational {
 
  private:
   void normalize();
+  /// Shared +=/-= body (Knuth 4.5.1 denominator-gcd addition).
+  void add_impl(const Rational& rhs, bool negate_rhs);
 
   BigInt num_;
   BigInt den_;

@@ -186,6 +186,127 @@ TEST(BigInt, FitsInt64Boundaries) {
                dlsched::Error);
 }
 
+// ------------------------------------- small-value inline representation --
+
+TEST(BigIntSmall, BoundaryAtTwoPow62) {
+  const std::int64_t limit = std::int64_t{1} << 62;
+  EXPECT_TRUE(BigInt(limit - 1).is_inline());
+  EXPECT_TRUE(BigInt(-(limit - 1)).is_inline());
+  EXPECT_FALSE(BigInt(limit).is_inline());
+  EXPECT_FALSE(BigInt(-limit).is_inline());
+  EXPECT_FALSE(BigInt(INT64_MAX).is_inline());
+  EXPECT_FALSE(BigInt(INT64_MIN).is_inline());
+  // Values are unaffected by which side of the boundary they live on.
+  EXPECT_EQ(BigInt(limit - 1).to_int64(), limit - 1);
+  EXPECT_EQ(BigInt(limit).to_int64(), limit);
+  EXPECT_EQ(BigInt(-limit).to_int64(), -limit);
+}
+
+TEST(BigIntSmall, AdditionPromotesAcrossTheBoundary) {
+  const BigInt almost((std::int64_t{1} << 62) - 1);
+  const BigInt crossed = almost + BigInt(1);
+  EXPECT_FALSE(crossed.is_inline());
+  EXPECT_EQ(crossed.to_string(), "4611686018427387904");  // 2^62
+  // ... and shrinks back once the value re-enters the inline range.
+  const BigInt back = crossed - BigInt(1);
+  EXPECT_TRUE(back.is_inline());
+  EXPECT_EQ(back, almost);
+  EXPECT_EQ(crossed + crossed, BigInt(std::int64_t{1} << 62) * BigInt(2));
+}
+
+TEST(BigIntSmall, MultiplicationPromotesOnOverflow) {
+  const std::uint64_t raw = (std::uint64_t{1} << 31) + 12345;
+  const BigInt a(static_cast<std::int64_t>(raw));
+  const BigInt product = a * a;  // just past 2^62: leaves the inline range
+  EXPECT_FALSE(product.is_inline());
+  EXPECT_EQ(product.to_string(), std::to_string(raw * raw));  // < 2^64
+  EXPECT_EQ(product / a, a);
+  EXPECT_EQ((-a) * a, -product);
+}
+
+TEST(BigIntSmall, MixedSmallTimesLargeMultiply) {
+  const BigInt small(123456789);
+  const BigInt large = big("340282366920938463463374607431768211456");  // 2^128
+  EXPECT_FALSE(large.is_inline());
+  const BigInt product = small * large;
+  EXPECT_EQ(product.to_string(),
+            "42010168373378879565782048137661639978630774784");
+  EXPECT_EQ(large * small, product);      // commutes across representations
+  EXPECT_EQ(product / large, small);      // large / small dispatching
+  EXPECT_EQ(product / small, large);
+  EXPECT_TRUE((product % small).is_zero());
+}
+
+TEST(BigIntSmall, NegationAndCompareAcrossRepresentations) {
+  const BigInt small(42);
+  const BigInt large = BigInt(1) << 100;
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_FALSE(large.is_inline());
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_LT(-large, small);
+  EXPECT_LT(-large, -small);
+  EXPECT_GT(small, -large);
+  // Negation keeps each representation and flips only the ordering.
+  BigInt negated_large = large;
+  negated_large.negate();
+  EXPECT_FALSE(negated_large.is_inline());
+  EXPECT_EQ(negated_large.compare(large), -1);
+  EXPECT_EQ((-small).compare(small), -1);
+  EXPECT_EQ((-(-large)), large);
+  // Equality never holds across the 2^62 frontier.
+  EXPECT_NE(small, large);
+  EXPECT_NE(BigInt((std::int64_t{1} << 62) - 1), BigInt(std::int64_t{1} << 62));
+}
+
+TEST(BigIntSmall, ShiftsCrossTheBoundaryBothWays) {
+  const BigInt x(3);
+  const BigInt wide = x << 100;
+  EXPECT_FALSE(wide.is_inline());
+  const BigInt narrow = wide >> 100;
+  EXPECT_TRUE(narrow.is_inline());
+  EXPECT_EQ(narrow, x);
+  // Magnitude-shift semantics match on both representations.
+  EXPECT_EQ((BigInt(-5) >> 1).to_int64(), -2);
+  EXPECT_EQ(((BigInt(-5) << 80) >> 81).to_int64(), -2);
+}
+
+TEST(BigIntSmall, RandomizedEquivalenceAgainstLimbVectorPath) {
+  // Force the same arithmetic through the limb-vector path by scaling the
+  // operands by 2^64 (which leaves the inline range) and compare against
+  // the inline result:  (a*K) op (b*K) relates to (a op b) by exact
+  // identities for K = 2^64.
+  std::mt19937_64 rng(20260730);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::int64_t bound = (std::int64_t{1} << 62) - 1;
+    auto draw = [&]() {
+      std::int64_t v = static_cast<std::int64_t>(
+          rng() & ((std::uint64_t{1} << 62) - 1));
+      if (rng() & 1) v = -v;
+      return v;
+    };
+    const std::int64_t a = draw() % bound;
+    std::int64_t b = draw() % bound;
+    if (b == 0) b = 1;
+    const BigInt sa(a), sb(b);
+    ASSERT_TRUE(sa.is_inline());
+    ASSERT_TRUE(sb.is_inline());
+    const BigInt wa = sa << 64;
+    const BigInt wb = sb << 64;
+    ASSERT_TRUE(a == 0 || !wa.is_inline());
+
+    EXPECT_EQ((wa + wb) >> 64, sa + sb) << a << " + " << b;
+    EXPECT_EQ((wa - wb) >> 64, sa - sb) << a << " - " << b;
+    EXPECT_EQ((wa * wb) >> 128, sa * sb) << a << " * " << b;
+    EXPECT_EQ(wa / wb, sa / sb) << a << " / " << b;
+    EXPECT_EQ((wa % wb) >> 64, sa % sb) << a << " % " << b;
+    EXPECT_EQ(wa.compare(wb), sa.compare(sb)) << a << " <=> " << b;
+    EXPECT_EQ(BigInt::gcd(wa, wb) >> 64, BigInt::gcd(sa, sb))
+        << "gcd(" << a << ", " << b << ")";
+    EXPECT_EQ(BigInt::from_string(sa.to_string()), sa);
+  }
+}
+
 // -------------------------------------------------- randomized properties --
 
 class BigIntRandomized : public ::testing::TestWithParam<std::uint64_t> {};

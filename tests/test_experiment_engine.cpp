@@ -198,6 +198,41 @@ TEST(ExperimentEngine, SecondRunHitsTheCacheAndEmitsIdenticalJson) {
   EXPECT_EQ(slurp(first.out_csv), slurp(second.out_csv));
   // The summary the user sees reports the hits.
   EXPECT_NE(log.str().find("4 cache hit(s)"), std::string::npos);
+
+  // --cache-stats view: the inventory counts the stored entries and
+  // reports the persisted counters of the warm (last) run.
+  const CacheInventory inventory = ResultCache::inspect(first.cache_dir);
+  EXPECT_TRUE(inventory.exists);
+  EXPECT_EQ(inventory.entries, 4u);
+  EXPECT_GT(inventory.total_bytes, 0u);
+  EXPECT_TRUE(inventory.has_last_run);
+  EXPECT_EQ(inventory.last_spec, spec.name);
+  EXPECT_EQ(inventory.last_run.hits, 4u);
+  EXPECT_EQ(inventory.last_run.misses, 0u);
+  EXPECT_EQ(inventory.last_run.stores, 0u);
+}
+
+TEST(ExperimentEngine, InspectRoundTripsSpecNamesWithSpaces) {
+  ScratchDir scratch("stats");
+  ResultCache cache(scratch.dir() + "/cache");
+  cache.stats.hits = 3;
+  cache.stats.misses = 1;
+  cache.stats.stores = 1;
+  cache.write_last_run("my night sweep");  // file-stem names may have spaces
+  const CacheInventory inventory = ResultCache::inspect(cache.directory());
+  EXPECT_TRUE(inventory.has_last_run);
+  EXPECT_EQ(inventory.last_spec, "my night sweep");
+  EXPECT_EQ(inventory.last_run.hits, 3u);
+  EXPECT_EQ(inventory.last_run.misses, 1u);
+  EXPECT_EQ(inventory.last_run.stores, 1u);
+}
+
+TEST(ExperimentEngine, InspectOnAMissingDirectoryIsEmpty) {
+  const CacheInventory inventory =
+      ResultCache::inspect("/nonexistent/dlsched-cache");
+  EXPECT_FALSE(inventory.exists);
+  EXPECT_EQ(inventory.entries, 0u);
+  EXPECT_FALSE(inventory.has_last_run);
 }
 
 TEST(ExperimentEngine, OverlappingSpecReusesTheSharedCache) {

@@ -185,6 +185,65 @@ TEST_P(RationalRandomized, OrderIsConsistentWithDoubles) {
   }
 }
 
+TEST_P(RationalRandomized, OperatorsStayFullyReduced) {
+  // The cross-gcd operator paths must land on the same canonical form the
+  // fully-normalizing constructor produces: operator== compares the raw
+  // num/den fields, so any missed reduction would break equality.
+  std::mt19937_64 rng(GetParam() ^ 0x7777);
+  auto random_rat = [&] {
+    const std::int64_t n = static_cast<std::int64_t>(rng() % 4001) - 2000;
+    const std::int64_t d = static_cast<std::int64_t>(rng() % 2000) + 1;
+    return rat(n, d);
+  };
+  for (int i = 0; i < 100; ++i) {
+    const Rational a = random_rat();
+    const Rational b = random_rat();
+    for (const Rational& v : {a + b, a - b, a * b}) {
+      const Rational rebuilt(v.num(), v.den());  // ctor normalizes fully
+      EXPECT_EQ(v.num(), rebuilt.num()) << a << " op " << b;
+      EXPECT_EQ(v.den(), rebuilt.den()) << a << " op " << b;
+      EXPECT_FALSE(v.den().is_negative());
+    }
+    if (!b.is_zero()) {
+      const Rational q = a / b;
+      const Rational rebuilt(q.num(), q.den());
+      EXPECT_EQ(q.num(), rebuilt.num());
+      EXPECT_EQ(q.den(), rebuilt.den());
+    }
+    Rational self = a;
+    self += self;
+    EXPECT_EQ(self, a * Rational(2));
+    self = a;
+    self -= self;
+    EXPECT_EQ(self, Rational(0));
+    self = a;
+    self *= self;
+    EXPECT_EQ(self, a * a);
+    if (!a.is_zero()) {
+      self = a;
+      self /= self;
+      EXPECT_EQ(self, Rational(1));
+    }
+  }
+}
+
+TEST_P(RationalRandomized, SubMulMatchesSeparateOps) {
+  std::mt19937_64 rng(GetParam() ^ 0x9999);
+  auto random_rat = [&] {
+    const std::int64_t n = static_cast<std::int64_t>(rng() % 4001) - 2000;
+    const std::int64_t d = static_cast<std::int64_t>(rng() % 2000) + 1;
+    return rat(n, d);
+  };
+  for (int i = 0; i < 100; ++i) {
+    const Rational target = random_rat();
+    const Rational a = random_rat();
+    const Rational b = random_rat();
+    Rational fused = target;
+    fused.sub_mul(a, b);
+    EXPECT_EQ(fused, target - a * b) << target << " -= " << a << "*" << b;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RationalRandomized,
                          ::testing::Values(10u, 20u, 30u));
 
