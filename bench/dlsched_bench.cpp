@@ -7,6 +7,9 @@
 //   dlsched_bench --spec-file my_sweep.toml
 //   dlsched_bench --all                       # every built-in spec
 //   dlsched_bench --cache-stats [--cache-dir DIR]   # result-cache hygiene
+//   dlsched_bench --spec smoke --workers 3    # forked work-stealing run
+//   dlsched_bench --spec smoke --shard 0/4    # one slice, fragments only
+//   dlsched_bench --spec smoke --join         # merge published fragments
 //
 // Options:
 //   --out FILE        BENCH JSON artifact (default BENCH_<spec>.json)
@@ -14,10 +17,17 @@
 //   --no-json / --no-csv   suppress an artifact
 //   --cache-dir DIR   result cache (default .dlsched_cache; --no-cache
 //                     disables); overlapping sweeps re-use cached solves
+//   --cache-max-bytes N    LRU-evict the cache down to N bytes post-run
 //   --threads N       solve pool size (0 = hardware concurrency)
 //   --quick           shrink axes (CI smoke: same shape, small grid)
 //   --seed N          override the spec's seed block
 //   --repetitions N   override instances per grid point
+//   --workers N       fork N work-stealing worker processes over the
+//                     shard board in the shared cache dir, then join
+//   --shard i/k       worker role: execute shards with index%k == i and
+//                     publish fragments (grid specs; artifacts via --join)
+//   --join            deterministic merge of published fragments
+//   --stale-seconds S claim heartbeat timeout before a shard is stolen
 //
 // Replaces the 15 former bench/*.cpp binaries; see README "Running
 // experiments" for the spec -> paper figure table.  The driver itself

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <mutex>
 #include <sstream>
 #include <string_view>
 #include <thread>
@@ -932,7 +933,8 @@ std::string job_hash_hex(const std::string& solver,
 // --------------------------------------------------------------- batching --
 
 std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
-                                      std::size_t threads) {
+                                      std::size_t threads,
+                                      const BatchProgressHook& progress) {
   std::vector<BatchOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
   const SolverRegistry& registry = SolverRegistry::instance();
@@ -943,18 +945,29 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
   std::vector<std::size_t> primary_of(jobs.size());
   std::unordered_map<std::string, std::size_t> first_by_key;
   first_by_key.reserve(jobs.size());
+  std::size_t primary_count = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     DLSCHED_EXPECT(jobs[i].request != nullptr, "null request in batch job");
     const auto [it, inserted] = first_by_key.try_emplace(
         job_hash_hex(jobs[i].solver, *jobs[i].request), i);
     primary_of[i] = it->second;
+    if (inserted) ++primary_count;
   }
+
+  std::atomic<bool> stop{false};
+  std::mutex progress_mutex;
+  std::size_t completed = 0;  // guarded by progress_mutex
 
   auto run_job = [&](std::size_t index) {
     const BatchJobView& job = jobs[index];
     BatchOutcome& outcome = outcomes[index];
     outcome.solver = job.solver;
     if (primary_of[index] != index) return;  // copied after the pool joins
+    if (stop.load(std::memory_order_relaxed)) {
+      outcome.cancelled = true;
+      outcome.error = "cancelled by batch progress hook";
+      return;
+    }
     try {
       outcome.result = registry.run(job.solver, *job.request);
       outcome.solved = true;
@@ -968,6 +981,13 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
       outcome.ok = outcome.validation.ok;
     } catch (const std::exception& e) {
       outcome.error = e.what();
+    }
+    if (progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      const BatchProgress report{index, ++completed, primary_count};
+      if (!progress(report, outcome)) {
+        stop.store(true, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -1002,13 +1022,14 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
 }
 
 std::vector<BatchOutcome> solve_batch(std::span<const BatchJob> jobs,
-                                      std::size_t threads) {
+                                      std::size_t threads,
+                                      const BatchProgressHook& progress) {
   std::vector<BatchJobView> views;
   views.reserve(jobs.size());
   for (const BatchJob& job : jobs) {
     views.push_back({job.solver, &job.request});
   }
-  return solve_batch(views, threads);
+  return solve_batch(views, threads, progress);
 }
 
 std::vector<BatchOutcome> solve_batch_across_solvers(

@@ -231,8 +231,30 @@ struct BatchOutcome {
   /// an earlier job in the batch: the outcome is a copy and neither the
   /// solver nor the validator ran again for it.
   bool deduped = false;
+  /// True when the job never ran because a progress hook cancelled the
+  /// batch; `solved` is false and `error` says so.
+  bool cancelled = false;
   double validate_seconds = 0.0;   ///< validator wall time (0 when deduped)
 };
+
+/// Progress report delivered after each *primary* (non-deduped) batch job
+/// finishes.  `completed`/`total` count primary jobs only, so `completed ==
+/// total` on the last invocation.
+struct BatchProgress {
+  std::size_t job_index = 0;   ///< index of the just-finished job
+  std::size_t completed = 0;   ///< primary jobs finished so far
+  std::size_t total = 0;       ///< primary jobs in the batch
+};
+
+/// Optional per-job completion hook for `solve_batch`: invoked serially
+/// (never concurrently, under an internal mutex) from worker threads after
+/// each primary job's outcome -- including validation -- is final.  The
+/// experiment layer uses it to checkpoint finished results into the shared
+/// result cache and refresh work-stealing claim heartbeats mid-shard.
+/// Returning false cancels the batch: jobs not yet started are marked
+/// `cancelled` instead of being run (in-flight jobs still finish).
+using BatchProgressHook =
+    std::function<bool(const BatchProgress&, const BatchOutcome&)>;
 
 /// Runs every job on a pool of `threads` std::threads (0 = hardware
 /// concurrency, capped at the job count) and validates each produced
@@ -241,13 +263,17 @@ struct BatchOutcome {
 /// outcome with `solved == false` instead of aborting the batch.
 /// Byte-identical (request, solver) jobs are solved and validated once;
 /// duplicates receive a copy of the outcome with `deduped` set.
+/// `progress`, when given, is called serially after each primary job and
+/// may cancel the remainder of the batch (see `BatchProgressHook`).
 [[nodiscard]] std::vector<BatchOutcome> solve_batch(
-    std::span<const BatchJob> jobs, std::size_t threads = 0);
+    std::span<const BatchJob> jobs, std::size_t threads = 0,
+    const BatchProgressHook& progress = {});
 
 /// The non-owning primitive the owning overload and the experiment grid
 /// are built on.  Every `request` pointer must stay valid for the call.
 [[nodiscard]] std::vector<BatchOutcome> solve_batch(
-    std::span<const BatchJobView> jobs, std::size_t threads = 0);
+    std::span<const BatchJobView> jobs, std::size_t threads = 0,
+    const BatchProgressHook& progress = {});
 
 /// Portfolio convenience: one request across many solvers.  Inapplicable
 /// solvers are skipped (not errors) when `skip_inapplicable`.

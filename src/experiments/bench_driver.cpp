@@ -1,10 +1,13 @@
 #include "experiments/bench_driver.hpp"
 
 #include <iostream>
+#include <tuple>
+#include <utility>
 
 #include "experiments/engine.hpp"
 #include "experiments/spec_registry.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace dlsched::experiments {
@@ -56,11 +59,35 @@ int cache_stats(const CliArgs& args) {
     std::cout << "last run:        " << inventory.last_spec << " ("
               << inventory.last_run.hits << " hit(s), "
               << inventory.last_run.misses << " miss(es), "
-              << inventory.last_run.stores << " store(s))\n";
+              << inventory.last_run.stores << " store(s), "
+              << inventory.last_run.evicted << " evicted)\n";
   } else {
     std::cout << "last run:        (no stats recorded yet)\n";
   }
   return 0;
+}
+
+/// Parses `--shard i/k` into (index, count); throws on malformed values.
+/// Both halves must be plain digit runs -- std::stoul would happily wrap
+/// "1/-2" into a huge count that silently runs a single shard.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& text) {
+  const auto digits = [](const std::string& s) {
+    return !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+  };
+  const std::size_t slash = text.find('/');
+  std::size_t index = 0, count = 0;
+  try {
+    DLSCHED_EXPECT(slash != std::string::npos, "missing '/'");
+    const std::string i_text = text.substr(0, slash);
+    const std::string k_text = text.substr(slash + 1);
+    DLSCHED_EXPECT(digits(i_text) && digits(k_text), "digits only");
+    index = std::stoul(i_text);
+    count = std::stoul(k_text);
+    DLSCHED_EXPECT(count > 0 && index < count, "need i < k and k > 0");
+  } catch (const std::exception&) {
+    DLSCHED_FAIL("--shard wants i/k with 0 <= i < k (got '" + text + "')");
+  }
+  return {index, count};
 }
 
 int run_one(ExperimentSpec spec, const CliArgs& args) {
@@ -82,6 +109,20 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
                           : args.get_or("cache-dir", ".dlsched_cache");
   options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   options.quick = args.has("quick");
+  const std::int64_t workers = args.get_int("workers", 1);
+  DLSCHED_EXPECT(workers >= 1, "--workers wants a positive process count");
+  options.workers = static_cast<std::size_t>(workers);
+  if (const auto shard = args.get("shard")) {
+    std::tie(options.shard_index, options.shard_count) = parse_shard(*shard);
+    // A slice publishes fragments; the artifacts belong to --join.
+    options.out_json.clear();
+    options.out_csv.clear();
+  }
+  options.join_only = args.has("join");
+  options.cache_max_bytes =
+      static_cast<std::uint64_t>(args.get_int("cache-max-bytes", 0));
+  options.stale_seconds =
+      args.get_double("stale-seconds", options.stale_seconds);
   const RunSummary summary = run_spec(spec, options);
   return summary.failures == 0 ? 0 : 1;
 }
@@ -91,7 +132,8 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
 const std::vector<std::string>& bench_flags() {
   static const std::vector<std::string>* flags = new std::vector<std::string>{
       "list-specs", "list-generators", "all",     "quick",
-      "no-cache",   "no-json",         "no-csv",  "cache-stats"};
+      "no-cache",   "no-json",         "no-csv",  "cache-stats",
+      "join"};
   return *flags;
 }
 

@@ -20,8 +20,9 @@ namespace dlsched::experiments {
 ///   --list-specs | --list-generators | --all |
 ///   --spec NAME | --spec-file FILE
 ///   [--out FILE] [--csv FILE] [--no-json] [--no-csv]
-///   [--cache-dir DIR] [--no-cache] [--threads N] [--quick]
-///   [--seed N] [--repetitions N]
+///   [--cache-dir DIR] [--no-cache] [--cache-max-bytes N]
+///   [--threads N] [--quick] [--seed N] [--repetitions N]
+///   [--workers N] [--shard i/k] [--join] [--stale-seconds S]
 /// Returns a process exit code (0 ok, 1 failures, 2 usage).
 [[nodiscard]] int bench_main(const CliArgs& args);
 

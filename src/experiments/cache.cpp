@@ -1,5 +1,9 @@
 #include "experiments/cache.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <filesystem>
 #include <fstream>
@@ -50,11 +54,12 @@ ScenarioSolutionD solution_from_cached(const CachedSolve& solve) {
 
 // ----------------------------------------------------------- serialization --
 
-namespace {
-
 // Entry files are a line-oriented text format; doubles travel as 64-bit
 // hex bit patterns so a cached value replays the original run's numbers
 // exactly, and free-form text (the key, error messages) is length-prefixed.
+// The primitives are shared with the shard-result fragments (shard.cpp).
+
+namespace detail {
 
 void put_double(std::ostream& out, double value) {
   out << std::hex << std::bit_cast<std::uint64_t>(value) << std::dec;
@@ -84,6 +89,15 @@ std::string get_blob(std::istream& in, const std::string& label) {
   DLSCHED_EXPECT(in.good(), "cache entry: truncated '" + label + "' blob");
   return text;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::get_blob;
+using detail::get_double;
+using detail::put_blob;
+using detail::put_double;
 
 void put_indices(std::ostream& out, const std::string& label,
                  const std::vector<std::size_t>& values) {
@@ -214,6 +228,10 @@ std::optional<CachedSolve> ResultCache::lookup(
       deserialize(text.str(), canonical_key);
   if (value) {
     ++stats.hits;
+    // Refresh the recency signal LRU eviction orders by.  Advisory: a
+    // read-only cache directory still serves hits.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   } else {
     ++stats.misses;
   }
@@ -225,8 +243,13 @@ void ResultCache::store(const std::string& hash_hex,
                         const CachedSolve& value) {
   if (!enabled()) return;
   const fs::path path = fs::path(directory_) / (hash_hex + ".entry");
-  // Write-then-rename so a crashed run never leaves a torn entry.
-  const fs::path tmp = path.string() + ".tmp";
+  // Write-then-rename so a crashed run never leaves a torn entry.  The
+  // temp name embeds the pid plus a counter: workers in different
+  // processes may store the same job concurrently (work stealing re-runs
+  // an in-flight shard) and must never interleave writes into one file.
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid()) +
+                       "." + std::to_string(counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary);
     DLSCHED_EXPECT(out.good(),
@@ -236,6 +259,51 @@ void ResultCache::store(const std::string& hash_hex,
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (!ec) ++stats.stores;
+}
+
+std::size_t ResultCache::evict_to(std::uint64_t max_bytes) {
+  if (!enabled() || max_bytes == 0) return 0;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& file :
+       fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    if (!file.is_regular_file(ec) || ec) continue;
+    if (file.path().extension() != ".entry") continue;
+    Entry entry;
+    entry.path = file.path();
+    entry.mtime = file.last_write_time(ec);
+    if (ec) continue;
+    entry.bytes = file.file_size(ec);
+    if (ec) continue;
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= max_bytes) return 0;
+  // Oldest first; filename tie-break keeps the order deterministic when a
+  // burst of stores lands within one mtime granule.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.filename() < b.path.filename();
+  });
+  std::size_t evicted = 0;
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes) break;
+    std::error_code remove_ec;
+    if (fs::remove(entry.path, remove_ec) && !remove_ec) {
+      total -= entry.bytes;
+      ++evicted;
+    }
+  }
+  stats.evicted += evicted;
+  return evicted;
 }
 
 namespace {
@@ -251,7 +319,8 @@ void ResultCache::write_last_run(const std::string& spec) const {
       << "spec " << spec << '\n'
       << "hits " << stats.hits << '\n'
       << "misses " << stats.misses << '\n'
-      << "stores " << stats.stores << '\n';
+      << "stores " << stats.stores << '\n'
+      << "evicted " << stats.evicted << '\n';
 }
 
 CacheInventory ResultCache::inspect(const std::string& directory) {
@@ -288,6 +357,12 @@ CacheInventory ResultCache::inspect(const std::string& directory) {
           ok && (in >> label >> parsed.last_run.hits) && label == "hits" &&
           (in >> label >> parsed.last_run.misses) && label == "misses" &&
           (in >> label >> parsed.last_run.stores) && label == "stores";
+      // The eviction counter arrived after version 1 shipped; stats files
+      // written before it simply report 0.
+      if (parsed.has_last_run &&
+          !((in >> label >> parsed.last_run.evicted) && label == "evicted")) {
+        parsed.last_run.evicted = 0;
+      }
       if (parsed.has_last_run) inventory = parsed;
     }
   }

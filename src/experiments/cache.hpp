@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,6 +64,7 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t stores = 0;
+  std::size_t evicted = 0;  ///< entries removed by LRU eviction
 };
 
 /// On-disk inventory of a cache directory plus the hit/miss counters of
@@ -91,12 +93,22 @@ class ResultCache {
   }
 
   /// Returns the stored value for this job, verifying the canonical key.
+  /// A hit refreshes the entry's modification time, which is the recency
+  /// signal `evict_to` orders by.
   [[nodiscard]] std::optional<CachedSolve> lookup(
       const std::string& hash_hex, const std::string& canonical_key);
 
-  /// Persists a value (no-op when disabled).
+  /// Persists a value (no-op when disabled).  Safe under concurrent writers
+  /// in different processes: entries land via unique-temp-then-rename.
   void store(const std::string& hash_hex, const std::string& canonical_key,
              const CachedSolve& value);
+
+  /// LRU eviction (`--cache-max-bytes`): removes the least recently used
+  /// entries until the summed entry bytes fit in `max_bytes`.  Recency is
+  /// the entry file's mtime (stores and hits both refresh it).  Returns the
+  /// number of entries removed, also accumulated into `stats.evicted`.
+  /// No-op (returns 0) when disabled or `max_bytes` is 0.
+  std::size_t evict_to(std::uint64_t max_bytes);
 
   /// Writes `stats` and the spec name as the directory's last-run marker
   /// (no-op when disabled).  `inspect` reads it back.
@@ -111,5 +123,18 @@ class ResultCache {
  private:
   std::string directory_;
 };
+
+/// Line-oriented serialization primitives shared by the cache entries and
+/// the shard-result fragments (experiments/shard.hpp): doubles travel as
+/// 64-bit hex bit patterns so values round-trip bit-exactly, and free-form
+/// text (keys, rendered JSON rows, error messages) is length-prefixed.
+namespace detail {
+void put_double(std::ostream& out, double value);
+[[nodiscard]] double get_double(std::istream& in);
+void put_blob(std::ostream& out, const std::string& label,
+              const std::string& text);
+[[nodiscard]] std::string get_blob(std::istream& in,
+                                   const std::string& label);
+}  // namespace detail
 
 }  // namespace dlsched::experiments

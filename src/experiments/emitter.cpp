@@ -110,9 +110,13 @@ BenchJsonWriter::BenchJsonWriter(
 BenchJsonWriter::~BenchJsonWriter() { finish(); }
 
 void BenchJsonWriter::row(const JsonObject& object) {
+  raw_row(object.render());
+}
+
+void BenchJsonWriter::raw_row(const std::string& rendered) {
   DLSCHED_EXPECT(!finished_, "row() after finish()");
   if (rows_ > 0) out_ << ",";
-  out_ << "\n    " << object.render();
+  out_ << "\n    " << rendered;
   ++rows_;
 }
 

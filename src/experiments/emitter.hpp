@@ -56,6 +56,9 @@ class BenchJsonWriter {
   ~BenchJsonWriter();
 
   void row(const JsonObject& object);
+  /// Streams an already-rendered row object (the shard-join path replays
+  /// rows rendered by worker processes byte for byte).
+  void raw_row(const std::string& rendered);
   /// Closes the rows array and the document (idempotent).
   void finish();
 

@@ -1,21 +1,24 @@
 #include "experiments/engine.hpp"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
 #include <optional>
 #include <sstream>
+#include <system_error>
 
 #include "experiments/emitter.hpp"
 #include "experiments/figures.hpp"
+#include "experiments/scheduler.hpp"
+#include "experiments/shard.hpp"
 #include "experiments/special_runs.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace dlsched::experiments {
@@ -27,7 +30,9 @@ std::string RunSummary::describe() const {
       << " solved, " << failures << " failure(s)";
   if (skipped > 0) out << ", " << skipped << " inapplicable";
   out << "; " << rows << " row(s)";
+  if (shards > 1) out << " across " << shards << " shard(s)";
   if (cache.stores > 0) out << ", " << cache.stores << " cached";
+  if (evicted > 0) out << ", " << evicted << " evicted";
   out << "; " << format_double(wall_seconds, 3) << " s";
   return out.str();
 }
@@ -73,8 +78,7 @@ using std::chrono::steady_clock;
 std::vector<std::string> resolved_solvers(const ExperimentSpec& spec) {
   switch (spec.kind) {
     case SpecKind::Grid:
-      return spec.solvers.empty() ? SolverRegistry::instance().names()
-                                  : spec.solvers;
+      return grid_solvers(spec);
     case SpecKind::Ensemble: {
       std::vector<std::string> solvers{"inc_c"};
       if (spec.include_inc_w) solvers.emplace_back("inc_w");
@@ -111,217 +115,155 @@ ExperimentSpec shrink(ExperimentSpec spec) {
 }
 
 // ------------------------------------------------------------------- grid --
+//
+// The grid pipeline is sharded (experiments/shard.hpp): one shard per
+// (p, z) axis point, each executed through the cached, thread-pooled
+// `solve_batch` and emitted as soon as it completes.  Four execution modes
+// share the planner and the assembler, so their artifacts are
+// byte-identical over the same result cache:
+//
+//   * in-process (default): shards run sequentially, rows stream into the
+//     artifact as each (p, z) slice finishes;
+//   * `--workers N`: N forked worker processes race over the shard board
+//     (work stealing via claim files), the parent joins the fragments;
+//   * `--shard i/k`: this process executes the static slice
+//     `index % k == i` and publishes fragments only (for external
+//     orchestration across machines sharing the cache directory);
+//   * `--join`: no solving, just the deterministic fragment merge.
 
-/// One (instance, solver) cell of the compiled grid.
-struct GridSlot {
-  std::size_t instance = 0;           ///< index into the request deque
-  std::optional<double> z;            ///< z-axis value, when the axis exists
-  std::size_t rep = 0;
-  std::uint64_t seed = 0;
-  std::string solver;
-  CachedSolve solve;
-  bool from_cache = false;
-};
-
+/// In-process streaming execution: shards in planner order, each emitted
+/// on completion.
 void run_grid(const ExperimentSpec& spec, const RunOptions& options,
               ResultCache& cache, BenchJsonWriter* json, std::ostream* csv,
               RunSummary& summary, std::ostream& log) {
-  const std::vector<std::string> solvers = resolved_solvers(spec);
-  const SolverRegistry& registry = SolverRegistry::instance();
-  std::map<std::string, std::unique_ptr<Solver>> solver_objects;
-  for (const std::string& name : solvers) {
-    solver_objects.emplace(name, registry.create(name));
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  summary.shards = shards.size();
+  ShardAssembler assembler(json, csv, summary, log);
+  for (const CompiledShard& shard : shards) {
+    assembler.consume(execute_shard(spec, shard, cache, options.threads));
   }
+  assembler.finish();
+}
 
-  // Axis values; an absent axis contributes one point and no parameter.
-  std::vector<std::optional<std::size_t>> p_axis{std::nullopt};
-  if (!spec.workers.empty()) {
-    p_axis.assign(spec.workers.begin(), spec.workers.end());
+/// `--shard i/k`: execute a static slice, publish fragments, no artifacts.
+void run_grid_slice(const ExperimentSpec& spec, const RunOptions& options,
+                    ResultCache& cache, RunSummary& summary,
+                    std::ostream& log) {
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  ShardBoard board(board_directory(options.cache_dir, spec, shards));
+  const std::string worker_id =
+      "slice" + std::to_string(options.shard_index);
+  for (const CompiledShard& shard : shards) {
+    if (shard.index % options.shard_count != options.shard_index) continue;
+    ++summary.shards;
+    const ShardResult result =
+        execute_shard(spec, shard, cache, options.threads);
+    summary.jobs += result.jobs;
+    summary.cache_hits += result.cache_hits;
+    summary.deduped += result.deduped;
+    summary.solved += result.solved;
+    summary.failures += result.failures;
+    summary.skipped += result.skipped;
+    board.publish(shard, serialize_shard_result(result), worker_id);
   }
-  std::vector<std::optional<double>> z_axis{std::nullopt};
-  if (!spec.z_values.empty()) {
-    z_axis.assign(spec.z_values.begin(), spec.z_values.end());
-  }
+  log << "published " << summary.shards << " of " << shards.size()
+      << " shard fragment(s) to " << board.directory()
+      << "; assemble with --join once every slice has run\n";
+}
 
-  // ----- compile the grid: platforms once, solver jobs as views ----------
-  std::deque<SolveRequest> requests;  // deque: stable addresses for views
-  std::vector<GridSlot> slots;
-  for (const auto& p : p_axis) {
-    for (const auto& z : z_axis) {
-      for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
-        const std::uint64_t seed =
-            instance_seed(spec.seed, p.value_or(0), z.value_or(-1.0), rep);
-        gen::GenParams params = spec.generator_params;
-        if (p) params["p"] = static_cast<double>(*p);
-        if (z) params["z"] = *z;
-        Rng rng(seed);
-        SolveRequest request;
-        request.platform =
-            gen::GeneratorRegistry::instance().make(spec.generator, params,
-                                                    rng);
-        request.precision = spec.precision;
-        request.time_budget_seconds = spec.time_budget_seconds;
-        request.max_workers_brute = spec.max_workers_brute;
-        request.seed = seed;
-        requests.push_back(std::move(request));
-        const std::size_t instance = requests.size() - 1;
-        for (const std::string& solver : solvers) {
-          if (!solver_objects.at(solver)->applicable(requests[instance])) {
-            ++summary.skipped;
-            continue;
-          }
-          GridSlot slot;
-          slot.instance = instance;
-          slot.z = z;
-          slot.rep = rep;
-          slot.seed = seed;
-          slot.solver = solver;
-          slots.push_back(std::move(slot));
-        }
-      }
-    }
-  }
-  summary.jobs = slots.size();
-
-  // ----- cache pass, then one sharded batch over the misses --------------
-  std::vector<BatchJobView> views;
-  std::vector<std::size_t> view_slot;
-  std::vector<std::pair<std::string, std::string>> view_keys;  // hash, key
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    GridSlot& slot = slots[i];
-    const SolveRequest& request = requests[slot.instance];
-    const std::string key = job_canonical_key(slot.solver, request);
-    const std::string hash = job_hash_from_key(key);
-    if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
-      slot.solve = std::move(*hit);
-      slot.from_cache = true;
-      ++summary.cache_hits;
-      continue;
-    }
-    views.push_back({slot.solver, &request});
-    view_slot.push_back(i);
-    view_keys.emplace_back(hash, key);
-  }
-  const std::vector<BatchOutcome> outcomes =
-      solve_batch(views, options.threads);
-  for (std::size_t v = 0; v < outcomes.size(); ++v) {
-    GridSlot& slot = slots[view_slot[v]];
-    slot.solve = cached_from_outcome(outcomes[v]);
-    if (outcomes[v].deduped) {
-      ++summary.deduped;
+/// Deterministic merge of published fragments into the artifacts.  Shared
+/// by `--join` and the `--workers` parent.
+void join_board(const ExperimentSpec& spec,
+                const std::vector<CompiledShard>& shards, ShardBoard& board,
+                ResultCache& cache, BenchJsonWriter* json, std::ostream* csv,
+                RunSummary& summary, std::ostream& log) {
+  summary.shards = shards.size();
+  std::vector<ShardResult> results;
+  results.reserve(shards.size());
+  std::string missing;
+  for (const CompiledShard& shard : shards) {
+    if (std::optional<ShardResult> result = board.load(shard)) {
+      results.push_back(std::move(*result));
     } else {
-      ++summary.solved;
-      cache.store(view_keys[v].first, view_keys[v].second, slot.solve);
+      missing += ' ' + shard.id;
     }
   }
-
-  // ----- emit rows + aggregate the figure data ----------------------------
-  std::vector<double> baseline_throughput(requests.size(), 0.0);
-  for (const GridSlot& slot : slots) {
-    if (slot.solver == spec.baseline && slot.solve.solved) {
-      baseline_throughput[slot.instance] = slot.solve.throughput;
-    }
+  DLSCHED_EXPECT(missing.empty(),
+                 "cannot join '" + spec.name +
+                     "': missing shard fragment(s):" + missing +
+                     " (run the remaining --shard slices or workers first)");
+  ShardAssembler assembler(json, csv, summary, log);
+  for (const ShardResult& result : results) {
+    assembler.consume(result);
+    // Fold the producing workers' cache deltas into this process's
+    // counters so the summary and the last-run marker cover the whole run.
+    cache.stats.hits += result.cache.hits;
+    cache.stats.misses += result.cache.misses;
+    cache.stats.stores += result.cache.stores;
   }
+  assembler.finish();
+}
 
-  struct Group {
-    std::size_t p;
-    std::optional<double> z;
-    std::string solver;
-    Accumulator throughput, ratio, wall;
-  };
-  std::vector<Group> groups;
-  std::map<std::string, std::size_t> group_index;
+/// `--workers N`: fork N work-stealing workers over a fresh board, wait,
+/// join their fragments.
+void run_grid_workers(const ExperimentSpec& spec, const RunOptions& options,
+                      ResultCache& cache, BenchJsonWriter* json,
+                      std::ostream* csv, RunSummary& summary,
+                      std::ostream& log) {
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  ShardBoard board(board_directory(options.cache_dir, spec, shards));
+  // Fragments are run-scoped, unlike the content-addressed cache entries:
+  // start every --workers run from a clean board.
+  board.reset();
+  log << "running " << shards.size() << " shard(s) on " << options.workers
+      << " worker process(es), board " << board.directory() << "\n";
+  log.flush();
 
-  for (const GridSlot& slot : slots) {
-    const CachedSolve& s = slot.solve;
-    if (!s.solved || !s.validated) ++summary.failures;
-    const std::size_t p = requests[slot.instance].platform.size();
-    if (json) {
-      JsonObject row;
-      row.add("solver", slot.solver).add("p", p);
-      if (slot.z) row.add("z", *slot.z);
-      row.add("rep", slot.rep).add("seed", slot.seed);
-      row.add("solved", s.solved);
-      if (!s.solved) {
-        row.add("error", s.error);
-      } else {
-        row.add("throughput", s.throughput)
-            .add("workers_used", s.workers_used)
-            .add("validated", s.validated)
-            .add("provably_optimal", s.provably_optimal)
-            .add("exact", s.exact)
-            .add("scenarios_tried", s.scenarios_tried)
-            .add("lp_evaluations", s.lp_evaluations);
-        if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
-        row.add("wall_seconds", s.wall_seconds)
-            .add("validate_seconds", s.validate_seconds);
+  std::vector<pid_t> children;
+  children.reserve(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    const pid_t pid = ::fork();
+    DLSCHED_EXPECT(pid >= 0, "fork() failed for worker " +
+                                 std::to_string(w));
+    if (pid == 0) {
+      // Worker child: claim-execute-publish until the board is complete,
+      // then _exit without touching the parent's buffered streams.
+      int code = 0;
+      try {
+        ResultCache worker_cache(options.cache_dir);
+        SchedulerOptions scheduler;
+        scheduler.worker_id =
+            "w" + std::to_string(w) + "-" + std::to_string(::getpid());
+        scheduler.stale_seconds = options.stale_seconds;
+        scheduler.threads = options.threads;
+        (void)run_worker(spec, shards, board, worker_cache, scheduler);
+      } catch (...) {
+        code = 1;
       }
-      json->row(row);
-      ++summary.rows;
+      ::_exit(code);
     }
-    if (!s.solved) continue;
-    std::ostringstream group_key;
-    group_key << p << '|' << (slot.z ? json_double(*slot.z) : "-") << '|'
-              << slot.solver;
-    const auto [it, inserted] =
-        group_index.try_emplace(group_key.str(), groups.size());
-    if (inserted) {
-      groups.push_back({p, slot.z, slot.solver, {}, {}, {}});
-    }
-    Group& group = groups[it->second];
-    group.throughput.add(s.throughput);
-    group.wall.add(s.wall_seconds);
-    const double base = baseline_throughput[slot.instance];
-    if (!spec.baseline.empty() && base > 0.0) {
-      group.ratio.add(s.throughput / base);
+    children.push_back(pid);
+  }
+  std::size_t worker_failures = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++worker_failures;
     }
   }
-
-  const std::vector<std::string> header{
-      "p",           "z",         "solver",          "instances",
-      "mean_throughput", "mean_wall_seconds", "mean_ratio_vs_baseline",
-      "min_ratio",   "max_ratio"};
-  std::optional<CsvWriter> csv_writer;
-  if (csv) csv_writer.emplace(*csv, header);
-  Table table(header);
-  table.set_precision(5);
-  for (const Group& group : groups) {
-    const std::string z_cell =
-        group.z ? format_double(*group.z, 4) : std::string("-");
-    const bool has_ratio = group.ratio.count() > 0;
-    table.begin_row()
-        .cell(group.p)
-        .cell(z_cell)
-        .cell(group.solver)
-        .cell(group.throughput.count())
-        .cell(group.throughput.mean())
-        .cell(group.wall.mean())
-        .cell(has_ratio ? format_double(group.ratio.mean(), 5)
-                        : std::string("-"))
-        .cell(has_ratio ? format_double(group.ratio.min(), 5)
-                        : std::string("-"))
-        .cell(has_ratio ? format_double(group.ratio.max(), 5)
-                        : std::string("-"));
-    if (csv_writer) {
-      csv_writer->cell(std::to_string(group.p))
-          .cell(group.z ? json_double(*group.z) : std::string(""))
-          .cell(group.solver)
-          .cell(group.throughput.count())
-          .cell(group.throughput.mean())
-          .cell(group.wall.mean());
-      if (has_ratio) {
-        csv_writer->cell(group.ratio.mean())
-            .cell(group.ratio.min())
-            .cell(group.ratio.max());
-      } else {
-        csv_writer->cell(std::string(""))
-            .cell(std::string(""))
-            .cell(std::string(""));
-      }
-      csv_writer->end_row();
-    }
+  if (worker_failures > 0) {
+    log << worker_failures
+        << " worker(s) exited abnormally; joining the published "
+           "fragments\n";
   }
-  table.print_aligned(log);
+  join_board(spec, shards, board, cache, json, csv, summary, log);
+  // The board was this run's scratch space (reset on entry, fully
+  // consumed by the join): remove it so distributed runs do not grow the
+  // cache directory past what --cache-max-bytes can see.  Boards built
+  // by external --shard slices are left for their eventual --join.
+  std::error_code cleanup;
+  std::filesystem::remove_all(board.directory(), cleanup);
 }
 
 // --------------------------------------------------------------- ensemble --
@@ -450,8 +392,51 @@ RunSummary run_spec(const ExperimentSpec& requested,
   summary.spec = spec.name;
   const auto start = steady_clock::now();
 
+  const bool slice = options.shard_count > 0;
+  const bool multi = options.workers > 1;
+  if (slice || multi || options.join_only) {
+    DLSCHED_EXPECT(spec.kind == SpecKind::Grid,
+                   "spec '" + spec.name + "' is kind '" +
+                       kind_name(spec.kind) +
+                       "': --workers/--shard/--join apply to grid specs "
+                       "only");
+    DLSCHED_EXPECT(!options.cache_dir.empty(),
+                   "distributed execution needs a cache directory (the "
+                   "shard board and the shared results live there); drop "
+                   "--no-cache");
+    DLSCHED_EXPECT(!(slice && (multi || options.join_only)),
+                   "--shard is a worker role; it excludes --workers and "
+                   "--join");
+    DLSCHED_EXPECT(!(multi && options.join_only),
+                   "--join assembles already-published fragments; it "
+                   "excludes --workers (which starts a fresh board)");
+    DLSCHED_EXPECT(!slice || options.shard_index < options.shard_count,
+                   "--shard i/k needs i < k");
+    DLSCHED_EXPECT(options.workers <= 256,
+                   "--workers " + std::to_string(options.workers) +
+                       " is past the 256-process sanity cap");
+  }
+
   ResultCache cache;
   if (!options.cache_dir.empty()) cache = ResultCache(options.cache_dir);
+
+  if (slice) {
+    // Worker role: execute the static slice and publish fragments;
+    // artifacts are written by the eventual --join.
+    log << "== " << spec.name << " -- " << spec.title << " [" << spec.figure
+        << "] (shard slice " << options.shard_index << "/"
+        << options.shard_count << ")\n";
+    run_grid_slice(spec, options, cache, summary, log);
+    if (options.cache_max_bytes > 0) {
+      summary.evicted = cache.evict_to(options.cache_max_bytes);
+    }
+    summary.cache = cache.stats;
+    cache.write_last_run(spec.name);
+    summary.wall_seconds =
+        std::chrono::duration<double>(steady_clock::now() - start).count();
+    log << summary.describe() << "\n";
+    return summary;
+  }
 
   std::ofstream json_file;
   std::optional<BenchJsonWriter> json;
@@ -474,7 +459,15 @@ RunSummary run_spec(const ExperimentSpec& requested,
   BenchJsonWriter* json_ptr = json ? &*json : nullptr;
   switch (spec.kind) {
     case SpecKind::Grid:
-      run_grid(spec, options, cache, json_ptr, csv, summary, log);
+      if (multi) {
+        run_grid_workers(spec, options, cache, json_ptr, csv, summary, log);
+      } else if (options.join_only) {
+        const std::vector<CompiledShard> shards = plan_shards(spec);
+        ShardBoard board(board_directory(options.cache_dir, spec, shards));
+        join_board(spec, shards, board, cache, json_ptr, csv, summary, log);
+      } else {
+        run_grid(spec, options, cache, json_ptr, csv, summary, log);
+      }
       break;
     case SpecKind::Ensemble:
       run_ensemble_kind(spec, options, json_ptr, csv, summary, log);
@@ -502,6 +495,9 @@ RunSummary run_spec(const ExperimentSpec& requested,
   }
   if (json) json->finish();
 
+  if (options.cache_max_bytes > 0) {
+    summary.evicted = cache.evict_to(options.cache_max_bytes);
+  }
   summary.cache = cache.stats;
   cache.write_last_run(spec.name);  // what --cache-stats reports
   summary.wall_seconds =

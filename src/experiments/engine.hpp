@@ -23,6 +23,18 @@ struct RunOptions {
   std::size_t threads = 0; ///< solve_batch pool size (0 = hardware)
   bool quick = false;      ///< shrink axes (CI smoke / tests)
   std::ostream* log = nullptr;  ///< tables + summary; null = std::cout
+
+  // ----- distributed execution (grid specs only; the shard board lives in
+  // the shared cache directory -- see experiments/scheduler.hpp) -----------
+  std::size_t workers = 1;       ///< >1: fork N work-stealing worker processes
+  std::size_t shard_count = 0;   ///< `--shard i/k` slice mode (0 = off):
+  std::size_t shard_index = 0;   ///<   execute shards with index % k == i,
+                                 ///<   publish fragments, skip artifacts
+  bool join_only = false;        ///< assemble published fragments, no solving
+  double stale_seconds = 300.0;  ///< claim heartbeat timeout before stealing
+
+  // ----- cache hygiene ----------------------------------------------------
+  std::uint64_t cache_max_bytes = 0;  ///< LRU-evict down to this (0 = off)
 };
 
 /// What one spec run did.  `cache_hits`/`deduped` are the re-use counters
@@ -37,6 +49,8 @@ struct RunSummary {
   std::size_t failures = 0;       ///< solve errors + validation failures
   std::size_t skipped = 0;        ///< solver inapplicable at a grid point
   std::size_t rows = 0;           ///< JSON rows emitted
+  std::size_t shards = 0;         ///< grid shards planned (or sliced/joined)
+  std::size_t evicted = 0;        ///< cache entries LRU-evicted post-run
   double wall_seconds = 0.0;
   CacheStats cache;               ///< final cache counters (incl. stores)
 

@@ -1,0 +1,393 @@
+#include "experiments/shard.hpp"
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "experiments/engine.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dlsched::experiments {
+
+std::vector<std::string> grid_solvers(const ExperimentSpec& spec) {
+  return spec.solvers.empty() ? SolverRegistry::instance().names()
+                              : spec.solvers;
+}
+
+// ---------------------------------------------------------------- planning --
+
+namespace {
+
+/// Canonical z rendering for shard keys: the bit pattern, so planning is
+/// immune to formatting differences.
+std::string z_key(const std::optional<double>& z) {
+  if (!z) return "-";
+  std::ostringstream out;
+  detail::put_double(out, *z);
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<CompiledShard> plan_shards(const ExperimentSpec& spec) {
+  DLSCHED_EXPECT(spec.kind == SpecKind::Grid,
+                 "spec '" + spec.name +
+                     "': only grid specs compile into shards");
+  const std::vector<std::string> solvers = grid_solvers(spec);
+  const SolverRegistry& registry = SolverRegistry::instance();
+  std::map<std::string, std::unique_ptr<Solver>> solver_objects;
+  for (const std::string& name : solvers) {
+    solver_objects.emplace(name, registry.create(name));
+  }
+
+  // Axis values; an absent axis contributes one point and no parameter.
+  std::vector<std::optional<std::size_t>> p_axis{std::nullopt};
+  if (!spec.workers.empty()) {
+    p_axis.assign(spec.workers.begin(), spec.workers.end());
+  }
+  std::vector<std::optional<double>> z_axis{std::nullopt};
+  if (!spec.z_values.empty()) {
+    z_axis.assign(spec.z_values.begin(), spec.z_values.end());
+  }
+
+  // One shard per (p, z) slice, further split per repetition: the
+  // repetition split keeps shard weights comparable when one platform
+  // size dwarfs the others (micro_solvers' p = 12 slice is ~97% of the
+  // spec), which is what lets work stealing actually balance the grid.
+  // Planner order is the monolithic engine's nested loop order
+  // (p, then z, then rep), so concatenating shard outputs reproduces its
+  // artifacts byte for byte.
+  std::vector<CompiledShard> shards;
+  shards.reserve(p_axis.size() * z_axis.size() * spec.repetitions);
+  for (const auto& p : p_axis) {
+    for (const auto& z : z_axis) {
+      for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+        CompiledShard shard;
+        shard.index = shards.size();
+        shard.p = p;
+        shard.z = z;
+        shard.rep = rep;
+        // The shard id hashes the job identities inside the slice, so it
+        // is stable across runs and processes yet changes with any axis,
+        // seed, generator or solver-set edit.
+        std::ostringstream id_key;
+        id_key << "shard\nspec " << spec.name << "\npoint "
+               << (p ? std::to_string(*p) : std::string("-")) << ' '
+               << z_key(z) << ' ' << rep << "\njobs ";
+        const std::uint64_t seed =
+            instance_seed(spec.seed, p.value_or(0), z.value_or(-1.0), rep);
+        gen::GenParams params = spec.generator_params;
+        if (p) params["p"] = static_cast<double>(*p);
+        if (z) params["z"] = *z;
+        Rng rng(seed);
+        shard.request.platform = gen::GeneratorRegistry::instance().make(
+            spec.generator, params, rng);
+        shard.request.precision = spec.precision;
+        shard.request.time_budget_seconds = spec.time_budget_seconds;
+        shard.request.max_workers_brute = spec.max_workers_brute;
+        shard.request.seed = seed;
+        for (const std::string& solver : solvers) {
+          if (!solver_objects.at(solver)->applicable(shard.request)) {
+            ++shard.skipped;
+            continue;
+          }
+          id_key << job_hash_hex(solver, shard.request) << ' ';
+          GridSlot slot;
+          slot.z = z;
+          slot.rep = rep;
+          slot.seed = seed;
+          slot.solver = solver;
+          shard.slots.push_back(std::move(slot));
+        }
+        shard.id = job_hash_from_key(id_key.str());
+        shards.push_back(std::move(shard));
+      }
+    }
+  }
+  return shards;
+}
+
+std::string plan_fingerprint(const std::vector<CompiledShard>& shards) {
+  std::string key = "plan ";
+  for (const CompiledShard& shard : shards) {
+    key += shard.id;
+    key += ' ';
+  }
+  return job_hash_from_key(key);
+}
+
+// --------------------------------------------------------------- execution --
+
+ShardResult execute_shard(const ExperimentSpec& spec,
+                          const CompiledShard& shard, ResultCache& cache,
+                          std::size_t threads,
+                          const std::function<void()>& checkpoint) {
+  ShardResult result;
+  result.id = shard.id;
+  result.index = shard.index;
+  result.jobs = shard.slots.size();
+  result.skipped = shard.skipped;
+  const CacheStats before = cache.stats;
+
+  // ----- cache pass, then one thread-pooled batch over the misses ---------
+  std::vector<CachedSolve> solves(shard.slots.size());
+  std::vector<BatchJobView> views;
+  std::vector<std::size_t> view_slot;
+  std::vector<std::pair<std::string, std::string>> view_keys;  // hash, key
+  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+    const GridSlot& slot = shard.slots[i];
+    const std::string key = job_canonical_key(slot.solver, shard.request);
+    const std::string hash = job_hash_from_key(key);
+    if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
+      solves[i] = std::move(*hit);
+      ++result.cache_hits;
+      continue;
+    }
+    views.push_back({slot.solver, &shard.request});
+    view_slot.push_back(i);
+    view_keys.emplace_back(hash, key);
+  }
+  // Checkpoint each finished job into the cache immediately (the hook is
+  // serialized by solve_batch): if this worker dies mid-shard, whoever
+  // reclaims the stale claim re-runs the shard as cache hits up to the
+  // point of the crash.
+  const BatchProgressHook hook = [&](const BatchProgress& progress,
+                                     const BatchOutcome& outcome) {
+    cache.store(view_keys[progress.job_index].first,
+                view_keys[progress.job_index].second,
+                cached_from_outcome(outcome));
+    if (checkpoint) checkpoint();
+    return true;
+  };
+  const std::vector<BatchOutcome> outcomes =
+      solve_batch(std::span<const BatchJobView>(views), threads, hook);
+  for (std::size_t v = 0; v < outcomes.size(); ++v) {
+    solves[view_slot[v]] = cached_from_outcome(outcomes[v]);
+    if (outcomes[v].deduped) {
+      ++result.deduped;
+    } else {
+      ++result.solved;  // stored by the checkpoint hook already
+    }
+  }
+
+  // ----- render rows + the aggregation inputs -----------------------------
+  double baseline_throughput = 0.0;
+  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+    if (shard.slots[i].solver == spec.baseline && solves[i].solved) {
+      baseline_throughput = solves[i].throughput;
+    }
+  }
+  result.rows.reserve(shard.slots.size());
+  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+    const GridSlot& slot = shard.slots[i];
+    const CachedSolve& s = solves[i];
+    if (!s.solved || !s.validated) ++result.failures;
+    ShardRow out;
+    out.solved = s.solved;
+    out.validated = s.validated;
+    out.p = shard.request.platform.size();
+    out.z = slot.z;
+    out.solver = slot.solver;
+    JsonObject row;
+    row.add("solver", slot.solver).add("p", out.p);
+    if (slot.z) row.add("z", *slot.z);
+    row.add("rep", slot.rep).add("seed", slot.seed);
+    row.add("solved", s.solved);
+    if (!s.solved) {
+      row.add("error", s.error);
+    } else {
+      row.add("throughput", s.throughput)
+          .add("workers_used", s.workers_used)
+          .add("validated", s.validated)
+          .add("provably_optimal", s.provably_optimal)
+          .add("exact", s.exact)
+          .add("scenarios_tried", s.scenarios_tried)
+          .add("lp_evaluations", s.lp_evaluations);
+      if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
+      row.add("wall_seconds", s.wall_seconds)
+          .add("validate_seconds", s.validate_seconds);
+      out.throughput = s.throughput;
+      out.wall_seconds = s.wall_seconds;
+      if (!spec.baseline.empty() && baseline_throughput > 0.0) {
+        out.has_ratio = true;
+        out.ratio = s.throughput / baseline_throughput;
+      }
+    }
+    out.json = row.render();
+    result.rows.push_back(std::move(out));
+  }
+
+  result.cache.hits = cache.stats.hits - before.hits;
+  result.cache.misses = cache.stats.misses - before.misses;
+  result.cache.stores = cache.stats.stores - before.stores;
+  return result;
+}
+
+// ----------------------------------------------------------- serialization --
+
+std::string serialize_shard_result(const ShardResult& r) {
+  std::ostringstream out;
+  out << "dlsched-shard 1\n";
+  out << "id " << r.id << " index " << r.index << '\n';
+  out << "counts " << r.jobs << ' ' << r.cache_hits << ' ' << r.deduped
+      << ' ' << r.solved << ' ' << r.failures << ' ' << r.skipped << '\n';
+  out << "cache " << r.cache.hits << ' ' << r.cache.misses << ' '
+      << r.cache.stores << '\n';
+  out << "rows " << r.rows.size() << '\n';
+  for (const ShardRow& row : r.rows) {
+    detail::put_blob(out, "row", row.json);
+    out << "agg " << row.solved << ' ' << row.validated << ' ' << row.p
+        << ' ' << row.z.has_value() << ' ';
+    detail::put_double(out, row.z.value_or(0.0));
+    out << ' ' << row.solver << ' ';
+    detail::put_double(out, row.throughput);
+    out << ' ';
+    detail::put_double(out, row.wall_seconds);
+    out << ' ' << row.has_ratio << ' ';
+    detail::put_double(out, row.ratio);
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ShardResult> parse_shard_result(const std::string& text) {
+  try {
+    std::istringstream in(text);
+    std::string magic, label;
+    int version = 0;
+    in >> magic >> version;
+    DLSCHED_EXPECT(magic == "dlsched-shard" && version == 1,
+                   "shard fragment: bad header");
+    ShardResult r;
+    in >> label >> r.id;
+    DLSCHED_EXPECT(label == "id", "shard fragment: expected id");
+    in >> label >> r.index;
+    DLSCHED_EXPECT(label == "index", "shard fragment: expected index");
+    in >> label >> r.jobs >> r.cache_hits >> r.deduped >> r.solved >>
+        r.failures >> r.skipped;
+    DLSCHED_EXPECT(label == "counts", "shard fragment: expected counts");
+    in >> label >> r.cache.hits >> r.cache.misses >> r.cache.stores;
+    DLSCHED_EXPECT(label == "cache", "shard fragment: expected cache");
+    std::size_t rows = 0;
+    in >> label >> rows;
+    DLSCHED_EXPECT(label == "rows" && in.good(),
+                   "shard fragment: expected row count");
+    in.ignore(1);
+    r.rows.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      ShardRow row;
+      row.json = detail::get_blob(in, "row");
+      bool has_z = false;
+      double z_bits = 0.0;
+      in >> label >> row.solved >> row.validated >> row.p >> has_z;
+      DLSCHED_EXPECT(label == "agg", "shard fragment: expected agg");
+      z_bits = detail::get_double(in);
+      if (has_z) row.z = z_bits;
+      in >> row.solver;
+      row.throughput = detail::get_double(in);
+      row.wall_seconds = detail::get_double(in);
+      in >> row.has_ratio;
+      row.ratio = detail::get_double(in);
+      DLSCHED_EXPECT(in.good(), "shard fragment: truncated row");
+      r.rows.push_back(std::move(row));
+    }
+    in >> label;
+    DLSCHED_EXPECT(label == "end" && !in.fail(),
+                   "shard fragment: missing end marker");
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------- assembly --
+
+ShardAssembler::ShardAssembler(BenchJsonWriter* json, std::ostream* csv,
+                               RunSummary& summary, std::ostream& log)
+    : json_(json), csv_(csv), summary_(summary), log_(log) {}
+
+void ShardAssembler::consume(const ShardResult& result) {
+  DLSCHED_EXPECT(result.index == next_index_,
+                 "shard results must be assembled in planner order (got "
+                 "shard " + std::to_string(result.index) + ", expected " +
+                 std::to_string(next_index_) + ")");
+  ++next_index_;
+  summary_.jobs += result.jobs;
+  summary_.cache_hits += result.cache_hits;
+  summary_.deduped += result.deduped;
+  summary_.solved += result.solved;
+  summary_.failures += result.failures;
+  summary_.skipped += result.skipped;
+  for (const ShardRow& row : result.rows) {
+    if (json_) {
+      json_->raw_row(row.json);
+      ++summary_.rows;
+    }
+    if (!row.solved) continue;
+    std::ostringstream group_key;
+    group_key << row.p << '|' << (row.z ? json_double(*row.z) : "-") << '|'
+              << row.solver;
+    const auto [it, inserted] =
+        group_index_.try_emplace(group_key.str(), groups_.size());
+    if (inserted) {
+      groups_.push_back({row.p, row.z, row.solver, {}, {}, {}});
+    }
+    Group& group = groups_[it->second];
+    group.throughput.add(row.throughput);
+    group.wall.add(row.wall_seconds);
+    if (row.has_ratio) group.ratio.add(row.ratio);
+  }
+}
+
+void ShardAssembler::finish() {
+  const std::vector<std::string> header{
+      "p",           "z",         "solver",          "instances",
+      "mean_throughput", "mean_wall_seconds", "mean_ratio_vs_baseline",
+      "min_ratio",   "max_ratio"};
+  std::optional<CsvWriter> csv_writer;
+  if (csv_) csv_writer.emplace(*csv_, header);
+  Table table(header);
+  table.set_precision(5);
+  for (const Group& group : groups_) {
+    const std::string z_cell =
+        group.z ? format_double(*group.z, 4) : std::string("-");
+    const bool has_ratio = group.ratio.count() > 0;
+    table.begin_row()
+        .cell(group.p)
+        .cell(z_cell)
+        .cell(group.solver)
+        .cell(group.throughput.count())
+        .cell(group.throughput.mean())
+        .cell(group.wall.mean())
+        .cell(has_ratio ? format_double(group.ratio.mean(), 5)
+                        : std::string("-"))
+        .cell(has_ratio ? format_double(group.ratio.min(), 5)
+                        : std::string("-"))
+        .cell(has_ratio ? format_double(group.ratio.max(), 5)
+                        : std::string("-"));
+    if (csv_writer) {
+      csv_writer->cell(std::to_string(group.p))
+          .cell(group.z ? json_double(*group.z) : std::string(""))
+          .cell(group.solver)
+          .cell(group.throughput.count())
+          .cell(group.throughput.mean())
+          .cell(group.wall.mean());
+      if (has_ratio) {
+        csv_writer->cell(group.ratio.mean())
+            .cell(group.ratio.min())
+            .cell(group.ratio.max());
+      } else {
+        csv_writer->cell(std::string(""))
+            .cell(std::string(""))
+            .cell(std::string(""));
+      }
+      csv_writer->end_row();
+    }
+  }
+  table.print_aligned(log_);
+}
+
+}  // namespace dlsched::experiments

@@ -179,6 +179,28 @@ std::vector<ExperimentSpec> make_builtins() {
 
   {
     ExperimentSpec spec = base(
+        "hetero_stress",
+        "heterogeneity stress sweep: correlated bounded-Pareto (c, w) "
+        "draws across return ratios",
+        "Section 5 (extended)", SpecKind::Grid);
+    // Power-law speed magnitudes (mostly cheap workers, a heavy tail of
+    // fast outliers) with rank-correlated (c, w) -- the big machines get
+    // the fat pipes -- over sub- and super-critical return ratios.  This
+    // accumulates BENCH history for both new generator mechanisms.
+    spec.generator = "power_law";
+    spec.generator_params = {{"alpha", 1.5}, {"rho", 0.6},
+                             {"c_lo", 0.05},  {"c_hi", 2.0},
+                             {"w_lo", 0.1},   {"w_hi", 8.0}};
+    spec.workers = {6, 10};
+    spec.z_values = {0.5, 1.5};
+    spec.repetitions = 10;
+    spec.solvers = {"fifo_optimal", "lifo", "inc_c", "inc_w", "mirror_fifo"};
+    spec.baseline = "fifo_optimal";
+    specs.push_back(spec);
+  }
+
+  {
+    ExperimentSpec spec = base(
         "smoke", "tiny deterministic sweep for CI and cache smoke tests",
         "CI", SpecKind::Grid);
     spec.generator = "random_star";

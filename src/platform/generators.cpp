@@ -112,6 +112,60 @@ StarPlatform bimodal_star(std::size_t p, Rng& rng, double z,
   return StarPlatform(std::move(workers));
 }
 
+namespace {
+
+/// Blends a shared draw with independent noise so two quantities become
+/// rank-correlated: |rho| of the weight on the shared draw, mirrored
+/// (1 - u) when rho is negative.
+double correlate(double shared, double independent, double rho) {
+  const double anchor = rho >= 0.0 ? shared : 1.0 - shared;
+  const double weight = rho >= 0.0 ? rho : -rho;
+  return weight * anchor + (1.0 - weight) * independent;
+}
+
+/// Inverse CDF of the Pareto(alpha) density truncated to [lo, hi]:
+/// u = 0 -> lo, u = 1 -> hi, mass concentrated near lo for alpha > 0.
+double bounded_pareto(double u, double alpha, double lo, double hi) {
+  const double ratio_term = 1.0 - std::pow(lo / hi, alpha);
+  return lo / std::pow(1.0 - u * ratio_term, 1.0 / alpha);
+}
+
+}  // namespace
+
+StarPlatform correlated_star(std::size_t p, Rng& rng, double z, double rho,
+                             double c_lo, double c_hi, double w_lo,
+                             double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  DLSCHED_EXPECT(rho >= -1.0 && rho <= 1.0, "rho must be in [-1, 1]");
+  std::vector<Worker> workers(p);
+  for (Worker& worker : workers) {
+    // c anchors to the shared draw; w blends toward (or away from) it.
+    const double shared = rng.uniform(0.0, 1.0);
+    const double uw = correlate(shared, rng.uniform(0.0, 1.0), rho);
+    worker.c = c_lo + shared * (c_hi - c_lo);
+    worker.w = w_lo + uw * (w_hi - w_lo);
+    worker.d = z * worker.c;
+  }
+  return StarPlatform(std::move(workers));
+}
+
+StarPlatform power_star(std::size_t p, Rng& rng, double z, double alpha,
+                        double rho, double c_lo, double c_hi, double w_lo,
+                        double w_hi) {
+  DLSCHED_EXPECT(z > 0.0, "z must be positive");
+  DLSCHED_EXPECT(alpha > 0.0, "alpha must be positive");
+  DLSCHED_EXPECT(rho >= -1.0 && rho <= 1.0, "rho must be in [-1, 1]");
+  std::vector<Worker> workers(p);
+  for (Worker& worker : workers) {
+    const double shared = rng.uniform(0.0, 1.0);
+    const double uw = correlate(shared, rng.uniform(0.0, 1.0), rho);
+    worker.c = bounded_pareto(shared, alpha, c_lo, c_hi);
+    worker.w = bounded_pareto(uw, alpha, w_lo, w_hi);
+    worker.d = z * worker.c;
+  }
+  return StarPlatform(std::move(workers));
+}
+
 StarPlatform satellite_star(std::size_t p, Rng& rng, double z,
                             std::size_t satellites, double link_penalty,
                             double c_lo, double c_hi, double w_lo,
@@ -231,6 +285,29 @@ void register_builtins(GeneratorRegistry& registry) {
                             param_or(params, "fast_fraction", 0.5),
                             param_or(params, "slow_factor", 8.0), sp.c_lo,
                             sp.c_hi, sp.w_lo, sp.w_hi);
+      });
+  registry.add(
+      "correlated",
+      "star with rank-correlated (c, w) draws: rho = 1 ties link and "
+      "compute speeds, rho = -1 anti-correlates them",
+      star_keys_plus({"rho"}),
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        return correlated_star(sp.p, rng, sp.z,
+                               param_or(params, "rho", 0.8), sp.c_lo,
+                               sp.c_hi, sp.w_lo, sp.w_hi);
+      });
+  registry.add(
+      "power_law",
+      "bounded-Pareto(alpha) c and w: most workers near the cheap end, a "
+      "heavy tail of fast outliers; optional rank correlation rho",
+      star_keys_plus({"alpha", "rho"}),
+      [](const GenParams& params, Rng& rng) {
+        const StarParams sp(params);
+        return power_star(sp.p, rng, sp.z,
+                          param_or(params, "alpha", 1.5),
+                          param_or(params, "rho", 0.0), sp.c_lo, sp.c_hi,
+                          sp.w_lo, sp.w_hi);
       });
   registry.add(
       "satellite",

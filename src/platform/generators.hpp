@@ -72,6 +72,30 @@ struct SpeedRange {
                                         double c_lo = 0.1, double c_hi = 2.0,
                                         double w_lo = 0.1, double w_hi = 5.0);
 
+/// Correlated (c, w) star: each worker blends one shared uniform draw u
+/// with independent noise, so `rho = 1` ties link and compute speed ranks
+/// exactly (big machines have fat pipes), `rho = 0` is the independent
+/// `random_star` regime, and `rho = -1` anti-correlates them (fast links
+/// on slow CPUs -- the regime where ordering heuristics disagree most).
+/// Marginals are uniform at |rho| in {0, 1} and a blend in between;
+/// d = z * c throughout.
+[[nodiscard]] StarPlatform correlated_star(std::size_t p, Rng& rng, double z,
+                                           double rho, double c_lo = 0.1,
+                                           double c_hi = 2.0,
+                                           double w_lo = 0.1,
+                                           double w_hi = 5.0);
+
+/// Power-law (bounded Pareto) speed family: c and w are drawn from a
+/// Pareto(alpha) density truncated to [lo, hi] -- most workers cheap and
+/// slow-ish near `lo`, a heavy tail of expensive outliers toward `hi`,
+/// the shape real federated clusters show.  Smaller `alpha` means a
+/// heavier tail.  `rho` applies the same rank-correlation blend as
+/// `correlated_star` before the Pareto warp; d = z * c.
+[[nodiscard]] StarPlatform power_star(std::size_t p, Rng& rng, double z,
+                                      double alpha, double rho = 0.0,
+                                      double c_lo = 0.1, double c_hi = 2.0,
+                                      double w_lo = 0.1, double w_hi = 5.0);
+
 /// High-latency "satellite" links: `satellites` of the p workers (0 is
 /// valid: a plain star control case) sit behind links `link_penalty`
 /// times slower (c and d scaled together, preserving z) while their

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -152,7 +153,7 @@ TEST(SpecRegistry, EnumeratesEveryPaperFigureAndAblation) {
        {"fig08", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b",
         "fig14", "ablation_ordering", "ablation_local_search",
         "ablation_two_port", "ablation_selection", "ablation_multiround",
-        "micro_solvers", "micro_substrate", "smoke"}) {
+        "hetero_stress", "micro_solvers", "micro_substrate", "smoke"}) {
     EXPECT_EQ(std::count(names.begin(), names.end(), expected), 1)
         << "missing spec: " << expected;
   }
@@ -225,6 +226,62 @@ TEST(ExperimentEngine, InspectRoundTripsSpecNamesWithSpaces) {
   EXPECT_EQ(inventory.last_run.hits, 3u);
   EXPECT_EQ(inventory.last_run.misses, 1u);
   EXPECT_EQ(inventory.last_run.stores, 1u);
+}
+
+TEST(ExperimentEngine, EvictToDropsLeastRecentlyUsedEntriesFirst) {
+  ScratchDir scratch("evict");
+  ResultCache cache(scratch.dir());
+  Rng rng(3);
+  std::vector<SolveRequest> requests(3);
+  for (SolveRequest& request : requests) {
+    request.platform = gen::random_star(4, rng, 0.5);
+    (void)run_solver_cached(cache, "lifo", request);
+  }
+  // Age every entry, then touch the *first* one via a cache hit: it
+  // becomes the most recently used and must survive the eviction.
+  for (const auto& entry : fs::directory_iterator(scratch.dir())) {
+    fs::last_write_time(entry.path(), fs::file_time_type::clock::now() -
+                                          std::chrono::hours(2));
+  }
+  const CachedRun hit = run_solver_cached(cache, "lifo", requests[0]);
+  EXPECT_TRUE(hit.from_cache);
+
+  const CacheInventory before = ResultCache::inspect(scratch.dir());
+  ASSERT_EQ(before.entries, 3u);
+  const std::size_t evicted =
+      cache.evict_to(before.total_bytes / 3 + 8);  // room for ~one entry
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(cache.stats.evicted, 2u);
+  EXPECT_EQ(ResultCache::inspect(scratch.dir()).entries, 1u);
+  // The survivor is the recently-hit entry, not an arbitrary one.
+  const CachedRun survivor = run_solver_cached(cache, "lifo", requests[0]);
+  EXPECT_TRUE(survivor.from_cache);
+
+  // Under the budget already: nothing to do.
+  EXPECT_EQ(cache.evict_to(1u << 30), 0u);
+  // Disabled or unlimited caches never evict.
+  ResultCache disabled;
+  EXPECT_EQ(disabled.evict_to(1), 0u);
+  EXPECT_EQ(cache.evict_to(0), 0u);
+}
+
+TEST(ExperimentEngine, RunSpecEnforcesCacheMaxBytesAndReportsEvictions) {
+  ScratchDir scratch("maxbytes");
+  std::ostringstream log;
+  RunOptions options;
+  options.cache_dir = scratch.dir() + "/cache";
+  options.cache_max_bytes = 1;  // nothing fits: evict all but report all
+  options.log = &log;
+  const RunSummary summary = run_spec(tiny_grid_spec(), options);
+  EXPECT_EQ(summary.solved, 4u);
+  EXPECT_EQ(summary.evicted, 4u);
+  EXPECT_NE(log.str().find("4 evicted"), std::string::npos);
+
+  // --cache-stats surfaces the eviction count of the last run.
+  const CacheInventory inventory = ResultCache::inspect(options.cache_dir);
+  EXPECT_EQ(inventory.entries, 0u);
+  ASSERT_TRUE(inventory.has_last_run);
+  EXPECT_EQ(inventory.last_run.evicted, 4u);
 }
 
 TEST(ExperimentEngine, InspectOnAMissingDirectoryIsEmpty) {

@@ -80,8 +80,9 @@ TEST(Generators, RegistryListsTheBuiltinFamilies) {
       GeneratorRegistry::instance().names();
   for (const char* expected :
        {"random_star", "random_bus", "random_star_grid", "bimodal",
-        "satellite", "matrix_homogeneous", "matrix_bus_hetero_comp",
-        "matrix_heterogeneous", "matrix_participation"}) {
+        "satellite", "correlated", "power_law", "matrix_homogeneous",
+        "matrix_bus_hetero_comp", "matrix_heterogeneous",
+        "matrix_participation"}) {
     EXPECT_EQ(std::count(names.begin(), names.end(), expected), 1)
         << "missing generator: " << expected;
   }
@@ -167,6 +168,68 @@ TEST(Generators, SatelliteRegistryDefaultsToAQuarterAndHonoursZero) {
   const StarPlatform plain = registry.make(
       "satellite", {{"p", 8.0}, {"satellites", 0.0}}, rng_zero);
   for (const Worker& w : plain.workers()) EXPECT_LT(w.c, 2.2);
+}
+
+TEST(Generators, CorrelatedRhoTiesAndMirrorsTheDraws) {
+  // rho = 1 with matching ranges: c and w are the same draw.
+  Rng tied(42);
+  const StarPlatform aligned = correlated_star(
+      /*p=*/12, tied, /*z=*/0.5, /*rho=*/1.0,
+      /*c_lo=*/1.0, /*c_hi=*/3.0, /*w_lo=*/1.0, /*w_hi=*/3.0);
+  for (const Worker& w : aligned.workers()) {
+    EXPECT_DOUBLE_EQ(w.w, w.c);
+    EXPECT_DOUBLE_EQ(w.d, 0.5 * w.c);
+  }
+  // rho = -1: w mirrors c within the range (fast links, slow CPUs).
+  Rng mirrored(42);
+  const StarPlatform inverse = correlated_star(
+      12, mirrored, 0.5, /*rho=*/-1.0, 1.0, 3.0, 1.0, 3.0);
+  for (const Worker& w : inverse.workers()) {
+    EXPECT_NEAR(w.w, 1.0 + 3.0 - w.c, 1e-12);
+  }
+}
+
+TEST(Generators, CorrelatedRhoZeroMatchesIndependentBounds) {
+  Rng rng(7);
+  const StarPlatform platform =
+      correlated_star(50, rng, 0.5, /*rho=*/0.0, 0.5, 1.5, 2.0, 4.0);
+  for (const Worker& w : platform.workers()) {
+    EXPECT_GE(w.c, 0.5);
+    EXPECT_LE(w.c, 1.5);
+    EXPECT_GE(w.w, 2.0);
+    EXPECT_LE(w.w, 4.0);
+  }
+  EXPECT_THROW((void)correlated_star(4, rng, 0.5, 1.5), Error);
+}
+
+TEST(Generators, PowerLawStaysBoundedAndFrontLoadsTheCheapEnd) {
+  Rng rng(99);
+  const StarPlatform platform = power_star(
+      /*p=*/200, rng, /*z=*/0.5, /*alpha=*/1.5, /*rho=*/0.0,
+      /*c_lo=*/0.1, /*c_hi=*/10.0, /*w_lo=*/0.1, /*w_hi=*/10.0);
+  std::size_t c_below_midpoint = 0;
+  for (const Worker& w : platform.workers()) {
+    EXPECT_GE(w.c, 0.1);
+    EXPECT_LE(w.c, 10.0);
+    EXPECT_GE(w.w, 0.1);
+    EXPECT_LE(w.w, 10.0);
+    EXPECT_DOUBLE_EQ(w.d, 0.5 * w.c);
+    if (w.c < 5.05) ++c_below_midpoint;
+  }
+  // A heavy-tailed density concentrates far below the arithmetic middle
+  // of the range; uniform draws would put only ~half the mass there.
+  EXPECT_GT(c_below_midpoint, 150u);
+  EXPECT_THROW((void)power_star(4, rng, 0.5, /*alpha=*/0.0), Error);
+}
+
+TEST(Generators, PowerLawRhoOneRankCorrelatesTheTails) {
+  Rng rng(5);
+  const StarPlatform platform = power_star(
+      40, rng, 0.5, /*alpha=*/1.2, /*rho=*/1.0, 0.1, 10.0, 0.1, 10.0);
+  // Same draw through the same warp and ranges: identical values.
+  for (const Worker& w : platform.workers()) {
+    EXPECT_NEAR(w.w, w.c, 1e-12);
+  }
 }
 
 TEST(Generators, ParamOrFallsBack) {

@@ -1,0 +1,380 @@
+// Tests of the sharded, multi-process experiment pipeline: deterministic
+// shard planning (stable ids, union == full grid), fragment round-trips,
+// forked work-stealing workers producing byte-identical joined artifacts,
+// static --shard slices + --join, and stale-claim reclaim after a worker
+// dies mid-run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "experiments/engine.hpp"
+#include "experiments/scheduler.hpp"
+#include "experiments/shard.hpp"
+#include "experiments/spec_registry.hpp"
+#include "util/error.hpp"
+
+namespace dlsched::experiments {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("dlsched_shard_" + tag + "_" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed()) +
+               "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)))) {
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+  [[nodiscard]] std::string dir() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// 2 worker counts x 2 z values x 2 reps x 2 solvers = 8 shards, 16 jobs.
+ExperimentSpec small_grid_spec() {
+  ExperimentSpec spec;
+  spec.name = "shard_test";
+  spec.title = "shard test grid";
+  spec.figure = "test";
+  spec.kind = SpecKind::Grid;
+  spec.generator = "random_star";
+  spec.workers = {3, 4};
+  spec.z_values = {0.25, 0.5};
+  spec.repetitions = 2;
+  spec.solvers = {"fifo_optimal", "lifo"};
+  spec.baseline = "fifo_optimal";
+  return spec;
+}
+
+TEST(ShardPlanner, SlicesByPZRepInPlannerOrder) {
+  const std::vector<CompiledShard> shards = plan_shards(small_grid_spec());
+  ASSERT_EQ(shards.size(), 8u);  // 2 p values x 2 z values x 2 reps
+  // p outer, z inner, rep innermost -- the monolithic engine's loop order.
+  const std::size_t expected_p[] = {3, 3, 3, 3, 4, 4, 4, 4};
+  const double expected_z[] = {0.25, 0.25, 0.5, 0.5, 0.25, 0.25, 0.5, 0.5};
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].index, i);
+    EXPECT_EQ(shards[i].p, expected_p[i]) << i;
+    EXPECT_DOUBLE_EQ(*shards[i].z, expected_z[i]) << i;
+    EXPECT_EQ(shards[i].rep, i % 2) << i;
+    EXPECT_EQ(shards[i].slots.size(), 2u);  // 2 solvers
+    EXPECT_EQ(shards[i].request.platform.size(), expected_p[i]) << i;
+  }
+}
+
+TEST(ShardPlanner, IdsAreStableDistinctAndContentSensitive) {
+  const ExperimentSpec spec = small_grid_spec();
+  const std::vector<CompiledShard> first = plan_shards(spec);
+  const std::vector<CompiledShard> second = plan_shards(spec);
+  ASSERT_EQ(first.size(), second.size());
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);  // stable across runs
+    EXPECT_EQ(first[i].id.size(), 32u);    // job_hash_hex-shaped
+    ids.insert(first[i].id);
+  }
+  EXPECT_EQ(ids.size(), first.size());  // distinct per (p, z, rep) point
+  EXPECT_EQ(plan_fingerprint(first), plan_fingerprint(second));
+
+  // Any change to the grid's content changes the ids.
+  ExperimentSpec reseeded = spec;
+  reseeded.seed += 1;
+  const std::vector<CompiledShard> other = plan_shards(reseeded);
+  EXPECT_NE(first[0].id, other[0].id);
+  EXPECT_NE(plan_fingerprint(first), plan_fingerprint(other));
+}
+
+TEST(ShardPlanner, UnionOfShardsIsTheFullGrid) {
+  const ExperimentSpec spec = small_grid_spec();
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  // Every (solver, request) job identity appears exactly once across the
+  // shard union: nothing lost, nothing duplicated by the slicing.
+  std::set<std::string> job_hashes;
+  std::size_t jobs = 0;
+  for (const CompiledShard& shard : shards) {
+    for (const GridSlot& slot : shard.slots) {
+      job_hashes.insert(job_hash_hex(slot.solver, shard.request));
+      ++jobs;
+    }
+  }
+  EXPECT_EQ(jobs, 16u);  // 2p x 2z x 2 reps x 2 solvers
+  EXPECT_EQ(job_hashes.size(), jobs);
+
+  // And a monolithic run over the same spec sees exactly these jobs.
+  std::ostringstream log;
+  RunOptions options;
+  options.log = &log;
+  const RunSummary summary = run_spec(spec, options);
+  EXPECT_EQ(summary.jobs, jobs);
+  EXPECT_EQ(summary.shards, shards.size());
+}
+
+TEST(ShardPlanner, RejectsNonGridKinds) {
+  EXPECT_THROW((void)plan_shards(find_builtin_spec("fig10")), Error);
+}
+
+TEST(ShardResultIO, FragmentRoundTripsBitExactly) {
+  ShardResult result;
+  result.id = "0123456789abcdef0123456789abcdef";
+  result.index = 3;
+  result.jobs = 2;
+  result.cache_hits = 1;
+  result.solved = 1;
+  result.cache.stores = 1;
+  ShardRow row;
+  row.json = "{\"solver\": \"lifo\", \"p\": 4}";
+  row.solved = true;
+  row.validated = true;
+  row.p = 4;
+  row.z = 0.1;  // not exactly representable: bit pattern must survive
+  row.solver = "lifo";
+  row.throughput = 1.0 / 3.0;
+  row.wall_seconds = 2.5e-5;
+  row.has_ratio = true;
+  row.ratio = 0.999999999999999;
+  result.rows.push_back(row);
+  ShardRow failed;
+  failed.json = "{\"solved\": false}";
+  failed.solver = "fifo_optimal";
+  failed.p = 4;
+  result.rows.push_back(failed);
+
+  const std::string text = serialize_shard_result(result);
+  const std::optional<ShardResult> parsed = parse_shard_result(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, result.id);
+  EXPECT_EQ(parsed->index, 3u);
+  EXPECT_EQ(parsed->jobs, 2u);
+  EXPECT_EQ(parsed->cache_hits, 1u);
+  EXPECT_EQ(parsed->cache.stores, 1u);
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  EXPECT_EQ(parsed->rows[0].json, row.json);
+  ASSERT_TRUE(parsed->rows[0].z.has_value());
+  EXPECT_EQ(*parsed->rows[0].z, 0.1);  // exact: travels by bit pattern
+  EXPECT_EQ(parsed->rows[0].throughput, 1.0 / 3.0);
+  EXPECT_EQ(parsed->rows[0].wall_seconds, 2.5e-5);
+  EXPECT_TRUE(parsed->rows[0].has_ratio);
+  EXPECT_EQ(parsed->rows[0].ratio, 0.999999999999999);
+  EXPECT_FALSE(parsed->rows[1].solved);
+  EXPECT_FALSE(parsed->rows[1].z.has_value());
+
+  EXPECT_FALSE(parse_shard_result("garbage").has_value());
+  EXPECT_FALSE(
+      parse_shard_result(text.substr(0, text.size() / 2)).has_value());
+}
+
+TEST(ShardScheduler, ForkedWorkersJoinByteIdenticalToSingleProcess) {
+  ScratchDir scratch("workers");
+  const ExperimentSpec spec = small_grid_spec();
+  std::ostringstream log;
+
+  // Single-process reference over a shared cache...
+  RunOptions single;
+  single.out_json = scratch.file("sp.json");
+  single.out_csv = scratch.file("sp.csv");
+  single.cache_dir = scratch.dir() + "/cache";
+  single.threads = 1;
+  single.log = &log;
+  const RunSummary sp = run_spec(spec, single);
+  EXPECT_EQ(sp.jobs, 16u);
+  EXPECT_EQ(sp.solved, 16u);
+  EXPECT_EQ(sp.failures, 0u);
+  EXPECT_EQ(sp.shards, 8u);
+
+  // ...then 3 forked work-stealing workers against the same cache: the
+  // joined artifact replays the cached numbers byte for byte.
+  RunOptions multi = single;
+  multi.out_json = scratch.file("mp.json");
+  multi.out_csv = scratch.file("mp.csv");
+  multi.workers = 3;
+  const RunSummary mp = run_spec(spec, multi);
+  EXPECT_EQ(mp.jobs, 16u);
+  EXPECT_EQ(mp.cache_hits, 16u);
+  EXPECT_EQ(mp.solved, 0u);
+  EXPECT_EQ(mp.shards, 8u);
+  EXPECT_EQ(slurp(single.out_json), slurp(multi.out_json));
+  EXPECT_EQ(slurp(single.out_csv), slurp(multi.out_csv));
+}
+
+TEST(ShardScheduler, ForkedWorkersSolveFromAColdCache) {
+  ScratchDir scratch("coldworkers");
+  const ExperimentSpec spec = small_grid_spec();
+  std::ostringstream log;
+  RunOptions options;
+  options.out_json = scratch.file("mp.json");
+  options.cache_dir = scratch.dir() + "/cache";
+  options.threads = 1;
+  options.workers = 3;
+  options.log = &log;
+  const RunSummary summary = run_spec(spec, options);
+  EXPECT_EQ(summary.jobs, 16u);
+  EXPECT_EQ(summary.cache_hits, 0u);
+  EXPECT_EQ(summary.solved, 16u);  // the workers really solved the grid
+  EXPECT_EQ(summary.failures, 0u);
+  EXPECT_EQ(summary.rows, 16u);
+  // Every job was checkpointed into the shared cache by some worker.
+  const CacheInventory inventory =
+      ResultCache::inspect(options.cache_dir);
+  EXPECT_EQ(inventory.entries, 16u);
+}
+
+TEST(ShardScheduler, StaticSlicesPlusJoinMatchSingleProcess) {
+  ScratchDir scratch("slices");
+  const ExperimentSpec spec = small_grid_spec();
+  std::ostringstream log;
+
+  RunOptions single;
+  single.out_json = scratch.file("sp.json");
+  single.out_csv = scratch.file("sp.csv");
+  single.cache_dir = scratch.dir() + "/cache";
+  single.threads = 1;
+  single.log = &log;
+  (void)run_spec(spec, single);
+
+  // Two slice "processes" publish fragments (warm cache: bit-exact
+  // replay), then --join assembles without solving anything.
+  for (std::size_t i = 0; i < 2; ++i) {
+    RunOptions slice = single;
+    slice.out_json.clear();
+    slice.out_csv.clear();
+    slice.shard_index = i;
+    slice.shard_count = 2;
+    const RunSummary summary = run_spec(spec, slice);
+    EXPECT_EQ(summary.shards, 4u);  // its half of the 8 shards
+    EXPECT_EQ(summary.cache_hits, 8u);
+  }
+  RunOptions join = single;
+  join.out_json = scratch.file("join.json");
+  join.out_csv = scratch.file("join.csv");
+  join.join_only = true;
+  const RunSummary joined = run_spec(spec, join);
+  EXPECT_EQ(joined.jobs, 16u);
+  EXPECT_EQ(joined.solved, 0u);  // assembled, not re-solved
+  EXPECT_EQ(slurp(single.out_json), slurp(join.out_json));
+  EXPECT_EQ(slurp(single.out_csv), slurp(join.out_csv));
+}
+
+TEST(ShardScheduler, JoinNamesTheMissingFragments) {
+  ScratchDir scratch("missingjoin");
+  const ExperimentSpec spec = small_grid_spec();
+  std::ostringstream log;
+  RunOptions slice;
+  slice.cache_dir = scratch.dir() + "/cache";
+  slice.threads = 1;
+  slice.log = &log;
+  slice.shard_index = 0;
+  slice.shard_count = 2;  // shards 0 and 2 only
+  (void)run_spec(spec, slice);
+
+  RunOptions join = slice;
+  join.shard_count = 0;
+  join.join_only = true;
+  join.out_json = scratch.file("join.json");
+  try {
+    (void)run_spec(spec, join);
+    FAIL() << "expected dlsched::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing shard fragment"), std::string::npos);
+    const std::vector<CompiledShard> shards = plan_shards(spec);
+    EXPECT_NE(what.find(shards[1].id), std::string::npos);
+    EXPECT_NE(what.find(shards[3].id), std::string::npos);
+  }
+}
+
+TEST(ShardScheduler, StaleClaimIsStolenAndTheShardCompletes) {
+  ScratchDir scratch("stale");
+  const ExperimentSpec spec = small_grid_spec();
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  ShardBoard board(
+      board_directory(scratch.dir() + "/cache", spec, shards));
+
+  // A worker claimed shard 0 and died: the claim file exists, its
+  // heartbeat long stale, and no fragment was ever published.
+  ASSERT_TRUE(board.try_claim(shards[0], "dead-worker"));
+  ASSERT_FALSE(board.try_claim(shards[0], "live-worker"));  // exclusive
+  const fs::path claim =
+      fs::path(board.directory()) / (shards[0].id + ".claim");
+  fs::last_write_time(claim, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(1));
+
+  // A fresh claim is not stealable...
+  ASSERT_TRUE(board.try_claim(shards[1], "dead-worker"));
+  EXPECT_FALSE(board.try_steal_stale(shards[1], 3600.0, "live-worker"));
+  board.release(shards[1]);
+
+  // ...but the stale one is, and the surviving worker then finishes the
+  // whole board, including the reclaimed shard.
+  ResultCache cache(scratch.dir() + "/cache");
+  SchedulerOptions options;
+  options.worker_id = "live-worker";
+  options.stale_seconds = 60.0;  // far under the 1 h manufactured age
+  options.threads = 1;
+  const WorkerSummary summary =
+      run_worker(spec, shards, board, cache, options);
+  EXPECT_GE(summary.stolen, 1u);
+  EXPECT_EQ(summary.executed, shards.size());
+  for (const CompiledShard& shard : shards) {
+    EXPECT_TRUE(board.is_done(shard)) << "shard " << shard.index;
+  }
+
+  // The reclaim left a joinable board behind.
+  std::ostringstream log;
+  RunOptions join;
+  join.cache_dir = scratch.dir() + "/cache";
+  join.join_only = true;
+  join.out_json = scratch.file("join.json");
+  join.log = &log;
+  const RunSummary joined = run_spec(spec, join);
+  EXPECT_EQ(joined.jobs, 16u);
+  EXPECT_EQ(joined.failures, 0u);
+}
+
+TEST(ShardScheduler, DistributedFlagsRejectNonGridAndCachelessRuns) {
+  std::ostringstream log;
+  RunOptions options;
+  options.log = &log;
+  options.workers = 2;  // no cache dir
+  EXPECT_THROW((void)run_spec(small_grid_spec(), options), Error);
+
+  RunOptions ensemble_options;
+  ensemble_options.log = &log;
+  ensemble_options.cache_dir = "/tmp/unused-cache-dir";
+  ensemble_options.workers = 2;
+  EXPECT_THROW((void)run_spec(find_builtin_spec("fig10"), ensemble_options),
+               Error);
+
+  RunOptions bad_slice;
+  bad_slice.log = &log;
+  bad_slice.cache_dir = "/tmp/unused-cache-dir";
+  bad_slice.shard_index = 2;
+  bad_slice.shard_count = 2;
+  EXPECT_THROW((void)run_spec(small_grid_spec(), bad_slice), Error);
+}
+
+}  // namespace
+}  // namespace dlsched::experiments

@@ -289,5 +289,56 @@ TEST(SolveBatch, OneSolverAcrossManyPlatforms) {
   }
 }
 
+TEST(SolveBatch, ProgressHookSeesEveryPrimaryJobInOrder) {
+  Rng rng(21);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    BatchJob job{"lifo", {}};
+    job.request.platform = gen::random_star(4, rng, 0.5);
+    jobs.push_back(std::move(job));
+  }
+  jobs.push_back(jobs.back());  // a duplicate: deduped, never reported
+  std::vector<std::size_t> completed_counts;
+  std::size_t reported_total = 0;
+  const auto outcomes = solve_batch(
+      jobs, 2, [&](const BatchProgress& progress, const BatchOutcome& o) {
+        completed_counts.push_back(progress.completed);
+        reported_total = progress.total;
+        EXPECT_TRUE(o.solved);
+        return true;
+      });
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_EQ(reported_total, 4u);  // primaries only
+  ASSERT_EQ(completed_counts.size(), 4u);
+  for (std::size_t i = 0; i < completed_counts.size(); ++i) {
+    EXPECT_EQ(completed_counts[i], i + 1);  // serialized, monotonic
+  }
+  EXPECT_TRUE(outcomes[4].deduped);
+}
+
+TEST(SolveBatch, ProgressHookCanCancelTheRemainder) {
+  Rng rng(22);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    BatchJob job{"lifo", {}};
+    job.request.platform = gen::random_star(4, rng, 0.5);
+    jobs.push_back(std::move(job));
+  }
+  // Single-threaded for a deterministic cut: cancel after the first job.
+  const auto outcomes =
+      solve_batch(jobs, 1, [](const BatchProgress& progress,
+                              const BatchOutcome&) {
+        return progress.completed < 1;
+      });
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[0].solved);
+  EXPECT_FALSE(outcomes[0].cancelled);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].solved) << i;
+    EXPECT_TRUE(outcomes[i].cancelled) << i;
+    EXPECT_NE(outcomes[i].error.find("cancelled"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace dlsched
