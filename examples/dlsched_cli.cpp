@@ -203,8 +203,18 @@ int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
         const double rho = outcome.result.throughput();
         row.add("throughput", rho)
             .add("time_for_load", makespan_for_load(rho, load))
-            .add("workers_used", outcome.result.solution.enrolled().size())
-            .add("validated", outcome.ok)
+            .add("workers_used", outcome.result.solution.enrolled().size());
+        // Selection-style solvers (the affine family) report the chosen
+        // participant set, not just its size.
+        if (!outcome.result.participants.empty()) {
+          row.add_raw("participants", experiments::json_index_array(
+                                          outcome.result.participants));
+        }
+        if (outcome.result.replayed) {
+          row.add("replay_makespan", outcome.result.replay_makespan)
+              .add("replay_rel_error", outcome.result.replay_rel_error);
+        }
+        row.add("validated", outcome.ok)
             .add("provably_optimal", outcome.result.provably_optimal)
             .add("wall_seconds", outcome.result.wall_seconds)
             .add("validate_seconds", outcome.validate_seconds);

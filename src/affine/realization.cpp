@@ -1,0 +1,169 @@
+#include "affine/realization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dlsched::affine {
+
+AffineRealization realize_affine(const StarPlatform& platform,
+                                 const ScenarioSolution& solution,
+                                 const AffineCosts& costs, double horizon) {
+  DLSCHED_EXPECT(solution.lp_feasible,
+                 "cannot realize an infeasible affine solution");
+  DLSCHED_EXPECT(horizon > 0.0, "horizon must be positive");
+  const Scenario& scenario = solution.scenario;
+  scenario.check(platform);
+  const std::size_t q = scenario.size();
+  DLSCHED_EXPECT(q > 0, "empty scenario");
+  DLSCHED_EXPECT(costs.send_latency_per_worker.empty() ||
+                     costs.send_latency_per_worker.size() == platform.size(),
+                 "per-worker send latencies must be platform-indexed");
+  DLSCHED_EXPECT(costs.return_latency_per_worker.empty() ||
+                     costs.return_latency_per_worker.size() ==
+                         platform.size(),
+                 "per-worker return latencies must be platform-indexed");
+
+  AffineRealization out;
+  out.scenario = scenario;
+  out.horizon = horizon;
+  out.lanes.reserve(q);
+  out.timeline.lanes.reserve(q);
+
+  // ----- sends back-to-back from 0, computes immediately after -------------
+  double clock = 0.0;
+  std::vector<std::size_t> lane_of(platform.size(), SIZE_MAX);
+  for (std::size_t k = 0; k < q; ++k) {
+    const std::size_t w = scenario.send_order[k];
+    const Worker& worker = platform.worker(w);
+    AffineLane lane;
+    lane.worker = w;
+    lane.alpha = solution.alpha[w].to_double() * horizon;
+    lane.send_latency = costs.send_latency_for(w) * horizon;
+    lane.compute_latency = costs.compute_latency * horizon;
+    lane.return_latency = costs.return_latency_for(w) * horizon;
+
+    WorkerLane intervals;
+    intervals.worker = w;
+    intervals.recv.start = clock;
+    intervals.recv.end = clock + lane.send_latency + lane.alpha * worker.c;
+    intervals.compute.start = intervals.recv.end;
+    intervals.compute.end =
+        intervals.compute.start + lane.compute_latency +
+        lane.alpha * worker.w;
+    clock = intervals.recv.end;
+    lane_of[w] = out.lanes.size();
+    out.lanes.push_back(lane);
+    out.timeline.lanes.push_back(intervals);
+  }
+
+  // ----- returns back-to-back ending exactly at the horizon ---------------
+  double end = horizon;
+  for (std::size_t r = q; r-- > 0;) {
+    const std::size_t w = scenario.return_order[r];
+    const std::size_t k = lane_of[w];
+    AffineLane& lane = out.lanes[k];
+    WorkerLane& intervals = out.timeline.lanes[k];
+    const double duration =
+        lane.return_latency + lane.alpha * platform.worker(w).d;
+    intervals.ret.end = end;
+    intervals.ret.start = end - duration;
+    end = intervals.ret.start;
+    lane.idle = intervals.ret.start - intervals.compute.end;
+  }
+
+  for (const WorkerLane& intervals : out.timeline.lanes) {
+    out.timeline.makespan =
+        std::max(out.timeline.makespan, intervals.ret.end);
+  }
+  out.makespan = out.timeline.makespan;
+  return out;
+}
+
+ValidationReport validate_affine(const StarPlatform& platform,
+                                 const AffineRealization& realization,
+                                 const AffineCosts& costs,
+                                 const ValidationOptions& options) {
+  ValidationReport report;
+  if (!(costs.send_latency_per_worker.empty() ||
+        costs.send_latency_per_worker.size() == platform.size()) ||
+      !(costs.return_latency_per_worker.empty() ||
+        costs.return_latency_per_worker.size() == platform.size())) {
+    report.fail("per-worker latency vectors are not platform-indexed");
+    return report;
+  }
+  const auto check_duration = [&](const std::string& name, const char* what,
+                                  const Interval& interval, double latency,
+                                  double linear) {
+    const double expected = latency + linear;
+    if (std::abs(interval.duration() - expected) > options.eps) {
+      std::ostringstream out;
+      out << name << ": " << what << " duration " << interval.duration()
+          << " != latency " << latency << " + linear " << linear;
+      report.fail(out.str());
+    }
+  };
+
+  if (realization.lanes.size() != realization.timeline.lanes.size()) {
+    report.fail("lane arrays out of step");
+    return report;
+  }
+  std::vector<bool> seen(platform.size(), false);
+  for (std::size_t k = 0; k < realization.lanes.size(); ++k) {
+    const AffineLane& lane = realization.lanes[k];
+    const WorkerLane& intervals = realization.timeline.lanes[k];
+    if (lane.worker >= platform.size() ||
+        intervals.worker != lane.worker) {
+      report.fail("lane references an unknown or mismatched worker");
+      continue;
+    }
+    const Worker& worker = platform.worker(lane.worker);
+    const std::string name = worker.name.empty()
+                                 ? "worker#" + std::to_string(lane.worker)
+                                 : worker.name;
+    if (seen[lane.worker]) {
+      report.fail(name + ": appears twice in the realization");
+    }
+    seen[lane.worker] = true;
+    if (lane.alpha < -options.eps) report.fail(name + ": negative load");
+    if (lane.idle < -options.eps) report.fail(name + ": negative idle gap");
+    // The lanes' recorded constants must be the *requested* costs (scaled
+    // by the horizon's unit change), not whatever the layout happened to
+    // store -- this is what keeps the duration checks non-circular.
+    const double h = realization.horizon;
+    const auto check_latency = [&](const char* what, double recorded,
+                                   double requested) {
+      if (std::abs(recorded - requested * h) > options.eps) {
+        std::ostringstream out;
+        out << name << ": recorded " << what << " latency " << recorded
+            << " != requested " << requested << " x horizon " << h;
+        report.fail(out.str());
+      }
+    };
+    check_latency("send", lane.send_latency,
+                  costs.send_latency_for(lane.worker));
+    check_latency("compute", lane.compute_latency, costs.compute_latency);
+    check_latency("return", lane.return_latency,
+                  costs.return_latency_for(lane.worker));
+    check_duration(name, "recv", intervals.recv, lane.send_latency,
+                   lane.alpha * worker.c);
+    check_duration(name, "compute", intervals.compute, lane.compute_latency,
+                   lane.alpha * worker.w);
+    check_duration(name, "return", intervals.ret, lane.return_latency,
+                   lane.alpha * worker.d);
+  }
+
+  // Precedence, one-port service and the horizon bound come from the
+  // independent schedule validator, applied to the latency-inclusive
+  // timeline unchanged.
+  const ValidationReport physical = validate_timeline(
+      platform, realization.timeline, realization.horizon, options);
+  for (const std::string& violation : physical.violations) {
+    report.fail(violation);
+  }
+  return report;
+}
+
+}  // namespace dlsched::affine

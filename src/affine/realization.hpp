@@ -1,0 +1,75 @@
+// Affine schedule realization: the concrete timeline behind an affine FIFO
+// LP solution (paper Section 6).
+//
+// The linear `Schedule` model (schedule/schedule.hpp) derives every
+// duration as alpha * rate, so it cannot carry the affine model's start-up
+// constants.  This module lays the affine solution out explicitly, with
+// every activity interval *including* its latency segment:
+//
+//   sends back-to-back from t = 0 in sigma_1 order, each taking
+//     send_latency_i + alpha_i * c_i;
+//   each computation immediately after its reception, taking
+//     compute_latency + alpha_i * w_i;
+//   returns back-to-back ending exactly at the horizon in sigma_2 order,
+//     each taking return_latency_i + alpha_i * d_i.
+//
+// Crucially, *every participant* of the scenario appears -- a worker the
+// LP left at alpha = 0 still owns latency-only message and computation
+// segments, exactly as the LP charged them.  The laid-out lanes reuse the
+// `Timeline` shape, so the independent checker in schedule/validator
+// (validate_timeline: precedence, one-port, horizon) applies untouched;
+// `validate_affine` adds the affine duration checks on top.  The DES
+// replay (affine/replay.hpp) executes the same protocol on the event
+// engine and must land on the same makespan.
+#pragma once
+
+#include "core/affine.hpp"
+#include "core/scenario_lp.hpp"
+#include "platform/star_platform.hpp"
+#include "schedule/timeline.hpp"
+#include "schedule/validator.hpp"
+
+namespace dlsched::affine {
+
+/// One participant's affine lane: the latency constants next to the
+/// latency-inclusive intervals of its `Timeline` lane.
+struct AffineLane {
+  std::size_t worker = 0;        ///< platform worker index
+  double alpha = 0.0;            ///< load units (alpha * horizon)
+  double send_latency = 0.0;     ///< constant part of the recv interval
+  double compute_latency = 0.0;  ///< constant part of the compute interval
+  double return_latency = 0.0;   ///< constant part of the return interval
+  double idle = 0.0;             ///< gap between compute end and return start
+};
+
+/// A fully laid-out affine schedule.  `timeline.lanes` and `lanes` are
+/// parallel arrays in send (sigma_1) order.
+struct AffineRealization {
+  std::vector<AffineLane> lanes;
+  Timeline timeline;       ///< latency-inclusive intervals (validator food)
+  Scenario scenario;       ///< the realized (sigma_1, sigma_2) orders
+  double horizon = 1.0;    ///< the LP's T, scaled
+  double makespan = 0.0;   ///< end of the last return (== horizon packed)
+};
+
+/// Lays out a feasible affine solution for the given costs.  `horizon`
+/// rescales the *time unit* -- loads, latencies and every interval scale
+/// together, which (unlike the linear model's load-only scaling) is the
+/// only transformation the affine model admits.  Throws when the solution
+/// is marked infeasible.
+[[nodiscard]] AffineRealization realize_affine(const StarPlatform& platform,
+                                               const ScenarioSolution& solution,
+                                               const AffineCosts& costs,
+                                               double horizon = 1.0);
+
+/// First-principles checks of a realization against the platform and
+/// costs: every lane's recorded latency must match `costs` (scaled by the
+/// realization's horizon), every interval's duration must equal latency +
+/// alpha * rate, the idle gaps must be non-negative, and the timeline must
+/// pass the independent schedule/validator checks (precedence, one-port
+/// service, horizon).
+[[nodiscard]] ValidationReport validate_affine(
+    const StarPlatform& platform, const AffineRealization& realization,
+    const AffineCosts& costs, const ValidationOptions& options = {});
+
+}  // namespace dlsched::affine

@@ -1,0 +1,35 @@
+#include "affine/replay.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dlsched::affine {
+
+ReplayResult replay_affine(const StarPlatform& platform,
+                           const AffineRealization& realization) {
+  DLSCHED_EXPECT(!realization.lanes.empty(), "empty realization");
+  std::vector<double> loads(platform.size(), 0.0);
+  sim::DesOptions options;
+  options.include_zero_loads = true;  // participants pay constants regardless
+  options.send_latency.assign(platform.size(), 0.0);
+  options.compute_latency.assign(platform.size(), 0.0);
+  options.return_latency.assign(platform.size(), 0.0);
+  for (const AffineLane& lane : realization.lanes) {
+    loads[lane.worker] = lane.alpha;
+    options.send_latency[lane.worker] = lane.send_latency;
+    options.compute_latency[lane.worker] = lane.compute_latency;
+    options.return_latency[lane.worker] = lane.return_latency;
+  }
+
+  ReplayResult out;
+  out.des = sim::execute(platform, realization.scenario, loads, options);
+  out.makespan = out.des.makespan;
+  out.expected = realization.horizon;
+  out.rel_error = out.expected > 0.0
+                      ? std::abs(out.makespan - out.expected) / out.expected
+                      : std::abs(out.makespan);
+  return out;
+}
+
+}  // namespace dlsched::affine

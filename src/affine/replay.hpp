@@ -1,0 +1,38 @@
+// DES replay of an affine realization (the subsystem's end-to-end check).
+//
+// The realization (affine/realization.hpp) is algebra: intervals placed by
+// construction.  This module re-executes the same protocol on the
+// discrete-event engine -- latency-inclusive messages in sigma_1 order,
+// one-port return service in sigma_2 order, latency-only traffic to
+// zero-load participants -- and compares the simulated makespan with the
+// LP's horizon.
+//
+// At an affine FIFO LP *optimum* the two must agree exactly (up to double
+// rounding): the simulator serves returns as early as possible, which can
+// only finish at or before the packed horizon, while at the optimum either
+// the one-port budget or some worker's chain is tight, pinning the finish
+// to the horizon from below.  A relative error beyond ~1e-9 therefore
+// means a realization or executor bug, and the affine solvers surface it
+// per solve (`SolveResult::replay_rel_error`, gated by the affine_surface
+// acceptance test and CI).
+#pragma once
+
+#include "affine/realization.hpp"
+#include "platform/star_platform.hpp"
+#include "sim/des_executor.hpp"
+
+namespace dlsched::affine {
+
+struct ReplayResult {
+  sim::DesResult des;          ///< full trace + event count
+  double makespan = 0.0;       ///< simulated completion time
+  double expected = 0.0;       ///< the realization's horizon
+  double rel_error = 0.0;      ///< |makespan - expected| / expected
+};
+
+/// Replays the realization through the DES executor and measures the
+/// deviation from the LP-predicted horizon.
+[[nodiscard]] ReplayResult replay_affine(const StarPlatform& platform,
+                                         const AffineRealization& realization);
+
+}  // namespace dlsched::affine

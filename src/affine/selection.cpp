@@ -1,0 +1,158 @@
+#include "affine/selection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dlsched::affine {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+double elapsed_since(steady_clock::time_point start) {
+  return std::chrono::duration<double>(steady_clock::now() - start).count();
+}
+
+/// Records `solution` into `result` when it is feasible and beats the
+/// incumbent.  Returns true on improvement.
+bool offer(AffineSelectionResult& result, ScenarioSolution solution) {
+  if (!solution.lp_feasible) return false;
+  if (result.feasible && solution.throughput <= result.best.throughput) {
+    return false;
+  }
+  result.best = std::move(solution);
+  result.participants = result.best.scenario.send_order;
+  result.feasible = true;
+  return true;
+}
+
+}  // namespace
+
+AffineSelectionResult solve_affine_fifo_best_subset(
+    const StarPlatform& platform, const AffineCosts& costs,
+    std::size_t max_workers, double time_budget_seconds) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  DLSCHED_EXPECT(platform.size() <= max_workers,
+                 "platform too large for subset enumeration");
+  const auto start = steady_clock::now();
+  AffineSelectionResult result;
+  const std::size_t p = platform.size();
+  for (std::size_t mask = 1; mask < (std::size_t{1} << p); ++mask) {
+    if (time_budget_seconds > 0.0 &&
+        elapsed_since(start) > time_budget_seconds) {
+      result.budget_exhausted = true;
+      break;
+    }
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(i);
+    }
+    ++result.subsets_tried;
+    offer(result, solve_affine_fifo(platform, std::move(subset), costs));
+  }
+  return result;
+}
+
+AffineSelectionResult solve_affine_fifo_greedy(const StarPlatform& platform,
+                                               const AffineCosts& costs) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  const std::vector<std::size_t> order = platform.order_by_c();
+  AffineSelectionResult result;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    std::vector<std::size_t> prefix(
+        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
+    ScenarioSolution solution = solve_affine_fifo(platform, prefix, costs);
+    ++result.subsets_tried;
+    if (!solution.lp_feasible) break;  // longer prefixes only add constants
+    offer(result, std::move(solution));
+  }
+  return result;
+}
+
+AffineSelectionResult solve_affine_fifo_local_search(
+    const StarPlatform& platform, const AffineCosts& costs,
+    const AffineLocalSearchOptions& options) {
+  DLSCHED_EXPECT(!platform.empty(), "empty platform");
+  const auto start = steady_clock::now();
+  const std::size_t p = platform.size();
+  const auto out_of_budget = [&] {
+    return options.time_budget_seconds > 0.0 &&
+           elapsed_since(start) > options.time_budget_seconds;
+  };
+
+  // Seed with the greedy prefix; when even the cheapest-c prefix is
+  // infeasible (per-worker latencies can sink worker 1 but not worker 5),
+  // fall back to scanning the singletons.
+  AffineSelectionResult result = solve_affine_fifo_greedy(platform, costs);
+  if (!result.feasible) {
+    for (std::size_t i = 0; i < p; ++i) {
+      ++result.subsets_tried;
+      offer(result, solve_affine_fifo(platform, {i}, costs));
+    }
+    if (!result.feasible) return result;
+  }
+
+  std::vector<bool> member(p, false);
+  for (const std::size_t w : result.participants) member[w] = true;
+
+  // Best-improvement hill climbing over add / drop / swap moves.  The scan
+  // order is fixed, so the search is deterministic.  Consecutive sweeps
+  // revisit many subsets (this sweep's drop(y) is the last sweep's
+  // swap(y -> x)); a subset seen before can never beat an incumbent that
+  // has only improved since, so each LP is solved at most once.
+  std::set<std::vector<std::size_t>> seen;
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    AffineSelectionResult round = result;  // incumbent to beat this sweep
+    std::optional<std::pair<std::size_t, std::size_t>> best_move;
+    const auto consider = [&](std::size_t drop, std::size_t add) {
+      // drop == p: pure add; add == p: pure drop.
+      std::vector<std::size_t> candidate;
+      candidate.reserve(p);
+      for (std::size_t i = 0; i < p; ++i) {
+        const bool in = (member[i] && i != drop) || i == add;
+        if (in) candidate.push_back(i);
+      }
+      if (candidate.empty() || !seen.insert(candidate).second) return;
+      ++result.subsets_tried;
+      if (offer(round, solve_affine_fifo(platform, candidate, costs))) {
+        best_move = {drop, add};
+      }
+    };
+    for (std::size_t i = 0; i < p && !out_of_budget(); ++i) {
+      if (!member[i]) {
+        consider(p, i);  // add i
+        continue;
+      }
+      consider(i, p);  // drop i
+      for (std::size_t j = 0; j < p; ++j) {
+        if (member[j]) continue;
+        consider(i, j);  // swap i -> j
+        if (out_of_budget()) break;
+      }
+    }
+    if (out_of_budget()) {
+      result.budget_exhausted = true;
+      // A completed evaluation may still have improved the incumbent.
+    }
+    if (!best_move) {
+      round.subsets_tried = result.subsets_tried;
+      round.budget_exhausted = result.budget_exhausted;
+      return round;
+    }
+    const auto [drop, add] = *best_move;
+    if (drop < p) member[drop] = false;
+    if (add < p) member[add] = true;
+    round.subsets_tried = result.subsets_tried;
+    round.budget_exhausted = result.budget_exhausted;
+    result = std::move(round);
+    if (result.budget_exhausted) break;
+  }
+  return result;
+}
+
+}  // namespace dlsched::affine

@@ -1,0 +1,67 @@
+// Resource selection under the affine cost model (paper Section 6).
+//
+// With per-message start-up latencies every enrolled worker costs horizon
+// whether or not it receives load, so the hard question becomes *which
+// subset* to enroll -- NP-hard on heterogeneous stars per
+// Legrand-Yang-Casanova [20].  This module provides the three selection
+// strategies the affine solvers expose through the SolverRegistry:
+//   * exact subset enumeration (2^p - 1 FIFO LPs) with an optional time
+//     budget, so large platforms degrade to "best subset seen" instead of
+//     hanging a sweep;
+//   * the greedy prefix heuristic (grow the non-decreasing-c prefix while
+//     the throughput improves; p LPs);
+//   * a deterministic local search over participant sets: start from the
+//     greedy prefix and climb through add / drop / swap moves until no
+//     single-worker change improves the throughput.
+//
+// All three report infeasibility (constants alone exceed T = 1 for every
+// candidate subset) through `feasible == false` rather than throwing, so a
+// batch run records a clean per-job outcome.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "platform/star_platform.hpp"
+
+namespace dlsched::affine {
+
+struct AffineSelectionResult {
+  ScenarioSolution best;                 ///< best subset's solution
+  std::vector<std::size_t> participants; ///< the chosen subset (sigma_1 order)
+  std::size_t subsets_tried = 0;         ///< LPs evaluated
+  bool feasible = false;                 ///< some subset admitted alpha >= 0
+  bool budget_exhausted = false;         ///< stopped early on the time budget
+};
+
+/// Exact resource selection: tries every non-empty subset (2^p - 1 LPs).
+/// Throws if platform.size() > max_workers.  A positive
+/// `time_budget_seconds` stops the enumeration early (best-so-far wins,
+/// `budget_exhausted` set).
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
+    const StarPlatform& platform, const AffineCosts& costs,
+    std::size_t max_workers = 12, double time_budget_seconds = 0.0);
+
+/// Greedy selection: grow the prefix of the non-decreasing-c order while
+/// the throughput improves.  Polynomial (p LPs); not optimal in general
+/// (the problem is NP-hard [20]) but exact on the instances where the
+/// optimal subset is a prefix -- the common case, exercised in tests.
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_greedy(
+    const StarPlatform& platform, const AffineCosts& costs);
+
+struct AffineLocalSearchOptions {
+  std::size_t max_steps = 200;       ///< accepted-move cap
+  double time_budget_seconds = 0.0;  ///< 0 = unlimited
+};
+
+/// Local-search refinement over participant sets: starts from the greedy
+/// prefix and repeatedly applies the best of all add-one / drop-one /
+/// swap-one moves until none improves the throughput.  Deterministic (the
+/// move scan order is fixed), never worse than greedy, and polynomial per
+/// step (O(p^2) LPs per sweep).
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_local_search(
+    const StarPlatform& platform, const AffineCosts& costs,
+    const AffineLocalSearchOptions& options = {});
+
+}  // namespace dlsched::affine

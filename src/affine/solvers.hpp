@@ -1,0 +1,24 @@
+// SolverRegistry adapters for the affine subsystem.
+//
+// Four solution methodologies for the Section 6 model, all sharing the
+// realize -> validate -> DES-replay tail (affine/realization.hpp,
+// affine/replay.hpp), so every affine solve in a batch or sweep carries a
+// machine-checked consistency certificate:
+//   * affine_fifo          -- the FIFO LP over an explicit participant set;
+//   * affine_greedy        -- greedy prefix resource selection;
+//   * affine_subset        -- exact subset enumeration (time-budget aware);
+//   * affine_local_search  -- participant-set hill climbing from greedy.
+//
+// `register_affine_solvers` is called by the core registry's builtin
+// population; library users with their own registry can call it directly.
+#pragma once
+
+namespace dlsched {
+class SolverRegistry;
+}  // namespace dlsched
+
+namespace dlsched::affine {
+
+void register_affine_solvers(SolverRegistry& registry);
+
+}  // namespace dlsched::affine

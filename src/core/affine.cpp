@@ -6,10 +6,30 @@
 
 namespace dlsched {
 
+bool AffineCosts::is_affine() const noexcept {
+  if (send_latency != 0.0 || compute_latency != 0.0 ||
+      return_latency != 0.0) {
+    return true;
+  }
+  const auto any_nonzero = [](const std::vector<double>& values) {
+    return std::any_of(values.begin(), values.end(),
+                       [](double v) { return v != 0.0; });
+  };
+  return any_nonzero(send_latency_per_worker) ||
+         any_nonzero(return_latency_per_worker);
+}
+
 ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
                                    std::vector<std::size_t> participants,
                                    const AffineCosts& costs) {
   DLSCHED_EXPECT(!participants.empty(), "no participants");
+  DLSCHED_EXPECT(costs.send_latency_per_worker.empty() ||
+                     costs.send_latency_per_worker.size() == platform.size(),
+                 "per-worker send latencies must be platform-indexed");
+  DLSCHED_EXPECT(costs.return_latency_per_worker.empty() ||
+                     costs.return_latency_per_worker.size() ==
+                         platform.size(),
+                 "per-worker return latencies must be platform-indexed");
   // Non-decreasing c among the participants (Theorem 1's order remains the
   // natural heuristic under affine costs).
   std::stable_sort(participants.begin(), participants.end(),
@@ -18,56 +38,6 @@ ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
                    });
   return solve_scenario(platform, Scenario::fifo(participants),
                         costs.lp_options());
-}
-
-AffineSelectionResult solve_affine_fifo_best_subset(
-    const StarPlatform& platform, const AffineCosts& costs,
-    std::size_t max_workers) {
-  DLSCHED_EXPECT(!platform.empty(), "empty platform");
-  DLSCHED_EXPECT(platform.size() <= max_workers,
-                 "platform too large for subset enumeration");
-  AffineSelectionResult result;
-  const std::size_t p = platform.size();
-  for (std::size_t mask = 1; mask < (std::size_t{1} << p); ++mask) {
-    std::vector<std::size_t> subset;
-    for (std::size_t i = 0; i < p; ++i) {
-      if (mask & (std::size_t{1} << i)) subset.push_back(i);
-    }
-    ScenarioSolution solution =
-        solve_affine_fifo(platform, std::move(subset), costs);
-    ++result.subsets_tried;
-    if (!solution.lp_feasible) continue;
-    if (result.participants.empty() ||
-        solution.throughput > result.best.throughput) {
-      result.best = std::move(solution);
-      result.participants = result.best.scenario.send_order;
-    }
-  }
-  DLSCHED_EXPECT(!result.participants.empty(),
-                 "no feasible subset (constants exceed the horizon)");
-  return result;
-}
-
-AffineSelectionResult solve_affine_fifo_greedy(const StarPlatform& platform,
-                                               const AffineCosts& costs) {
-  DLSCHED_EXPECT(!platform.empty(), "empty platform");
-  const std::vector<std::size_t> order = platform.order_by_c();
-  AffineSelectionResult result;
-  bool have_best = false;
-  for (std::size_t k = 1; k <= order.size(); ++k) {
-    std::vector<std::size_t> prefix(order.begin(),
-                                    order.begin() + static_cast<std::ptrdiff_t>(k));
-    ScenarioSolution solution = solve_affine_fifo(platform, prefix, costs);
-    ++result.subsets_tried;
-    if (!solution.lp_feasible) break;  // longer prefixes only add constants
-    if (!have_best || solution.throughput > result.best.throughput) {
-      result.best = std::move(solution);
-      result.participants = result.best.scenario.send_order;
-      have_best = true;
-    }
-  }
-  DLSCHED_EXPECT(have_best, "no feasible prefix (constants exceed horizon)");
-  return result;
 }
 
 }  // namespace dlsched

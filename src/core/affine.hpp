@@ -2,10 +2,12 @@
 // latency in addition to the linear term, and a computation pays a fixed
 // overhead.  Legrand-Yang-Casanova [20] proved the resulting DLS problem
 // NP-hard on heterogeneous stars, so no polynomial optimality result exists
-// here; this module provides:
-//   * the affine scenario LP (fixed participant set and orders);
-//   * exact resource selection by subset enumeration for small platforms;
-//   * a greedy heuristic (grow the non-decreasing-c prefix) for larger ones.
+// here; this module provides the cost model and the affine scenario LP
+// (fixed participant set and orders).  Resource *selection* -- exact subset
+// enumeration, the greedy prefix and the participant-set local search --
+// lives in the affine subsystem (affine/selection.hpp), together with the
+// schedule realization (affine/realization.hpp) and the DES replay
+// (affine/replay.hpp).
 //
 // The affine model is what makes multi-round strategies non-trivial (see
 // core/multiround.hpp): with purely linear costs infinitely many rounds
@@ -13,18 +15,50 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/scenario_lp.hpp"
 #include "platform/star_platform.hpp"
 
 namespace dlsched {
 
-/// Per-activity start-up overheads (same for every worker, as in the
-/// "query processing" variant of Barlas [4]).
+/// Per-activity start-up overheads.  The scalar fields are *global* (the
+/// same constant for every worker, as in the "query processing" variant of
+/// Barlas [4]); the optional per-worker vectors override the send / return
+/// latency worker by worker (platform-indexed), which is what the
+/// latency-correlated platform generators produce.  Consumers that cannot
+/// honour per-worker values (the multi-round executor, for one) assert
+/// `!has_per_worker()` instead of silently collapsing the draws to the
+/// global constant.
 struct AffineCosts {
-  double send_latency = 0.0;
-  double compute_latency = 0.0;
-  double return_latency = 0.0;
+  double send_latency = 0.0;     ///< per initial message
+  double compute_latency = 0.0;  ///< per computation start (always global)
+  double return_latency = 0.0;   ///< per return message
+
+  /// Per-worker overrides (platform-indexed).  Empty = use the global
+  /// scalar for every worker; when non-empty the vector must cover the
+  /// whole platform (asserted where it is consumed).
+  std::vector<double> send_latency_per_worker;
+  std::vector<double> return_latency_per_worker;
+
+  /// Effective send latency of worker `i`.
+  [[nodiscard]] double send_latency_for(std::size_t i) const {
+    return send_latency_per_worker.empty() ? send_latency
+                                           : send_latency_per_worker[i];
+  }
+  /// Effective return latency of worker `i`.
+  [[nodiscard]] double return_latency_for(std::size_t i) const {
+    return return_latency_per_worker.empty() ? return_latency
+                                             : return_latency_per_worker[i];
+  }
+
+  [[nodiscard]] bool has_per_worker() const noexcept {
+    return !send_latency_per_worker.empty() ||
+           !return_latency_per_worker.empty();
+  }
+
+  /// Any non-zero constant anywhere (global or per-worker)?
+  [[nodiscard]] bool is_affine() const noexcept;
 
   [[nodiscard]] LpOptions lp_options(bool one_port = true) const {
     LpOptions options;
@@ -32,6 +66,8 @@ struct AffineCosts {
     options.send_latency = send_latency;
     options.compute_latency = compute_latency;
     options.return_latency = return_latency;
+    options.send_latencies = send_latency_per_worker;
+    options.return_latencies = return_latency_per_worker;
     return options;
   }
 };
@@ -42,24 +78,5 @@ struct AffineCosts {
 [[nodiscard]] ScenarioSolution solve_affine_fifo(
     const StarPlatform& platform, std::vector<std::size_t> participants,
     const AffineCosts& costs);
-
-struct AffineSelectionResult {
-  ScenarioSolution best;                 ///< best subset's solution
-  std::vector<std::size_t> participants; ///< the chosen subset
-  std::size_t subsets_tried = 0;
-};
-
-/// Exact resource selection: tries every non-empty subset (2^p - 1 LPs).
-/// Throws if platform.size() > max_workers.
-[[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
-    const StarPlatform& platform, const AffineCosts& costs,
-    std::size_t max_workers = 12);
-
-/// Greedy selection: grow the prefix of the non-decreasing-c order while
-/// the throughput improves.  Polynomial (p LPs); not optimal in general
-/// (the problem is NP-hard [20]) but exact on the instances where the
-/// optimal subset is a prefix -- the common case, exercised in tests.
-[[nodiscard]] AffineSelectionResult solve_affine_fifo_greedy(
-    const StarPlatform& platform, const AffineCosts& costs);
 
 }  // namespace dlsched

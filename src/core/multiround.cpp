@@ -101,6 +101,11 @@ struct MultiRoundRun {
 MultiRoundResult execute_multi_round(const StarPlatform& platform,
                                      const MultiRoundPlan& plan) {
   DLSCHED_EXPECT(plan.rounds >= 1, "need at least one round");
+  // The round-robin executor applies one global latency per activity;
+  // refusing generator-drawn per-worker draws here beats averaging them
+  // away silently (see AffineCosts).
+  DLSCHED_EXPECT(!plan.costs.has_per_worker(),
+                 "multi-round execution supports global latencies only");
   DLSCHED_EXPECT(plan.loads.size() == platform.size(),
                  "loads must be platform-indexed");
 

@@ -36,9 +36,22 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
   scenario.check(platform);
   const std::size_t q = scenario.size();
   const Positions pos = index_positions(platform, scenario);
-  const Rational send_lat = Rational::from_double(options.send_latency);
+  DLSCHED_EXPECT(options.send_latencies.empty() ||
+                     options.send_latencies.size() == platform.size(),
+                 "per-worker send latencies must be platform-indexed");
+  DLSCHED_EXPECT(options.return_latencies.empty() ||
+                     options.return_latencies.size() == platform.size(),
+                 "per-worker return latencies must be platform-indexed");
   const Rational comp_lat = Rational::from_double(options.compute_latency);
-  const Rational ret_lat = Rational::from_double(options.return_latency);
+  // Exact per-position latency constants in sigma_1 order (a latency, like
+  // the linear coefficients, is paid by the *message*, so worker j's own
+  // constant accumulates wherever its message appears in a chain).
+  std::vector<Rational> send_lat(q), ret_lat(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    const std::size_t w = scenario.send_order[k];
+    send_lat[k] = Rational::from_double(options.send_latency_for(w));
+    ret_lat[k] = Rational::from_double(options.return_latency_for(w));
+  }
 
   lp::LpProblem problem;
   // Variables: alpha_k and x_k, ordered by sigma_1 position k.
@@ -76,7 +89,7 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
     // All sends up to and including worker k (sigma_1 prefix).
     for (std::size_t j = 0; j <= k; ++j) {
       terms.push_back({alpha_var[j], c[j]});
-      constants += send_lat;
+      constants += send_lat[j];
     }
     // Own computation.
     terms.push_back({alpha_var[k], w_cost[k]});
@@ -89,7 +102,7 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
       const std::size_t other = scenario.return_order[r];
       const std::size_t other_k = pos.send_pos[other];
       terms.push_back({alpha_var[other_k], d[other_k]});
-      constants += ret_lat;
+      constants += ret_lat[other_k];
     }
     problem.add_constraint(std::move(terms), lp::Relation::LessEq,
                            Rational(1) - constants,
@@ -104,7 +117,7 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
     Rational constants;
     for (std::size_t k = 0; k < q; ++k) {
       terms.push_back({alpha_var[k], c[k] + d[k]});
-      constants += send_lat + ret_lat;
+      constants += send_lat[k] + ret_lat[k];
     }
     problem.add_constraint(std::move(terms), lp::Relation::LessEq,
                            Rational(1) - constants, "one_port");

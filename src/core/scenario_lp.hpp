@@ -55,9 +55,32 @@ struct LpOptions {
   double compute_latency = 0.0;  ///< per computation start (affine model)
   double return_latency = 0.0;   ///< per return message (affine model)
 
+  /// Per-worker latency overrides (platform-indexed; empty = the global
+  /// scalar applies to every worker).  Drawn by the latency-correlated
+  /// platform generators; see core/affine.hpp.
+  std::vector<double> send_latencies;
+  std::vector<double> return_latencies;
+
+  /// Effective latencies of platform worker `i`.
+  [[nodiscard]] double send_latency_for(std::size_t i) const {
+    return send_latencies.empty() ? send_latency : send_latencies[i];
+  }
+  [[nodiscard]] double return_latency_for(std::size_t i) const {
+    return return_latencies.empty() ? return_latency : return_latencies[i];
+  }
+
   [[nodiscard]] bool is_affine() const noexcept {
-    return send_latency != 0.0 || compute_latency != 0.0 ||
-           return_latency != 0.0;
+    if (send_latency != 0.0 || compute_latency != 0.0 ||
+        return_latency != 0.0) {
+      return true;
+    }
+    for (const double v : send_latencies) {
+      if (v != 0.0) return true;
+    }
+    for (const double v : return_latencies) {
+      if (v != 0.0) return true;
+    }
+    return false;
   }
 };
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "affine/solvers.hpp"
 #include "core/brute_force.hpp"
 #include "core/bus_closed_form.hpp"
 #include "core/exchange.hpp"
@@ -577,112 +578,6 @@ class ScenarioLpSolver final : public Solver {
   }
 };
 
-// ----------------------------------------------------------------- affine --
-
-/// Shared tail for the affine solvers: realize a schedule only in the
-/// linear special case (the Schedule model has no latency terms).
-void finish_affine(const StarPlatform& platform, const SolveRequest& request,
-                   SolveResult& out);
-
-class AffineFifoSolver final : public Solver {
- public:
-  std::string name() const override { return "affine_fifo"; }
-  std::string description() const override {
-    return "FIFO LP under the affine cost model over an explicit "
-           "participant set (default: all workers)";
-  }
-  std::string paper_ref() const override { return "Section 6, ref [20]"; }
-
-  SolveResult solve(const SolveRequest& request) const override {
-    const StarPlatform& platform = request.platform;
-    DLSCHED_EXPECT(!platform.empty(), "empty platform");
-    std::vector<std::size_t> participants = request.participants;
-    if (participants.empty()) {
-      participants.resize(platform.size());
-      for (std::size_t i = 0; i < platform.size(); ++i) participants[i] = i;
-    }
-    SolveResult out;
-    out.solver = name();
-    out.schedule_platform = platform;
-    out.solution =
-        solve_affine_fifo(platform, std::move(participants), request.costs);
-    finish_affine(platform, request, out);
-    return out;
-  }
-};
-
-void finish_affine(const StarPlatform& platform, const SolveRequest& request,
-                   SolveResult& out) {
-  if (!out.solution.lp_feasible) {
-    out.notes = "affine constants alone exceed the horizon: infeasible";
-    return;
-  }
-  if (request.costs.lp_options().is_affine()) {
-    out.notes = "affine latencies are outside the linear Schedule model; "
-                "no realized schedule";
-    return;
-  }
-  out.schedule = realize_schedule(platform, out.solution, request.horizon);
-}
-
-class AffineGreedySolver final : public Solver {
- public:
-  std::string name() const override { return "affine_greedy"; }
-  std::string description() const override {
-    return "affine resource selection: grow the non-decreasing-c prefix "
-           "while throughput improves (p LPs)";
-  }
-  std::string paper_ref() const override { return "Section 6, ref [20]"; }
-
-  SolveResult solve(const SolveRequest& request) const override {
-    const AffineSelectionResult result =
-        solve_affine_fifo_greedy(request.platform, request.costs);
-    SolveResult out;
-    out.solver = name();
-    out.schedule_platform = request.platform;
-    out.solution = result.best;
-    out.scenarios_tried = result.subsets_tried;
-    finish_affine(request.platform, request, out);
-    return out;
-  }
-};
-
-class AffineSubsetSolver final : public Solver {
- public:
-  std::string name() const override { return "affine_subset"; }
-  std::string description() const override {
-    return "exact affine resource selection by subset enumeration "
-           "(2^p - 1 LPs)";
-  }
-  std::string paper_ref() const override { return "Section 6, ref [20]"; }
-
-  bool applicable(const SolveRequest& request,
-                  std::string* why) const override {
-    if (!Solver::applicable(request, why)) return false;
-    if (request.platform.size() > request.max_workers_subset) {
-      if (why) {
-        *why = "platform too large for subset enumeration (2^p LPs; raise "
-               "max_workers_subset to force)";
-      }
-      return false;
-    }
-    return true;
-  }
-
-  SolveResult solve(const SolveRequest& request) const override {
-    const AffineSelectionResult result = solve_affine_fifo_best_subset(
-        request.platform, request.costs, request.max_workers_subset);
-    SolveResult out;
-    out.solver = name();
-    out.schedule_platform = request.platform;
-    out.solution = result.best;
-    out.scenarios_tried = result.subsets_tried;
-    out.provably_optimal = true;  // exact over subsets of the INC_C order
-    finish_affine(request.platform, request, out);
-    return out;
-  }
-};
-
 void register_builtins(SolverRegistry& registry) {
   registry.add([] { return std::make_unique<FifoOptimalSolver>(); });
   registry.add([] {
@@ -729,9 +624,9 @@ void register_builtins(SolverRegistry& registry) {
   registry.add([] { return std::make_unique<ExchangeSortSolver>(); });
   registry.add([] { return std::make_unique<MirrorFifoSolver>(); });
   registry.add([] { return std::make_unique<ScenarioLpSolver>(); });
-  registry.add([] { return std::make_unique<AffineFifoSolver>(); });
-  registry.add([] { return std::make_unique<AffineGreedySolver>(); });
-  registry.add([] { return std::make_unique<AffineSubsetSolver>(); });
+  // The affine subsystem's solvers (affine_fifo, affine_greedy,
+  // affine_subset, affine_local_search) register themselves.
+  affine::register_affine_solvers(registry);
 }
 
 }  // namespace
@@ -892,6 +787,14 @@ std::string request_canonical_key(const SolveRequest& request) {
   key_double(out, request.costs.send_latency);
   key_double(out, request.costs.compute_latency);
   key_double(out, request.costs.return_latency);
+  out << "\ncosts_per_worker ";
+  for (const double v : request.costs.send_latency_per_worker) {
+    key_double(out, v);
+  }
+  out << "| ";
+  for (const double v : request.costs.return_latency_per_worker) {
+    key_double(out, v);
+  }
   out << "\nprecision " << (request.precision == Precision::Exact ? 'e' : 'f');
   out << "\nhorizon ";
   key_double(out, request.horizon);

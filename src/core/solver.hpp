@@ -92,6 +92,17 @@ struct SolveResult {
   std::optional<Rational> alt_throughput;
   bool comm_limited = false;       ///< Theorem 2: 1/(c+d) branch taken
 
+  /// Chosen participant set (sorted worker indices) for selection-style
+  /// solvers -- the affine subset / greedy / local-search family.  Empty
+  /// for solvers whose enrolment is implied by alpha > 0.
+  std::vector<std::size_t> participants;
+
+  /// Affine DES-replay check (affine/replay.hpp): the realized timeline
+  /// re-executed on the event engine must land on the LP horizon.
+  bool replayed = false;
+  double replay_makespan = 0.0;    ///< simulated completion time
+  double replay_rel_error = 0.0;   ///< |makespan - horizon| / horizon
+
   // ----- search / evaluation statistics -----------------------------------
   std::size_t scenarios_tried = 0; ///< brute force / affine subset count
   std::size_t lp_evaluations = 0;  ///< local search oracle calls

@@ -98,6 +98,12 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
     spec.repetitions =
         static_cast<std::size_t>(args.get_int("repetitions", 1));
   }
+  if (const auto filter = args.get("filter")) {
+    // Axis slicing (`--filter p=4,solver=affine_greedy|affine_fifo`):
+    // the filtered spec shares the cache with the full sweep, so a slice
+    // is both a cheap CI smoke and a warm-up for the full run.
+    apply_spec_filter(spec, *filter);
+  }
   RunOptions options;
   options.out_json = args.has("no-json")
                          ? std::string()

@@ -40,6 +40,10 @@ CachedSolve cached_from_outcome(const BatchOutcome& outcome) {
   solve.lp_evaluations = result.lp_evaluations;
   solve.best_rounds = result.best_rounds;
   solve.wall_seconds = result.wall_seconds;
+  solve.participants = result.participants;
+  solve.replayed = result.replayed;
+  solve.replay_makespan = result.replay_makespan;
+  solve.replay_rel_error = result.replay_rel_error;
   return solve;
 }
 
@@ -121,14 +125,16 @@ std::vector<std::size_t> get_indices(std::istream& in,
 std::string serialize(const std::string& canonical_key,
                       const CachedSolve& s) {
   std::ostringstream out;
-  out << "dlsched-cache 1\n";
+  // Version 2 added the participant set and the affine replay certificate;
+  // version-1 entries degrade to misses and are re-solved.
+  out << "dlsched-cache 2\n";
   put_blob(out, "key", canonical_key);
   put_blob(out, "solver", s.solver);
   put_blob(out, "error", s.error);
   out << "flags " << s.solved << ' ' << s.validated << ' '
       << s.provably_optimal << ' ' << s.mirrored << ' ' << s.used_two_port
       << ' ' << s.exact << ' ' << s.budget_exhausted << ' ' << s.has_alt
-      << '\n';
+      << ' ' << s.replayed << '\n';
   out << "counts " << s.workers_used << ' ' << s.scenarios_tried << ' '
       << s.lp_evaluations << ' ' << s.best_rounds << '\n';
   out << "scalars ";
@@ -139,6 +145,10 @@ std::string serialize(const std::string& canonical_key,
   put_double(out, s.wall_seconds);
   out << ' ';
   put_double(out, s.validate_seconds);
+  out << ' ';
+  put_double(out, s.replay_makespan);
+  out << ' ';
+  put_double(out, s.replay_rel_error);
   out << '\n';
   out << "alpha " << s.alpha.size();
   for (const double a : s.alpha) {
@@ -148,6 +158,7 @@ std::string serialize(const std::string& canonical_key,
   out << '\n';
   put_indices(out, "send", s.send_order);
   put_indices(out, "ret", s.return_order);
+  put_indices(out, "part", s.participants);
   out << "end\n";
   return out.str();
 }
@@ -161,7 +172,7 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     std::string magic;
     int version = 0;
     in >> magic >> version;
-    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 1,
+    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 2,
                    "cache entry: bad header");
     in.ignore(1);
     if (get_blob(in, "key") != canonical_key) return std::nullopt;
@@ -172,7 +183,8 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     in >> label;
     DLSCHED_EXPECT(label == "flags", "cache entry: expected flags");
     in >> s.solved >> s.validated >> s.provably_optimal >> s.mirrored >>
-        s.used_two_port >> s.exact >> s.budget_exhausted >> s.has_alt;
+        s.used_two_port >> s.exact >> s.budget_exhausted >> s.has_alt >>
+        s.replayed;
     in >> label;
     DLSCHED_EXPECT(label == "counts", "cache entry: expected counts");
     in >> s.workers_used >> s.scenarios_tried >> s.lp_evaluations >>
@@ -183,6 +195,8 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     s.alt_throughput = get_double(in);
     s.wall_seconds = get_double(in);
     s.validate_seconds = get_double(in);
+    s.replay_makespan = get_double(in);
+    s.replay_rel_error = get_double(in);
     in >> label;
     DLSCHED_EXPECT(label == "alpha", "cache entry: expected alpha");
     std::size_t count = 0;
@@ -191,6 +205,7 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     for (double& a : s.alpha) a = get_double(in);
     s.send_order = get_indices(in, "send");
     s.return_order = get_indices(in, "ret");
+    s.participants = get_indices(in, "part");
     in >> label;
     DLSCHED_EXPECT(label == "end" && !in.fail(),
                    "cache entry: missing end marker");

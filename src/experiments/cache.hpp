@@ -36,6 +36,14 @@ struct CachedSolve {
   std::vector<std::size_t> send_order;     ///< sigma_1
   std::vector<std::size_t> return_order;   ///< sigma_2
   std::size_t workers_used = 0;            ///< alpha > 0 count
+  /// Chosen participant set of a selection-style solver (sorted; empty
+  /// when enrolment is implied by alpha > 0).
+  std::vector<std::size_t> participants;
+
+  // Affine DES-replay certificate (affine/replay.hpp).
+  bool replayed = false;
+  double replay_makespan = 0.0;
+  double replay_rel_error = 0.0;
 
   bool provably_optimal = false;
   bool mirrored = false;

@@ -49,6 +49,26 @@ std::string json_string_array(const std::vector<std::string>& values) {
   return out;
 }
 
+std::string json_index_array(const std::vector<std::size_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string json_double_array(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_double(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
 // ------------------------------------------------------------- JsonObject --
 
 JsonObject& JsonObject::add(const std::string& name,
@@ -104,6 +124,18 @@ BenchJsonWriter::BenchJsonWriter(
       .add("repetitions", spec.repetitions)
       .add("precision",
            spec.precision == Precision::Exact ? "exact" : "fast");
+  // Affine axes, only when the spec sweeps them: latency-free specs keep
+  // their header (and artifact) bytes unchanged.
+  if (!spec.send_latencies.empty()) {
+    header.add_raw("send_latencies", json_double_array(spec.send_latencies));
+  }
+  if (!spec.return_latencies.empty()) {
+    header.add_raw("return_latencies",
+                   json_double_array(spec.return_latencies));
+  }
+  if (spec.compute_latency != 0.0) {
+    header.add("compute_latency", spec.compute_latency);
+  }
   out_ << "{\n  \"spec\": " << header.render() << ",\n  \"rows\": [";
 }
 

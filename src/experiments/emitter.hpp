@@ -45,6 +45,13 @@ class JsonObject {
 [[nodiscard]] std::string json_string_array(
     const std::vector<std::string>& values);
 
+/// Renders an index list (participant sets, orders) as a JSON array.
+[[nodiscard]] std::string json_index_array(
+    const std::vector<std::size_t>& values);
+
+/// Renders a double list (axis values) as a JSON array.
+[[nodiscard]] std::string json_double_array(const std::vector<double>& values);
+
 /// Streams `{"spec": {...}, "rows": [...]}`.  The header is derived from
 /// the spec (name, title, figure, kind, generator, axes, solver list) and
 /// contains nothing run-dependent -- cache summaries go to the log, never

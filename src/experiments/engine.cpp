@@ -106,6 +106,8 @@ ExperimentSpec shrink(ExperimentSpec spec) {
   spec.repetitions = std::min<std::size_t>(spec.repetitions, 2);
   cap(spec.workers, 2);
   cap(spec.z_values, 2);
+  cap(spec.send_latencies, 2);
+  cap(spec.return_latencies, 2);
   cap(spec.matrix_sizes, 2);
   cap(spec.latencies, 2);
   spec.platforms = std::min<std::size_t>(spec.platforms, 3);

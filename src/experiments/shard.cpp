@@ -51,58 +51,104 @@ std::vector<CompiledShard> plan_shards(const ExperimentSpec& spec) {
   if (!spec.z_values.empty()) {
     z_axis.assign(spec.z_values.begin(), spec.z_values.end());
   }
+  std::vector<std::optional<double>> slat_axis{std::nullopt};
+  if (!spec.send_latencies.empty()) {
+    slat_axis.assign(spec.send_latencies.begin(),
+                     spec.send_latencies.end());
+  }
+  std::vector<std::optional<double>> rlat_axis{std::nullopt};
+  if (!spec.return_latencies.empty()) {
+    rlat_axis.assign(spec.return_latencies.begin(),
+                     spec.return_latencies.end());
+  }
 
-  // One shard per (p, z) slice, further split per repetition: the
-  // repetition split keeps shard weights comparable when one platform
-  // size dwarfs the others (micro_solvers' p = 12 slice is ~97% of the
-  // spec), which is what lets work stealing actually balance the grid.
-  // Planner order is the monolithic engine's nested loop order
-  // (p, then z, then rep), so concatenating shard outputs reproduces its
-  // artifacts byte for byte.
+  // One shard per (p, z, send-latency, return-latency) slice, further
+  // split per repetition: the repetition split keeps shard weights
+  // comparable when one platform size dwarfs the others (micro_solvers'
+  // p = 12 slice is ~97% of the spec), which is what lets work stealing
+  // actually balance the grid.  Planner order is the nested loop order
+  // (p, then z, then send latency, then return latency, then rep), so
+  // concatenating shard outputs in planner order reproduces a
+  // single-process run's artifacts byte for byte.
   std::vector<CompiledShard> shards;
-  shards.reserve(p_axis.size() * z_axis.size() * spec.repetitions);
+  shards.reserve(p_axis.size() * z_axis.size() * slat_axis.size() *
+                 rlat_axis.size() * spec.repetitions);
   for (const auto& p : p_axis) {
     for (const auto& z : z_axis) {
-      for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
-        CompiledShard shard;
-        shard.index = shards.size();
-        shard.p = p;
-        shard.z = z;
-        shard.rep = rep;
-        // The shard id hashes the job identities inside the slice, so it
-        // is stable across runs and processes yet changes with any axis,
-        // seed, generator or solver-set edit.
-        std::ostringstream id_key;
-        id_key << "shard\nspec " << spec.name << "\npoint "
-               << (p ? std::to_string(*p) : std::string("-")) << ' '
-               << z_key(z) << ' ' << rep << "\njobs ";
-        const std::uint64_t seed =
-            instance_seed(spec.seed, p.value_or(0), z.value_or(-1.0), rep);
-        gen::GenParams params = spec.generator_params;
-        if (p) params["p"] = static_cast<double>(*p);
-        if (z) params["z"] = *z;
-        Rng rng(seed);
-        shard.request.platform = gen::GeneratorRegistry::instance().make(
-            spec.generator, params, rng);
-        shard.request.precision = spec.precision;
-        shard.request.time_budget_seconds = spec.time_budget_seconds;
-        shard.request.max_workers_brute = spec.max_workers_brute;
-        shard.request.seed = seed;
-        for (const std::string& solver : solvers) {
-          if (!solver_objects.at(solver)->applicable(shard.request)) {
-            ++shard.skipped;
-            continue;
+      for (const auto& slat : slat_axis) {
+        for (const auto& rlat : rlat_axis) {
+          for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+            CompiledShard shard;
+            shard.index = shards.size();
+            shard.p = p;
+            shard.z = z;
+            shard.send_latency = slat;
+            shard.return_latency = rlat;
+            shard.rep = rep;
+            // The shard id hashes the job identities inside the slice, so
+            // it is stable across runs and processes yet changes with any
+            // axis, seed, generator or solver-set edit.
+            std::ostringstream id_key;
+            id_key << "shard\nspec " << spec.name << "\npoint "
+                   << (p ? std::to_string(*p) : std::string("-")) << ' '
+                   << z_key(z) << ' ' << z_key(slat) << ' ' << z_key(rlat)
+                   << ' ' << rep << "\njobs ";
+            // The latency axes are deliberately outside the instance
+            // seed: one platform (and one set of latency factors) spans
+            // the whole latency surface, isolating the latency effect.
+            const std::uint64_t seed = instance_seed(
+                spec.seed, p.value_or(0), z.value_or(-1.0), rep);
+            gen::GenParams params = spec.generator_params;
+            if (p) params["p"] = static_cast<double>(*p);
+            if (z) params["z"] = *z;
+            Rng rng(seed);
+            const gen::GeneratedPlatform generated =
+                gen::GeneratorRegistry::instance().make_generated(
+                    spec.generator, params, rng);
+            shard.request.platform = generated.platform;
+            if (slat) shard.request.costs.send_latency = *slat;
+            if (rlat) shard.request.costs.return_latency = *rlat;
+            shard.request.costs.compute_latency = spec.compute_latency;
+            // Generator-drawn latency factors scale by the axis value into
+            // per-worker overrides (factor 1 == the global latency).
+            if (generated.has_latency_draws()) {
+              const std::size_t n = generated.platform.size();
+              if (slat && *slat > 0.0) {
+                auto& per = shard.request.costs.send_latency_per_worker;
+                per.resize(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                  per[i] = *slat * generated.latency_factor[i];
+                }
+              }
+              if (rlat && *rlat > 0.0) {
+                auto& per = shard.request.costs.return_latency_per_worker;
+                per.resize(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                  per[i] = *rlat * generated.latency_factor[i];
+                }
+              }
+            }
+            shard.request.precision = spec.precision;
+            shard.request.time_budget_seconds = spec.time_budget_seconds;
+            shard.request.max_workers_brute = spec.max_workers_brute;
+            shard.request.seed = seed;
+            for (const std::string& solver : solvers) {
+              if (!solver_objects.at(solver)->applicable(shard.request)) {
+                ++shard.skipped;
+                continue;
+              }
+              id_key << job_hash_hex(solver, shard.request) << ' ';
+              GridSlot slot;
+              slot.z = z;
+              slot.rep = rep;
+              slot.seed = seed;
+              slot.solver = solver;
+              shard.slots.push_back(std::move(slot));
+            }
+            shard.id = job_hash_from_key(id_key.str());
+            shards.push_back(std::move(shard));
           }
-          id_key << job_hash_hex(solver, shard.request) << ' ';
-          GridSlot slot;
-          slot.z = z;
-          slot.rep = rep;
-          slot.seed = seed;
-          slot.solver = solver;
-          shard.slots.push_back(std::move(slot));
         }
-        shard.id = job_hash_from_key(id_key.str());
-        shards.push_back(std::move(shard));
       }
     }
   }
@@ -189,10 +235,16 @@ ShardResult execute_shard(const ExperimentSpec& spec,
     out.validated = s.validated;
     out.p = shard.request.platform.size();
     out.z = slot.z;
+    out.send_latency = shard.send_latency;
+    out.return_latency = shard.return_latency;
     out.solver = slot.solver;
     JsonObject row;
     row.add("solver", slot.solver).add("p", out.p);
     if (slot.z) row.add("z", *slot.z);
+    if (shard.send_latency) row.add("send_latency", *shard.send_latency);
+    if (shard.return_latency) {
+      row.add("return_latency", *shard.return_latency);
+    }
     row.add("rep", slot.rep).add("seed", slot.seed);
     row.add("solved", s.solved);
     if (!s.solved) {
@@ -205,6 +257,13 @@ ShardResult execute_shard(const ExperimentSpec& spec,
           .add("exact", s.exact)
           .add("scenarios_tried", s.scenarios_tried)
           .add("lp_evaluations", s.lp_evaluations);
+      if (!s.participants.empty()) {
+        row.add_raw("participants", json_index_array(s.participants));
+      }
+      if (s.replayed) {
+        row.add("replay_makespan", s.replay_makespan)
+            .add("replay_rel_error", s.replay_rel_error);
+      }
       if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
       row.add("wall_seconds", s.wall_seconds)
           .add("validate_seconds", s.validate_seconds);
@@ -229,18 +288,28 @@ ShardResult execute_shard(const ExperimentSpec& spec,
 
 std::string serialize_shard_result(const ShardResult& r) {
   std::ostringstream out;
-  out << "dlsched-shard 1\n";
+  // Version 2 added the affine latency coordinates; version-1 fragments
+  // fail to parse and degrade to "shard not done yet".
+  out << "dlsched-shard 2\n";
   out << "id " << r.id << " index " << r.index << '\n';
   out << "counts " << r.jobs << ' ' << r.cache_hits << ' ' << r.deduped
       << ' ' << r.solved << ' ' << r.failures << ' ' << r.skipped << '\n';
   out << "cache " << r.cache.hits << ' ' << r.cache.misses << ' '
       << r.cache.stores << '\n';
   out << "rows " << r.rows.size() << '\n';
+  const auto put_optional = [&out](const std::optional<double>& value) {
+    out << value.has_value() << ' ';
+    detail::put_double(out, value.value_or(0.0));
+  };
   for (const ShardRow& row : r.rows) {
     detail::put_blob(out, "row", row.json);
     out << "agg " << row.solved << ' ' << row.validated << ' ' << row.p
-        << ' ' << row.z.has_value() << ' ';
-    detail::put_double(out, row.z.value_or(0.0));
+        << ' ';
+    put_optional(row.z);
+    out << ' ';
+    put_optional(row.send_latency);
+    out << ' ';
+    put_optional(row.return_latency);
     out << ' ' << row.solver << ' ';
     detail::put_double(out, row.throughput);
     out << ' ';
@@ -259,7 +328,7 @@ std::optional<ShardResult> parse_shard_result(const std::string& text) {
     std::string magic, label;
     int version = 0;
     in >> magic >> version;
-    DLSCHED_EXPECT(magic == "dlsched-shard" && version == 1,
+    DLSCHED_EXPECT(magic == "dlsched-shard" && version == 2,
                    "shard fragment: bad header");
     ShardResult r;
     in >> label >> r.id;
@@ -277,15 +346,20 @@ std::optional<ShardResult> parse_shard_result(const std::string& text) {
                    "shard fragment: expected row count");
     in.ignore(1);
     r.rows.reserve(rows);
+    const auto get_optional = [&in]() -> std::optional<double> {
+      bool has = false;
+      in >> has;
+      const double bits = detail::get_double(in);
+      return has ? std::optional<double>(bits) : std::nullopt;
+    };
     for (std::size_t i = 0; i < rows; ++i) {
       ShardRow row;
       row.json = detail::get_blob(in, "row");
-      bool has_z = false;
-      double z_bits = 0.0;
-      in >> label >> row.solved >> row.validated >> row.p >> has_z;
+      in >> label >> row.solved >> row.validated >> row.p;
       DLSCHED_EXPECT(label == "agg", "shard fragment: expected agg");
-      z_bits = detail::get_double(in);
-      if (has_z) row.z = z_bits;
+      row.z = get_optional();
+      row.send_latency = get_optional();
+      row.return_latency = get_optional();
       in >> row.solver;
       row.throughput = detail::get_double(in);
       row.wall_seconds = detail::get_double(in);
@@ -329,11 +403,16 @@ void ShardAssembler::consume(const ShardResult& result) {
     if (!row.solved) continue;
     std::ostringstream group_key;
     group_key << row.p << '|' << (row.z ? json_double(*row.z) : "-") << '|'
-              << row.solver;
+              << (row.send_latency ? json_double(*row.send_latency) : "-")
+              << '|'
+              << (row.return_latency ? json_double(*row.return_latency)
+                                     : "-")
+              << '|' << row.solver;
     const auto [it, inserted] =
         group_index_.try_emplace(group_key.str(), groups_.size());
     if (inserted) {
-      groups_.push_back({row.p, row.z, row.solver, {}, {}, {}});
+      groups_.push_back({row.p, row.z, row.send_latency, row.return_latency,
+                         row.solver, {}, {}, {}});
     }
     Group& group = groups_[it->second];
     group.throughput.add(row.throughput);
@@ -344,20 +423,24 @@ void ShardAssembler::consume(const ShardResult& result) {
 
 void ShardAssembler::finish() {
   const std::vector<std::string> header{
-      "p",           "z",         "solver",          "instances",
-      "mean_throughput", "mean_wall_seconds", "mean_ratio_vs_baseline",
+      "p",           "z",         "send_latency", "return_latency",
+      "solver",      "instances", "mean_throughput",
+      "mean_wall_seconds", "mean_ratio_vs_baseline",
       "min_ratio",   "max_ratio"};
   std::optional<CsvWriter> csv_writer;
   if (csv_) csv_writer.emplace(*csv_, header);
   Table table(header);
   table.set_precision(5);
+  const auto axis_cell = [](const std::optional<double>& v) {
+    return v ? format_double(*v, 4) : std::string("-");
+  };
   for (const Group& group : groups_) {
-    const std::string z_cell =
-        group.z ? format_double(*group.z, 4) : std::string("-");
     const bool has_ratio = group.ratio.count() > 0;
     table.begin_row()
         .cell(group.p)
-        .cell(z_cell)
+        .cell(axis_cell(group.z))
+        .cell(axis_cell(group.send_latency))
+        .cell(axis_cell(group.return_latency))
         .cell(group.solver)
         .cell(group.throughput.count())
         .cell(group.throughput.mean())
@@ -371,6 +454,10 @@ void ShardAssembler::finish() {
     if (csv_writer) {
       csv_writer->cell(std::to_string(group.p))
           .cell(group.z ? json_double(*group.z) : std::string(""))
+          .cell(group.send_latency ? json_double(*group.send_latency)
+                                   : std::string(""))
+          .cell(group.return_latency ? json_double(*group.return_latency)
+                                     : std::string(""))
           .cell(group.solver)
           .cell(group.throughput.count())
           .cell(group.throughput.mean())

@@ -55,8 +55,10 @@ struct CompiledShard {
   std::string id;                 ///< stable 32-hex shard id
   std::optional<std::size_t> p;   ///< p coordinate (absent axis: nullopt)
   std::optional<double> z;        ///< z coordinate (absent axis: nullopt)
+  std::optional<double> send_latency;    ///< affine send-latency coordinate
+  std::optional<double> return_latency;  ///< affine return-latency coordinate
   std::size_t rep = 0;            ///< repetition coordinate
-  SolveRequest request;           ///< the (p, z, rep) problem instance
+  SolveRequest request;           ///< the grid point's problem instance
   std::vector<GridSlot> slots;
   std::size_t skipped = 0;        ///< inapplicable solver cells
 };
@@ -86,6 +88,8 @@ struct ShardRow {
   bool validated = false;
   std::size_t p = 0;         ///< platform size (the table's p column)
   std::optional<double> z;
+  std::optional<double> send_latency;    ///< affine axes, when present
+  std::optional<double> return_latency;
   std::string solver;
   double throughput = 0.0;
   double wall_seconds = 0.0;
@@ -145,6 +149,8 @@ class ShardAssembler {
   struct Group {
     std::size_t p;
     std::optional<double> z;
+    std::optional<double> send_latency;
+    std::optional<double> return_latency;
     std::string solver;
     Accumulator throughput, ratio, wall;
   };

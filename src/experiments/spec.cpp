@@ -163,8 +163,9 @@ std::string strip_comment(const std::string& line) {
 }
 
 const char* kKnownKeys =
-    "name, title, figure, kind, generator, workers, z, repetitions, seed, "
-    "solvers, baseline, precision, time_budget_seconds, max_workers_brute, "
+    "name, title, figure, kind, generator, workers, z, send_latencies, "
+    "return_latencies, compute_latency, repetitions, seed, solvers, "
+    "baseline, precision, time_budget_seconds, max_workers_brute, "
     "matrix_sizes, platforms, total_tasks, comm_speed_up, comp_speed_up, "
     "include_inc_w, x, latencies, max_rounds";
 
@@ -184,6 +185,12 @@ void apply_key(ExperimentSpec& spec, const std::string& key,
     spec.workers = to_sizes(value, key);
   } else if (key == "z") {
     spec.z_values = to_doubles(value, key);
+  } else if (key == "send_latencies") {
+    spec.send_latencies = to_doubles(value, key);
+  } else if (key == "return_latencies") {
+    spec.return_latencies = to_doubles(value, key);
+  } else if (key == "compute_latency") {
+    spec.compute_latency = to_double(value.scalar(key), key);
   } else if (key == "repetitions") {
     spec.repetitions = static_cast<std::size_t>(
         to_uint(value.scalar(key), key));
@@ -316,6 +323,132 @@ void validate_spec(const ExperimentSpec& spec) {
     DLSCHED_EXPECT(!spec.latencies.empty() && spec.max_rounds > 0,
                    who + ": multiround specs need latencies and max_rounds");
   }
+  if (!spec.send_latencies.empty() || !spec.return_latencies.empty() ||
+      spec.compute_latency != 0.0) {
+    DLSCHED_EXPECT(spec.kind == SpecKind::Grid,
+                   who + ": latency axes apply to grid specs only");
+    for (const double v : spec.send_latencies) {
+      DLSCHED_EXPECT(v >= 0.0, who + ": send latencies must be >= 0");
+    }
+    for (const double v : spec.return_latencies) {
+      DLSCHED_EXPECT(v >= 0.0, who + ": return latencies must be >= 0");
+    }
+    DLSCHED_EXPECT(spec.compute_latency >= 0.0,
+                   who + ": compute_latency must be >= 0");
+  }
+}
+
+namespace {
+
+/// One `key=value` filter clause; `value` may be a |-separated list.
+void apply_filter_clause(ExperimentSpec& spec, const std::string& key,
+                         const std::string& value) {
+  std::vector<std::string> wanted;
+  std::string token;
+  for (const char ch : value) {
+    if (ch == '|') {
+      wanted.push_back(token);
+      token.clear();
+    } else {
+      token += ch;
+    }
+  }
+  wanted.push_back(token);
+  DLSCHED_EXPECT(!value.empty() && !wanted.empty(),
+                 "--filter: key '" + key + "' has no value");
+
+  const auto keep_doubles = [&](std::vector<double>& axis,
+                                const char* what) {
+    std::vector<double> keep;
+    for (const std::string& item : wanted) {
+      const double v = to_double(item, key);
+      DLSCHED_EXPECT(std::find(axis.begin(), axis.end(), v) != axis.end(),
+                     "--filter: " + std::string(what) + " value '" + item +
+                         "' is not on the spec's axis");
+      keep.push_back(v);
+    }
+    // Preserve the spec's axis order (planner order must stay canonical).
+    std::vector<double> filtered;
+    for (const double v : axis) {
+      if (std::find(keep.begin(), keep.end(), v) != keep.end()) {
+        filtered.push_back(v);
+      }
+    }
+    axis = std::move(filtered);
+  };
+
+  if (key == "p") {
+    std::vector<std::size_t> keep;
+    for (const std::string& item : wanted) {
+      const auto v = static_cast<std::size_t>(to_uint(item, key));
+      DLSCHED_EXPECT(std::find(spec.workers.begin(), spec.workers.end(),
+                               v) != spec.workers.end(),
+                     "--filter: p value '" + item +
+                         "' is not on the spec's axis");
+      keep.push_back(v);
+    }
+    std::vector<std::size_t> filtered;
+    for (const std::size_t v : spec.workers) {
+      if (std::find(keep.begin(), keep.end(), v) != keep.end()) {
+        filtered.push_back(v);
+      }
+    }
+    spec.workers = std::move(filtered);
+  } else if (key == "z") {
+    keep_doubles(spec.z_values, "z");
+  } else if (key == "send_latency") {
+    keep_doubles(spec.send_latencies, "send_latency");
+  } else if (key == "return_latency") {
+    keep_doubles(spec.return_latencies, "return_latency");
+  } else if (key == "solver") {
+    std::vector<std::string> all = spec.solvers.empty()
+                                       ? SolverRegistry::instance().names()
+                                       : spec.solvers;
+    std::vector<std::string> filtered;
+    for (const std::string& name : all) {
+      if (std::find(wanted.begin(), wanted.end(), name) != wanted.end()) {
+        filtered.push_back(name);
+      }
+    }
+    for (const std::string& item : wanted) {
+      DLSCHED_EXPECT(std::find(all.begin(), all.end(), item) != all.end(),
+                     "--filter: solver '" + item +
+                         "' is not in the spec's solver set");
+    }
+    spec.solvers = std::move(filtered);
+  } else if (key == "repetitions") {
+    const auto cap = static_cast<std::size_t>(to_uint(value, key));
+    DLSCHED_EXPECT(cap >= 1, "--filter: repetitions must be >= 1");
+    spec.repetitions = std::min(spec.repetitions, cap);
+  } else {
+    DLSCHED_FAIL("--filter: unknown key '" + key +
+                 "' (known: p, z, send_latency, return_latency, solver, "
+                 "repetitions)");
+  }
+}
+
+}  // namespace
+
+void apply_spec_filter(ExperimentSpec& spec, const std::string& filter) {
+  std::string clause;
+  const auto apply = [&](const std::string& text) {
+    if (trim(text).empty()) return;
+    const std::size_t eq = text.find('=');
+    DLSCHED_EXPECT(eq != std::string::npos,
+                   "--filter wants comma-separated key=value pairs (got '" +
+                       text + "')");
+    apply_filter_clause(spec, trim(text.substr(0, eq)),
+                        trim(text.substr(eq + 1)));
+  };
+  for (const char ch : filter) {
+    if (ch == ',') {
+      apply(clause);
+      clause.clear();
+    } else {
+      clause += ch;
+    }
+  }
+  apply(clause);
 }
 
 }  // namespace dlsched::experiments

@@ -50,6 +50,13 @@ struct ExperimentSpec {
   gen::GenParams generator_params;        ///< fixed generator parameters
   std::vector<std::size_t> workers;       ///< p axis (empty: generator default)
   std::vector<double> z_values;           ///< z axis (empty: generator default)
+  /// Affine latency axes (empty: linear model).  Each grid point sets
+  /// `AffineCosts::send_latency` / `return_latency` to the axis value;
+  /// when the generator draws per-worker latency factors they are scaled
+  /// by the axis value into per-worker overrides.
+  std::vector<double> send_latencies;
+  std::vector<double> return_latencies;
+  double compute_latency = 0.0;           ///< fixed affine compute overhead
   std::size_t repetitions = 1;            ///< instances per (p, z) point
   std::uint64_t seed = 20061408;          ///< base of the seed block
   std::vector<std::string> solvers;       ///< registry names (empty: all)
@@ -90,5 +97,16 @@ struct ExperimentSpec {
 /// Structural checks (generator exists, solvers exist, axes present for
 /// the kind).  Throws dlsched::Error with a spec-named message.
 void validate_spec(const ExperimentSpec& spec);
+
+/// Restricts a spec's grid axes in place from a `--filter` expression:
+/// comma-separated `key=value` pairs where a value may be a |-separated
+/// list.  Keys: `p`, `z`, `send_latency`, `return_latency`, `solver`
+/// (each keeps only the listed axis values, in spec order) and
+/// `repetitions` (caps the repetition count).  Values must name existing
+/// axis points -- a typo throws instead of silently running the full
+/// grid.  The filtered spec is itself a plain spec: a cold + warm re-run
+/// of the same filter stays byte-identical and shares the cache with the
+/// unfiltered sweep.
+void apply_spec_filter(ExperimentSpec& spec, const std::string& filter);
 
 }  // namespace dlsched::experiments

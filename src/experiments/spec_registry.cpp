@@ -201,6 +201,36 @@ std::vector<ExperimentSpec> make_builtins() {
 
   {
     ExperimentSpec spec = base(
+        "affine_surface",
+        "affine model: latency x subset-size surface with DES-replayed "
+        "realizations and latency-correlated per-worker draws",
+        "Section 6", SpecKind::Grid);
+    // The resource-selection regime of Section 6: the p axis sets the
+    // subset-size budget (2^p enumeration stays cheap), the latency axes
+    // span "latency-free" through "start-ups dominate", and the correlated
+    // generator draws per-worker latency factors rank-correlated with link
+    // slowness (remote workers pay both ways).  Every affine solve
+    // realizes its timeline, validates it, and replays it on the DES
+    // engine; the replay_rel_error column is the acceptance gate.
+    spec.generator = "correlated";
+    spec.generator_params = {{"rho", 0.6},    {"lat_lo", 0.5},
+                             {"lat_hi", 1.5}, {"lat_rho", 0.8},
+                             {"c_lo", 0.05},  {"c_hi", 0.6},
+                             {"w_lo", 0.2},   {"w_hi", 2.0}};
+    spec.workers = {4, 6, 8};
+    spec.z_values = {0.5};
+    spec.send_latencies = {0.0, 0.01, 0.05};
+    spec.return_latencies = {0.005, 0.02};
+    spec.repetitions = 3;
+    spec.precision = Precision::Exact;  // the affine LP is exact-only
+    spec.solvers = {"affine_subset", "affine_greedy", "affine_local_search",
+                    "affine_fifo"};
+    spec.baseline = "affine_subset";
+    specs.push_back(spec);
+  }
+
+  {
+    ExperimentSpec spec = base(
         "smoke", "tiny deterministic sweep for CI and cache smoke tests",
         "CI", SpecKind::Grid);
     spec.generator = "random_star";

@@ -10,6 +10,9 @@
 #include <sstream>
 #include <vector>
 
+#include "affine/realization.hpp"
+#include "affine/replay.hpp"
+#include "affine/selection.hpp"
 #include "core/multiround.hpp"
 #include "core/scenario_lp.hpp"
 #include "core/throughput.hpp"
@@ -628,6 +631,50 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
     a.fill_random(rng);
     b.fill_random(rng);
     bench("gemm", n, [&] { rt::gemm(a, b, c); });
+  }
+
+  // The affine substrate: the exact FIFO LP with latency constants, the
+  // subset-enumeration selection, and the realize -> validate -> DES-replay
+  // tail the affine solvers run per solve.
+  AffineCosts affine_costs;
+  affine_costs.send_latency = 0.01;
+  affine_costs.compute_latency = 0.002;
+  affine_costs.return_latency = 0.005;
+  const auto all_workers = [](const StarPlatform& platform) {
+    std::vector<std::size_t> ids(platform.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    return ids;
+  };
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{4, 8, 12}) {
+    const StarPlatform platform = platform_for(p);
+    bench("affine_lp_exact", p, [&] {
+      (void)solve_affine_fifo(platform, all_workers(platform),
+                              affine_costs);
+    });
+  }
+  for (const std::size_t p : options.quick ? std::vector<std::size_t>{4}
+                                           : std::vector<std::size_t>{4, 8}) {
+    const StarPlatform platform = platform_for(p);
+    bench("affine_subset_select", p, [&] {
+      (void)affine::solve_affine_fifo_best_subset(platform, affine_costs);
+    });
+  }
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{4, 12}) {
+    const StarPlatform platform = platform_for(p);
+    const ScenarioSolution solution =
+        solve_affine_fifo(platform, all_workers(platform), affine_costs);
+    bench("affine_realize_replay", p, [&] {
+      const affine::AffineRealization realization =
+          affine::realize_affine(platform, solution, affine_costs);
+      DLSCHED_EXPECT(
+          affine::validate_affine(platform, realization, affine_costs).ok,
+          "affine micro realization failed validation");
+      (void)affine::replay_affine(platform, realization);
+    });
   }
 
   table.print_aligned(log);

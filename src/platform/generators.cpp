@@ -166,6 +166,37 @@ StarPlatform power_star(std::size_t p, Rng& rng, double z, double alpha,
   return StarPlatform(std::move(workers));
 }
 
+std::vector<double> latency_factors(const StarPlatform& platform, Rng& rng,
+                                    double lat_lo, double lat_hi,
+                                    double lat_rho) {
+  DLSCHED_EXPECT(lat_lo >= 0.0 && lat_hi >= lat_lo,
+                 "latency factor range must satisfy 0 <= lat_lo <= lat_hi");
+  DLSCHED_EXPECT(lat_rho >= -1.0 && lat_rho <= 1.0,
+                 "lat_rho must be in [-1, 1]");
+  const std::size_t p = platform.size();
+  // The shared draw is the worker's c *rank* (normalized to [0, 1]): a
+  // rank, not the raw magnitude, so the correlation is scale-free and the
+  // same knob works for uniform and Pareto link draws alike.
+  std::vector<std::size_t> order(p);
+  for (std::size_t i = 0; i < p; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return platform.worker(a).c < platform.worker(b).c;
+                   });
+  std::vector<double> rank(p, 0.0);
+  for (std::size_t r = 0; r < p; ++r) {
+    rank[order[r]] = p > 1 ? static_cast<double>(r) /
+                                 static_cast<double>(p - 1)
+                           : 0.5;
+  }
+  std::vector<double> factors(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double u = correlate(rank[i], rng.uniform(0.0, 1.0), lat_rho);
+    factors[i] = lat_lo + u * (lat_hi - lat_lo);
+  }
+  return factors;
+}
+
 StarPlatform satellite_star(std::size_t p, Rng& rng, double z,
                             std::size_t satellites, double link_penalty,
                             double c_lo, double c_hi, double w_lo,
@@ -247,6 +278,19 @@ StarPlatform matrix_platform(
 const std::vector<std::string> kMatrixKeys{
     "p", "matrix_size", "lo", "hi", "comm_speed_up", "comp_speed_up"};
 
+/// Draws latency factors when the family's `lat_lo`/`lat_hi` parameters
+/// enable them (absent or lat_hi = 0 keeps the family latency-free, and
+/// the RNG stream untouched -- existing specs regenerate identical
+/// platforms).
+void maybe_draw_latencies(GeneratedPlatform& out, const GenParams& params,
+                          Rng& rng) {
+  const double lat_lo = param_or(params, "lat_lo", 0.0);
+  const double lat_hi = param_or(params, "lat_hi", 0.0);
+  if (lat_hi <= 0.0) return;
+  out.latency_factor = latency_factors(out.platform, rng, lat_lo, lat_hi,
+                                       param_or(params, "lat_rho", 0.8));
+}
+
 void register_builtins(GeneratorRegistry& registry) {
   registry.add(
       "random_star", "uniform (c, w) star, d = z * c", kStarKeys,
@@ -289,25 +333,31 @@ void register_builtins(GeneratorRegistry& registry) {
   registry.add(
       "correlated",
       "star with rank-correlated (c, w) draws: rho = 1 ties link and "
-      "compute speeds, rho = -1 anti-correlates them",
-      star_keys_plus({"rho"}),
+      "compute speeds, rho = -1 anti-correlates them; lat_lo/lat_hi draw "
+      "per-worker affine latency factors rank-correlated (lat_rho) with c",
+      star_keys_plus({"rho", "lat_lo", "lat_hi", "lat_rho"}),
       [](const GenParams& params, Rng& rng) {
         const StarParams sp(params);
-        return correlated_star(sp.p, rng, sp.z,
-                               param_or(params, "rho", 0.8), sp.c_lo,
-                               sp.c_hi, sp.w_lo, sp.w_hi);
+        GeneratedPlatform out = correlated_star(
+            sp.p, rng, sp.z, param_or(params, "rho", 0.8), sp.c_lo, sp.c_hi,
+            sp.w_lo, sp.w_hi);
+        maybe_draw_latencies(out, params, rng);
+        return out;
       });
   registry.add(
       "power_law",
       "bounded-Pareto(alpha) c and w: most workers near the cheap end, a "
-      "heavy tail of fast outliers; optional rank correlation rho",
-      star_keys_plus({"alpha", "rho"}),
+      "heavy tail of fast outliers; optional rank correlation rho and "
+      "per-worker latency factors (lat_lo/lat_hi/lat_rho)",
+      star_keys_plus({"alpha", "rho", "lat_lo", "lat_hi", "lat_rho"}),
       [](const GenParams& params, Rng& rng) {
         const StarParams sp(params);
-        return power_star(sp.p, rng, sp.z,
-                          param_or(params, "alpha", 1.5),
-                          param_or(params, "rho", 0.0), sp.c_lo, sp.c_hi,
-                          sp.w_lo, sp.w_hi);
+        GeneratedPlatform out = power_star(
+            sp.p, rng, sp.z, param_or(params, "alpha", 1.5),
+            param_or(params, "rho", 0.0), sp.c_lo, sp.c_hi, sp.w_lo,
+            sp.w_hi);
+        maybe_draw_latencies(out, params, rng);
+        return out;
       });
   registry.add(
       "satellite",
@@ -384,9 +434,9 @@ bool GeneratorRegistry::contains(const std::string& name) const {
   });
 }
 
-StarPlatform GeneratorRegistry::make(const std::string& name,
-                                     const GenParams& params,
-                                     Rng& rng) const {
+GeneratedPlatform GeneratorRegistry::make_generated(const std::string& name,
+                                                    const GenParams& params,
+                                                    Rng& rng) const {
   for (const Entry& entry : entries_) {
     if (entry.info.name != name) continue;
     for (const auto& [key, value] : params) {
@@ -401,7 +451,13 @@ StarPlatform GeneratorRegistry::make(const std::string& name,
                      key + "' (accepted: " + accepted + ")");
       }
     }
-    return entry.factory(params, rng);
+    GeneratedPlatform out = entry.factory(params, rng);
+    DLSCHED_EXPECT(out.latency_factor.empty() ||
+                       out.latency_factor.size() == out.platform.size(),
+                   "generator '" + name +
+                       "' drew latency factors that are not "
+                       "platform-indexed");
+    return out;
   }
   std::string known;
   for (const std::string& n : names()) {
@@ -409,6 +465,18 @@ StarPlatform GeneratorRegistry::make(const std::string& name,
     known += n;
   }
   DLSCHED_FAIL("unknown generator '" + name + "' (known: " + known + ")");
+}
+
+StarPlatform GeneratorRegistry::make(const std::string& name,
+                                     const GenParams& params,
+                                     Rng& rng) const {
+  GeneratedPlatform out = make_generated(name, params, rng);
+  DLSCHED_EXPECT(!out.has_latency_draws(),
+                 "generator '" + name +
+                     "' drew per-worker latency factors; call "
+                     "make_generated() and forward them into AffineCosts "
+                     "instead of dropping them");
+  return std::move(out.platform);
 }
 
 std::vector<std::string> GeneratorRegistry::names() const {

@@ -110,6 +110,19 @@ struct SpeedRange {
                                           double w_lo = 0.1,
                                           double w_hi = 5.0);
 
+/// Per-worker start-up latency *factors*, rank-correlated with the
+/// worker's link slowness c: `lat_rho = 1` gives the slowest links the
+/// largest start-ups (remote workers pay both ways), `lat_rho = -1`
+/// anti-correlates them, 0 draws independently.  Factors are uniform in
+/// [lat_lo, lat_hi]; the experiment grid multiplies them by its latency
+/// axis value to obtain absolute per-worker latencies (see the
+/// affine_surface spec), so a factor of 1 means "exactly the global
+/// latency".
+[[nodiscard]] std::vector<double> latency_factors(const StarPlatform& platform,
+                                                  Rng& rng, double lat_lo,
+                                                  double lat_hi,
+                                                  double lat_rho);
+
 // ---------------------------------------------------------------- registry --
 
 /// Named parameters an experiment spec passes to a generator.  Every value
@@ -117,6 +130,24 @@ struct SpeedRange {
 /// rounded.  Generators reject keys they do not understand so a typo in a
 /// spec fails loudly instead of silently running defaults.
 using GenParams = std::map<std::string, double>;
+
+/// What a generator family produces: the platform plus optional per-worker
+/// latency factors (empty = the family drew none).  Implicitly
+/// constructible from a bare `StarPlatform` so latency-free families stay
+/// one-line lambdas.
+struct GeneratedPlatform {
+  StarPlatform platform;
+  /// Platform-indexed latency factors (see `latency_factors`); consumed by
+  /// the affine experiment grid, which scales them by its latency axes.
+  std::vector<double> latency_factor;
+
+  GeneratedPlatform() = default;
+  /*implicit*/ GeneratedPlatform(StarPlatform p) : platform(std::move(p)) {}
+
+  [[nodiscard]] bool has_latency_draws() const noexcept {
+    return !latency_factor.empty();
+  }
+};
 
 /// `params[key]`, or `fallback` when absent.
 [[nodiscard]] double param_or(const GenParams& params, const std::string& key,
@@ -135,7 +166,7 @@ struct GeneratorInfo {
 /// users may register additional families.
 class GeneratorRegistry {
  public:
-  using Factory = std::function<StarPlatform(const GenParams&, Rng&)>;
+  using Factory = std::function<GeneratedPlatform(const GenParams&, Rng&)>;
 
   static GeneratorRegistry& instance();
 
@@ -144,10 +175,18 @@ class GeneratorRegistry {
            std::vector<std::string> params, Factory factory);
 
   [[nodiscard]] bool contains(const std::string& name) const;
-  /// Builds a platform.  Throws with the list of known names on an unknown
-  /// generator and with the accepted keys on an unknown parameter.
+  /// Builds a platform, asserting the family drew no per-worker latency
+  /// factors -- callers that cannot forward them into `AffineCosts` must
+  /// not drop them silently (use `make_generated` instead).  Throws with
+  /// the list of known names on an unknown generator and with the accepted
+  /// keys on an unknown parameter.
   [[nodiscard]] StarPlatform make(const std::string& name,
                                   const GenParams& params, Rng& rng) const;
+  /// Builds a platform together with any per-worker latency factors the
+  /// family drew (the affine experiment grid's entry point).
+  [[nodiscard]] GeneratedPlatform make_generated(const std::string& name,
+                                                 const GenParams& params,
+                                                 Rng& rng) const;
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
   /// Name/description/params rows, sorted by name.

@@ -10,9 +10,14 @@ namespace dlsched::sim {
 
 namespace {
 
+double latency_of(const std::vector<double>& latencies, std::size_t w) {
+  return latencies.empty() ? 0.0 : latencies[w];
+}
+
 /// Mutable run state shared by the event callbacks.
 struct RunState {
   const StarPlatform& platform;
+  const DesOptions& options;
   std::vector<std::size_t> send_seq;    ///< enrolled workers, sigma_1 order
   std::vector<std::size_t> return_seq;  ///< enrolled workers, sigma_2 order
   std::vector<double> load;             ///< platform-indexed
@@ -26,8 +31,9 @@ struct RunState {
   bool sends_done = false;
   bool return_active = false;
 
-  RunState(const StarPlatform& p, const NoiseModel& model)
-      : platform(p), noise(model), computed(p.size(), false) {}
+  RunState(const StarPlatform& p, const DesOptions& opts,
+           const NoiseModel& model)
+      : platform(p), options(opts), noise(model), computed(p.size(), false) {}
 
   void start_next_send() {
     if (next_send == send_seq.size()) {
@@ -38,7 +44,8 @@ struct RunState {
     const std::size_t w = send_seq[next_send];
     ++next_send;
     const Worker& worker = platform.worker(w);
-    const double duration = noise.message_time(load[w] * worker.c);
+    const double duration = latency_of(options.send_latency, w) +
+                            noise.message_time(load[w] * worker.c);
     const double start = engine.now();
     trace.record(w, Activity::Send, start, start + duration, load[w]);
     engine.schedule_in(duration, [this, w] {
@@ -49,7 +56,8 @@ struct RunState {
 
   void begin_compute(std::size_t w) {
     const Worker& worker = platform.worker(w);
-    const double duration = noise.compute_time(load[w] * worker.w);
+    const double duration = latency_of(options.compute_latency, w) +
+                            noise.compute_time(load[w] * worker.w);
     const double start = engine.now();
     trace.record(w, Activity::Compute, start, start + duration, load[w]);
     engine.schedule_in(duration, [this, w] {
@@ -68,7 +76,8 @@ struct RunState {
     ++next_return;
     return_active = true;
     const Worker& worker = platform.worker(w);
-    const double duration = noise.message_time(load[w] * worker.d);
+    const double duration = latency_of(options.return_latency, w) +
+                            noise.message_time(load[w] * worker.d);
     const double start = engine.now();
     trace.record(w, Activity::Return, start, start + duration, load[w]);
     engine.schedule_in(duration, [this] {
@@ -81,19 +90,32 @@ struct RunState {
 }  // namespace
 
 DesResult execute(const StarPlatform& platform, const Scenario& scenario,
-                  std::span<const double> loads, const NoiseModel& noise) {
+                  std::span<const double> loads, const DesOptions& options,
+                  const NoiseModel& noise) {
   scenario.check(platform);
   DLSCHED_EXPECT(loads.size() == platform.size(),
                  "loads must be platform-indexed");
+  const auto check_latencies = [&](const std::vector<double>& latencies,
+                                   const char* what) {
+    DLSCHED_EXPECT(latencies.empty() || latencies.size() == platform.size(),
+                   std::string(what) + " latencies must be platform-indexed");
+  };
+  check_latencies(options.send_latency, "send");
+  check_latencies(options.compute_latency, "compute");
+  check_latencies(options.return_latency, "return");
 
-  RunState state(platform, noise);
+  RunState state(platform, options, noise);
   state.load.assign(loads.begin(), loads.end());
   for (double a : state.load) DLSCHED_EXPECT(a >= 0.0, "negative load");
   for (std::size_t w : scenario.send_order) {
-    if (state.load[w] > 0.0) state.send_seq.push_back(w);
+    if (options.include_zero_loads || state.load[w] > 0.0) {
+      state.send_seq.push_back(w);
+    }
   }
   for (std::size_t w : scenario.return_order) {
-    if (state.load[w] > 0.0) state.return_seq.push_back(w);
+    if (options.include_zero_loads || state.load[w] > 0.0) {
+      state.return_seq.push_back(w);
+    }
   }
 
   state.engine.schedule_at(0.0, [&state] { state.start_next_send(); });
@@ -106,6 +128,11 @@ DesResult execute(const StarPlatform& platform, const Scenario& scenario,
   DLSCHED_EXPECT(state.next_return == state.return_seq.size(),
                  "simulation ended with unreturned results");
   return result;
+}
+
+DesResult execute(const StarPlatform& platform, const Scenario& scenario,
+                  std::span<const double> loads, const NoiseModel& noise) {
+  return execute(platform, scenario, loads, DesOptions{}, noise);
 }
 
 }  // namespace dlsched::sim

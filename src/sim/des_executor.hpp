@@ -10,9 +10,18 @@
 // per message and per computation.  With NoiseModel::none() and fractional
 // loads, the resulting makespan equals the analytic packed_makespan()
 // exactly (asserted in the test suite).
+//
+// `DesOptions` extends the protocol to the affine cost model of Section 6:
+// per-activity start-up latencies (optionally per worker) and latency-only
+// messages to zero-load participants -- the affine LP charges every
+// *participant* its constants whether or not it receives load, so a
+// faithful replay must ship those empty messages too (affine/replay.hpp
+// asserts the replayed makespan against the LP objective).
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "platform/star_platform.hpp"
@@ -27,7 +36,31 @@ struct DesResult {
   std::size_t events = 0;  ///< engine events processed
 };
 
-/// Simulates the run.  `loads` is platform-indexed (zero = not enrolled).
+/// Affine-model execution options.  The latency vectors are
+/// platform-indexed; empty means zero latency for that activity.
+struct DesOptions {
+  std::vector<double> send_latency;     ///< added to every initial message
+  std::vector<double> compute_latency;  ///< added to every computation
+  std::vector<double> return_latency;   ///< added to every return message
+  /// Keep zero-load scenario workers in the protocol: their messages and
+  /// computation carry only the latency constants (affine participants).
+  bool include_zero_loads = false;
+
+  [[nodiscard]] bool is_linear() const noexcept {
+    return send_latency.empty() && compute_latency.empty() &&
+           return_latency.empty() && !include_zero_loads;
+  }
+};
+
+/// Simulates the run.  `loads` is platform-indexed (zero = not enrolled,
+/// unless `options.include_zero_loads`).
+[[nodiscard]] DesResult execute(const StarPlatform& platform,
+                                const Scenario& scenario,
+                                std::span<const double> loads,
+                                const DesOptions& options,
+                                const NoiseModel& noise = NoiseModel::none());
+
+/// Linear-model convenience (no latencies, zero loads dropped).
 [[nodiscard]] DesResult execute(const StarPlatform& platform,
                                 const Scenario& scenario,
                                 std::span<const double> loads,

@@ -74,6 +74,8 @@ inline ScenarioSolution scenario_exact(const StarPlatform& platform,
   request.costs.send_latency = options.send_latency;
   request.costs.compute_latency = options.compute_latency;
   request.costs.return_latency = options.return_latency;
+  request.costs.send_latency_per_worker = options.send_latencies;
+  request.costs.return_latency_per_worker = options.return_latencies;
   return run("scenario_lp", request).solution;
 }
 

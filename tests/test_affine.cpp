@@ -3,6 +3,8 @@
 // selection strategies are provided).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/affine.hpp"
 #include "core/fifo_optimal.hpp"
 #include "platform/generators.hpp"
@@ -148,6 +150,113 @@ TEST_P(AffineSweep, ThroughputIsMonotoneInLatency) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AffineSweep,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+// ----- edge cases through the registry path --------------------------------
+
+const char* kAffineSolvers[] = {"affine_fifo", "affine_greedy",
+                                "affine_subset", "affine_local_search"};
+
+TEST(AffineEdge, ZeroLatencyAffineSolversMatchTheLinearFifoOptimum) {
+  // The zero-latency reduction: with no constants, every affine solver is
+  // just the linear FIFO LP with resource selection, so the objectives
+  // agree with fifo_optimal bit for bit (exact rationals both sides).
+  Rng rng(501);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5);
+  const Rational linear = shim::fifo_optimal(platform).solution.throughput;
+  for (const char* name : kAffineSolvers) {
+    const SolveResult result =
+        SolverRegistry::instance().run(name, shim::request_for(platform));
+    EXPECT_EQ(result.solution.throughput, linear) << name;
+    EXPECT_FALSE(result.replayed) << name;  // linear path, packed schedule
+    EXPECT_FALSE(result.schedule.entries.empty()) << name;
+  }
+}
+
+TEST(AffineEdge, InfeasibleConstantsPropagateACleanResult) {
+  const StarPlatform platform({Worker{0.25, 0.25, 0.25, "P1"},
+                               Worker{0.25, 0.25, 0.25, "P2"}});
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.6;  // one worker alone exceeds T = 1
+  request.costs.return_latency = 0.6;
+  for (const char* name : kAffineSolvers) {
+    const SolveResult result =
+        SolverRegistry::instance().run(name, request);  // must not throw
+    EXPECT_FALSE(result.solution.lp_feasible) << name;
+    EXPECT_TRUE(result.solution.throughput.is_zero()) << name;
+    EXPECT_EQ(result.solution.alpha.size(), platform.size()) << name;
+    EXPECT_TRUE(result.participants.empty()) << name;
+    EXPECT_NE(result.notes.find("infeasible"), std::string::npos) << name;
+    // The empty schedule is validator-clean, so a batch records ok rows.
+    const auto outcomes = solve_batch_across_solvers(
+        request, std::vector<std::string>{name}, 1);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes.front().ok) << name;
+  }
+}
+
+TEST(AffineEdge, SingleWorkerDegenerateSubsets) {
+  const StarPlatform platform({Worker{0.25, 0.25, 0.25, "only"}});
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.125;
+  request.costs.compute_latency = 0.125;
+  request.costs.return_latency = 0.125;
+  for (const char* name : kAffineSolvers) {
+    const SolveResult result = SolverRegistry::instance().run(name, request);
+    ASSERT_TRUE(result.solution.lp_feasible) << name;
+    EXPECT_EQ(result.solution.throughput, Rational(5, 6)) << name;
+    EXPECT_EQ(result.participants, (std::vector<std::size_t>{0})) << name;
+    EXPECT_TRUE(result.replayed) << name;
+    EXPECT_LE(result.replay_rel_error, 1e-9) << name;
+  }
+}
+
+TEST(AffineEdge, SolversCarryTheReplayCertificate) {
+  Rng rng(502);
+  const StarPlatform platform = gen::random_star(5, rng, 0.5, 0.05, 0.4);
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.03;
+  request.costs.return_latency = 0.015;
+  for (const char* name : kAffineSolvers) {
+    const SolveResult result = SolverRegistry::instance().run(name, request);
+    ASSERT_TRUE(result.solution.lp_feasible) << name;
+    EXPECT_TRUE(result.replayed) << name;
+    EXPECT_LE(result.replay_rel_error, 1e-9) << name;
+    EXPECT_FALSE(result.participants.empty()) << name;
+    EXPECT_TRUE(std::is_sorted(result.participants.begin(),
+                               result.participants.end()))
+        << name;
+  }
+}
+
+TEST(AffineEdge, PerWorkerLatencyOverridesChangeTheLp) {
+  Rng rng(503);
+  const StarPlatform platform = gen::random_star(4, rng, 0.5, 0.05, 0.4);
+  // A uniform override vector must match the global scalar exactly...
+  AffineCosts global;
+  global.send_latency = 0.02;
+  AffineCosts uniform;
+  uniform.send_latency_per_worker.assign(platform.size(), 0.02);
+  const auto with_global =
+      shim::affine_fifo(platform, all_of(platform), global);
+  const auto with_uniform =
+      shim::affine_fifo(platform, all_of(platform), uniform);
+  EXPECT_EQ(with_global.throughput, with_uniform.throughput);
+  // ...and a skewed vector must not.
+  AffineCosts skewed;
+  skewed.send_latency_per_worker = {0.08, 0.0, 0.0, 0.0};
+  const auto with_skew =
+      shim::affine_fifo(platform, all_of(platform), skewed);
+  EXPECT_NE(with_skew.throughput, with_uniform.throughput);
+}
+
+TEST(AffineEdge, MultiRoundRefusesPerWorkerLatencies) {
+  Rng rng(504);
+  const StarPlatform platform = gen::random_star(3, rng, 0.5);
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency_per_worker.assign(platform.size(), 0.01);
+  EXPECT_THROW((void)SolverRegistry::instance().run("multiround", request),
+               Error);
+}
 
 }  // namespace
 }  // namespace dlsched

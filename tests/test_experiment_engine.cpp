@@ -153,12 +153,96 @@ TEST(SpecRegistry, EnumeratesEveryPaperFigureAndAblation) {
        {"fig08", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b",
         "fig14", "ablation_ordering", "ablation_local_search",
         "ablation_two_port", "ablation_selection", "ablation_multiround",
-        "hetero_stress", "micro_solvers", "micro_substrate", "smoke"}) {
+        "hetero_stress", "affine_surface", "micro_solvers",
+        "micro_substrate", "smoke"}) {
     EXPECT_EQ(std::count(names.begin(), names.end(), expected), 1)
         << "missing spec: " << expected;
   }
   EXPECT_THROW((void)find_builtin_spec("fig99"), Error);
   EXPECT_TRUE(has_builtin_spec("smoke"));
+}
+
+TEST(ExperimentSpec, ParsesTheAffineLatencyAxes) {
+  const ExperimentSpec spec = parse_spec_toml(
+      "name = \"aff\"\n"
+      "workers = [4]\n"
+      "solvers = [\"affine_fifo\"]\n"
+      "send_latencies = [0.0, 0.01]\n"
+      "return_latencies = [0.005]\n"
+      "compute_latency = 0.002\n");
+  EXPECT_EQ(spec.send_latencies, (std::vector<double>{0.0, 0.01}));
+  EXPECT_EQ(spec.return_latencies, (std::vector<double>{0.005}));
+  EXPECT_DOUBLE_EQ(spec.compute_latency, 0.002);
+  validate_spec(spec);
+
+  ExperimentSpec bad = spec;
+  bad.kind = SpecKind::Micro;
+  EXPECT_THROW(validate_spec(bad), Error);  // latency axes are grid-only
+}
+
+TEST(ExperimentSpec, FilterSlicesAxesAndRejectsTypos) {
+  ExperimentSpec spec = find_builtin_spec("affine_surface");
+  apply_spec_filter(spec,
+                    "p=4,send_latency=0.01,solver=affine_greedy|affine_fifo,"
+                    "repetitions=1");
+  EXPECT_EQ(spec.workers, (std::vector<std::size_t>{4}));
+  EXPECT_EQ(spec.send_latencies, (std::vector<double>{0.01}));
+  EXPECT_EQ(spec.solvers,
+            (std::vector<std::string>{"affine_greedy", "affine_fifo"}));
+  EXPECT_EQ(spec.repetitions, 1u);
+  validate_spec(spec);
+
+  ExperimentSpec fresh = find_builtin_spec("affine_surface");
+  EXPECT_THROW(apply_spec_filter(fresh, "p=99"), Error);        // off-axis
+  EXPECT_THROW(apply_spec_filter(fresh, "solver=warp"), Error);  // unknown
+  EXPECT_THROW(apply_spec_filter(fresh, "banana=1"), Error);     // bad key
+  EXPECT_THROW(apply_spec_filter(fresh, "p"), Error);            // no '='
+  // The solver filter draws from the full registry when the spec lists
+  // none (micro_solvers-style sweeps).
+  ExperimentSpec open = find_builtin_spec("micro_solvers");
+  apply_spec_filter(open, "solver=lifo");
+  EXPECT_EQ(open.solvers, (std::vector<std::string>{"lifo"}));
+}
+
+TEST(ExperimentEngine, AffineSurfaceQuickRunReplaysWithinTolerance) {
+  // The affine acceptance path end to end: a --quick affine_surface run
+  // must solve cleanly, emit replay certificates for every affine row,
+  // and a warm re-run must be all cache hits with identical bytes.
+  ScratchDir scratch("affine");
+  std::ostringstream log;
+  RunOptions options;
+  options.quick = true;
+  options.out_json = scratch.file("cold.json");
+  options.out_csv = scratch.file("cold.csv");
+  options.cache_dir = scratch.dir() + "/cache";
+  options.log = &log;
+  const ExperimentSpec spec = find_builtin_spec("affine_surface");
+  const RunSummary cold = run_spec(spec, options);
+  EXPECT_EQ(cold.failures, 0u);
+  EXPECT_GT(cold.rows, 0u);
+
+  const std::string json = slurp(options.out_json);
+  EXPECT_NE(json.find("\"send_latencies\""), std::string::npos);
+  EXPECT_NE(json.find("\"participants\""), std::string::npos);
+  // Every emitted replay error respects the acceptance tolerance.
+  std::size_t replayed = 0;
+  std::size_t at = 0;
+  const std::string needle = "\"replay_rel_error\": ";
+  while ((at = json.find(needle, at)) != std::string::npos) {
+    at += needle.size();
+    const double value = std::stod(json.substr(at));
+    EXPECT_LE(value, 1e-9);
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u);
+
+  RunOptions warm = options;
+  warm.out_json = scratch.file("warm.json");
+  warm.out_csv = scratch.file("warm.csv");
+  const RunSummary second = run_spec(spec, warm);
+  EXPECT_EQ(second.cache_hits, second.jobs);
+  EXPECT_EQ(slurp(options.out_json), slurp(warm.out_json));
+  EXPECT_EQ(slurp(options.out_csv), slurp(warm.out_csv));
 }
 
 TEST(ExperimentEngine, InstanceSeedIsStableAndCoordinateSensitive) {

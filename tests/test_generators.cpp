@@ -238,6 +238,54 @@ TEST(Generators, ParamOrFallsBack) {
   EXPECT_DOUBLE_EQ(param_or(params, "missing", 2.5), 2.5);
 }
 
+TEST(Generators, LatencyFactorsAreDeterministicBoundedAndPlatformIndexed) {
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  const GenParams params{{"p", 9.0}, {"lat_lo", 0.5}, {"lat_hi", 1.5},
+                         {"lat_rho", 0.8}};
+  Rng a(77);
+  Rng b(77);
+  const GeneratedPlatform first =
+      registry.make_generated("correlated", params, a);
+  const GeneratedPlatform second =
+      registry.make_generated("correlated", params, b);
+  ASSERT_TRUE(first.has_latency_draws());
+  ASSERT_EQ(first.latency_factor.size(), first.platform.size());
+  expect_same_platform(first.platform, second.platform);
+  for (std::size_t i = 0; i < first.latency_factor.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.latency_factor[i], second.latency_factor[i]);
+    EXPECT_GE(first.latency_factor[i], 0.5);
+    EXPECT_LE(first.latency_factor[i], 1.5);
+  }
+}
+
+TEST(Generators, LatencyFactorsRankCorrelateWithLinkSlowness) {
+  // lat_rho = 1 pins the factor to the worker's c rank: the slowest link
+  // gets the largest start-up, the fastest the smallest.
+  Rng rng(78);
+  const StarPlatform platform = random_star(24, rng, 0.5, 0.1, 2.0);
+  const std::vector<double> factors =
+      latency_factors(platform, rng, 0.5, 1.5, /*lat_rho=*/1.0);
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      if (platform.worker(i).c < platform.worker(j).c) {
+        EXPECT_LE(factors[i], factors[j] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Generators, PlainMakeRefusesToDropLatencyDraws) {
+  const GeneratorRegistry& registry = GeneratorRegistry::instance();
+  const GenParams params{{"p", 5.0}, {"lat_lo", 0.5}, {"lat_hi", 1.5}};
+  Rng rng(79);
+  EXPECT_THROW((void)registry.make("power_law", params, rng), Error);
+  // Without the lat knobs the family stays latency-free and make() works.
+  Rng plain_rng(79);
+  const StarPlatform plain =
+      registry.make("power_law", {{"p", 5.0}}, plain_rng);
+  EXPECT_EQ(plain.size(), 5u);
+}
+
 TEST(Generators, MatrixFamiliesHonourSpeedUps) {
   const GeneratorRegistry& registry = GeneratorRegistry::instance();
   Rng a(3);

@@ -86,6 +86,53 @@ TEST(ShardPlanner, SlicesByPZRepInPlannerOrder) {
   }
 }
 
+TEST(ShardPlanner, LatencyAxesExpandTheGridAndSetTheRequestCosts) {
+  ExperimentSpec spec = small_grid_spec();
+  spec.solvers = {"affine_fifo"};
+  spec.z_values = {0.5};
+  spec.repetitions = 1;
+  spec.send_latencies = {0.0, 0.01};
+  spec.return_latencies = {0.005};
+  spec.compute_latency = 0.002;
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  ASSERT_EQ(shards.size(), 4u);  // 2 p x 1 z x 2 slat x 1 rlat x 1 rep
+  for (const CompiledShard& shard : shards) {
+    ASSERT_TRUE(shard.send_latency.has_value());
+    ASSERT_TRUE(shard.return_latency.has_value());
+    EXPECT_DOUBLE_EQ(shard.request.costs.send_latency, *shard.send_latency);
+    EXPECT_DOUBLE_EQ(shard.request.costs.return_latency, 0.005);
+    EXPECT_DOUBLE_EQ(shard.request.costs.compute_latency, 0.002);
+  }
+  // The platform is shared across the latency surface (the latency axes
+  // are outside the instance seed), so the latency effect is isolated.
+  EXPECT_DOUBLE_EQ(shards[0].request.platform.worker(0).c,
+                   shards[1].request.platform.worker(0).c);
+  // ...but the job identities (and so the shard ids) differ.
+  EXPECT_NE(shards[0].id, shards[1].id);
+}
+
+TEST(ShardPlanner, GeneratorLatencyDrawsScaleByTheAxisValue) {
+  ExperimentSpec spec = small_grid_spec();
+  spec.generator = "correlated";
+  spec.generator_params = {{"lat_lo", 0.5}, {"lat_hi", 1.5}};
+  spec.solvers = {"affine_fifo"};
+  spec.workers = {4};
+  spec.z_values = {0.5};
+  spec.repetitions = 1;
+  spec.send_latencies = {0.0, 0.02};
+  const std::vector<CompiledShard> shards = plan_shards(spec);
+  ASSERT_EQ(shards.size(), 2u);
+  // Axis value 0: the linear point, no per-worker overrides.
+  EXPECT_TRUE(shards[0].request.costs.send_latency_per_worker.empty());
+  // Axis value 0.02: factors scale into absolute per-worker latencies.
+  const auto& per = shards[1].request.costs.send_latency_per_worker;
+  ASSERT_EQ(per.size(), 4u);
+  for (const double v : per) {
+    EXPECT_GE(v, 0.02 * 0.5 - 1e-15);
+    EXPECT_LE(v, 0.02 * 1.5 + 1e-15);
+  }
+}
+
 TEST(ShardPlanner, IdsAreStableDistinctAndContentSensitive) {
   const ExperimentSpec spec = small_grid_spec();
   const std::vector<CompiledShard> first = plan_shards(spec);
@@ -151,6 +198,8 @@ TEST(ShardResultIO, FragmentRoundTripsBitExactly) {
   row.validated = true;
   row.p = 4;
   row.z = 0.1;  // not exactly representable: bit pattern must survive
+  row.send_latency = 0.01;
+  row.return_latency = 0.005;
   row.solver = "lifo";
   row.throughput = 1.0 / 3.0;
   row.wall_seconds = 2.5e-5;
@@ -175,6 +224,11 @@ TEST(ShardResultIO, FragmentRoundTripsBitExactly) {
   EXPECT_EQ(parsed->rows[0].json, row.json);
   ASSERT_TRUE(parsed->rows[0].z.has_value());
   EXPECT_EQ(*parsed->rows[0].z, 0.1);  // exact: travels by bit pattern
+  ASSERT_TRUE(parsed->rows[0].send_latency.has_value());
+  EXPECT_EQ(*parsed->rows[0].send_latency, 0.01);
+  ASSERT_TRUE(parsed->rows[0].return_latency.has_value());
+  EXPECT_EQ(*parsed->rows[0].return_latency, 0.005);
+  EXPECT_FALSE(parsed->rows[1].send_latency.has_value());
   EXPECT_EQ(parsed->rows[0].throughput, 1.0 / 3.0);
   EXPECT_EQ(parsed->rows[0].wall_seconds, 2.5e-5);
   EXPECT_TRUE(parsed->rows[0].has_ratio);

@@ -35,7 +35,8 @@ TEST(SolverRegistry, RegistersThePortfolio) {
         "brute_force_lifo", "inc_c", "inc_w", "dec_c", "random_fifo",
         "local_search", "two_port_fifo", "bus_closed_form", "no_return",
         "multiround", "exchange_sort", "mirror_fifo", "scenario_lp",
-        "affine_fifo", "affine_greedy", "affine_subset"}) {
+        "affine_fifo", "affine_greedy", "affine_subset",
+        "affine_local_search"}) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
         << "missing solver: " << expected;
   }
@@ -224,6 +225,19 @@ TEST(RequestHash, CanonicalKeyIsStableAndFieldSensitive) {
   Rng rng(3);
   other = base;
   other.platform = gen::random_star(4, rng, 0.5);
+  EXPECT_NE(request_hash(base), request_hash(other));
+
+  // Per-worker latency overrides are part of the job identity: a vector
+  // that merely repeats the global scalar still keys differently (the LP
+  // path differs), and distinct vectors key distinctly.
+  other = base;
+  other.costs.send_latency_per_worker.assign(other.platform.size(), 0.0);
+  EXPECT_NE(request_hash(base), request_hash(other));
+  SolveRequest skewed = other;
+  skewed.costs.send_latency_per_worker.back() = 0.25;
+  EXPECT_NE(request_hash(other), request_hash(skewed));
+  other = base;
+  other.costs.return_latency_per_worker.assign(other.platform.size(), 0.01);
   EXPECT_NE(request_hash(base), request_hash(other));
 }
 
