@@ -23,6 +23,12 @@ regressions on shared CI runners, not single-digit percentages:
     scheduler noise) from flaking the gate;
   * groups present in only one artifact are reported but never fail.
 
+Rows that carry an `lp_pivots` column (grid rows; the simplex pivot count
+of the final LP) are additionally compared *exactly*: pivot counts are
+deterministic for a given spec, so any increase over the baseline is a
+code regression -- no tolerance, no calibration.  Disable with
+--no-pivot-check when intentionally changing pivot rules.
+
 Exit status: 0 when no group regressed, 1 otherwise, 2 on usage errors.
 """
 
@@ -44,6 +50,19 @@ def group_key(row):
     if "bench" in row:  # micro spec
         return (row["bench"], row.get("param"))
     return (row.get("solver"), row.get("p"), row.get("z"))
+
+
+def group_pivot_counts(rows):
+    """Group key -> summed lp_pivots.  Reps within a group have distinct
+    seeds, but the set of reps is fixed by the spec, so the per-group sum
+    is deterministic and comparable across runs of the same spec."""
+    sums = {}
+    for row in rows:
+        if row.get("solved") is False or "lp_pivots" not in row:
+            continue
+        key = group_key(row)
+        sums[key] = sums.get(key, 0) + int(row["lp_pivots"])
+    return sums
 
 
 def group_wall_times(rows):
@@ -86,6 +105,9 @@ def main():
                         help="regex selecting the machine-speed anchor "
                              "groups; anchors must not exercise the code "
                              "this gate guards (default: DES + gemm micros)")
+    parser.add_argument("--no-pivot-check", action="store_true",
+                        help="skip the exact lp_pivots comparison (use when "
+                             "intentionally changing pivot rules)")
     args = parser.parse_args()
 
     base_spec, base_rows = load_rows(args.baseline)
@@ -142,11 +164,33 @@ def main():
         print(f"{str(key).ljust(width)}  {baseline[key]:12.6f}  "
               f"{'-':>12}  (group disappeared)")
 
+    pivot_regressions = []
+    if not args.no_pivot_check:
+        base_pivots = group_pivot_counts(base_rows)
+        cur_pivots = group_pivot_counts(cur_rows)
+        shared = sorted((k for k in cur_pivots if k in base_pivots), key=str)
+        if shared:
+            print("\npivot counts (deterministic; current > baseline fails):")
+            for key in shared:
+                flag = ""
+                if cur_pivots[key] > base_pivots[key]:
+                    pivot_regressions.append(
+                        (key, base_pivots[key], cur_pivots[key]))
+                    flag = "  << PIVOT REGRESSION"
+                print(f"  {str(key).ljust(width)}  {base_pivots[key]:>8} -> "
+                      f"{cur_pivots[key]:>8}{flag}")
+
     if regressions:
         print(f"\n{len(regressions)} group(s) regressed beyond "
               f"{args.tolerance}x (floor {args.floor_seconds}s):")
         for key, base, cur, ratio in regressions:
             print(f"  {key}: {base:.6f}s -> {cur:.6f}s ({ratio:.2f}x)")
+    if pivot_regressions:
+        print(f"\n{len(pivot_regressions)} group(s) increased their exact "
+              f"pivot count:")
+        for key, base, cur in pivot_regressions:
+            print(f"  {key}: {base} -> {cur} pivots")
+    if regressions or pivot_regressions:
         return 1
     print(f"\nno regressions beyond {args.tolerance}x "
           f"({len(current)} group(s) checked)")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <set>
 #include <utility>
@@ -31,17 +32,77 @@ bool offer(AffineSelectionResult& result, ScenarioSolution solution) {
   return true;
 }
 
+// ------------------------------------------------- fast (double) screen --
+//
+// Precision::Fast evaluates every candidate subset with the double simplex
+// first, then re-solves exactly only the candidates whose fast throughput
+// the margin cannot separate from the fast optimum.  Because the final
+// offer() comparisons are always between exact rationals, the winner (and
+// its solution) is bit-identical to the all-exact scan as long as the
+// double LP's throughput error stays below the margin -- a ~1e-12 relative
+// error against a 1e-6 relative / 1e-7 absolute band.
+
+/// One fast-screened candidate, in scan order.
+struct FastCandidate {
+  std::vector<std::size_t> subset;
+  double throughput = 0.0;
+  bool feasible = false;
+  std::optional<ScenarioSolution> exact;  ///< cached when already re-solved
+};
+
+double fast_margin(double best) {
+  return std::max(1e-7, 1e-6 * std::abs(best));
+}
+
+/// Exact re-solve of every candidate the margin cannot rule out, offered
+/// to `into` in scan order (so ties resolve exactly as the all-exact scan
+/// does).  Fast-infeasible candidates are re-solved only when every
+/// throughput in sight is within noise of zero: an exactly-feasible subset
+/// the double LP rejects must have near-boundary constants, which force
+/// alpha (and hence the throughput) to ~0.  Returns the index of the last
+/// candidate that improved `into`, or SIZE_MAX.
+std::size_t resolve_margin_set(const StarPlatform& platform,
+                               const AffineCosts& costs,
+                               std::vector<FastCandidate>& candidates,
+                               AffineSelectionResult& into,
+                               std::size_t& exact_resolves) {
+  double best = into.feasible ? into.best.throughput.to_double() : 0.0;
+  bool any_feasible = into.feasible;
+  for (const FastCandidate& c : candidates) {
+    if (c.feasible) {
+      any_feasible = true;
+      best = std::max(best, c.throughput);
+    }
+  }
+  const double margin = fast_margin(best);
+  const double cut = best - margin;
+  std::size_t last_improver = SIZE_MAX;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    FastCandidate& c = candidates[i];
+    const bool contender =
+        c.feasible ? c.throughput >= cut : (!any_feasible || best <= margin);
+    if (!contender) continue;
+    if (!c.exact) {
+      c.exact = solve_affine_fifo(platform, c.subset, costs);
+      ++exact_resolves;
+    }
+    if (offer(into, std::move(*c.exact))) last_improver = i;
+  }
+  return last_improver;
+}
+
 }  // namespace
 
 AffineSelectionResult solve_affine_fifo_best_subset(
     const StarPlatform& platform, const AffineCosts& costs,
-    std::size_t max_workers, double time_budget_seconds) {
+    std::size_t max_workers, double time_budget_seconds, bool use_fast_lp) {
   DLSCHED_EXPECT(!platform.empty(), "empty platform");
   DLSCHED_EXPECT(platform.size() <= max_workers,
                  "platform too large for subset enumeration");
   const auto start = steady_clock::now();
   AffineSelectionResult result;
   const std::size_t p = platform.size();
+  std::vector<FastCandidate> candidates;
   for (std::size_t mask = 1; mask < (std::size_t{1} << p); ++mask) {
     if (time_budget_seconds > 0.0 &&
         elapsed_since(start) > time_budget_seconds) {
@@ -53,23 +114,61 @@ AffineSelectionResult solve_affine_fifo_best_subset(
       if (mask & (std::size_t{1} << i)) subset.push_back(i);
     }
     ++result.subsets_tried;
+    if (use_fast_lp) {
+      const ScenarioSolutionD fast =
+          solve_affine_fifo_fast(platform, subset, costs);
+      candidates.push_back({std::move(subset), fast.throughput,
+                            fast.lp_feasible, std::nullopt});
+      continue;
+    }
     offer(result, solve_affine_fifo(platform, std::move(subset), costs));
+  }
+  if (use_fast_lp) {
+    resolve_margin_set(platform, costs, candidates, result,
+                       result.exact_resolves);
   }
   return result;
 }
 
 AffineSelectionResult solve_affine_fifo_greedy(const StarPlatform& platform,
-                                               const AffineCosts& costs) {
+                                               const AffineCosts& costs,
+                                               bool use_fast_lp) {
   DLSCHED_EXPECT(!platform.empty(), "empty platform");
   const std::vector<std::size_t> order = platform.order_by_c();
   AffineSelectionResult result;
+  std::vector<FastCandidate> candidates;
   for (std::size_t k = 1; k <= order.size(); ++k) {
     std::vector<std::size_t> prefix(
         order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
-    ScenarioSolution solution = solve_affine_fifo(platform, prefix, costs);
     ++result.subsets_tried;
+    if (use_fast_lp) {
+      const ScenarioSolutionD fast =
+          solve_affine_fifo_fast(platform, prefix, costs);
+      if (fast.lp_feasible) {
+        candidates.push_back(
+            {std::move(prefix), fast.throughput, true, std::nullopt});
+        continue;
+      }
+      // The early stop must follow *exact* feasibility: near-boundary
+      // constants can fool the double LP either way.
+      ++result.exact_resolves;
+      ScenarioSolution exact = solve_affine_fifo(platform, prefix, costs);
+      if (!exact.lp_feasible) break;  // longer prefixes only add constants
+      FastCandidate candidate;
+      candidate.subset = std::move(prefix);
+      candidate.throughput = exact.throughput.to_double();
+      candidate.feasible = true;
+      candidate.exact = std::move(exact);
+      candidates.push_back(std::move(candidate));
+      continue;
+    }
+    ScenarioSolution solution = solve_affine_fifo(platform, prefix, costs);
     if (!solution.lp_feasible) break;  // longer prefixes only add constants
     offer(result, std::move(solution));
+  }
+  if (use_fast_lp) {
+    resolve_margin_set(platform, costs, candidates, result,
+                       result.exact_resolves);
   }
   return result;
 }
@@ -88,11 +187,24 @@ AffineSelectionResult solve_affine_fifo_local_search(
   // Seed with the greedy prefix; when even the cheapest-c prefix is
   // infeasible (per-worker latencies can sink worker 1 but not worker 5),
   // fall back to scanning the singletons.
-  AffineSelectionResult result = solve_affine_fifo_greedy(platform, costs);
+  AffineSelectionResult result =
+      solve_affine_fifo_greedy(platform, costs, options.use_fast_lp);
   if (!result.feasible) {
+    std::vector<FastCandidate> singletons;
     for (std::size_t i = 0; i < p; ++i) {
       ++result.subsets_tried;
+      if (options.use_fast_lp) {
+        const ScenarioSolutionD fast =
+            solve_affine_fifo_fast(platform, {i}, costs);
+        singletons.push_back(
+            {{i}, fast.throughput, fast.lp_feasible, std::nullopt});
+        continue;
+      }
       offer(result, solve_affine_fifo(platform, {i}, costs));
+    }
+    if (options.use_fast_lp) {
+      resolve_margin_set(platform, costs, singletons, result,
+                         result.exact_resolves);
     }
     if (!result.feasible) return result;
   }
@@ -109,6 +221,8 @@ AffineSelectionResult solve_affine_fifo_local_search(
   for (std::size_t step = 0; step < options.max_steps; ++step) {
     AffineSelectionResult round = result;  // incumbent to beat this sweep
     std::optional<std::pair<std::size_t, std::size_t>> best_move;
+    std::vector<FastCandidate> candidates;
+    std::vector<std::pair<std::size_t, std::size_t>> moves;
     const auto consider = [&](std::size_t drop, std::size_t add) {
       // drop == p: pure add; add == p: pure drop.
       std::vector<std::size_t> candidate;
@@ -119,6 +233,14 @@ AffineSelectionResult solve_affine_fifo_local_search(
       }
       if (candidate.empty() || !seen.insert(candidate).second) return;
       ++result.subsets_tried;
+      if (options.use_fast_lp) {
+        const ScenarioSolutionD fast =
+            solve_affine_fifo_fast(platform, candidate, costs);
+        candidates.push_back({std::move(candidate), fast.throughput,
+                              fast.lp_feasible, std::nullopt});
+        moves.emplace_back(drop, add);
+        return;
+      }
       if (offer(round, solve_affine_fifo(platform, candidate, costs))) {
         best_move = {drop, add};
       }
@@ -135,12 +257,22 @@ AffineSelectionResult solve_affine_fifo_local_search(
         if (out_of_budget()) break;
       }
     }
+    if (options.use_fast_lp) {
+      // The sweep's winning move is the last candidate whose exact
+      // throughput improves the round incumbent -- the same "first
+      // occurrence of the maximum" the all-exact scan picks, because the
+      // margin set is re-offered in the original scan order.
+      const std::size_t idx = resolve_margin_set(platform, costs, candidates,
+                                                 round, result.exact_resolves);
+      if (idx != SIZE_MAX) best_move = moves[idx];
+    }
     if (out_of_budget()) {
       result.budget_exhausted = true;
       // A completed evaluation may still have improved the incumbent.
     }
     if (!best_move) {
       round.subsets_tried = result.subsets_tried;
+      round.exact_resolves = result.exact_resolves;
       round.budget_exhausted = result.budget_exhausted;
       return round;
     }
@@ -148,6 +280,7 @@ AffineSelectionResult solve_affine_fifo_local_search(
     if (drop < p) member[drop] = false;
     if (add < p) member[add] = true;
     round.subsets_tried = result.subsets_tried;
+    round.exact_resolves = result.exact_resolves;
     round.budget_exhausted = result.budget_exhausted;
     result = std::move(round);
     if (result.budget_exhausted) break;

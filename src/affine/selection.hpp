@@ -31,6 +31,7 @@ struct AffineSelectionResult {
   ScenarioSolution best;                 ///< best subset's solution
   std::vector<std::size_t> participants; ///< the chosen subset (sigma_1 order)
   std::size_t subsets_tried = 0;         ///< LPs evaluated
+  std::size_t exact_resolves = 0;        ///< fast mode: LPs re-solved exactly
   bool feasible = false;                 ///< some subset admitted alpha >= 0
   bool budget_exhausted = false;         ///< stopped early on the time budget
 };
@@ -39,20 +40,33 @@ struct AffineSelectionResult {
 /// Throws if platform.size() > max_workers.  A positive
 /// `time_budget_seconds` stops the enumeration early (best-so-far wins,
 /// `budget_exhausted` set).
+///
+/// `use_fast_lp` screens every candidate with the double simplex and only
+/// re-solves exactly, in enumeration order, the candidates whose fast
+/// throughput lands within a safety margin of the fast optimum.  The
+/// returned winner, participants and solution are bit-identical to the
+/// exact enumeration (the final comparison is always between exact
+/// rationals); `exact_resolves` counts the LPs that went to the exact
+/// engine.
 [[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
     const StarPlatform& platform, const AffineCosts& costs,
-    std::size_t max_workers = 12, double time_budget_seconds = 0.0);
+    std::size_t max_workers = 12, double time_budget_seconds = 0.0,
+    bool use_fast_lp = false);
 
 /// Greedy selection: grow the prefix of the non-decreasing-c order while
 /// the throughput improves.  Polynomial (p LPs); not optimal in general
 /// (the problem is NP-hard [20]) but exact on the instances where the
 /// optimal subset is a prefix -- the common case, exercised in tests.
+/// `use_fast_lp` behaves as in solve_affine_fifo_best_subset (an
+/// infeasible fast prefix is confirmed exactly before the scan stops).
 [[nodiscard]] AffineSelectionResult solve_affine_fifo_greedy(
-    const StarPlatform& platform, const AffineCosts& costs);
+    const StarPlatform& platform, const AffineCosts& costs,
+    bool use_fast_lp = false);
 
 struct AffineLocalSearchOptions {
   std::size_t max_steps = 200;       ///< accepted-move cap
   double time_budget_seconds = 0.0;  ///< 0 = unlimited
+  bool use_fast_lp = false;          ///< screen moves with the double LP
 };
 
 /// Local-search refinement over participant sets: starts from the greedy

@@ -19,9 +19,12 @@ bool AffineCosts::is_affine() const noexcept {
          any_nonzero(return_latency_per_worker);
 }
 
-ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
-                                   std::vector<std::size_t> participants,
-                                   const AffineCosts& costs) {
+namespace {
+
+/// Shared precondition checks + Theorem 1 ordering for both precisions.
+std::vector<std::size_t> fifo_participants(
+    const StarPlatform& platform, std::vector<std::size_t> participants,
+    const AffineCosts& costs) {
   DLSCHED_EXPECT(!participants.empty(), "no participants");
   DLSCHED_EXPECT(costs.send_latency_per_worker.empty() ||
                      costs.send_latency_per_worker.size() == platform.size(),
@@ -36,8 +39,29 @@ ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
                    [&](std::size_t a, std::size_t b) {
                      return platform.worker(a).c < platform.worker(b).c;
                    });
-  return solve_scenario(platform, Scenario::fifo(participants),
-                        costs.lp_options());
+  return participants;
+}
+
+}  // namespace
+
+ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
+                                   std::vector<std::size_t> participants,
+                                   const AffineCosts& costs) {
+  return solve_scenario(
+      platform,
+      Scenario::fifo(
+          fifo_participants(platform, std::move(participants), costs)),
+      costs.lp_options());
+}
+
+ScenarioSolutionD solve_affine_fifo_fast(const StarPlatform& platform,
+                                         std::vector<std::size_t> participants,
+                                         const AffineCosts& costs) {
+  return solve_scenario_double(
+      platform,
+      Scenario::fifo(
+          fifo_participants(platform, std::move(participants), costs)),
+      costs.lp_options());
 }
 
 }  // namespace dlsched

@@ -79,4 +79,12 @@ struct AffineCosts {
     const StarPlatform& platform, std::vector<std::size_t> participants,
     const AffineCosts& costs);
 
+/// Double-precision variant of the same LP (Precision::Fast screening):
+/// identical model and participant ordering, solved with the double
+/// simplex.  Used by the selection strategies to rank candidate subsets
+/// cheaply before the winner is re-solved exactly.
+[[nodiscard]] ScenarioSolutionD solve_affine_fifo_fast(
+    const StarPlatform& platform, std::vector<std::size_t> participants,
+    const AffineCosts& costs);
+
 }  // namespace dlsched

@@ -130,7 +130,8 @@ ScenarioSolution solve_scenario(const StarPlatform& platform,
                                 const LpOptions& options) {
   const lp::LpProblem problem =
       build_scenario_lp(platform, scenario, options);
-  const lp::Solution<Rational> lp_solution = problem.solve_exact();
+  const lp::Solution<Rational> lp_solution =
+      problem.solve_exact(options.exact_engine);
 
   ScenarioSolution out;
   out.scenario = scenario;
@@ -163,12 +164,26 @@ ScenarioSolution solve_scenario(const StarPlatform& platform,
 
 ScenarioSolutionD solve_scenario_double(const StarPlatform& platform,
                                         const Scenario& scenario) {
-  const lp::LpProblem problem = build_scenario_lp(platform, scenario);
+  return solve_scenario_double(platform, scenario, LpOptions{});
+}
+
+ScenarioSolutionD solve_scenario_double(const StarPlatform& platform,
+                                        const Scenario& scenario,
+                                        const LpOptions& options) {
+  const lp::LpProblem problem =
+      build_scenario_lp(platform, scenario, options);
   const lp::Solution<double> lp_solution = problem.solve_double();
-  DLSCHED_EXPECT(lp_solution.status == lp::Status::Optimal,
-                 "scenario LP must be optimal (alpha = 0 is feasible)");
   ScenarioSolutionD out;
   out.scenario = scenario;
+  if (lp_solution.status == lp::Status::Infeasible) {
+    DLSCHED_EXPECT(options.is_affine(),
+                   "linear-model scenario LP cannot be infeasible");
+    out.lp_feasible = false;
+    out.alpha.assign(platform.size(), 0.0);
+    return out;
+  }
+  DLSCHED_EXPECT(lp_solution.status == lp::Status::Optimal,
+                 "scenario LP must be optimal (alpha = 0 is feasible)");
   out.throughput = lp_solution.objective;
   out.lp_pivots = lp_solution.pivots;
   out.alpha.assign(platform.size(), 0.0);
@@ -177,6 +192,18 @@ ScenarioSolutionD solve_scenario_double(const StarPlatform& platform,
         std::max(0.0, lp_solution.values[k]);
   }
   return out;
+}
+
+ScenarioSolution lift_solution(const ScenarioSolutionD& d) {
+  ScenarioSolution s;
+  s.throughput = Rational::from_double(d.throughput);
+  s.alpha.reserve(d.alpha.size());
+  for (double a : d.alpha) s.alpha.push_back(Rational::from_double(a));
+  s.idle.assign(d.alpha.size(), Rational());
+  s.scenario = d.scenario;
+  s.lp_pivots = d.lp_pivots;
+  s.lp_feasible = d.lp_feasible;
+  return s;
 }
 
 std::vector<std::size_t> ScenarioSolution::enrolled() const {

@@ -61,6 +61,11 @@ struct LpOptions {
   std::vector<double> send_latencies;
   std::vector<double> return_latencies;
 
+  /// Exact LP engine.  Both produce bit-identical solutions; the
+  /// fraction-free Bareiss tableau avoids per-entry gcd reductions and is
+  /// the default.
+  lp::ExactEngine exact_engine = lp::ExactEngine::Bareiss;
+
   /// Effective latencies of platform worker `i`.
   [[nodiscard]] double send_latency_for(std::size_t i) const {
     return send_latencies.empty() ? send_latency : send_latencies[i];
@@ -108,9 +113,20 @@ struct ScenarioSolutionD {
   std::vector<double> alpha;
   Scenario scenario;
   std::size_t lp_pivots = 0;
+  bool lp_feasible = true;  ///< false only with affine constants
 };
 [[nodiscard]] ScenarioSolutionD solve_scenario_double(
     const StarPlatform& platform, const Scenario& scenario);
+/// Options-aware variant (affine constants allowed; an infeasible LP is
+/// reported via lp_feasible = false, mirroring the exact path).
+[[nodiscard]] ScenarioSolutionD solve_scenario_double(
+    const StarPlatform& platform, const Scenario& scenario,
+    const LpOptions& options);
+
+/// Lossless lift of a double-precision LP solution into the exact shape
+/// (`Rational::from_double` is exact, so `.to_double()` round-trips
+/// bit-exactly).  Idle variables are zeroed: the double path drops them.
+[[nodiscard]] ScenarioSolution lift_solution(const ScenarioSolutionD& d);
 
 /// Constructs the normalized (packed) schedule realizing a solution for a
 /// horizon T (loads scale linearly with T).

@@ -23,6 +23,7 @@
 #include "core/multiround.hpp"
 #include "core/no_return.hpp"
 #include "core/two_port.hpp"
+#include "numeric/limb_arena.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -32,18 +33,9 @@ namespace {
 
 using numeric::Rational;
 
-/// Lossless lift of a double-precision LP solution into the exact shape.
-/// `Rational::from_double` is exact, so `.to_double()` round-trips.
-ScenarioSolution lift(const ScenarioSolutionD& d) {
-  ScenarioSolution s;
-  s.throughput = Rational::from_double(d.throughput);
-  s.alpha.reserve(d.alpha.size());
-  for (double a : d.alpha) s.alpha.push_back(Rational::from_double(a));
-  s.idle.assign(d.alpha.size(), Rational());
-  s.scenario = d.scenario;
-  s.lp_pivots = d.lp_pivots;
-  return s;
-}
+/// Lossless lift of a double-precision LP solution into the exact shape
+/// (shared with the affine solvers; see core/scenario_lp.hpp).
+ScenarioSolution lift(const ScenarioSolutionD& d) { return lift_solution(d); }
 
 /// Rebuilds a `ScenarioSolution` from a realized schedule (used by the
 /// transformation solvers, whose loads come from exchanges / flips rather
@@ -711,11 +703,17 @@ std::vector<SolverInfo> SolverRegistry::infos() const {
 SolveResult SolverRegistry::run(const std::string& name,
                                 const SolveRequest& request) const {
   const std::unique_ptr<Solver> solver = create(name);
+  // Snapshot the thread-local limb arena so the result carries the solve's
+  // own big-integer buffer traffic (the counters are cumulative).
+  const numeric::LimbArena::Stats arena_before = numeric::limb_arena_stats();
   const auto start = std::chrono::steady_clock::now();
   SolveResult result = solver->solve(request);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const numeric::LimbArena::Stats arena_after = numeric::limb_arena_stats();
+  result.arena_acquires = arena_after.acquires - arena_before.acquires;
+  result.arena_pool_hits = arena_after.pool_hits - arena_before.pool_hits;
   return result;
 }
 

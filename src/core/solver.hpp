@@ -106,6 +106,17 @@ struct SolveResult {
   // ----- search / evaluation statistics -----------------------------------
   std::size_t scenarios_tried = 0; ///< brute force / affine subset count
   std::size_t lp_evaluations = 0;  ///< local search oracle calls
+
+  /// LPs re-solved with the exact engine under `Precision::Fast`: the
+  /// margin set of a fast-screened selection scan, or a validated-double
+  /// result that failed validation / replay and fell back to exact.
+  std::size_t lp_fallbacks = 0;
+
+  /// Thread-local limb-arena activity during this solve (filled by
+  /// `SolverRegistry::run`): big-integer buffer requests, and how many
+  /// were served from the recycled pool instead of the allocator.
+  std::uint64_t arena_acquires = 0;
+  std::uint64_t arena_pool_hits = 0;
   std::size_t ascents = 0;         ///< local search accepted steps
   std::size_t best_rounds = 0;     ///< multiround: optimal R found
   double multiround_makespan = 0.0;

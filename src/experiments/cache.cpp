@@ -39,6 +39,10 @@ CachedSolve cached_from_outcome(const BatchOutcome& outcome) {
   solve.scenarios_tried = result.scenarios_tried;
   solve.lp_evaluations = result.lp_evaluations;
   solve.best_rounds = result.best_rounds;
+  solve.lp_pivots = result.solution.lp_pivots;
+  solve.lp_fallbacks = result.lp_fallbacks;
+  solve.arena_acquires = result.arena_acquires;
+  solve.arena_pool_hits = result.arena_pool_hits;
   solve.wall_seconds = result.wall_seconds;
   solve.participants = result.participants;
   solve.replayed = result.replayed;
@@ -125,9 +129,10 @@ std::vector<std::size_t> get_indices(std::istream& in,
 std::string serialize(const std::string& canonical_key,
                       const CachedSolve& s) {
   std::ostringstream out;
-  // Version 2 added the participant set and the affine replay certificate;
-  // version-1 entries degrade to misses and are re-solved.
-  out << "dlsched-cache 2\n";
+  // Version 3 added the pivot / fallback / limb-arena counters; version 2
+  // the participant set and the affine replay certificate.  Entries of
+  // older versions degrade to misses and are re-solved.
+  out << "dlsched-cache 3\n";
   put_blob(out, "key", canonical_key);
   put_blob(out, "solver", s.solver);
   put_blob(out, "error", s.error);
@@ -136,7 +141,9 @@ std::string serialize(const std::string& canonical_key,
       << ' ' << s.exact << ' ' << s.budget_exhausted << ' ' << s.has_alt
       << ' ' << s.replayed << '\n';
   out << "counts " << s.workers_used << ' ' << s.scenarios_tried << ' '
-      << s.lp_evaluations << ' ' << s.best_rounds << '\n';
+      << s.lp_evaluations << ' ' << s.best_rounds << ' ' << s.lp_pivots
+      << ' ' << s.lp_fallbacks << ' ' << s.arena_acquires << ' '
+      << s.arena_pool_hits << '\n';
   out << "scalars ";
   put_double(out, s.throughput);
   out << ' ';
@@ -172,7 +179,7 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     std::string magic;
     int version = 0;
     in >> magic >> version;
-    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 2,
+    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 3,
                    "cache entry: bad header");
     in.ignore(1);
     if (get_blob(in, "key") != canonical_key) return std::nullopt;
@@ -188,7 +195,8 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     in >> label;
     DLSCHED_EXPECT(label == "counts", "cache entry: expected counts");
     in >> s.workers_used >> s.scenarios_tried >> s.lp_evaluations >>
-        s.best_rounds;
+        s.best_rounds >> s.lp_pivots >> s.lp_fallbacks >> s.arena_acquires >>
+        s.arena_pool_hits;
     in >> label;
     DLSCHED_EXPECT(label == "scalars", "cache entry: expected scalars");
     s.throughput = get_double(in);

@@ -55,6 +55,10 @@ struct CachedSolve {
   std::size_t scenarios_tried = 0;
   std::size_t lp_evaluations = 0;
   std::size_t best_rounds = 0;
+  std::size_t lp_pivots = 0;           ///< simplex pivots of the final LP
+  std::size_t lp_fallbacks = 0;        ///< Fast mode: exact re-solves
+  std::uint64_t arena_acquires = 0;    ///< limb-arena buffer requests
+  std::uint64_t arena_pool_hits = 0;   ///< ... served from the recycled pool
 
   double wall_seconds = 0.0;      ///< of the run that actually solved
   double validate_seconds = 0.0;

@@ -256,7 +256,11 @@ ShardResult execute_shard(const ExperimentSpec& spec,
           .add("provably_optimal", s.provably_optimal)
           .add("exact", s.exact)
           .add("scenarios_tried", s.scenarios_tried)
-          .add("lp_evaluations", s.lp_evaluations);
+          .add("lp_evaluations", s.lp_evaluations)
+          .add("lp_pivots", s.lp_pivots)
+          .add("lp_fallbacks", s.lp_fallbacks)
+          .add("arena_acquires", s.arena_acquires)
+          .add("arena_pool_hits", s.arena_pool_hits);
       if (!s.participants.empty()) {
         row.add_raw("participants", json_index_array(s.participants));
       }

@@ -588,6 +588,20 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
     bench("scenario_lp_double", p,
           [&] { (void)solve_scenario_double(platform, scenario); });
   }
+  // The two exact engines head to head on one pre-built LP: the
+  // fraction-free Bareiss tableau vs the gcd-reducing rational simplex
+  // (both produce bit-identical solutions; only the arithmetic differs).
+  for (const std::size_t p : options.quick ? std::vector<std::size_t>{4}
+                                           : std::vector<std::size_t>{4, 8,
+                                                                      12}) {
+    const StarPlatform platform = platform_for(p);
+    const Scenario scenario = Scenario::fifo(platform.order_by_c());
+    const lp::LpProblem problem = build_scenario_lp(platform, scenario);
+    bench("bareiss_pivot", p,
+          [&] { (void)problem.solve_exact(lp::ExactEngine::Bareiss); });
+    bench("rational_pivot", p,
+          [&] { (void)problem.solve_exact(lp::ExactEngine::Rational); });
+  }
   for (const std::size_t p : {4, 12}) {
     const StarPlatform platform = platform_for(p);
     const Scenario scenario = Scenario::fifo(platform.order_by_c());
@@ -659,6 +673,27 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
     const StarPlatform platform = platform_for(p);
     bench("affine_subset_select", p, [&] {
       (void)affine::solve_affine_fifo_best_subset(platform, affine_costs);
+    });
+  }
+  // The Precision::Fast substrate: the double-precision affine FIFO LP and
+  // the fast-screened subset enumeration (double LP per candidate, exact
+  // re-solve of the margin set only).
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{4, 8, 12}) {
+    const StarPlatform platform = platform_for(p);
+    bench("affine_fast_lp", p, [&] {
+      (void)solve_affine_fifo_fast(platform, all_workers(platform),
+                                   affine_costs);
+    });
+  }
+  for (const std::size_t p : options.quick ? std::vector<std::size_t>{4}
+                                           : std::vector<std::size_t>{4, 8}) {
+    const StarPlatform platform = platform_for(p);
+    bench("affine_fast_subset_select", p, [&] {
+      (void)affine::solve_affine_fifo_best_subset(
+          platform, affine_costs, /*max_workers=*/12,
+          /*time_budget_seconds=*/0.0, /*use_fast_lp=*/true);
     });
   }
   for (const std::size_t p :

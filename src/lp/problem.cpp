@@ -67,8 +67,12 @@ DenseLp<T> LpProblem::densify() const {
   return dense;
 }
 
-Solution<Rational> LpProblem::solve_exact() const {
+Solution<Rational> LpProblem::solve_exact(ExactEngine engine) const {
   const DenseLp<Rational> dense = densify<Rational>();
+  if (engine == ExactEngine::Bareiss) {
+    BareissSimplex solver(dense);
+    return solver.solve();
+  }
   Simplex<Rational> solver(dense);
   return solver.solve();
 }

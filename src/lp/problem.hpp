@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/bareiss.hpp"
 #include "lp/simplex.hpp"
 #include "numeric/rational.hpp"
 
@@ -45,8 +46,10 @@ class LpProblem {
   [[nodiscard]] const std::string& variable_name(std::size_t var) const;
   [[nodiscard]] const std::string& constraint_name(std::size_t row) const;
 
-  /// Exact solve over rationals (Bland's rule; always terminates).
-  [[nodiscard]] Solution<Rational> solve_exact() const;
+  /// Exact solve (Bland's rule; always terminates).  Both engines return
+  /// bit-identical solutions; Bareiss skips the per-entry gcd reductions.
+  [[nodiscard]] Solution<Rational> solve_exact(
+      ExactEngine engine = ExactEngine::Bareiss) const;
   /// Approximate solve over doubles (same algorithm, tolerance 1e-9).
   [[nodiscard]] Solution<double> solve_double() const;
 

@@ -346,6 +346,11 @@ class Simplex {
       T activity{};
       for (std::size_t j = 0; j < lp_.num_vars; ++j) {
         if (P::is_zero(lp_.rows[i][j])) continue;
+        // Most structural variables are non-basic (exactly zero) at a
+        // vertex; their terms contribute nothing, so skip the exact
+        // multiply.  Bitwise test: a sub-tolerance double value still
+        // contributes to the activity sum.
+        if (P::is_skippable_zero(out.values[j])) continue;
         activity += lp_.rows[i][j] * out.values[j];
       }
       out.row_activity[i] = activity;

@@ -4,7 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <ostream>
+#include <utility>
 
+#include "numeric/limb_arena.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::numeric {
@@ -13,6 +15,13 @@ namespace {
 // Karatsuba pays off only for operands beyond this many limbs; below it the
 // cache-friendly schoolbook loop wins.
 constexpr std::size_t kKaratsubaThreshold = 32;
+
+// Arena-backed scratch vector for divmod's normalized operands.
+struct ArenaScratch {
+  std::vector<std::uint32_t> buf;
+  ArenaScratch() { LimbArena::local().acquire(buf); }
+  ~ArenaScratch() { LimbArena::local().release(buf); }
+};
 }  // namespace
 
 BigInt::BigInt(std::int64_t value) {
@@ -38,6 +47,7 @@ BigInt::BigInt(std::uint64_t value) {
 }
 
 void BigInt::assign_magnitude(unsigned __int128 magnitude) {
+  LimbArena::local().acquire(limbs_);
   limbs_.clear();
   while (magnitude != 0) {
     limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffULL));
@@ -110,6 +120,7 @@ void BigInt::normalize() noexcept {
     is_small_ = true;
     small_ = 0;
     sign_ = 0;
+    LimbArena::local().release(limbs_);
     return;
   }
   if (limbs_.size() <= 2) {
@@ -120,9 +131,9 @@ void BigInt::normalize() noexcept {
     if (mag < static_cast<std::uint64_t>(kSmallLimit)) {
       small_ = sign_ < 0 ? -static_cast<std::int64_t>(mag)
                          : static_cast<std::int64_t>(mag);
-      limbs_.clear();
       is_small_ = true;
       sign_ = 0;
+      LimbArena::local().release(limbs_);
     }
   }
 }
@@ -317,13 +328,17 @@ void BigInt::divmod_magnitude(const std::vector<Limb>& u_in,
   const std::size_t n = v_in.size();
   const std::size_t m = u_in.size() - n;
 
-  std::vector<Limb> v(n);
+  ArenaScratch v_scratch;
+  std::vector<Limb>& v = v_scratch.buf;
+  v.assign(n, 0);
   for (std::size_t i = n; i-- > 0;) {
     DoubleLimb val = static_cast<DoubleLimb>(v_in[i]) << shift;
     if (shift != 0 && i > 0) val |= v_in[i - 1] >> (kLimbBits - shift);
     v[i] = static_cast<Limb>(val & 0xffffffffULL);
   }
-  std::vector<Limb> u(u_in.size() + 1, 0);
+  ArenaScratch u_scratch;
+  std::vector<Limb>& u = u_scratch.buf;
+  u.assign(u_in.size() + 1, 0);
   for (std::size_t i = u_in.size(); i-- > 0;) {
     DoubleLimb val = static_cast<DoubleLimb>(u_in[i]) << shift;
     if (shift != 0 && i > 0) val |= u_in[i - 1] >> (kLimbBits - shift);
@@ -618,15 +633,20 @@ int BigInt::compare(const BigInt& rhs) const noexcept {
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   while (true) {
     if (a.is_small_ && b.is_small_) {
-      // Single-word Euclid: the whole loop runs on native integers.
+      // Single-word binary (Stein) gcd: shifts and subtractions only, no
+      // division -- this is the hot path of every Rational reduction.
       std::uint64_t x = a.small_magnitude();
       std::uint64_t y = b.small_magnitude();
-      while (y != 0) {
-        const std::uint64_t t = x % y;
-        x = y;
-        y = t;
-      }
-      return BigInt(x);
+      if (x == 0) return BigInt(y);
+      if (y == 0) return BigInt(x);
+      const int common_twos = std::countr_zero(x | y);
+      x >>= std::countr_zero(x);
+      do {
+        y >>= std::countr_zero(y);
+        if (x > y) std::swap(x, y);
+        y -= x;
+      } while (y != 0);
+      return BigInt(x << common_twos);
     }
     if (b.is_zero()) break;
     BigInt quotient;

@@ -1,0 +1,42 @@
+#include "numeric/limb_arena.hpp"
+
+#include <utility>
+
+namespace dlsched::numeric {
+
+LimbArena::LimbArena() {
+  // Reserving up front keeps release() allocation-free (and noexcept).
+  pool_.reserve(kMaxPooled);
+}
+
+LimbArena& LimbArena::local() noexcept {
+  thread_local LimbArena arena;
+  return arena;
+}
+
+void LimbArena::acquire(std::vector<std::uint32_t>& out) noexcept {
+  if (out.capacity() != 0) return;
+  ++stats_.acquires;
+  if (pool_.empty()) return;  // caller's vector grows on first push_back
+  ++stats_.pool_hits;
+  out = std::move(pool_.back());
+  pool_.pop_back();
+  out.clear();
+}
+
+void LimbArena::release(std::vector<std::uint32_t>& buffer) noexcept {
+  if (buffer.capacity() == 0) return;
+  if (pool_.size() < kMaxPooled && buffer.capacity() <= kMaxRetainedCapacity) {
+    ++stats_.releases;
+    buffer.clear();
+    pool_.push_back(std::move(buffer));
+  }
+  // Either way the caller's vector must end up storage-free.
+  std::vector<std::uint32_t>().swap(buffer);
+}
+
+LimbArena::Stats limb_arena_stats() noexcept {
+  return LimbArena::local().stats();
+}
+
+}  // namespace dlsched::numeric

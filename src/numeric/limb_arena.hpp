@@ -1,0 +1,63 @@
+// Thread-local freelist of limb buffers for BigInt temporaries.
+//
+// The exact simplex promotes inline BigInts to the limb form and back
+// millions of times per solve; each promotion used to round-trip a
+// std::vector<uint32_t> through the heap.  The arena keeps a small pool of
+// capacity-retaining buffers per thread: BigInt acquires a pooled buffer
+// when it needs limb storage and releases the storage back when
+// normalize() shrinks the value into the inline word.  The pool is bounded
+// (count and per-buffer capacity) so a burst of huge intermediates cannot
+// pin memory for the rest of the run.
+//
+// Stats are cumulative per thread; the solver layer snapshots them around
+// a solve to report "allocations avoided" in the bench artifacts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlsched::numeric {
+
+class LimbArena {
+ public:
+  struct Stats {
+    /// Buffer requests that found no capacity in place.
+    std::uint64_t acquires = 0;
+    /// Requests served from the pool, i.e. heap allocations avoided.
+    std::uint64_t pool_hits = 0;
+    /// Buffers returned to the pool (vs dropped because it was full).
+    std::uint64_t releases = 0;
+  };
+
+  LimbArena();
+  LimbArena(const LimbArena&) = delete;
+  LimbArena& operator=(const LimbArena&) = delete;
+
+  /// The calling thread's arena.
+  static LimbArena& local() noexcept;
+
+  /// Gives `out` a pooled buffer (empty, capacity retained) when it has no
+  /// capacity of its own.  No-op if `out` already owns storage.
+  void acquire(std::vector<std::uint32_t>& out) noexcept;
+
+  /// Takes `buffer`'s storage into the pool (or frees it when the pool is
+  /// full or the buffer is oversized).  `buffer` is left empty either way.
+  void release(std::vector<std::uint32_t>& buffer) noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Bounded pool: enough for the simplex pivot working set, small enough
+  /// to be irrelevant as a per-thread footprint.
+  static constexpr std::size_t kMaxPooled = 64;
+  /// Buffers beyond this capacity (in limbs) are freed, not pooled.
+  static constexpr std::size_t kMaxRetainedCapacity = 1 << 12;
+
+  std::vector<std::vector<std::uint32_t>> pool_;
+  Stats stats_;
+};
+
+/// Snapshot of the calling thread's cumulative arena stats.
+[[nodiscard]] LimbArena::Stats limb_arena_stats() noexcept;
+
+}  // namespace dlsched::numeric

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/affine.hpp"
 #include "core/fifo_optimal.hpp"
@@ -256,6 +257,107 @@ TEST(AffineEdge, MultiRoundRefusesPerWorkerLatencies) {
   request.costs.send_latency_per_worker.assign(platform.size(), 0.01);
   EXPECT_THROW((void)SolverRegistry::instance().run("multiround", request),
                Error);
+}
+
+// ----- Precision::Fast: the validated-double affine path -------------------
+
+class AffineFast : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The fast-screened selection solvers promise a *bit-identical* outcome:
+// the double LP only ranks candidates, and every candidate within the
+// safety margin of the fast optimum is re-solved exactly before offers.
+TEST_P(AffineFast, SelectionSolversAreBitIdenticalUnderFast) {
+  Rng rng(GetParam());
+  const StarPlatform platform = gen::random_star(5, rng, 0.5, 0.05, 0.4);
+  SolveRequest exact_request = shim::request_for(platform);
+  exact_request.costs.send_latency = rng.uniform(0.005, 0.05);
+  exact_request.costs.return_latency = rng.uniform(0.005, 0.03);
+  exact_request.costs.compute_latency = rng.uniform(0.0, 0.01);
+  SolveRequest fast_request = exact_request;
+  fast_request.precision = Precision::Fast;
+  for (const char* name :
+       {"affine_greedy", "affine_subset", "affine_local_search"}) {
+    const SolveResult exact =
+        SolverRegistry::instance().run(name, exact_request);
+    const SolveResult fast =
+        SolverRegistry::instance().run(name, fast_request);
+    EXPECT_EQ(fast.solution.throughput, exact.solution.throughput) << name;
+    EXPECT_EQ(fast.participants, exact.participants) << name;
+    ASSERT_EQ(fast.solution.alpha.size(), exact.solution.alpha.size());
+    for (std::size_t i = 0; i < exact.solution.alpha.size(); ++i) {
+      EXPECT_EQ(fast.solution.alpha[i], exact.solution.alpha[i])
+          << name << " alpha " << i;
+    }
+    EXPECT_EQ(fast.scenarios_tried, exact.scenarios_tried) << name;
+    EXPECT_TRUE(fast.exact) << name;  // the winner is an exact LP solution
+    if (fast.solution.lp_feasible) {
+      // At least the winner itself lands in the margin set.
+      EXPECT_GE(fast.lp_fallbacks, 1u) << name;
+    }
+    EXPECT_EQ(exact.lp_fallbacks, 0u) << name;
+  }
+}
+
+// affine_fifo under Fast lifts the double LP solution and accepts it only
+// when the realized timeline validates and the DES replay lands within the
+// CI-gated certificate bound; otherwise it re-solves exactly.
+TEST_P(AffineFast, FifoCarriesTheCertificateOrFallsBack) {
+  Rng rng(GetParam() ^ 0xfa57);
+  const StarPlatform platform = gen::random_star(6, rng, 0.5, 0.05, 0.4);
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.02;
+  request.costs.return_latency = 0.01;
+  request.precision = Precision::Fast;
+  const SolveResult fast =
+      SolverRegistry::instance().run("affine_fifo", request);
+  ASSERT_TRUE(fast.solution.lp_feasible);
+  EXPECT_TRUE(fast.replayed);
+  EXPECT_LE(fast.replay_rel_error, 1e-9);
+  if (fast.lp_fallbacks == 0) {
+    EXPECT_FALSE(fast.exact);  // the validated-double result was accepted
+  } else {
+    EXPECT_TRUE(fast.exact);  // fell back to the exact LP
+  }
+  SolveRequest exact_request = request;
+  exact_request.precision = Precision::Exact;
+  const SolveResult exact =
+      SolverRegistry::instance().run("affine_fifo", exact_request);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_NEAR(fast.throughput(), exact.throughput(),
+              1e-9 * std::max(1.0, exact.throughput()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineFast,
+                         ::testing::Values(71u, 72u, 73u, 74u, 75u, 76u));
+
+TEST(AffineFastEdge, InfeasibleConstantsMatchUnderFast) {
+  const StarPlatform platform({Worker{0.25, 0.25, 0.25, "P1"},
+                               Worker{0.25, 0.25, 0.25, "P2"}});
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.6;  // one worker alone exceeds T = 1
+  request.costs.return_latency = 0.6;
+  request.precision = Precision::Fast;
+  for (const char* name : kAffineSolvers) {
+    const SolveResult result =
+        SolverRegistry::instance().run(name, request);  // must not throw
+    EXPECT_FALSE(result.solution.lp_feasible) << name;
+    EXPECT_TRUE(result.solution.throughput.is_zero()) << name;
+    // Infeasibility is always confirmed by the exact engine.
+    EXPECT_GE(result.lp_fallbacks, 1u) << name;
+  }
+}
+
+TEST(AffineFastEdge, ExactSolvesReportArenaTraffic) {
+  // SolverRegistry::run snapshots the thread-local limb arena around every
+  // solve; an exact affine LP must show big-integer buffer traffic.
+  Rng rng(991);
+  const StarPlatform platform = gen::random_star(6, rng, 0.5, 0.05, 0.4);
+  SolveRequest request = shim::request_for(platform);
+  request.costs.send_latency = 0.02;
+  const SolveResult result =
+      SolverRegistry::instance().run("affine_fifo", request);
+  EXPECT_GT(result.arena_acquires, 0u);
+  EXPECT_LE(result.arena_pool_hits, result.arena_acquires);
 }
 
 }  // namespace
