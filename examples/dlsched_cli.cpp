@@ -214,6 +214,13 @@ int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
           row.add("replay_makespan", outcome.result.replay_makespan)
               .add("replay_rel_error", outcome.result.replay_rel_error);
         }
+        // Warm-start / pruning ledger: makes a silent cold-path or
+        // no-prune regression visible in scripted comparisons.
+        row.add("lp_pivots", outcome.result.solution.lp_pivots)
+            .add("lp_warm_starts", outcome.result.lp_warm_starts)
+            .add("lp_pivots_saved", outcome.result.lp_pivots_saved)
+            .add("subsets_pruned", outcome.result.subsets_pruned)
+            .add("subsets_screened", outcome.result.subsets_screened);
         row.add("validated", outcome.ok)
             .add("provably_optimal", outcome.result.provably_optimal)
             .add("wall_seconds", outcome.result.wall_seconds)

@@ -12,11 +12,11 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j --target dlsched_bench
 
 mkdir -p "${BASELINE_DIR}"
-for spec in micro_substrate micro_solvers smoke; do
+for spec in micro_substrate micro_solvers smoke churn_surface; do
   "./${BUILD_DIR}/dlsched_bench" --spec "${spec}" --no-cache --no-csv \
     --out "${BASELINE_DIR}/BENCH_${spec}.json"
 done
 
 echo
-echo "refreshed: ${BASELINE_DIR}/BENCH_{micro_substrate,micro_solvers,smoke}.json"
+echo "refreshed: ${BASELINE_DIR}/BENCH_{micro_substrate,micro_solvers,smoke,churn_surface}.json"
 echo "review the wall-time deltas, then commit."

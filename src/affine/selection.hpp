@@ -30,14 +30,62 @@ namespace dlsched::affine {
 struct AffineSelectionResult {
   ScenarioSolution best;                 ///< best subset's solution
   std::vector<std::size_t> participants; ///< the chosen subset (sigma_1 order)
-  std::size_t subsets_tried = 0;         ///< LPs evaluated
+  /// Subsets considered, pruned ones included (so the count matches the
+  /// plain enumeration; LPs actually solved = tried - pruned).
+  std::size_t subsets_tried = 0;
   std::size_t exact_resolves = 0;        ///< fast mode: LPs re-solved exactly
+  std::size_t subsets_pruned = 0;        ///< skipped by the upper bound
+  /// Skipped by the double-LP margin screen (after surviving the bound);
+  /// exact LPs actually solved = tried - pruned - screened.
+  std::size_t subsets_screened = 0;
+  std::size_t lp_pivots_total = 0;       ///< exact-LP pivots across the scan
+  std::size_t lp_warm_starts = 0;        ///< exact solves with accepted seed
+  /// Pivots avoided by accepted warm starts, measured against the most
+  /// recent cold solve of the same subset size in the chain (LP dimension
+  /// equals enrolled count, so this is a like-for-like yardstick).
+  std::size_t lp_pivots_saved = 0;
   bool feasible = false;                 ///< some subset admitted alpha >= 0
   bool budget_exhausted = false;         ///< stopped early on the time budget
 };
 
-/// Exact resource selection: tries every non-empty subset (2^p - 1 LPs).
-/// Throws if platform.size() > max_workers.  A positive
+/// Knobs for the exact subset enumeration.
+struct AffineSubsetOptions {
+  std::size_t max_workers = 12;      ///< 2^p guard
+  double time_budget_seconds = 0.0;  ///< 0 = unlimited
+  bool use_fast_lp = false;          ///< screen candidates with the double LP
+
+  /// Carry each evaluated subset's alpha support into the next LP of the
+  /// Gray-code walk as a warm-start seed.  Never changes the winner (the
+  /// engines' cold-fallback + uniqueness guarantee makes every warm solve
+  /// bit-identical to its cold twin); only `lp_pivots*` move.  Exact path
+  /// only -- the double screen has no warm start.
+  bool warm_start = true;
+
+  /// Skip subsets a one-port knapsack bound proves strictly sub-optimal:
+  ///   U(S) = max sum alpha_i  s.t.  sum (c_i+d_i) alpha_i <= 1 - L(S),
+  ///                                 0 <= alpha_i <= cap_i,
+  /// with cap_i the worker's own chain-row limit -- a relaxation of the
+  /// subset's LP, so U(S) >= rho(S).  Also primes the pruning floor by
+  /// solving the p FIFO prefixes (one warm chain) before the scan.  The
+  /// bound is evaluated in double with a conservative safety slack and
+  /// prunes only subsets *strictly* below the floor, so neither the
+  /// winner (ties included) nor the feasible flag ever changes.  Exact
+  /// path only.
+  bool prune = true;
+
+  /// Second pruning tier: before each exact solve, evaluate the candidate
+  /// with the double simplex and skip the exact LP when the fast
+  /// throughput lands below the incumbent minus the safety margin -- the
+  /// same error model (and margin) as `use_fast_lp`, applied inline so
+  /// the warm chain and the exact incumbent keep advancing.  Counted in
+  /// `subsets_screened`.  Exact path only; needs a positive incumbent.
+  bool screen = true;
+};
+
+/// Exact resource selection: walks every non-empty subset in Gray-code
+/// order over the platform's non-decreasing-c worker order (adjacent
+/// subsets differ by one worker, which is what makes the warm-start chain
+/// tight).  Throws if platform.size() > options.max_workers.  A positive
 /// `time_budget_seconds` stops the enumeration early (best-so-far wins,
 /// `budget_exhausted` set).
 ///
@@ -48,6 +96,11 @@ struct AffineSelectionResult {
 /// exact enumeration (the final comparison is always between exact
 /// rationals); `exact_resolves` counts the LPs that went to the exact
 /// engine.
+[[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
+    const StarPlatform& platform, const AffineCosts& costs,
+    const AffineSubsetOptions& options);
+
+/// Legacy signature; delegates with default warm-start + pruning knobs.
 [[nodiscard]] AffineSelectionResult solve_affine_fifo_best_subset(
     const StarPlatform& platform, const AffineCosts& costs,
     std::size_t max_workers = 12, double time_budget_seconds = 0.0,
@@ -67,6 +120,10 @@ struct AffineLocalSearchOptions {
   std::size_t max_steps = 200;       ///< accepted-move cap
   double time_budget_seconds = 0.0;  ///< 0 = unlimited
   bool use_fast_lp = false;          ///< screen moves with the double LP
+  /// Warm-start every exact move evaluation from the sweep incumbent's
+  /// alpha support (each move differs from the incumbent by at most two
+  /// workers).  Never changes the search trajectory, only pivot counts.
+  bool warm_start = true;
 };
 
 /// Local-search refinement over participant sets: starts from the greedy

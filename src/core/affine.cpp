@@ -21,10 +21,10 @@ bool AffineCosts::is_affine() const noexcept {
 
 namespace {
 
-/// Shared precondition checks + Theorem 1 ordering for both precisions.
-std::vector<std::size_t> fifo_participants(
-    const StarPlatform& platform, std::vector<std::size_t> participants,
-    const AffineCosts& costs) {
+/// Shared precondition checks (both precisions, both entry shapes).
+void check_affine_inputs(const StarPlatform& platform,
+                         std::span<const std::size_t> participants,
+                         const AffineCosts& costs) {
   DLSCHED_EXPECT(!participants.empty(), "no participants");
   DLSCHED_EXPECT(costs.send_latency_per_worker.empty() ||
                      costs.send_latency_per_worker.size() == platform.size(),
@@ -33,8 +33,14 @@ std::vector<std::size_t> fifo_participants(
                      costs.return_latency_per_worker.size() ==
                          platform.size(),
                  "per-worker return latencies must be platform-indexed");
-  // Non-decreasing c among the participants (Theorem 1's order remains the
-  // natural heuristic under affine costs).
+}
+
+/// Theorem 1 ordering: non-decreasing c among the participants (the
+/// natural heuristic remains the FIFO order under affine costs).
+std::vector<std::size_t> fifo_participants(
+    const StarPlatform& platform, std::vector<std::size_t> participants,
+    const AffineCosts& costs) {
+  check_affine_inputs(platform, participants, costs);
   std::stable_sort(participants.begin(), participants.end(),
                    [&](std::size_t a, std::size_t b) {
                      return platform.worker(a).c < platform.worker(b).c;
@@ -42,16 +48,47 @@ std::vector<std::size_t> fifo_participants(
   return participants;
 }
 
+void check_sorted(const StarPlatform& platform,
+                  std::span<const std::size_t> participants) {
+  DLSCHED_EXPECT(
+      std::is_sorted(participants.begin(), participants.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return platform.worker(a).c < platform.worker(b).c;
+                     }),
+      "participants must already be in non-decreasing-c order");
+}
+
+/// Exact solve of a presorted FIFO scenario, warm-started from
+/// `parent_alpha`'s support when non-empty.
+ScenarioSolution solve_sorted(const StarPlatform& platform,
+                              std::span<const std::size_t> participants,
+                              const AffineCosts& costs,
+                              const std::vector<double>& parent_alpha) {
+  const Scenario scenario = Scenario::fifo(participants);
+  LpOptions options = costs.lp_options();
+  if (!parent_alpha.empty()) {
+    options.warm_basis = warm_basis_for(parent_alpha, scenario);
+  }
+  return solve_scenario(platform, scenario, options);
+}
+
 }  // namespace
 
 ScenarioSolution solve_affine_fifo(const StarPlatform& platform,
                                    std::vector<std::size_t> participants,
-                                   const AffineCosts& costs) {
-  return solve_scenario(
-      platform,
-      Scenario::fifo(
-          fifo_participants(platform, std::move(participants), costs)),
-      costs.lp_options());
+                                   const AffineCosts& costs,
+                                   const std::vector<double>& parent_alpha) {
+  return solve_sorted(
+      platform, fifo_participants(platform, std::move(participants), costs),
+      costs, parent_alpha);
+}
+
+ScenarioSolution solve_affine_fifo_sorted(
+    const StarPlatform& platform, std::span<const std::size_t> participants,
+    const AffineCosts& costs, const std::vector<double>& parent_alpha) {
+  check_affine_inputs(platform, participants, costs);
+  check_sorted(platform, participants);
+  return solve_sorted(platform, participants, costs, parent_alpha);
 }
 
 ScenarioSolutionD solve_affine_fifo_fast(const StarPlatform& platform,
@@ -62,6 +99,15 @@ ScenarioSolutionD solve_affine_fifo_fast(const StarPlatform& platform,
       Scenario::fifo(
           fifo_participants(platform, std::move(participants), costs)),
       costs.lp_options());
+}
+
+ScenarioSolutionD solve_affine_fifo_fast_sorted(
+    const StarPlatform& platform, std::span<const std::size_t> participants,
+    const AffineCosts& costs) {
+  check_affine_inputs(platform, participants, costs);
+  check_sorted(platform, participants);
+  return solve_scenario_double(platform, Scenario::fifo(participants),
+                               costs.lp_options());
 }
 
 }  // namespace dlsched

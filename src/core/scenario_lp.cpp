@@ -30,6 +30,16 @@ Positions index_positions(const StarPlatform& platform,
 
 }  // namespace
 
+std::vector<std::size_t> warm_basis_for(
+    const std::vector<double>& parent_alpha, const Scenario& child) {
+  std::vector<std::size_t> seed;
+  for (std::size_t k = 0; k < child.send_order.size(); ++k) {
+    const std::size_t w = child.send_order[k];
+    if (w < parent_alpha.size() && parent_alpha[w] > 0.0) seed.push_back(k);
+  }
+  return seed;  // sorted by construction (ascending sigma_1 positions)
+}
+
 lp::LpProblem build_scenario_lp(const StarPlatform& platform,
                                 const Scenario& scenario,
                                 const LpOptions& options) {
@@ -54,17 +64,18 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
   }
 
   lp::LpProblem problem;
-  // Variables: alpha_k and x_k, ordered by sigma_1 position k.
+  // Variables: alpha_k ordered by sigma_1 position k.  The paper's idle
+  // variables x_i are NOT explicit columns: x_i is exactly the slack of
+  // chain row i, and modelling both would put two identical columns in
+  // every row -- any optimum with a non-binding chain row would then have
+  // a zero-reduced-cost twin, making every solution non-unique by
+  // construction and defeating the warm-start uniqueness gate.  Callers
+  // recover x_i from the row slack at extraction.
   std::vector<std::size_t> alpha_var(q);
-  std::vector<std::size_t> idle_var(q);
   for (std::size_t k = 0; k < q; ++k) {
     const std::size_t w = scenario.send_order[k];
     alpha_var[k] = problem.add_variable(
         "alpha_" + platform.worker(w).name);
-  }
-  for (std::size_t k = 0; k < q; ++k) {
-    const std::size_t w = scenario.send_order[k];
-    idle_var[k] = problem.add_variable("x_" + platform.worker(w).name);
   }
   for (std::size_t k = 0; k < q; ++k) {
     problem.set_objective(alpha_var[k], Rational(1));
@@ -91,11 +102,9 @@ lp::LpProblem build_scenario_lp(const StarPlatform& platform,
       terms.push_back({alpha_var[j], c[j]});
       constants += send_lat[j];
     }
-    // Own computation.
+    // Own computation.  (The idle time x_k is this row's slack.)
     terms.push_back({alpha_var[k], w_cost[k]});
     constants += comp_lat;
-    // Own idle slack.
-    terms.push_back({idle_var[k], Rational(1)});
     // All returns from this worker onward in sigma_2 order.
     const std::size_t my_return_pos = pos.return_pos[worker_id];
     for (std::size_t r = my_return_pos; r < q; ++r) {
@@ -130,11 +139,16 @@ ScenarioSolution solve_scenario(const StarPlatform& platform,
                                 const LpOptions& options) {
   const lp::LpProblem problem =
       build_scenario_lp(platform, scenario, options);
+  lp::WarmInfo warm;
   const lp::Solution<Rational> lp_solution =
-      problem.solve_exact(options.exact_engine);
+      options.warm_basis.empty()
+          ? problem.solve_exact(options.exact_engine)
+          : problem.solve_exact(options.exact_engine,
+                                lp::WarmBasis{options.warm_basis}, &warm);
 
   ScenarioSolution out;
   out.scenario = scenario;
+  out.lp_warm_starts = warm.accepted ? 1 : 0;
   if (lp_solution.status == lp::Status::Infeasible) {
     DLSCHED_EXPECT(options.is_affine(),
                    "linear-model scenario LP cannot be infeasible");
@@ -151,8 +165,10 @@ ScenarioSolution solve_scenario(const StarPlatform& platform,
   out.idle.assign(platform.size(), Rational());
   const std::size_t q = scenario.size();
   for (std::size_t k = 0; k < q; ++k) {
+    // Idle is the chain row's slack (rows are added in sigma_1 order, so
+    // chain row k belongs to send_order[k]); see build_scenario_lp.
     out.alpha[scenario.send_order[k]] = lp_solution.values[k];
-    out.idle[scenario.send_order[k]] = lp_solution.values[q + k];
+    out.idle[scenario.send_order[k]] = problem.row_slack(k, lp_solution.values);
   }
   return out;
 }

@@ -10,9 +10,14 @@
 //        (2b) sum_i (c_i + d_i) alpha_i <= 1        [one-port]
 //        (2c,d) alpha_i, x_i >= 0
 //
-// The idle variables x_i are pure slack (they never bind the optimum) but
-// are kept to mirror the paper's formulation; Lemma 1's vertex-counting
-// argument is exercised on them in the test suite.
+// The idle variables x_i are pure slack: here they ARE the slack of the
+// chain rows (2a) rather than explicit columns.  Modelling them as columns
+// alongside the solver's own row slacks would duplicate every chain row's
+// slack column, so any optimum with a non-binding chain row would carry a
+// zero-reduced-cost twin and the warm-start uniqueness gate (lp/simplex.hpp)
+// could never accept a seed.  `ScenarioSolution::idle` recovers x_i from
+// the row slack, which also makes idle well-defined at every vertex (the
+// explicit-column formulation splits slack between x_i and s_i arbitrarily).
 #pragma once
 
 #include <vector>
@@ -34,6 +39,9 @@ struct ScenarioSolution {
   std::vector<Rational> idle;         ///< LP idle variables, same indexing
   Scenario scenario;                  ///< the scenario that was solved
   std::size_t lp_pivots = 0;
+  /// 1 when this solve was warm-started from `LpOptions::warm_basis` and
+  /// the seed was accepted (0 on cold solves and cold fallbacks).
+  std::size_t lp_warm_starts = 0;
   bool lp_feasible = true;            ///< false only with affine constants
 
   /// Workers with alpha > 0 (resource selection outcome).
@@ -66,6 +74,13 @@ struct LpOptions {
   /// the default.
   lp::ExactEngine exact_engine = lp::ExactEngine::Bareiss;
 
+  /// Warm-start seed in this LP's structural-variable space (alpha_k = k
+  /// in sigma_1 position order); empty = cold solve.  Build
+  /// it with `warm_basis_for` from a structurally adjacent solution.  A
+  /// seed never changes the result -- the engines fall back cold whenever
+  /// it does not fit -- it only reduces pivots; the double path ignores it.
+  std::vector<std::size_t> warm_basis;
+
   /// Effective latencies of platform worker `i`.
   [[nodiscard]] double send_latency_for(std::size_t i) const {
     return send_latencies.empty() ? send_latency : send_latencies[i];
@@ -88,6 +103,17 @@ struct LpOptions {
     return false;
   }
 };
+
+/// Warm-start seed for solving `child` on a platform where worker `w`
+/// received load `parent_alpha[w]` in a structurally adjacent solve: the
+/// alpha columns (in `child`'s sigma_1 numbering) of workers with positive
+/// alpha.  Support-based on the *double* representation deliberately, so a
+/// seed derived from a fresh exact solution and one derived from its cached
+/// double form agree bit-for-bit -- warm pivot counts stay invariant across
+/// cache states and execution modes.  Workers absent from `parent_alpha`
+/// (platform grew) are simply not seeded.
+[[nodiscard]] std::vector<std::size_t> warm_basis_for(
+    const std::vector<double>& parent_alpha, const Scenario& child);
 
 /// Builds the LP for a scenario (exact rational coefficients taken from the
 /// platform's doubles losslessly).  Exposed separately so tests and

@@ -41,6 +41,10 @@ CachedSolve cached_from_outcome(const BatchOutcome& outcome) {
   solve.best_rounds = result.best_rounds;
   solve.lp_pivots = result.solution.lp_pivots;
   solve.lp_fallbacks = result.lp_fallbacks;
+  solve.lp_warm_starts = result.lp_warm_starts;
+  solve.lp_pivots_saved = result.lp_pivots_saved;
+  solve.subsets_pruned = result.subsets_pruned;
+  solve.subsets_screened = result.subsets_screened;
   solve.arena_acquires = result.arena_acquires;
   solve.arena_pool_hits = result.arena_pool_hits;
   solve.wall_seconds = result.wall_seconds;
@@ -129,10 +133,11 @@ std::vector<std::size_t> get_indices(std::istream& in,
 std::string serialize(const std::string& canonical_key,
                       const CachedSolve& s) {
   std::ostringstream out;
-  // Version 3 added the pivot / fallback / limb-arena counters; version 2
-  // the participant set and the affine replay certificate.  Entries of
-  // older versions degrade to misses and are re-solved.
-  out << "dlsched-cache 3\n";
+  // Version 4 added the warm-start / pruning counters; version 3 the
+  // pivot / fallback / limb-arena counters; version 2 the participant set
+  // and the affine replay certificate.  Entries of older versions degrade
+  // to misses and are re-solved.
+  out << "dlsched-cache 5\n";
   put_blob(out, "key", canonical_key);
   put_blob(out, "solver", s.solver);
   put_blob(out, "error", s.error);
@@ -142,7 +147,9 @@ std::string serialize(const std::string& canonical_key,
       << ' ' << s.replayed << '\n';
   out << "counts " << s.workers_used << ' ' << s.scenarios_tried << ' '
       << s.lp_evaluations << ' ' << s.best_rounds << ' ' << s.lp_pivots
-      << ' ' << s.lp_fallbacks << ' ' << s.arena_acquires << ' '
+      << ' ' << s.lp_fallbacks << ' ' << s.lp_warm_starts << ' '
+      << s.lp_pivots_saved << ' ' << s.subsets_pruned << ' '
+      << s.subsets_screened << ' ' << s.arena_acquires << ' '
       << s.arena_pool_hits << '\n';
   out << "scalars ";
   put_double(out, s.throughput);
@@ -179,7 +186,7 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     std::string magic;
     int version = 0;
     in >> magic >> version;
-    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 3,
+    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 5,
                    "cache entry: bad header");
     in.ignore(1);
     if (get_blob(in, "key") != canonical_key) return std::nullopt;
@@ -195,8 +202,9 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     in >> label;
     DLSCHED_EXPECT(label == "counts", "cache entry: expected counts");
     in >> s.workers_used >> s.scenarios_tried >> s.lp_evaluations >>
-        s.best_rounds >> s.lp_pivots >> s.lp_fallbacks >> s.arena_acquires >>
-        s.arena_pool_hits;
+        s.best_rounds >> s.lp_pivots >> s.lp_fallbacks >> s.lp_warm_starts >>
+        s.lp_pivots_saved >> s.subsets_pruned >> s.subsets_screened >>
+        s.arena_acquires >> s.arena_pool_hits;
     in >> label;
     DLSCHED_EXPECT(label == "scalars", "cache entry: expected scalars");
     s.throughput = get_double(in);

@@ -93,6 +93,7 @@ std::vector<std::string> resolved_solvers(const ExperimentSpec& spec) {
       return {"inc_c"};
     case SpecKind::Linearity:
     case SpecKind::Micro:
+    case SpecKind::Churn:
       return {};
   }
   return {};
@@ -113,6 +114,7 @@ ExperimentSpec shrink(ExperimentSpec spec) {
   spec.platforms = std::min<std::size_t>(spec.platforms, 3);
   spec.total_tasks = std::min<std::uint64_t>(spec.total_tasks, 200);
   spec.max_rounds = std::min<std::size_t>(spec.max_rounds, 6);
+  spec.churn_events = std::min<std::size_t>(spec.churn_events, 3);
   return spec;
 }
 
@@ -493,6 +495,9 @@ RunSummary run_spec(const ExperimentSpec& requested,
       break;
     case SpecKind::Micro:
       detail::run_micro(spec, options, json_ptr, csv, summary, log);
+      break;
+    case SpecKind::Churn:
+      detail::run_churn(spec, options, json_ptr, csv, summary, log);
       break;
   }
   if (json) json->finish();

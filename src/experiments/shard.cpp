@@ -62,93 +62,100 @@ std::vector<CompiledShard> plan_shards(const ExperimentSpec& spec) {
                      spec.return_latencies.end());
   }
 
-  // One shard per (p, z, send-latency, return-latency) slice, further
-  // split per repetition: the repetition split keeps shard weights
-  // comparable when one platform size dwarfs the others (micro_solvers'
-  // p = 12 slice is ~97% of the spec), which is what lets work stealing
-  // actually balance the grid.  Planner order is the nested loop order
-  // (p, then z, then send latency, then return latency, then rep), so
-  // concatenating shard outputs in planner order reproduces a
-  // single-process run's artifacts byte for byte.
+  // One shard per (p, z) slice, further split per repetition: the
+  // repetition split keeps shard weights comparable when one platform
+  // size dwarfs the others (micro_solvers' p = 12 slice is ~97% of the
+  // spec), which is what lets work stealing actually balance the grid.
+  // The latency axes fold *inside* each shard as cells -- one generated
+  // platform spans the whole latency surface (isolating the latency
+  // effect), and walking the cells in order gives the warm-start chain
+  // its structurally adjacent LPs.  Planner order is the nested loop
+  // order (p, then z, then rep; cells: send latency, then return
+  // latency), so concatenating shard outputs in planner order reproduces
+  // a single-process run's artifacts byte for byte.
   std::vector<CompiledShard> shards;
-  shards.reserve(p_axis.size() * z_axis.size() * slat_axis.size() *
-                 rlat_axis.size() * spec.repetitions);
+  shards.reserve(p_axis.size() * z_axis.size() * spec.repetitions);
   for (const auto& p : p_axis) {
     for (const auto& z : z_axis) {
-      for (const auto& slat : slat_axis) {
-        for (const auto& rlat : rlat_axis) {
-          for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
-            CompiledShard shard;
-            shard.index = shards.size();
-            shard.p = p;
-            shard.z = z;
-            shard.send_latency = slat;
-            shard.return_latency = rlat;
-            shard.rep = rep;
-            // The shard id hashes the job identities inside the slice, so
-            // it is stable across runs and processes yet changes with any
-            // axis, seed, generator or solver-set edit.
-            std::ostringstream id_key;
-            id_key << "shard\nspec " << spec.name << "\npoint "
-                   << (p ? std::to_string(*p) : std::string("-")) << ' '
-                   << z_key(z) << ' ' << z_key(slat) << ' ' << z_key(rlat)
-                   << ' ' << rep << "\njobs ";
-            // The latency axes are deliberately outside the instance
-            // seed: one platform (and one set of latency factors) spans
-            // the whole latency surface, isolating the latency effect.
-            const std::uint64_t seed = instance_seed(
-                spec.seed, p.value_or(0), z.value_or(-1.0), rep);
-            gen::GenParams params = spec.generator_params;
-            if (p) params["p"] = static_cast<double>(*p);
-            if (z) params["z"] = *z;
-            Rng rng(seed);
-            const gen::GeneratedPlatform generated =
-                gen::GeneratorRegistry::instance().make_generated(
-                    spec.generator, params, rng);
-            shard.request.platform = generated.platform;
-            if (slat) shard.request.costs.send_latency = *slat;
-            if (rlat) shard.request.costs.return_latency = *rlat;
-            shard.request.costs.compute_latency = spec.compute_latency;
-            // Generator-drawn latency factors scale by the axis value into
-            // per-worker overrides (factor 1 == the global latency).
+      for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+        CompiledShard shard;
+        shard.index = shards.size();
+        shard.p = p;
+        shard.z = z;
+        shard.rep = rep;
+        // The shard id hashes the job identities of every cell, so it is
+        // stable across runs and processes yet changes with any axis,
+        // seed, generator or solver-set edit.
+        std::ostringstream id_key;
+        id_key << "shard\nspec " << spec.name << "\npoint "
+               << (p ? std::to_string(*p) : std::string("-")) << ' '
+               << z_key(z) << ' ' << rep << "\njobs ";
+        // The latency axes are deliberately outside the instance seed:
+        // one platform (and one set of latency factors) spans the whole
+        // latency surface.
+        const std::uint64_t seed = instance_seed(
+            spec.seed, p.value_or(0), z.value_or(-1.0), rep);
+        gen::GenParams params = spec.generator_params;
+        if (p) params["p"] = static_cast<double>(*p);
+        if (z) params["z"] = *z;
+        Rng rng(seed);
+        const gen::GeneratedPlatform generated =
+            gen::GeneratorRegistry::instance().make_generated(
+                spec.generator, params, rng);
+        SolveRequest base;
+        base.platform = generated.platform;
+        base.costs.compute_latency = spec.compute_latency;
+        base.precision = spec.precision;
+        base.time_budget_seconds = spec.time_budget_seconds;
+        base.max_workers_brute = spec.max_workers_brute;
+        base.seed = seed;
+        shard.cells.reserve(slat_axis.size() * rlat_axis.size());
+        for (const auto& slat : slat_axis) {
+          for (const auto& rlat : rlat_axis) {
+            GridCell cell;
+            cell.send_latency = slat;
+            cell.return_latency = rlat;
+            cell.request = base;
+            if (slat) cell.request.costs.send_latency = *slat;
+            if (rlat) cell.request.costs.return_latency = *rlat;
+            // Generator-drawn latency factors scale by the axis value
+            // into per-worker overrides (factor 1 == the global latency).
             if (generated.has_latency_draws()) {
               const std::size_t n = generated.platform.size();
               if (slat && *slat > 0.0) {
-                auto& per = shard.request.costs.send_latency_per_worker;
+                auto& per = cell.request.costs.send_latency_per_worker;
                 per.resize(n);
                 for (std::size_t i = 0; i < n; ++i) {
                   per[i] = *slat * generated.latency_factor[i];
                 }
               }
               if (rlat && *rlat > 0.0) {
-                auto& per = shard.request.costs.return_latency_per_worker;
+                auto& per = cell.request.costs.return_latency_per_worker;
                 per.resize(n);
                 for (std::size_t i = 0; i < n; ++i) {
                   per[i] = *rlat * generated.latency_factor[i];
                 }
               }
             }
-            shard.request.precision = spec.precision;
-            shard.request.time_budget_seconds = spec.time_budget_seconds;
-            shard.request.max_workers_brute = spec.max_workers_brute;
-            shard.request.seed = seed;
+            id_key << "cell " << z_key(slat) << ' ' << z_key(rlat) << ' ';
             for (const std::string& solver : solvers) {
-              if (!solver_objects.at(solver)->applicable(shard.request)) {
-                ++shard.skipped;
+              if (!solver_objects.at(solver)->applicable(cell.request)) {
+                ++cell.skipped;
                 continue;
               }
-              id_key << job_hash_hex(solver, shard.request) << ' ';
+              id_key << job_hash_hex(solver, cell.request) << ' ';
               GridSlot slot;
               slot.z = z;
               slot.rep = rep;
               slot.seed = seed;
               slot.solver = solver;
-              shard.slots.push_back(std::move(slot));
+              cell.slots.push_back(std::move(slot));
             }
-            shard.id = job_hash_from_key(id_key.str());
-            shards.push_back(std::move(shard));
+            shard.cells.push_back(std::move(cell));
           }
         }
+        shard.id = job_hash_from_key(id_key.str());
+        shards.push_back(std::move(shard));
       }
     }
   }
@@ -173,113 +180,143 @@ ShardResult execute_shard(const ExperimentSpec& spec,
   ShardResult result;
   result.id = shard.id;
   result.index = shard.index;
-  result.jobs = shard.slots.size();
-  result.skipped = shard.skipped;
   const CacheStats before = cache.stats;
 
-  // ----- cache pass, then one thread-pooled batch over the misses ---------
-  std::vector<CachedSolve> solves(shard.slots.size());
-  std::vector<BatchJobView> views;
-  std::vector<std::size_t> view_slot;
-  std::vector<std::pair<std::string, std::string>> view_keys;  // hash, key
-  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-    const GridSlot& slot = shard.slots[i];
-    const std::string key = job_canonical_key(slot.solver, shard.request);
-    const std::string hash = job_hash_from_key(key);
-    if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
-      solves[i] = std::move(*hit);
-      ++result.cache_hits;
-      continue;
-    }
-    views.push_back({slot.solver, &shard.request});
-    view_slot.push_back(i);
-    view_keys.emplace_back(hash, key);
-  }
-  // Checkpoint each finished job into the cache immediately (the hook is
-  // serialized by solve_batch): if this worker dies mid-shard, whoever
-  // reclaims the stale claim re-runs the shard as cache hits up to the
-  // point of the crash.
-  const BatchProgressHook hook = [&](const BatchProgress& progress,
-                                     const BatchOutcome& outcome) {
-    cache.store(view_keys[progress.job_index].first,
-                view_keys[progress.job_index].second,
-                cached_from_outcome(outcome));
-    if (checkpoint) checkpoint();
-    return true;
-  };
-  const std::vector<BatchOutcome> outcomes =
-      solve_batch(std::span<const BatchJobView>(views), threads, hook);
-  for (std::size_t v = 0; v < outcomes.size(); ++v) {
-    solves[view_slot[v]] = cached_from_outcome(outcomes[v]);
-    if (outcomes[v].deduped) {
-      ++result.deduped;
-    } else {
-      ++result.solved;  // stored by the checkpoint hook already
-    }
-  }
+  // Each solver's solved alpha from the previous cell, carried into its
+  // next-cell request as the warm-start seed.  The hint comes from the
+  // cached record on a hit and from the fresh solution on a miss --
+  // `CachedSolve::alpha` round-trips bit-exactly, so the chain (and with
+  // it every emitted counter) is independent of the cache state.
+  std::map<std::string, std::vector<double>> prev_alpha;
 
-  // ----- render rows + the aggregation inputs -----------------------------
-  double baseline_throughput = 0.0;
-  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-    if (shard.slots[i].solver == spec.baseline && solves[i].solved) {
-      baseline_throughput = solves[i].throughput;
-    }
-  }
-  result.rows.reserve(shard.slots.size());
-  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-    const GridSlot& slot = shard.slots[i];
-    const CachedSolve& s = solves[i];
-    if (!s.solved || !s.validated) ++result.failures;
-    ShardRow out;
-    out.solved = s.solved;
-    out.validated = s.validated;
-    out.p = shard.request.platform.size();
-    out.z = slot.z;
-    out.send_latency = shard.send_latency;
-    out.return_latency = shard.return_latency;
-    out.solver = slot.solver;
-    JsonObject row;
-    row.add("solver", slot.solver).add("p", out.p);
-    if (slot.z) row.add("z", *slot.z);
-    if (shard.send_latency) row.add("send_latency", *shard.send_latency);
-    if (shard.return_latency) {
-      row.add("return_latency", *shard.return_latency);
-    }
-    row.add("rep", slot.rep).add("seed", slot.seed);
-    row.add("solved", s.solved);
-    if (!s.solved) {
-      row.add("error", s.error);
-    } else {
-      row.add("throughput", s.throughput)
-          .add("workers_used", s.workers_used)
-          .add("validated", s.validated)
-          .add("provably_optimal", s.provably_optimal)
-          .add("exact", s.exact)
-          .add("scenarios_tried", s.scenarios_tried)
-          .add("lp_evaluations", s.lp_evaluations)
-          .add("lp_pivots", s.lp_pivots)
-          .add("lp_fallbacks", s.lp_fallbacks)
-          .add("arena_acquires", s.arena_acquires)
-          .add("arena_pool_hits", s.arena_pool_hits);
-      if (!s.participants.empty()) {
-        row.add_raw("participants", json_index_array(s.participants));
+  for (const GridCell& cell : shard.cells) {
+    result.jobs += cell.slots.size();
+    result.skipped += cell.skipped;
+
+    // ----- cache pass, then one thread-pooled batch over the misses -------
+    // Keys are computed from the unhinted request; `warm_alpha` is
+    // excluded from the canonical serialization, so hinted and unhinted
+    // solves of the same job share one cache entry.
+    std::vector<CachedSolve> solves(cell.slots.size());
+    std::vector<SolveRequest> hinted;  // stable storage for the views
+    std::vector<BatchJobView> views;
+    std::vector<std::size_t> view_slot;
+    std::vector<std::pair<std::string, std::string>> view_keys;  // hash, key
+    hinted.reserve(cell.slots.size());
+    for (std::size_t i = 0; i < cell.slots.size(); ++i) {
+      const GridSlot& slot = cell.slots[i];
+      const std::string key = job_canonical_key(slot.solver, cell.request);
+      const std::string hash = job_hash_from_key(key);
+      if (std::optional<CachedSolve> hit = cache.lookup(hash, key)) {
+        solves[i] = std::move(*hit);
+        ++result.cache_hits;
+        continue;
       }
-      if (s.replayed) {
-        row.add("replay_makespan", s.replay_makespan)
-            .add("replay_rel_error", s.replay_rel_error);
+      SolveRequest request = cell.request;
+      if (const auto it = prev_alpha.find(slot.solver);
+          it != prev_alpha.end()) {
+        request.warm_alpha = it->second;
       }
-      if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
-      row.add("wall_seconds", s.wall_seconds)
-          .add("validate_seconds", s.validate_seconds);
-      out.throughput = s.throughput;
-      out.wall_seconds = s.wall_seconds;
-      if (!spec.baseline.empty() && baseline_throughput > 0.0) {
-        out.has_ratio = true;
-        out.ratio = s.throughput / baseline_throughput;
+      hinted.push_back(std::move(request));
+      views.push_back({slot.solver, &hinted.back()});
+      view_slot.push_back(i);
+      view_keys.emplace_back(hash, key);
+    }
+    // Checkpoint each finished job into the cache immediately (the hook
+    // is serialized by solve_batch): if this worker dies mid-shard,
+    // whoever reclaims the stale claim re-runs the shard as cache hits up
+    // to the point of the crash.
+    const BatchProgressHook hook = [&](const BatchProgress& progress,
+                                       const BatchOutcome& outcome) {
+      cache.store(view_keys[progress.job_index].first,
+                  view_keys[progress.job_index].second,
+                  cached_from_outcome(outcome));
+      if (checkpoint) checkpoint();
+      return true;
+    };
+    const std::vector<BatchOutcome> outcomes =
+        solve_batch(std::span<const BatchJobView>(views), threads, hook);
+    for (std::size_t v = 0; v < outcomes.size(); ++v) {
+      solves[view_slot[v]] = cached_from_outcome(outcomes[v]);
+      if (outcomes[v].deduped) {
+        ++result.deduped;
+      } else {
+        ++result.solved;  // stored by the checkpoint hook already
       }
     }
-    out.json = row.render();
-    result.rows.push_back(std::move(out));
+    for (std::size_t i = 0; i < cell.slots.size(); ++i) {
+      if (solves[i].solved && !solves[i].alpha.empty()) {
+        prev_alpha[cell.slots[i].solver] = solves[i].alpha;
+      }
+    }
+
+    // ----- render rows + the aggregation inputs ---------------------------
+    double baseline_throughput = 0.0;
+    for (std::size_t i = 0; i < cell.slots.size(); ++i) {
+      if (cell.slots[i].solver == spec.baseline && solves[i].solved) {
+        baseline_throughput = solves[i].throughput;
+      }
+    }
+    result.rows.reserve(result.rows.size() + cell.slots.size());
+    for (std::size_t i = 0; i < cell.slots.size(); ++i) {
+      const GridSlot& slot = cell.slots[i];
+      const CachedSolve& s = solves[i];
+      if (!s.solved || !s.validated) ++result.failures;
+      ShardRow out;
+      out.solved = s.solved;
+      out.validated = s.validated;
+      out.p = cell.request.platform.size();
+      out.z = slot.z;
+      out.send_latency = cell.send_latency;
+      out.return_latency = cell.return_latency;
+      out.solver = slot.solver;
+      JsonObject row;
+      row.add("solver", slot.solver).add("p", out.p);
+      if (slot.z) row.add("z", *slot.z);
+      if (cell.send_latency) row.add("send_latency", *cell.send_latency);
+      if (cell.return_latency) {
+        row.add("return_latency", *cell.return_latency);
+      }
+      row.add("rep", slot.rep).add("seed", slot.seed);
+      row.add("solved", s.solved);
+      if (!s.solved) {
+        row.add("error", s.error);
+      } else {
+        row.add("throughput", s.throughput)
+            .add("workers_used", s.workers_used)
+            .add("validated", s.validated)
+            .add("provably_optimal", s.provably_optimal)
+            .add("exact", s.exact)
+            .add("scenarios_tried", s.scenarios_tried)
+            .add("lp_evaluations", s.lp_evaluations)
+            .add("lp_pivots", s.lp_pivots)
+            .add("lp_fallbacks", s.lp_fallbacks)
+            .add("lp_warm_starts", s.lp_warm_starts)
+            .add("lp_pivots_saved", s.lp_pivots_saved)
+            .add("subsets_pruned", s.subsets_pruned)
+            .add("subsets_screened", s.subsets_screened)
+            .add("arena_acquires", s.arena_acquires)
+            .add("arena_pool_hits", s.arena_pool_hits);
+        if (!s.participants.empty()) {
+          row.add_raw("participants", json_index_array(s.participants));
+        }
+        if (s.replayed) {
+          row.add("replay_makespan", s.replay_makespan)
+              .add("replay_rel_error", s.replay_rel_error);
+        }
+        if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
+        row.add("wall_seconds", s.wall_seconds)
+            .add("validate_seconds", s.validate_seconds);
+        out.throughput = s.throughput;
+        out.wall_seconds = s.wall_seconds;
+        if (!spec.baseline.empty() && baseline_throughput > 0.0) {
+          out.has_ratio = true;
+          out.ratio = s.throughput / baseline_throughput;
+        }
+      }
+      out.json = row.render();
+      result.rows.push_back(std::move(out));
+    }
   }
 
   result.cache.hits = cache.stats.hits - before.hits;

@@ -46,32 +46,49 @@ struct GridSlot {
   std::string solver;
 };
 
+/// One latency point of a shard: the (send, return) latency coordinates
+/// applied to the shard's generated instance, plus every applicable solver
+/// job on it.  All cells of one shard share the generated platform, which
+/// is what makes the warm-start chain across them legitimate:
+/// `execute_shard` walks the cells in planner order and seeds each
+/// solver's request with the same solver's previous-cell alpha
+/// (`SolveRequest::warm_alpha`, advisory and excluded from cache keys).
+/// Specs without latency axes compile to exactly one cell per shard.
+struct GridCell {
+  std::optional<double> send_latency;    ///< affine send-latency coordinate
+  std::optional<double> return_latency;  ///< affine return-latency coordinate
+  SolveRequest request;           ///< the cell's problem instance
+  std::vector<GridSlot> slots;
+  std::size_t skipped = 0;        ///< inapplicable solver cells
+};
+
 /// One slice of the compiled grid -- a (p, z) point, split per repetition
 /// so shard weights stay stealable when one platform size dominates the
-/// spec: the generated problem instance plus every applicable solver job
-/// on it.
+/// spec: the generated problem instance plus its latency cells.  The
+/// latency axes fold *inside* the shard (one platform spans the whole
+/// latency surface) so adjacent cells differ only in the latency
+/// constants -- structurally adjacent LPs, which the warm-start chain
+/// exploits.  The chain is deliberately intra-shard only: shards are
+/// stolen and executed out of order across processes, so any cross-shard
+/// seeding would make artifacts depend on the steal schedule.
 struct CompiledShard {
   std::size_t index = 0;          ///< planner order == emission order
   std::string id;                 ///< stable 32-hex shard id
   std::optional<std::size_t> p;   ///< p coordinate (absent axis: nullopt)
   std::optional<double> z;        ///< z coordinate (absent axis: nullopt)
-  std::optional<double> send_latency;    ///< affine send-latency coordinate
-  std::optional<double> return_latency;  ///< affine return-latency coordinate
   std::size_t rep = 0;            ///< repetition coordinate
-  SolveRequest request;           ///< the grid point's problem instance
-  std::vector<GridSlot> slots;
-  std::size_t skipped = 0;        ///< inapplicable solver cells
+  std::vector<GridCell> cells;    ///< latency points, planner order
 };
 
 /// The solver set a Grid spec runs (`spec.solvers`, or every registered
 /// solver when empty).
 [[nodiscard]] std::vector<std::string> grid_solvers(const ExperimentSpec& spec);
 
-/// Deterministically compiles a Grid spec into (p, z, rep)-keyed shards,
-/// in the same nested order (p outer, z inner, rep innermost) the
-/// monolithic engine iterated, so concatenating shard outputs in planner
-/// order reproduces its artifacts byte for byte.  Throws for non-Grid
-/// kinds.
+/// Deterministically compiles a Grid spec into (p, z, rep)-keyed shards
+/// (p outer, z inner, rep innermost), each holding its latency cells in
+/// (send, return) nested order, so concatenating shard outputs in planner
+/// order reproduces a single-process run's artifacts byte for byte.
+/// Throws for non-Grid kinds.
 [[nodiscard]] std::vector<CompiledShard> plan_shards(
     const ExperimentSpec& spec);
 
@@ -111,8 +128,13 @@ struct ShardResult {
   std::vector<ShardRow> rows;
 };
 
-/// Executes one shard: cache pass, thread-pooled `solve_batch` over the
-/// misses, row rendering.  Completed jobs are checkpointed into the cache
+/// Executes one shard: per cell, a cache pass, a thread-pooled
+/// `solve_batch` over the misses, and row rendering.  Cells run in order;
+/// each solver's solved alpha is carried into its next-cell request as a
+/// warm-start hint.  The hint is taken from the cached record on a hit
+/// and from the fresh solution on a miss -- bit-identical either way, so
+/// artifacts do not depend on the cache state.  Completed jobs are
+/// checkpointed into the cache
 /// as they finish (via the batch progress hook), so a crashed worker's
 /// partial shard survives as cache hits for whoever reclaims the claim;
 /// `checkpoint`, when given, runs after each job on top of that (the

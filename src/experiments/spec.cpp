@@ -20,6 +20,7 @@ std::string kind_name(SpecKind kind) {
     case SpecKind::Selection: return "selection";
     case SpecKind::Multiround: return "multiround";
     case SpecKind::Micro: return "micro";
+    case SpecKind::Churn: return "churn";
   }
   return "?";
 }
@@ -28,12 +29,12 @@ SpecKind kind_from_name(const std::string& name) {
   for (const SpecKind kind :
        {SpecKind::Grid, SpecKind::Ensemble, SpecKind::Linearity,
         SpecKind::Trace, SpecKind::Participation, SpecKind::Selection,
-        SpecKind::Multiround, SpecKind::Micro}) {
+        SpecKind::Multiround, SpecKind::Micro, SpecKind::Churn}) {
     if (kind_name(kind) == name) return kind;
   }
   DLSCHED_FAIL("unknown spec kind '" + name +
                "' (known: grid, ensemble, linearity, trace, participation, "
-               "selection, multiround, micro)");
+               "selection, multiround, micro, churn)");
 }
 
 namespace {
@@ -167,7 +168,7 @@ const char* kKnownKeys =
     "return_latencies, compute_latency, repetitions, seed, solvers, "
     "baseline, precision, time_budget_seconds, max_workers_brute, "
     "matrix_sizes, platforms, total_tasks, comm_speed_up, comp_speed_up, "
-    "include_inc_w, x, latencies, max_rounds";
+    "include_inc_w, x, latencies, max_rounds, churn_events";
 
 void apply_key(ExperimentSpec& spec, const std::string& key,
                const TomlValue& value, const std::string& where) {
@@ -234,6 +235,9 @@ void apply_key(ExperimentSpec& spec, const std::string& key,
   } else if (key == "max_rounds") {
     spec.max_rounds = static_cast<std::size_t>(
         to_uint(value.scalar(key), key));
+  } else if (key == "churn_events") {
+    spec.churn_events = static_cast<std::size_t>(
+        to_uint(value.scalar(key), key));
   } else {
     DLSCHED_FAIL(where + ": unknown key '" + key +
                  "' (known: " + kKnownKeys + ")");
@@ -295,7 +299,7 @@ void validate_spec(const ExperimentSpec& spec) {
   DLSCHED_EXPECT(spec.repetitions > 0, who + ": repetitions must be >= 1");
   const bool uses_generator =
       spec.kind == SpecKind::Grid || spec.kind == SpecKind::Ensemble ||
-      spec.kind == SpecKind::Selection;
+      spec.kind == SpecKind::Selection || spec.kind == SpecKind::Churn;
   if (uses_generator) {
     // Resolves the name (throws with candidates on a miss) without
     // building a platform.
@@ -322,6 +326,10 @@ void validate_spec(const ExperimentSpec& spec) {
   if (spec.kind == SpecKind::Multiround) {
     DLSCHED_EXPECT(!spec.latencies.empty() && spec.max_rounds > 0,
                    who + ": multiround specs need latencies and max_rounds");
+  }
+  if (spec.kind == SpecKind::Churn) {
+    DLSCHED_EXPECT(spec.churn_events > 0,
+                   who + ": churn specs need churn_events >= 1");
   }
   if (!spec.send_latencies.empty() || !spec.return_latencies.empty() ||
       spec.compute_latency != 0.0) {

@@ -31,6 +31,7 @@ enum class SpecKind {
   Selection,      ///< ablation: resource selection vs forced participation
   Multiround,     ///< ablation: rounds x latency makespan surface
   Micro,          ///< substrate microbenchmarks (LP, DES, gemm)
+  Churn,          ///< platform churn: warm vs cold re-solve + retention
 };
 
 [[nodiscard]] std::string kind_name(SpecKind kind);
@@ -80,6 +81,11 @@ struct ExperimentSpec {
   // ----- multiround ablation ----------------------------------------------
   std::vector<double> latencies{0.0, 0.002, 0.01, 0.05};
   std::size_t max_rounds = 12;
+
+  // ----- churn surface ----------------------------------------------------
+  /// Number of chained platform-churn events (join / leave / slowdown)
+  /// re-solved per generated instance.
+  std::size_t churn_events = 8;
 };
 
 /// Parses the TOML subset used for spec files: `key = value` pairs with

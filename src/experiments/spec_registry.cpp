@@ -231,6 +231,19 @@ std::vector<ExperimentSpec> make_builtins() {
 
   {
     ExperimentSpec spec = base(
+        "churn_surface",
+        "platform churn: warm vs cold re-solve latency and throughput "
+        "retention across chained join/leave/slowdown events",
+        "Section 6 (extended)", SpecKind::Churn);
+    spec.generator = "random_star";
+    spec.workers = {6, 10};
+    spec.repetitions = 3;
+    spec.churn_events = 8;
+    specs.push_back(spec);
+  }
+
+  {
+    ExperimentSpec spec = base(
         "smoke", "tiny deterministic sweep for CI and cache smoke tests",
         "CI", SpecKind::Grid);
     spec.generator = "random_star";

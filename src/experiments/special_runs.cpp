@@ -6,6 +6,7 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "affine/realization.hpp"
 #include "affine/replay.hpp"
 #include "affine/selection.hpp"
+#include "core/churn.hpp"
 #include "core/multiround.hpp"
 #include "core/scenario_lp.hpp"
 #include "core/throughput.hpp"
@@ -529,8 +531,14 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
   Table table(header);
   table.set_precision(8);
 
+  // `counters`, when given, is filled by the body (last repeat wins --
+  // every repeat solves the same deterministic instance) and lands as
+  // extra per-row JSON keys, so the regression checker can gate on solver
+  // work (pivot counts, accepted warm starts) and not just wall time.
   const auto bench = [&](const std::string& name, std::size_t param,
-                         const std::function<void()>& body) {
+                         const std::function<void()>& body,
+                         const std::map<std::string, std::uint64_t>*
+                             counters = nullptr) {
     double wall_min = std::numeric_limits<double>::infinity();
     double total = 0.0;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
@@ -553,12 +561,16 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
       csv_writer->end_row();
     }
     if (json) {
-      json->row(JsonObject()
-                    .add("bench", name)
-                    .add("param", param)
-                    .add("repeats", repeats)
-                    .add("wall_min_seconds", wall_min)
-                    .add("wall_mean_seconds", wall_mean));
+      JsonObject row;
+      row.add("bench", name)
+          .add("param", param)
+          .add("repeats", repeats)
+          .add("wall_min_seconds", wall_min)
+          .add("wall_mean_seconds", wall_mean);
+      if (counters) {
+        for (const auto& [key, value] : *counters) row.add(key, value);
+      }
+      json->row(row);
       ++summary.rows;
     }
     ++summary.jobs;
@@ -668,8 +680,9 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
                               affine_costs);
     });
   }
-  for (const std::size_t p : options.quick ? std::vector<std::size_t>{4}
-                                           : std::vector<std::size_t>{4, 8}) {
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{4, 8, 12}) {
     const StarPlatform platform = platform_for(p);
     bench("affine_subset_select", p, [&] {
       (void)affine::solve_affine_fifo_best_subset(platform, affine_costs);
@@ -696,6 +709,87 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
           /*time_budget_seconds=*/0.0, /*use_fast_lp=*/true);
     });
   }
+  // The warm-start substrate: the Gray-code subset chain with and without
+  // basis reuse (counters expose the pivot ledger), an optimal-basis warm
+  // re-solve of the plain FIFO LP (the grid's axis-step reuse in
+  // miniature), and the churn re-solve entry point.
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{8, 12}) {
+    const StarPlatform platform = platform_for(p);
+    std::map<std::string, std::uint64_t> warm_counters;
+    bench(
+        "affine_subset_warm", p,
+        [&] {
+          const affine::AffineSelectionResult result =
+              affine::solve_affine_fifo_best_subset(platform, affine_costs,
+                                                    affine::AffineSubsetOptions{});
+          warm_counters["lp_pivots"] = result.lp_pivots_total;
+          warm_counters["lp_warm_starts"] = result.lp_warm_starts;
+          warm_counters["lp_pivots_saved"] = result.lp_pivots_saved;
+          warm_counters["subsets_pruned"] = result.subsets_pruned;
+          warm_counters["subsets_screened"] = result.subsets_screened;
+        },
+        &warm_counters);
+    std::map<std::string, std::uint64_t> cold_counters;
+    bench(
+        "affine_subset_cold", p,
+        [&] {
+          affine::AffineSubsetOptions subset_options;
+          subset_options.warm_start = false;
+          subset_options.prune = false;
+          subset_options.screen = false;
+          const affine::AffineSelectionResult result =
+              affine::solve_affine_fifo_best_subset(platform, affine_costs,
+                                                    subset_options);
+          cold_counters["lp_pivots"] = result.lp_pivots_total;
+        },
+        &cold_counters);
+  }
+  for (const std::size_t p :
+       options.quick ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{4, 8, 12}) {
+    const StarPlatform platform = platform_for(p);
+    const Scenario scenario = Scenario::fifo(platform.order_by_c());
+    const ScenarioSolution cold = solve_scenario(platform, scenario);
+    const std::vector<double> alpha = cold.alpha_double();
+    std::map<std::string, std::uint64_t> counters;
+    bench(
+        "scenario_lp_warm", p,
+        [&] {
+          LpOptions lp_options;
+          lp_options.warm_basis = warm_basis_for(alpha, scenario);
+          const ScenarioSolution warm =
+              solve_scenario(platform, scenario, lp_options);
+          counters["lp_pivots"] = warm.lp_pivots;
+          counters["lp_warm_starts"] = warm.lp_warm_starts;
+          counters["cold_lp_pivots"] = cold.lp_pivots;
+        },
+        &counters);
+  }
+  for (const std::size_t p : options.quick ? std::vector<std::size_t>{4}
+                                           : std::vector<std::size_t>{8,
+                                                                      12}) {
+    const StarPlatform platform = platform_for(p);
+    SolveRequest request;
+    request.platform = platform;
+    request.costs = affine_costs;
+    const Scenario scenario = Scenario::fifo(platform.order_by_c());
+    const ScenarioSolution base =
+        solve_scenario(platform, scenario, affine_costs.lp_options());
+    request.warm_alpha = base.alpha_double();
+    const PlatformDelta delta = PlatformDelta::slowdown(p / 2, 1.5);
+    std::map<std::string, std::uint64_t> counters;
+    bench(
+        "churn_resolve", p,
+        [&] {
+          const ResolveResult result = resolve(request, delta);
+          counters["lp_pivots"] = result.solution.lp_pivots;
+          counters["lp_warm_starts"] = result.solution.lp_warm_starts;
+        },
+        &counters);
+  }
+
   for (const std::size_t p :
        options.quick ? std::vector<std::size_t>{4}
                      : std::vector<std::size_t>{4, 12}) {
@@ -713,6 +807,169 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
   }
 
   table.print_aligned(log);
+}
+
+// ------------------------------------------------------------------- churn --
+
+void run_churn(const ExperimentSpec& spec, const RunOptions& options,
+               BenchJsonWriter* json, std::ostream* csv, RunSummary& summary,
+               std::ostream& log) {
+  (void)options;
+  const std::vector<std::size_t> p_values =
+      spec.workers.empty() ? std::vector<std::size_t>{8} : spec.workers;
+
+  // Fixed affine constants: latencies are what make churn bite (every
+  // enrolled worker pays them on every re-solve), and keeping them off
+  // the spec's grid axes keeps the churn kind a one-dimensional surface.
+  AffineCosts costs;
+  costs.send_latency = 0.01;
+  costs.compute_latency = 0.002;
+  costs.return_latency = 0.005;
+
+  const std::vector<std::string> header{
+      "p",           "rep",         "event",     "kind",
+      "warm_wall_seconds", "cold_wall_seconds", "warm_pivots",
+      "cold_pivots", "retention"};
+  std::optional<CsvWriter> csv_writer;
+  if (csv) csv_writer.emplace(*csv, header);
+  Table table({"p", "events", "warm_accepted", "mean_warm_wall_seconds",
+               "mean_cold_wall_seconds", "pivots_saved", "mean_retention"});
+  table.set_precision(6);
+
+  for (const std::size_t p : p_values) {
+    Accumulator warm_wall, cold_wall, retention_acc;
+    std::size_t events = 0;
+    std::size_t warm_accepted = 0;
+    std::size_t warm_pivots_sum = 0;
+    std::size_t cold_pivots_sum = 0;
+    for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+      Rng rng(spec.seed + 7919 * p + rep);
+      SolveRequest request;
+      request.platform = gen::random_star(p, rng, 0.5);
+      request.costs = costs;
+      // The running computation: solve once, then let the platform drift.
+      ScenarioSolution current = solve_scenario(
+          request.platform, Scenario::fifo(request.platform.order_by_c()),
+          costs.lp_options());
+      std::vector<double> alpha = current.alpha_double();
+      ++summary.jobs;
+      ++summary.solved;
+      for (std::size_t e = 0; e < spec.churn_events; ++e) {
+        // Deterministic event stream, cycling slowdown / leave / join so
+        // the platform size stays near p across the chain.
+        PlatformDelta delta;
+        const std::size_t size = request.platform.size();
+        const auto target = [&] {
+          return static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+        };
+        switch (e % 3) {
+          case 0:
+            delta = PlatformDelta::slowdown(target(),
+                                            rng.uniform(1.2, 3.0));
+            break;
+          case 1:
+            if (size > 2) {
+              delta = PlatformDelta::leave(target());
+            } else {
+              delta = PlatformDelta::slowdown(target(),
+                                              rng.uniform(1.2, 3.0));
+            }
+            break;
+          default: {
+            Worker joined;
+            joined.c = rng.uniform(0.1, 1.0);
+            joined.w = rng.uniform(0.2, 2.0);
+            joined.d = 0.5 * joined.c;
+            delta = PlatformDelta::join(joined);
+            break;
+          }
+        }
+
+        request.warm_alpha = alpha;
+        const auto warm_t = steady_clock::now();
+        const ResolveResult warm = resolve(request, delta);
+        const double warm_seconds = elapsed_since(warm_t);
+        SolveRequest cold_request = request;
+        cold_request.warm_alpha.clear();
+        const auto cold_t = steady_clock::now();
+        const ResolveResult cold = resolve(cold_request, delta);
+        const double cold_seconds = elapsed_since(cold_t);
+        // The warm hint must never move the answer -- only the pivots.
+        DLSCHED_EXPECT(
+            warm.solution.throughput == cold.solution.throughput,
+            "churn: warm re-solve diverged from the cold re-solve");
+
+        const ChurnedPlatform churned{warm.platform, warm.old_to_new,
+                                      warm.costs};
+        const StaleExecution stale =
+            execute_stale(churned, alpha, current.scenario);
+        const double rho = warm.solution.throughput.to_double();
+        const double retention = rho > 0.0 ? stale.rate / rho : 0.0;
+
+        ++events;
+        warm_accepted += warm.solution.lp_warm_starts;
+        warm_pivots_sum += warm.solution.lp_pivots;
+        cold_pivots_sum += cold.solution.lp_pivots;
+        warm_wall.add(warm_seconds);
+        cold_wall.add(cold_seconds);
+        retention_acc.add(retention);
+        ++summary.jobs;
+        ++summary.solved;
+
+        if (csv_writer) {
+          csv_writer->cell(p)
+              .cell(rep)
+              .cell(e)
+              .cell(std::string(delta.kind_name()))
+              .cell(warm_seconds)
+              .cell(cold_seconds)
+              .cell(warm.solution.lp_pivots)
+              .cell(cold.solution.lp_pivots)
+              .cell(retention);
+          csv_writer->end_row();
+        }
+        if (json) {
+          json->row(
+              JsonObject()
+                  .add("p", p)
+                  .add("rep", rep)
+                  .add("event", e)
+                  .add("kind", delta.kind_name())
+                  .add("workers", warm.platform.size())
+                  .add("warm_wall_seconds", warm_seconds)
+                  .add("cold_wall_seconds", cold_seconds)
+                  .add("warm_pivots", warm.solution.lp_pivots)
+                  .add("cold_pivots", cold.solution.lp_pivots)
+                  .add("lp_warm_starts", warm.solution.lp_warm_starts)
+                  .add("throughput", rho)
+                  .add("stale_rate", stale.rate)
+                  .add("retention", retention));
+          ++summary.rows;
+        }
+
+        // The chain advances on the churned platform: the warm solution
+        // becomes the next event's running computation.
+        request.platform = warm.platform;
+        request.costs = warm.costs;
+        current = warm.solution;
+        alpha = current.alpha_double();
+      }
+    }
+    table.begin_row()
+        .cell(p)
+        .cell(events)
+        .cell(warm_accepted)
+        .cell(warm_wall.mean())
+        .cell(cold_wall.mean())
+        .cell(cold_pivots_sum > warm_pivots_sum
+                  ? cold_pivots_sum - warm_pivots_sum
+                  : 0)
+        .cell(retention_acc.mean());
+  }
+  table.print_aligned(log);
+  log << "expected: warm re-solves match cold bit for bit with fewer "
+         "pivots; retention < 1 is the throughput lost by not re-solving\n";
 }
 
 }  // namespace dlsched::experiments::detail

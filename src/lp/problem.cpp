@@ -38,6 +38,19 @@ const std::string& LpProblem::constraint_name(std::size_t row) const {
   return rows_[row].name;
 }
 
+Rational LpProblem::row_slack(std::size_t row,
+                              const std::vector<Rational>& values) const {
+  DLSCHED_EXPECT(row < rows_.size(), "constraint index out of range");
+  DLSCHED_EXPECT(values.size() == var_names_.size(),
+                 "row_slack: values must cover every variable");
+  Rational activity;
+  for (const Term& t : rows_[row].terms) {
+    if (values[t.var].is_zero()) continue;
+    activity += t.coef * values[t.var];
+  }
+  return rows_[row].rhs - activity;
+}
+
 namespace {
 template <class T>
 T convert(const Rational& value) {
@@ -75,6 +88,18 @@ Solution<Rational> LpProblem::solve_exact(ExactEngine engine) const {
   }
   Simplex<Rational> solver(dense);
   return solver.solve();
+}
+
+Solution<Rational> LpProblem::solve_exact(ExactEngine engine,
+                                          const WarmBasis& seed,
+                                          WarmInfo* info) const {
+  const DenseLp<Rational> dense = densify<Rational>();
+  if (engine == ExactEngine::Bareiss) {
+    BareissSimplex solver(dense);
+    return solver.solve(seed, info);
+  }
+  Simplex<Rational> solver(dense);
+  return solver.solve(seed, info);
 }
 
 Solution<double> LpProblem::solve_double() const {

@@ -46,10 +46,24 @@ class LpProblem {
   [[nodiscard]] const std::string& variable_name(std::size_t var) const;
   [[nodiscard]] const std::string& constraint_name(std::size_t row) const;
 
+  /// Exact slack `rhs - sum(terms * values)` of one row at a solution
+  /// point (zero for a binding or equality row).  Lets callers recover
+  /// slack-like quantities -- e.g. the paper's idle variables x_i -- that
+  /// are deliberately not modelled as explicit columns.
+  [[nodiscard]] Rational row_slack(std::size_t row,
+                                   const std::vector<Rational>& values) const;
+
   /// Exact solve (Bland's rule; always terminates).  Both engines return
   /// bit-identical solutions; Bareiss skips the per-entry gcd reductions.
   [[nodiscard]] Solution<Rational> solve_exact(
       ExactEngine engine = ExactEngine::Bareiss) const;
+  /// Warm-started exact solve, seeded with the optimal basis of a
+  /// structurally adjacent LP.  Falls back to the cold path when the seed
+  /// does not fit this instance, so the answer (everything except
+  /// `pivots`) is bit-identical to `solve_exact(engine)`.
+  [[nodiscard]] Solution<Rational> solve_exact(ExactEngine engine,
+                                               const WarmBasis& seed,
+                                               WarmInfo* info = nullptr) const;
   /// Approximate solve over doubles (same algorithm, tolerance 1e-9).
   [[nodiscard]] Solution<double> solve_double() const;
 

@@ -1,12 +1,63 @@
 #include "numeric/limb_arena.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <utility>
 
 namespace dlsched::numeric {
 
+namespace {
+
+/// Registry of live arenas plus the folded totals of exited threads.
+/// The mutex guards only the membership and the retired accumulator;
+/// the live counters themselves are read with relaxed atomics.
+struct ArenaRegistry {
+  std::mutex mutex;
+  std::vector<const LimbArena*> live;
+  LimbArena::Stats retired;
+};
+
+ArenaRegistry& registry() noexcept {
+  static ArenaRegistry* instance = new ArenaRegistry();
+  return *instance;
+}
+
+/// Owner-thread increment.  A relaxed load/store pair compiles to the same
+/// plain add as `++counter` (no lock prefix: only this thread writes) while
+/// licensing concurrent relaxed loads from aggregate().
+inline void bump(std::uint64_t& counter) noexcept {
+  std::atomic_ref<std::uint64_t> ref(counter);
+  ref.store(ref.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+}
+
+inline std::uint64_t peek(const std::uint64_t& counter) noexcept {
+  return std::atomic_ref<const std::uint64_t>(counter).load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
 LimbArena::LimbArena() {
   // Reserving up front keeps release() allocation-free (and noexcept).
   pool_.reserve(kMaxPooled);
+  ArenaRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.live.push_back(this);
+}
+
+LimbArena::~LimbArena() {
+  ArenaRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < reg.live.size(); ++i) {
+    if (reg.live[i] == this) {
+      reg.live.erase(reg.live.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  reg.retired.acquires += stats_.acquires;
+  reg.retired.pool_hits += stats_.pool_hits;
+  reg.retired.releases += stats_.releases;
 }
 
 LimbArena& LimbArena::local() noexcept {
@@ -14,11 +65,23 @@ LimbArena& LimbArena::local() noexcept {
   return arena;
 }
 
+LimbArena::Stats LimbArena::aggregate() noexcept {
+  ArenaRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  Stats total = reg.retired;
+  for (const LimbArena* arena : reg.live) {
+    total.acquires += peek(arena->stats_.acquires);
+    total.pool_hits += peek(arena->stats_.pool_hits);
+    total.releases += peek(arena->stats_.releases);
+  }
+  return total;
+}
+
 void LimbArena::acquire(std::vector<std::uint32_t>& out) noexcept {
   if (out.capacity() != 0) return;
-  ++stats_.acquires;
+  bump(stats_.acquires);
   if (pool_.empty()) return;  // caller's vector grows on first push_back
-  ++stats_.pool_hits;
+  bump(stats_.pool_hits);
   out = std::move(pool_.back());
   pool_.pop_back();
   out.clear();
@@ -27,7 +90,7 @@ void LimbArena::acquire(std::vector<std::uint32_t>& out) noexcept {
 void LimbArena::release(std::vector<std::uint32_t>& buffer) noexcept {
   if (buffer.capacity() == 0) return;
   if (pool_.size() < kMaxPooled && buffer.capacity() <= kMaxRetainedCapacity) {
-    ++stats_.releases;
+    bump(stats_.releases);
     buffer.clear();
     pool_.push_back(std::move(buffer));
   }
@@ -37,6 +100,10 @@ void LimbArena::release(std::vector<std::uint32_t>& buffer) noexcept {
 
 LimbArena::Stats limb_arena_stats() noexcept {
   return LimbArena::local().stats();
+}
+
+LimbArena::Stats limb_arena_aggregate_stats() noexcept {
+  return LimbArena::aggregate();
 }
 
 }  // namespace dlsched::numeric

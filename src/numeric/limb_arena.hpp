@@ -10,7 +10,21 @@
 // pin memory for the rest of the run.
 //
 // Stats are cumulative per thread; the solver layer snapshots them around
-// a solve to report "allocations avoided" in the bench artifacts.
+// a solve to report "allocations avoided" in the bench artifacts.  Within
+// one thread the counters are plain loads/stores (snapshot-before minus
+// snapshot-after is exact).  Cross-thread visibility goes through
+// `aggregate()`: every arena registers itself in a process-wide registry,
+// counters are written with relaxed atomic stores (same codegen as a plain
+// increment -- only the owning thread writes), and the aggregate reads
+// them with relaxed atomic loads, so summing while worker threads solve is
+// race-free.  A thread that exits folds its totals into a retired
+// accumulator first; `aggregate()` therefore never loses counts, though a
+// concurrent snapshot may lag the hot thread by a few increments.
+//
+// Note the experiment engine's `--workers N` fans out *processes*, which
+// aggregate within themselves and report counters through their shard
+// fragments; `aggregate()` covers the in-process threads (runtime pool,
+// tests, future threaded sweeps).
 #pragma once
 
 #include <cstdint>
@@ -30,11 +44,17 @@ class LimbArena {
   };
 
   LimbArena();
+  ~LimbArena();
   LimbArena(const LimbArena&) = delete;
   LimbArena& operator=(const LimbArena&) = delete;
 
   /// The calling thread's arena.
   static LimbArena& local() noexcept;
+
+  /// Sum of every thread's counters (live arenas plus exited threads),
+  /// safe to call while other threads are solving.  See the file comment
+  /// for the memory-ordering contract.
+  [[nodiscard]] static Stats aggregate() noexcept;
 
   /// Gives `out` a pooled buffer (empty, capacity retained) when it has no
   /// capacity of its own.  No-op if `out` already owns storage.
@@ -59,5 +79,8 @@ class LimbArena {
 
 /// Snapshot of the calling thread's cumulative arena stats.
 [[nodiscard]] LimbArena::Stats limb_arena_stats() noexcept;
+
+/// Process-wide totals across all threads; see LimbArena::aggregate().
+[[nodiscard]] LimbArena::Stats limb_arena_aggregate_stats() noexcept;
 
 }  // namespace dlsched::numeric

@@ -62,13 +62,14 @@ TEST(Scenario, DescribeTagsFifoAndLifo) {
 // ---------------------------------------------------------------- LP shape --
 
 TEST(ScenarioLp, ModelHasPaperDimensions) {
-  // 2q variables (alpha and x) and q + 1 rows; the paper counts 3q + 1
-  // constraints because it includes the 2q non-negativity bounds, which
-  // live in the variable domain here.
+  // q alpha variables and q + 1 rows.  The paper's q idle variables x_i
+  // are the chain rows' slack (not explicit columns; see scenario_lp.hpp),
+  // and the paper's 3q + 1 constraint count includes the non-negativity
+  // bounds, which live in the variable domain here.
   const StarPlatform platform = platform3();
   const auto lp = build_scenario_lp(
       platform, Scenario::fifo(std::vector<std::size_t>{0, 1, 2}));
-  EXPECT_EQ(lp.num_variables(), 6u);
+  EXPECT_EQ(lp.num_variables(), 3u);
   EXPECT_EQ(lp.num_constraints(), 4u);  // 3 chains + one-port
 }
 

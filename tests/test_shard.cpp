@@ -81,8 +81,11 @@ TEST(ShardPlanner, SlicesByPZRepInPlannerOrder) {
     EXPECT_EQ(shards[i].p, expected_p[i]) << i;
     EXPECT_DOUBLE_EQ(*shards[i].z, expected_z[i]) << i;
     EXPECT_EQ(shards[i].rep, i % 2) << i;
-    EXPECT_EQ(shards[i].slots.size(), 2u);  // 2 solvers
-    EXPECT_EQ(shards[i].request.platform.size(), expected_p[i]) << i;
+    // No latency axes: exactly one cell, holding the 2 solver slots.
+    ASSERT_EQ(shards[i].cells.size(), 1u);
+    EXPECT_EQ(shards[i].cells[0].slots.size(), 2u);  // 2 solvers
+    EXPECT_EQ(shards[i].cells[0].request.platform.size(), expected_p[i])
+        << i;
   }
 }
 
@@ -95,19 +98,25 @@ TEST(ShardPlanner, LatencyAxesExpandTheGridAndSetTheRequestCosts) {
   spec.return_latencies = {0.005};
   spec.compute_latency = 0.002;
   const std::vector<CompiledShard> shards = plan_shards(spec);
-  ASSERT_EQ(shards.size(), 4u);  // 2 p x 1 z x 2 slat x 1 rlat x 1 rep
+  // The latency axes fold inside the shards as cells: 2 p x 1 z x 1 rep
+  // shards, each with 2 slat x 1 rlat cells.
+  ASSERT_EQ(shards.size(), 2u);
   for (const CompiledShard& shard : shards) {
-    ASSERT_TRUE(shard.send_latency.has_value());
-    ASSERT_TRUE(shard.return_latency.has_value());
-    EXPECT_DOUBLE_EQ(shard.request.costs.send_latency, *shard.send_latency);
-    EXPECT_DOUBLE_EQ(shard.request.costs.return_latency, 0.005);
-    EXPECT_DOUBLE_EQ(shard.request.costs.compute_latency, 0.002);
+    ASSERT_EQ(shard.cells.size(), 2u);
+    for (const GridCell& cell : shard.cells) {
+      ASSERT_TRUE(cell.send_latency.has_value());
+      ASSERT_TRUE(cell.return_latency.has_value());
+      EXPECT_DOUBLE_EQ(cell.request.costs.send_latency,
+                       *cell.send_latency);
+      EXPECT_DOUBLE_EQ(cell.request.costs.return_latency, 0.005);
+      EXPECT_DOUBLE_EQ(cell.request.costs.compute_latency, 0.002);
+    }
+    // The platform is shared across the latency surface (the latency
+    // axes are outside the instance seed), so the latency effect is
+    // isolated -- and the warm chain across cells is legitimate.
+    EXPECT_DOUBLE_EQ(shard.cells[0].request.platform.worker(0).c,
+                     shard.cells[1].request.platform.worker(0).c);
   }
-  // The platform is shared across the latency surface (the latency axes
-  // are outside the instance seed), so the latency effect is isolated.
-  EXPECT_DOUBLE_EQ(shards[0].request.platform.worker(0).c,
-                   shards[1].request.platform.worker(0).c);
-  // ...but the job identities (and so the shard ids) differ.
   EXPECT_NE(shards[0].id, shards[1].id);
 }
 
@@ -121,11 +130,14 @@ TEST(ShardPlanner, GeneratorLatencyDrawsScaleByTheAxisValue) {
   spec.repetitions = 1;
   spec.send_latencies = {0.0, 0.02};
   const std::vector<CompiledShard> shards = plan_shards(spec);
-  ASSERT_EQ(shards.size(), 2u);
+  ASSERT_EQ(shards.size(), 1u);
+  ASSERT_EQ(shards[0].cells.size(), 2u);
   // Axis value 0: the linear point, no per-worker overrides.
-  EXPECT_TRUE(shards[0].request.costs.send_latency_per_worker.empty());
+  EXPECT_TRUE(
+      shards[0].cells[0].request.costs.send_latency_per_worker.empty());
   // Axis value 0.02: factors scale into absolute per-worker latencies.
-  const auto& per = shards[1].request.costs.send_latency_per_worker;
+  const auto& per =
+      shards[0].cells[1].request.costs.send_latency_per_worker;
   ASSERT_EQ(per.size(), 4u);
   for (const double v : per) {
     EXPECT_GE(v, 0.02 * 0.5 - 1e-15);
@@ -163,9 +175,11 @@ TEST(ShardPlanner, UnionOfShardsIsTheFullGrid) {
   std::set<std::string> job_hashes;
   std::size_t jobs = 0;
   for (const CompiledShard& shard : shards) {
-    for (const GridSlot& slot : shard.slots) {
-      job_hashes.insert(job_hash_hex(slot.solver, shard.request));
-      ++jobs;
+    for (const GridCell& cell : shard.cells) {
+      for (const GridSlot& slot : cell.slots) {
+        job_hashes.insert(job_hash_hex(slot.solver, cell.request));
+        ++jobs;
+      }
     }
   }
   EXPECT_EQ(jobs, 16u);  // 2p x 2z x 2 reps x 2 solvers
