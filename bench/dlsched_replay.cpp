@@ -1,0 +1,115 @@
+// Replay load client for `dlsched_serve` (service/replay.hpp).
+//
+//   dlsched_replay record --out stream.bin [--requests N] [--distinct D]
+//                         [--p P] [--seed S] [--solver NAME]
+//   dlsched_replay run --socket PATH --stream stream.bin
+//                      [--concurrency K] [--json BENCH_serve.json]
+//                      [--dump responses.bin]
+//
+// `record` synthesizes a deterministic request stream; `run` fires it at
+// a running daemon and writes the BENCH_serve.json service benchmark.
+// `--dump` writes every response body in request order -- two dumps of
+// the same stream (e.g. cold vs warm cache) must compare byte-identical.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "service/replay.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dlsched;
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  dlsched_replay record --out FILE [--requests N] [--distinct D]"
+         " [--p P] [--seed S] [--solver NAME]\n"
+         "  dlsched_replay run --socket PATH --stream FILE"
+         " [--concurrency K] [--json FILE] [--dump FILE]\n";
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLSCHED_EXPECT(in.good(), "cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  DLSCHED_EXPECT(out.good(), "cannot write '" + path + "'");
+  out << bytes;
+}
+
+int cmd_record(const CliArgs& args) {
+  const auto out_path = args.get("out");
+  DLSCHED_EXPECT(out_path.has_value(), "record: --out FILE is required");
+  service::RecordParams params;
+  params.requests = static_cast<std::size_t>(
+      args.get_int("requests", static_cast<std::int64_t>(params.requests)));
+  params.distinct = static_cast<std::size_t>(
+      args.get_int("distinct", static_cast<std::int64_t>(params.distinct)));
+  params.p = static_cast<std::size_t>(
+      args.get_int("p", static_cast<std::int64_t>(params.p)));
+  params.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(params.seed)));
+  params.solver = args.get_or("solver", params.solver);
+  spill(*out_path, service::record_stream(params));
+  std::cout << "recorded " << params.requests << " requests ("
+            << params.distinct << " distinct, p=" << params.p << ", solver="
+            << params.solver << ") to " << *out_path << '\n';
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  const auto socket = args.get("socket");
+  const auto stream = args.get("stream");
+  DLSCHED_EXPECT(socket.has_value() && stream.has_value(),
+                 "run: --socket PATH and --stream FILE are required");
+  const std::vector<std::string> bodies =
+      service::load_stream(slurp(*stream));
+  service::ReplayParams params;
+  params.socket_path = *socket;
+  params.concurrency =
+      static_cast<std::size_t>(args.get_int("concurrency", 4));
+  const service::ReplayReport report =
+      service::run_replay(params, bodies);
+  const std::string bench =
+      service::render_bench_json(report, params.concurrency);
+  if (const auto json_path = args.get("json")) {
+    spill(*json_path, bench);
+  }
+  if (const auto dump_path = args.get("dump")) {
+    std::string dump;
+    for (const std::string& body : report.responses) {
+      dump += std::to_string(body.size());
+      dump += '\n';
+      dump += body;
+    }
+    spill(*dump_path, dump);
+  }
+  std::cout << bench;
+  return report.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv, {"help"});
+    if (args.has("help")) return usage(std::cout, 0);
+    if (args.positional().empty()) return usage(std::cerr, 2);
+    const std::string& command = args.positional().front();
+    if (command == "record") return cmd_record(args);
+    if (command == "run") return cmd_run(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "dlsched_replay: " << e.what() << '\n';
+    return 1;
+  }
+}

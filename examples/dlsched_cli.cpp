@@ -1,26 +1,24 @@
 // dlsched_cli -- drive the solver portfolio from a platform description.
 //
-//   dlsched_cli --list-solvers
-//   dlsched_cli describe [platform-file]
-//   dlsched_cli solve    [platform-file] [--solver NAME] [--load M] [...]
-//   dlsched_cli compare  [platform-file] [--solvers a,b,c] [--load M]
-//                        [--json] [--seed N]
-//   dlsched_cli gantt    [platform-file] [--solver NAME] [--svg out.svg]
-//   dlsched_cli simulate [platform-file] [--solver NAME] [--load M]
-//   dlsched_cli bench    --spec NAME | --spec-file FILE [--out FILE] [...]
-//
-// Every scheduling strategy is selected by registry name (see
-// --list-solvers); the CLI itself knows nothing about individual
-// algorithms.  When no platform file is given, a built-in 4-worker demo
-// bus (z = 1/2, heterogeneous compute) is used -- every registered solver
-// is applicable to it.
+// One binary, one subcommand table (see `kCommands` / --help): local
+// commands solve against the in-process registry, `serve` runs the
+// scheduling daemon (src/service/), and `request` speaks the wire
+// protocol to a running daemon.  Every scheduling strategy is selected by
+// registry name (see --list-solvers); the CLI itself knows nothing about
+// individual algorithms.  When no platform file is given, a built-in
+// 4-worker demo bus (z = 1/2, heterogeneous compute) is used -- every
+// registered solver is applicable to it.
 //
 // Platform file format (see src/platform/platform_io.hpp):
 //   z 0.5
 //   node-a 0.08 0.30
 //   node-b 0.12 0.20 0.06
+#include <csignal>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -32,6 +30,8 @@
 #include "schedule/rounding.hpp"
 #include "schedule/timeline.hpp"
 #include "schedule/validator.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "sim/des_executor.hpp"
 #include "util/cli.hpp"
 #include "util/string_util.hpp"
@@ -41,33 +41,66 @@ namespace {
 
 using namespace dlsched;
 
-int usage() {
-  std::cerr
-      << "usage: dlsched_cli <command> [platform-file] [options]\n"
-         "       dlsched_cli --list-solvers\n"
-         "commands: describe, solve, compare, gantt, simulate, bench\n"
-         "  (omit the platform file to use a built-in demo bus)\n"
-         "options:\n"
-         "  --solver NAME  scheduling strategy (default fifo_optimal;\n"
-         "                 see --list-solvers)\n"
-         "  --solvers a,b  compare: comma-separated subset (default: all\n"
-         "                 applicable)\n"
-         "  --load M       schedule M load units (default: throughput "
-         "form)\n"
-         "  --exact        rational LP arithmetic (default: fast/double)\n"
-         "  --seed N       seed for randomized solvers (reproducible "
-         "runs)\n"
-         "  --budget SEC   time budget for search solvers\n"
-         "  --threads N    compare/bench: thread-pool size (0 = hardware)\n"
-         "  --json         compare: machine-readable rows on stdout\n"
-         "  --svg FILE     gantt: also write an SVG\n"
-         "  --width N      gantt: ASCII width (default 100)\n"
-         "  --noise SEED   simulate: cluster-like noise with this seed\n"
-         "  --chrome-trace FILE   simulate: dump a chrome://tracing JSON\n"
-         "  bench: --spec NAME | --spec-file FILE | --list-specs, plus\n"
-         "         --out/--csv/--cache-dir/--no-cache/--quick (the\n"
-         "         dlsched_bench experiment driver, embedded)\n";
-  return 2;
+// ------------------------------------------------------ subcommand table --
+
+struct Command {
+  const char* name;
+  const char* arguments;
+  const char* summary;
+};
+
+constexpr Command kCommands[] = {
+    {"describe", "[platform-file]", "print the platform and its serialized form"},
+    {"solve", "[platform-file] [--solver NAME] [--load M]",
+     "run one solver and print the schedule"},
+    {"compare", "[platform-file] [--solvers a,b] [--load M] [--json]",
+     "run the portfolio side by side"},
+    {"gantt", "[platform-file] [--solver NAME] [--svg FILE] [--width N]",
+     "render the schedule as a gantt chart"},
+    {"simulate", "[platform-file] [--solver NAME] [--load M] [--noise SEED]",
+     "execute the schedule on the discrete-event simulator"},
+    {"bench", "--spec NAME | --spec-file FILE | --list-specs",
+     "experiment driver (embedded dlsched_bench)"},
+    {"serve", "--socket PATH [--cache-dir DIR] [--queue-capacity N] [...]",
+     "run the scheduling daemon on a local socket"},
+    {"request", "[platform-file] --socket PATH [--solver NAME] [--json]",
+     "send one solve to a running daemon and print the result"},
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage: dlsched_cli <command> [arguments] [options]\n"
+         "       dlsched_cli --list-solvers | --help\n\ncommands:\n";
+  Table table({"command", "arguments", "summary"});
+  for (const Command& command : kCommands) {
+    table.begin_row()
+        .cell(command.name)
+        .cell(command.arguments)
+        .cell(command.summary);
+  }
+  table.print_aligned(out);
+  out << "\ncommon options:\n"
+         "  --solver NAME   scheduling strategy (default fifo_optimal)\n"
+         "  --solvers a,b   compare: comma-separated subset (default: all)\n"
+         "  --load M        schedule M load units (default: throughput form)\n"
+         "  --exact         rational LP arithmetic (default: fast/double)\n"
+         "  --seed N        seed for randomized solvers\n"
+         "  --budget SEC    time budget for search solvers\n"
+         "  --threads N     thread-pool size (0 = hardware)\n"
+         "  --json          compare/request: machine-readable output\n"
+         "serve options:\n"
+         "  --socket PATH         AF_UNIX socket path (required)\n"
+         "  --cache-dir DIR       ResultCache directory (repeat queries\n"
+         "                        answer from disk)\n"
+         "  --queue-capacity N    bounded admission queue (default 64)\n"
+         "  --batch-max N         micro-batch size cap (default 16)\n"
+         "  --batch-wait-ms X     micro-batch gather window (default 2)\n"
+         "  --retry-after-ms X    advertised backpressure delay "
+         "(default 25)\n"
+         "gantt/simulate options:\n"
+         "  --svg FILE / --width N / --noise SEED / --chrome-trace FILE\n"
+         "bench options: --spec/--spec-file/--list-specs plus\n"
+         "  --out/--csv/--cache-dir/--no-cache/--quick\n";
+  return code;
 }
 
 /// The built-in demo platform: a bus with a uniform return ratio z = 1/2
@@ -178,6 +211,19 @@ int cmd_solve(const StarPlatform& platform, const CliArgs& args) {
   return 0;
 }
 
+/// One `compare --json` / `request --json` row: solver + solved, then the
+/// canonical wire field list (service/wire.hpp), then command extras.
+experiments::JsonObject result_row(const service::SolveRecord& record) {
+  experiments::JsonObject row;
+  row.add("solver", record.solver).add("solved", record.solved);
+  if (record.solved) {
+    service::append_result_fields(row, record);
+  } else {
+    row.add("error", record.error);
+  }
+  return row;
+}
+
 int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
   const double load = args.get_double("load", 1000.0);
   const SolveRequest request = request_from(platform, args);
@@ -192,41 +238,16 @@ int cmd_compare(const StarPlatform& platform, const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("threads", 0)));
 
   if (args.has("json")) {
-    // Machine-readable rows: scriptable comparisons (`compare --json
-    // --seed N` is reproducible bit for bit).
+    // Machine-readable rows (`compare --json --seed N` is reproducible
+    // bit for bit).  The result fields are the canonical wire list; only
+    // `time_for_load` is compare-specific.
     std::cout << "[";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      const BatchOutcome& outcome = outcomes[i];
-      experiments::JsonObject row;
-      row.add("solver", outcome.solver).add("solved", outcome.solved);
-      if (outcome.solved) {
-        const double rho = outcome.result.throughput();
-        row.add("throughput", rho)
-            .add("time_for_load", makespan_for_load(rho, load))
-            .add("workers_used", outcome.result.solution.enrolled().size());
-        // Selection-style solvers (the affine family) report the chosen
-        // participant set, not just its size.
-        if (!outcome.result.participants.empty()) {
-          row.add_raw("participants", experiments::json_index_array(
-                                          outcome.result.participants));
-        }
-        if (outcome.result.replayed) {
-          row.add("replay_makespan", outcome.result.replay_makespan)
-              .add("replay_rel_error", outcome.result.replay_rel_error);
-        }
-        // Warm-start / pruning ledger: makes a silent cold-path or
-        // no-prune regression visible in scripted comparisons.
-        row.add("lp_pivots", outcome.result.solution.lp_pivots)
-            .add("lp_warm_starts", outcome.result.lp_warm_starts)
-            .add("lp_pivots_saved", outcome.result.lp_pivots_saved)
-            .add("subsets_pruned", outcome.result.subsets_pruned)
-            .add("subsets_screened", outcome.result.subsets_screened);
-        row.add("validated", outcome.ok)
-            .add("provably_optimal", outcome.result.provably_optimal)
-            .add("wall_seconds", outcome.result.wall_seconds)
-            .add("validate_seconds", outcome.validate_seconds);
-      } else {
-        row.add("error", outcome.error);
+      experiments::JsonObject row =
+          result_row(service::record_from_outcome(outcomes[i]));
+      if (outcomes[i].solved) {
+        row.add("time_for_load",
+                makespan_for_load(outcomes[i].result.throughput(), load));
       }
       std::cout << (i > 0 ? ",\n " : "\n ") << row.render();
     }
@@ -325,29 +346,119 @@ int cmd_simulate(const StarPlatform& platform, const CliArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------- service side --
+
+std::atomic<int> g_signal{0};
+
+extern "C" void on_signal(int sig) { g_signal.store(sig); }
+
+int cmd_serve(const CliArgs& args) {
+  const auto socket = args.get("socket");
+  if (!socket) {
+    std::cerr << "serve: --socket PATH is required\n";
+    return 2;
+  }
+  service::ServerConfig config;
+  config.socket_path = *socket;
+  config.solve_threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  config.queue_capacity = static_cast<std::size_t>(
+      args.get_int("queue-capacity", 64));
+  config.batch_max =
+      static_cast<std::size_t>(args.get_int("batch-max", 16));
+  config.batch_wait_ms = args.get_double("batch-wait-ms", 2.0);
+  config.cache_dir = args.get_or("cache-dir", "");
+  config.retry_after_ms = args.get_double("retry-after-ms", 25.0);
+
+  service::Server server(config);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::cout << "dlsched_serve: listening on " << config.socket_path
+            << (config.cache_dir.empty()
+                    ? std::string(" (no cache)")
+                    : " (cache: " + config.cache_dir + ")")
+            << "\n"
+            << "dlsched_serve: ready\n"
+            << std::flush;
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "dlsched_serve: signal " << g_signal.load()
+            << ", draining\n";
+  server.stop();
+  const service::StatsSnapshot stats = server.stats();
+  std::cout << "dlsched_serve: drained -- admitted " << stats.admitted
+            << ", rejected " << stats.rejected << ", cache hits "
+            << stats.cache_hits << ", solved " << stats.solved
+            << ", deduped " << stats.deduped << "\n";
+  return 0;
+}
+
+int cmd_request(const StarPlatform& platform, const CliArgs& args) {
+  const auto socket = args.get("socket");
+  if (!socket) {
+    std::cerr << "request: --socket PATH is required\n";
+    return 2;
+  }
+  const std::string name = args.get_or("solver", "fifo_optimal");
+  service::ServeClient client(*socket);
+  const service::SolveReply reply =
+      client.solve(name, request_from(platform, args));
+  if (reply.kind == service::SolveReply::Kind::Rejected) {
+    std::cerr << "rejected: " << reply.reject.reason
+              << (reply.reject.retry_after_ms >= 0.0
+                      ? " (retry after " +
+                            std::to_string(reply.reject.retry_after_ms) +
+                            " ms)"
+                      : "")
+              << "\n";
+    return 3;
+  }
+  const service::SolveRecord& record = reply.record;
+  if (args.has("json")) {
+    std::cout << result_row(record).render() << "\n";
+    return record.solved && record.validated ? 0 : 1;
+  }
+  if (!record.solved) {
+    std::cerr << "solver error: " << record.error << "\n";
+    return 1;
+  }
+  std::cout << record.solver << " via daemon at " << *socket << "\n"
+            << "throughput (T = 1): " << record.throughput << "\n"
+            << "workers used: " << record.workers_used << "\n"
+            << "validated: " << (record.validated ? "ok" : "FAIL") << "\n"
+            << "wall time: " << 1e3 * record.wall_seconds << " ms\n";
+  return record.validated ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // The bench subcommand shares the dlsched_bench driver (and its flag
   // set) so the two entry points cannot drift.
-  std::vector<std::string> flags{"list-solvers", "exact", "json"};
+  std::vector<std::string> flags{"list-solvers", "exact", "json", "help"};
   flags.insert(flags.end(), experiments::bench_flags().begin(),
                experiments::bench_flags().end());
   const CliArgs args = CliArgs::parse(argc, argv, flags);
   try {
+    if (args.has("help")) return usage(std::cout, 0);
     if (args.has("list-solvers")) return list_solvers();
-    if (args.positional().empty()) return usage();
+    if (args.positional().empty()) return usage(std::cerr, 2);
     const std::string& command = args.positional()[0];
+    if (command == "help") return usage(std::cout, 0);
     if (command == "bench") return experiments::bench_main(args);
+    if (command == "serve") return cmd_serve(args);
     const StarPlatform platform = resolve_platform(args);
     if (command == "describe") return cmd_describe(platform);
     if (command == "solve") return cmd_solve(platform, args);
     if (command == "compare") return cmd_compare(platform, args);
     if (command == "gantt") return cmd_gantt(platform, args);
     if (command == "simulate") return cmd_simulate(platform, args);
+    if (command == "request") return cmd_request(platform, args);
+    std::cerr << "unknown command '" << command << "'\n\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
+  return usage(std::cerr, 2);
 }

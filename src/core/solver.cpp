@@ -858,6 +858,13 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
     primary_of[i] = it->second;
     if (inserted) ++primary_count;
   }
+  // Follower lists, reported to the progress hook as the per-primary
+  // attribution view (`BatchProgress::duplicates`).  Built once up front;
+  // read-only while the pool runs.
+  std::vector<std::vector<std::size_t>> followers_of(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (primary_of[i] != i) followers_of[primary_of[i]].push_back(i);
+  }
 
   std::atomic<bool> stop{false};
   std::mutex progress_mutex;
@@ -889,7 +896,8 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
     }
     if (progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
-      const BatchProgress report{index, ++completed, primary_count};
+      const BatchProgress report{index, ++completed, primary_count,
+                                 followers_of[index]};
       if (!progress(report, outcome)) {
         stop.store(true, std::memory_order_relaxed);
       }

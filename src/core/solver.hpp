@@ -291,6 +291,14 @@ struct BatchProgress {
   std::size_t job_index = 0;   ///< index of the just-finished job
   std::size_t completed = 0;   ///< primary jobs finished so far
   std::size_t total = 0;       ///< primary jobs in the batch
+  /// Batch indices of the jobs deduped onto this primary (byte-identical
+  /// solver + request), in job order.  This is the per-job attribution
+  /// view: the outcome passed alongside answers `job_index` AND every
+  /// index listed here, so a consumer tracking individual requests (the
+  /// service daemon) can settle all of them the moment the primary
+  /// finishes instead of waiting for the pool to join.  The span points
+  /// into batch-call-lifetime storage; copy it to keep it past the hook.
+  std::span<const std::size_t> duplicates;
 };
 
 /// Optional per-job completion hook for `solve_batch`: invoked serially

@@ -4,56 +4,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <bit>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
+#include "service/wire.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::experiments {
 
 namespace fs = std::filesystem;
-
-CachedSolve cached_from_outcome(const BatchOutcome& outcome) {
-  CachedSolve solve;
-  solve.solver = outcome.solver;
-  solve.solved = outcome.solved;
-  solve.validated = outcome.ok;
-  solve.error = outcome.error;
-  solve.validate_seconds = outcome.validate_seconds;
-  if (!outcome.solved) return solve;
-  const SolveResult& result = outcome.result;
-  solve.throughput = result.throughput();
-  solve.alpha = result.solution.alpha_double();
-  solve.send_order = result.solution.scenario.send_order;
-  solve.return_order = result.solution.scenario.return_order;
-  solve.workers_used = result.solution.enrolled().size();
-  solve.provably_optimal = result.provably_optimal;
-  solve.mirrored = result.mirrored;
-  solve.used_two_port = result.used_two_port;
-  solve.exact = result.exact;
-  solve.budget_exhausted = result.budget_exhausted;
-  solve.has_alt = result.alt_throughput.has_value();
-  if (solve.has_alt) solve.alt_throughput = result.alt_throughput->to_double();
-  solve.scenarios_tried = result.scenarios_tried;
-  solve.lp_evaluations = result.lp_evaluations;
-  solve.best_rounds = result.best_rounds;
-  solve.lp_pivots = result.solution.lp_pivots;
-  solve.lp_fallbacks = result.lp_fallbacks;
-  solve.lp_warm_starts = result.lp_warm_starts;
-  solve.lp_pivots_saved = result.lp_pivots_saved;
-  solve.subsets_pruned = result.subsets_pruned;
-  solve.subsets_screened = result.subsets_screened;
-  solve.arena_acquires = result.arena_acquires;
-  solve.arena_pool_hits = result.arena_pool_hits;
-  solve.wall_seconds = result.wall_seconds;
-  solve.participants = result.participants;
-  solve.replayed = result.replayed;
-  solve.replay_makespan = result.replay_makespan;
-  solve.replay_rel_error = result.replay_rel_error;
-  return solve;
-}
 
 ScenarioSolutionD solution_from_cached(const CachedSolve& solve) {
   DLSCHED_EXPECT(solve.solved, "cannot replay an unsolved cache entry");
@@ -66,114 +27,23 @@ ScenarioSolutionD solution_from_cached(const CachedSolve& solve) {
 
 // ----------------------------------------------------------- serialization --
 
-// Entry files are a line-oriented text format; doubles travel as 64-bit
-// hex bit patterns so a cached value replays the original run's numbers
-// exactly, and free-form text (the key, error messages) is length-prefixed.
-// The primitives are shared with the shard-result fragments (shard.cpp).
-
-namespace detail {
-
-void put_double(std::ostream& out, double value) {
-  out << std::hex << std::bit_cast<std::uint64_t>(value) << std::dec;
-}
-
-double get_double(std::istream& in) {
-  std::uint64_t bits = 0;
-  in >> std::hex >> bits >> std::dec;
-  return std::bit_cast<double>(bits);
-}
-
-void put_blob(std::ostream& out, const std::string& label,
-              const std::string& text) {
-  out << label << ' ' << text.size() << '\n' << text << '\n';
-}
-
-std::string get_blob(std::istream& in, const std::string& label) {
-  std::string seen;
-  std::size_t size = 0;
-  in >> seen >> size;
-  DLSCHED_EXPECT(seen == label && in.good(),
-                 "cache entry: expected '" + label + "' blob");
-  in.ignore(1);  // the newline after the size
-  std::string text(size, '\0');
-  in.read(text.data(), static_cast<std::streamsize>(size));
-  in.ignore(1);
-  DLSCHED_EXPECT(in.good(), "cache entry: truncated '" + label + "' blob");
-  return text;
-}
-
-}  // namespace detail
+// An entry file is the stored key followed by the versioned wire result
+// body (service/wire.cpp): the cache, the shard fragments and the daemon's
+// socket responses all carry the same bytes for the same solve.
 
 namespace {
-
-using detail::get_blob;
-using detail::get_double;
-using detail::put_blob;
-using detail::put_double;
-
-void put_indices(std::ostream& out, const std::string& label,
-                 const std::vector<std::size_t>& values) {
-  out << label << ' ' << values.size();
-  for (const std::size_t v : values) out << ' ' << v;
-  out << '\n';
-}
-
-std::vector<std::size_t> get_indices(std::istream& in,
-                                     const std::string& label) {
-  std::string seen;
-  std::size_t count = 0;
-  in >> seen >> count;
-  DLSCHED_EXPECT(seen == label && in.good(),
-                 "cache entry: expected '" + label + "' list");
-  std::vector<std::size_t> values(count);
-  for (std::size_t& v : values) in >> v;
-  return values;
-}
 
 std::string serialize(const std::string& canonical_key,
                       const CachedSolve& s) {
   std::ostringstream out;
-  // Version 4 added the warm-start / pruning counters; version 3 the
-  // pivot / fallback / limb-arena counters; version 2 the participant set
-  // and the affine replay certificate.  Entries of older versions degrade
-  // to misses and are re-solved.
-  out << "dlsched-cache 5\n";
-  put_blob(out, "key", canonical_key);
-  put_blob(out, "solver", s.solver);
-  put_blob(out, "error", s.error);
-  out << "flags " << s.solved << ' ' << s.validated << ' '
-      << s.provably_optimal << ' ' << s.mirrored << ' ' << s.used_two_port
-      << ' ' << s.exact << ' ' << s.budget_exhausted << ' ' << s.has_alt
-      << ' ' << s.replayed << '\n';
-  out << "counts " << s.workers_used << ' ' << s.scenarios_tried << ' '
-      << s.lp_evaluations << ' ' << s.best_rounds << ' ' << s.lp_pivots
-      << ' ' << s.lp_fallbacks << ' ' << s.lp_warm_starts << ' '
-      << s.lp_pivots_saved << ' ' << s.subsets_pruned << ' '
-      << s.subsets_screened << ' ' << s.arena_acquires << ' '
-      << s.arena_pool_hits << '\n';
-  out << "scalars ";
-  put_double(out, s.throughput);
-  out << ' ';
-  put_double(out, s.alt_throughput);
-  out << ' ';
-  put_double(out, s.wall_seconds);
-  out << ' ';
-  put_double(out, s.validate_seconds);
-  out << ' ';
-  put_double(out, s.replay_makespan);
-  out << ' ';
-  put_double(out, s.replay_rel_error);
-  out << '\n';
-  out << "alpha " << s.alpha.size();
-  for (const double a : s.alpha) {
-    out << ' ';
-    put_double(out, a);
-  }
-  out << '\n';
-  put_indices(out, "send", s.send_order);
-  put_indices(out, "ret", s.return_order);
-  put_indices(out, "part", s.participants);
-  out << "end\n";
+  // Version 6 delegated the value encoding to the wire codec; version 4
+  // added the warm-start / pruning counters, version 3 the pivot /
+  // fallback / limb-arena counters, version 2 the participant set and the
+  // affine replay certificate.  Entries of older versions degrade to
+  // misses and are re-solved.
+  out << "dlsched-cache 6\n";
+  service::put_blob(out, "key", canonical_key);
+  out << service::encode_result_body(s);
   return out.str();
 }
 
@@ -186,46 +56,15 @@ std::optional<CachedSolve> deserialize(const std::string& text,
     std::string magic;
     int version = 0;
     in >> magic >> version;
-    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 5,
+    DLSCHED_EXPECT(magic == "dlsched-cache" && version == 6,
                    "cache entry: bad header");
     in.ignore(1);
-    if (get_blob(in, "key") != canonical_key) return std::nullopt;
-    CachedSolve s;
-    s.solver = get_blob(in, "solver");
-    s.error = get_blob(in, "error");
-    std::string label;
-    in >> label;
-    DLSCHED_EXPECT(label == "flags", "cache entry: expected flags");
-    in >> s.solved >> s.validated >> s.provably_optimal >> s.mirrored >>
-        s.used_two_port >> s.exact >> s.budget_exhausted >> s.has_alt >>
-        s.replayed;
-    in >> label;
-    DLSCHED_EXPECT(label == "counts", "cache entry: expected counts");
-    in >> s.workers_used >> s.scenarios_tried >> s.lp_evaluations >>
-        s.best_rounds >> s.lp_pivots >> s.lp_fallbacks >> s.lp_warm_starts >>
-        s.lp_pivots_saved >> s.subsets_pruned >> s.subsets_screened >>
-        s.arena_acquires >> s.arena_pool_hits;
-    in >> label;
-    DLSCHED_EXPECT(label == "scalars", "cache entry: expected scalars");
-    s.throughput = get_double(in);
-    s.alt_throughput = get_double(in);
-    s.wall_seconds = get_double(in);
-    s.validate_seconds = get_double(in);
-    s.replay_makespan = get_double(in);
-    s.replay_rel_error = get_double(in);
-    in >> label;
-    DLSCHED_EXPECT(label == "alpha", "cache entry: expected alpha");
-    std::size_t count = 0;
-    in >> count;
-    s.alpha.resize(count);
-    for (double& a : s.alpha) a = get_double(in);
-    s.send_order = get_indices(in, "send");
-    s.return_order = get_indices(in, "ret");
-    s.participants = get_indices(in, "part");
-    in >> label;
-    DLSCHED_EXPECT(label == "end" && !in.fail(),
-                   "cache entry: missing end marker");
-    return s;
+    if (service::get_blob(in, "key") != canonical_key) return std::nullopt;
+    const auto body_start = in.tellg();
+    DLSCHED_EXPECT(body_start != std::istringstream::pos_type(-1),
+                   "cache entry: missing result body");
+    return service::decode_result_body(
+        std::string_view(text).substr(static_cast<std::size_t>(body_start)));
   } catch (const std::exception&) {
     return std::nullopt;
   }

@@ -19,57 +19,20 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "service/wire.hpp"
 
 namespace dlsched::experiments {
 
-/// The cacheable projection of a `BatchOutcome`: solution numbers (as
-/// doubles -- all emitters and the DES consume doubles), communication
-/// orders, provenance flags and diagnostics.
-struct CachedSolve {
-  std::string solver;
-  bool solved = false;
-  bool validated = false;
-  std::string error;  ///< exception text when !solved
-
-  double throughput = 0.0;
-  std::vector<double> alpha;               ///< platform-indexed
-  std::vector<std::size_t> send_order;     ///< sigma_1
-  std::vector<std::size_t> return_order;   ///< sigma_2
-  std::size_t workers_used = 0;            ///< alpha > 0 count
-  /// Chosen participant set of a selection-style solver (sorted; empty
-  /// when enrolment is implied by alpha > 0).
-  std::vector<std::size_t> participants;
-
-  // Affine DES-replay certificate (affine/replay.hpp).
-  bool replayed = false;
-  double replay_makespan = 0.0;
-  double replay_rel_error = 0.0;
-
-  bool provably_optimal = false;
-  bool mirrored = false;
-  bool used_two_port = false;
-  bool exact = true;
-  bool budget_exhausted = false;
-  bool has_alt = false;
-  double alt_throughput = 0.0;
-  std::size_t scenarios_tried = 0;
-  std::size_t lp_evaluations = 0;
-  std::size_t best_rounds = 0;
-  std::size_t lp_pivots = 0;           ///< simplex pivots of the final LP
-  std::size_t lp_fallbacks = 0;        ///< Fast mode: exact re-solves
-  std::size_t lp_warm_starts = 0;      ///< exact solves with accepted seed
-  std::size_t lp_pivots_saved = 0;     ///< pivots under the chain's cold ref
-  std::size_t subsets_pruned = 0;      ///< bound-pruned subset candidates
-  std::size_t subsets_screened = 0;    ///< margin-screened subset candidates
-  std::uint64_t arena_acquires = 0;    ///< limb-arena buffer requests
-  std::uint64_t arena_pool_hits = 0;   ///< ... served from the recycled pool
-
-  double wall_seconds = 0.0;      ///< of the run that actually solved
-  double validate_seconds = 0.0;
-};
+/// The cacheable projection of a `BatchOutcome` IS the canonical wire
+/// record: cache entries store the versioned wire result body, so the
+/// daemon's responses and a cache hit are the same bytes by construction.
+using CachedSolve = service::SolveRecord;
 
 /// Projects a batch outcome into its cacheable form.
-[[nodiscard]] CachedSolve cached_from_outcome(const BatchOutcome& outcome);
+[[nodiscard]] inline CachedSolve cached_from_outcome(
+    const BatchOutcome& outcome) {
+  return service::record_from_outcome(outcome);
+}
 
 /// Rebuilds the double-precision solution shape for DES replay /
 /// rounding.  Requires `solve.solved` and a non-empty scenario.
@@ -140,17 +103,25 @@ class ResultCache {
   std::string directory_;
 };
 
-/// Line-oriented serialization primitives shared by the cache entries and
-/// the shard-result fragments (experiments/shard.hpp): doubles travel as
-/// 64-bit hex bit patterns so values round-trip bit-exactly, and free-form
-/// text (keys, rendered JSON rows, error messages) is length-prefixed.
+/// Line-oriented serialization primitives, now owned by `service/wire`
+/// (the cache entries, the shard-result fragments and the socket protocol
+/// all encode with the same functions).  Kept as forwards so existing
+/// callers keep compiling.
 namespace detail {
-void put_double(std::ostream& out, double value);
-[[nodiscard]] double get_double(std::istream& in);
-void put_blob(std::ostream& out, const std::string& label,
-              const std::string& text);
-[[nodiscard]] std::string get_blob(std::istream& in,
-                                   const std::string& label);
+inline void put_double(std::ostream& out, double value) {
+  service::put_double(out, value);
+}
+[[nodiscard]] inline double get_double(std::istream& in) {
+  return service::get_double(in);
+}
+inline void put_blob(std::ostream& out, const std::string& label,
+                     const std::string& text) {
+  service::put_blob(out, label, text);
+}
+[[nodiscard]] inline std::string get_blob(std::istream& in,
+                                          const std::string& label) {
+  return service::get_blob(in, label);
+}
 }  // namespace detail
 
 }  // namespace dlsched::experiments

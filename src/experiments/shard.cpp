@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "experiments/engine.hpp"
+#include "service/wire.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -282,31 +283,9 @@ ShardResult execute_shard(const ExperimentSpec& spec,
       if (!s.solved) {
         row.add("error", s.error);
       } else {
-        row.add("throughput", s.throughput)
-            .add("workers_used", s.workers_used)
-            .add("validated", s.validated)
-            .add("provably_optimal", s.provably_optimal)
-            .add("exact", s.exact)
-            .add("scenarios_tried", s.scenarios_tried)
-            .add("lp_evaluations", s.lp_evaluations)
-            .add("lp_pivots", s.lp_pivots)
-            .add("lp_fallbacks", s.lp_fallbacks)
-            .add("lp_warm_starts", s.lp_warm_starts)
-            .add("lp_pivots_saved", s.lp_pivots_saved)
-            .add("subsets_pruned", s.subsets_pruned)
-            .add("subsets_screened", s.subsets_screened)
-            .add("arena_acquires", s.arena_acquires)
-            .add("arena_pool_hits", s.arena_pool_hits);
-        if (!s.participants.empty()) {
-          row.add_raw("participants", json_index_array(s.participants));
-        }
-        if (s.replayed) {
-          row.add("replay_makespan", s.replay_makespan)
-              .add("replay_rel_error", s.replay_rel_error);
-        }
-        if (s.has_alt) row.add("alt_throughput", s.alt_throughput);
-        row.add("wall_seconds", s.wall_seconds)
-            .add("validate_seconds", s.validate_seconds);
+        // One field list for every result emitter (the grid baselines are
+        // byte-compared in CI, so the order lives in exactly one place).
+        service::append_result_fields(row, s);
         out.throughput = s.throughput;
         out.wall_seconds = s.wall_seconds;
         if (!spec.baseline.empty() && baseline_throughput > 0.0) {

@@ -1,0 +1,57 @@
+// Blocking client for a running `dlsched_serve` daemon.
+//
+// One `ServeClient` is one AF_UNIX connection speaking the wire protocol
+// (service/wire.hpp).  Requests are synchronous -- send a frame, read the
+// reply frame -- and concurrency comes from opening several clients (the
+// replay tool runs one per worker thread).  Protocol violations surface
+// as `dlsched::Error`; a solver failure is NOT an error here, it travels
+// inside the returned record (`record.solved == false`).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "service/wire.hpp"
+
+namespace dlsched::service {
+
+/// One daemon answer to a solve request.
+struct SolveReply {
+  enum class Kind { Result, Rejected };
+  Kind kind = Kind::Result;
+  SolveRecord record;   ///< valid when kind == Result
+  RejectInfo reject;    ///< valid when kind == Rejected
+  /// The reply's raw payload bytes (the encoded result body for Result):
+  /// what the byte-identity checks compare.
+  std::string raw_body;
+};
+
+class ServeClient {
+ public:
+  /// Connects to the daemon socket; throws `dlsched::Error` on failure.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one solve request and reads its reply.  Throws on protocol
+  /// errors (including a ProtocolError frame from the daemon).
+  [[nodiscard]] SolveReply solve(const std::string& solver,
+                                 const SolveRequest& request);
+
+  /// Queries the stats mailbox; returns the report JSON.
+  [[nodiscard]] std::string stats_json();
+
+  /// Sends raw bytes and reads one frame back -- the adversarial-decode
+  /// tests use this to poke the daemon with garbage.
+  [[nodiscard]] Frame raw_roundtrip(std::string_view bytes);
+
+ private:
+  [[nodiscard]] Frame read_frame();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace dlsched::service

@@ -1,0 +1,123 @@
+#include "service/stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "experiments/emitter.hpp"
+
+namespace dlsched::service {
+
+void LatencyHistogram::add(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative clock skew
+  const double micros = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (micros >= 1.0) {
+    const auto floor_micros = static_cast<std::uint64_t>(micros);
+    bucket = static_cast<std::size_t>(std::bit_width(floor_micros)) - 1;
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+double LatencyHistogram::quantile_upper(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return static_cast<double>(std::uint64_t{1} << (i + 1)) * 1e-6;
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << kBuckets) * 1e-6;
+}
+
+void ServiceStats::on_admitted() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++state_.admitted;
+  ++state_.queued;
+}
+
+void ServiceStats::on_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++state_.rejected;
+}
+
+void ServiceStats::on_protocol_error() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++state_.protocol_errors;
+}
+
+void ServiceStats::on_batch_started(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_.queued -= n < state_.queued ? n : state_.queued;
+  state_.in_flight += n;
+}
+
+void ServiceStats::on_completed(Completion kind, double latency_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (kind) {
+    case Completion::CacheHit:
+      ++state_.cache_hits;
+      break;
+    case Completion::Solved:
+      ++state_.solved;
+      break;
+    case Completion::Deduped:
+      ++state_.deduped;
+      break;
+  }
+  state_.latency.add(latency_seconds);
+}
+
+void ServiceStats::on_batch_finished(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_.in_flight -= n < state_.in_flight ? n : state_.in_flight;
+}
+
+void ServiceStats::set_draining(bool draining) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_.draining = draining;
+}
+
+StatsSnapshot ServiceStats::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::string ServiceStats::render_json() const {
+  const StatsSnapshot s = snapshot();
+  const std::uint64_t answered = s.cache_hits + s.solved + s.deduped;
+  experiments::JsonObject report;
+  report.add("admitted", static_cast<std::size_t>(s.admitted))
+      .add("rejected", static_cast<std::size_t>(s.rejected))
+      .add("cache_hits", static_cast<std::size_t>(s.cache_hits))
+      .add("solved", static_cast<std::size_t>(s.solved))
+      .add("deduped", static_cast<std::size_t>(s.deduped))
+      .add("protocol_errors", static_cast<std::size_t>(s.protocol_errors))
+      .add("completed", static_cast<std::size_t>(answered))
+      .add("queued", s.queued)
+      .add("in_flight", s.in_flight)
+      .add("draining", s.draining)
+      .add("hit_ratio",
+           answered == 0 ? 0.0
+                         : static_cast<double>(s.cache_hits) /
+                               static_cast<double>(answered))
+      .add("latency_p50_s", s.latency.quantile_upper(0.50))
+      .add("latency_p90_s", s.latency.quantile_upper(0.90))
+      .add("latency_p99_s", s.latency.quantile_upper(0.99));
+  std::string buckets = "[";
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i != 0) buckets += ',';
+    buckets += std::to_string(s.latency.buckets()[i]);
+  }
+  buckets += ']';
+  report.add_raw("latency_us_log2_buckets", std::move(buckets));
+  return report.render();
+}
+
+}  // namespace dlsched::service

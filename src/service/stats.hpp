@@ -1,0 +1,86 @@
+// The dlsched_serve stats mailbox.
+//
+// One shared `ServiceStats` instance tracks the daemon's request
+// lifecycle -- admitted / rejected / cache-hit / solved / deduped
+// cumulative counters, current queue depth and in-flight count, and a
+// log-bucketed per-request latency histogram -- and renders itself as one
+// JSON object for the StatsReport frame.  Mutation is mutex-guarded (the
+// counters move together: a request leaves `queued` exactly when it
+// enters `in_flight`), queries take a consistent snapshot.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace dlsched::service {
+
+/// Power-of-two microsecond buckets: bucket i counts latencies in
+/// [2^i, 2^(i+1)) us, bucket 0 additionally holds sub-microsecond
+/// requests.  32 buckets cover ~71 minutes, far beyond any solve budget.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void add(double seconds) noexcept;
+
+  /// Upper bound (in seconds) of the bucket holding quantile `q` of the
+  /// recorded latencies; 0 when empty.  Bucketed, so good to ~2x -- the
+  /// replay client computes exact quantiles client-side.
+  [[nodiscard]] double quantile_upper(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Counter snapshot; every field cumulative unless noted.
+struct StatsSnapshot {
+  std::uint64_t admitted = 0;    ///< accepted into the queue or cache-hit
+  std::uint64_t rejected = 0;    ///< backpressure / drain rejects
+  std::uint64_t cache_hits = 0;  ///< answered from the ResultCache
+  std::uint64_t solved = 0;      ///< answered by running a solver
+  std::uint64_t deduped = 0;     ///< answered as within-batch duplicates
+  std::uint64_t protocol_errors = 0;  ///< malformed frames / bodies seen
+  std::size_t queued = 0;        ///< current: admitted, not yet batched
+  std::size_t in_flight = 0;     ///< current: inside solve_batch
+  bool draining = false;
+  LatencyHistogram latency;      ///< admission-to-response, completed only
+};
+
+/// The mailbox.  All methods are thread-safe.
+class ServiceStats {
+ public:
+  void on_admitted();
+  void on_rejected();
+  void on_protocol_error();
+  /// `queued - n`, `in_flight + n`: a micro-batch left the queue.
+  void on_batch_started(std::size_t n);
+  /// One request completed (`kind` routes the cumulative counter).
+  enum class Completion { CacheHit, Solved, Deduped };
+  void on_completed(Completion kind, double latency_seconds);
+  /// A batch's requests all completed: `in_flight - n`.
+  void on_batch_finished(std::size_t n);
+  void set_draining(bool draining);
+
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// The StatsReport payload: one JSON object with every counter, the
+  /// derived cache hit ratio, bucketed latency quantiles and the raw
+  /// histogram buckets.
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  StatsSnapshot state_;
+};
+
+}  // namespace dlsched::service
