@@ -10,6 +10,8 @@
 //   dlsched_bench --spec smoke --workers 3    # forked work-stealing run
 //   dlsched_bench --spec smoke --shard 0/4    # one slice, fragments only
 //   dlsched_bench --spec smoke --join         # merge published fragments
+//   dlsched_bench --spec smoke --coordinator 127.0.0.1:7601   # TCP board
+//   dlsched_bench --worker tcp://127.0.0.1:7601               # TCP worker
 //
 // Options:
 //   --out FILE        BENCH JSON artifact (default BENCH_<spec>.json)
@@ -28,6 +30,21 @@
 //                     publish fragments (grid specs; artifacts via --join)
 //   --join            deterministic merge of published fragments
 //   --stale-seconds S claim heartbeat timeout before a shard is stolen
+//                     (accepted: 0.05 to 3600 seconds)
+//   --coordinator HOST:PORT   own the claim board over TCP; with
+//                     --workers N forks N local TCP workers, with
+//                     --workers auto[:MAX] autoscales them to the
+//                     backlog, alone it waits for external --worker
+//                     processes
+//   --lease-ttl S     shard lease TTL before the coordinator reassigns
+//                     an unrenewed lease (accepted: 0.05 to 3600 seconds)
+//   --worker tcp://HOST:PORT  run as a remote TCP worker: lease shards,
+//                     solve, stream fragments back (no spec needed;
+//                     options: --worker-id ID, --threads N,
+//                     --scratch-dir DIR, and the chaos hook
+//                     --abandon-after N: after N accepted shards, take
+//                     one more lease and die holding it -- deterministic
+//                     crash-recovery drills)
 //
 // Replaces the 15 former bench/*.cpp binaries; see README "Running
 // experiments" for the spec -> paper figure table.  The driver itself

@@ -5,15 +5,19 @@
 //   dlsched_replay run --socket PATH --stream stream.bin
 //                      [--concurrency K] [--json BENCH_serve.json]
 //                      [--dump responses.bin]
+//   dlsched_replay stats --socket PATH-or-tcp://HOST:PORT
 //
 // `record` synthesizes a deterministic request stream; `run` fires it at
 // a running daemon and writes the BENCH_serve.json service benchmark.
 // `--dump` writes every response body in request order -- two dumps of
 // the same stream (e.g. cold vs warm cache) must compare byte-identical.
+// `stats` prints the StatsReport of a daemon or a cluster coordinator
+// (which extends the report with its claim-board gauges).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "service/client.hpp"
 #include "service/replay.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -27,7 +31,8 @@ int usage(std::ostream& out, int code) {
          "  dlsched_replay record --out FILE [--requests N] [--distinct D]"
          " [--p P] [--seed S] [--solver NAME]\n"
          "  dlsched_replay run --socket PATH --stream FILE"
-         " [--concurrency K] [--json FILE] [--dump FILE]\n";
+         " [--concurrency K] [--json FILE] [--dump FILE]\n"
+         "  dlsched_replay stats --socket PATH-or-tcp://HOST:PORT\n";
   return code;
 }
 
@@ -96,6 +101,42 @@ int cmd_run(const CliArgs& args) {
   return report.failed == 0 ? 0 : 1;
 }
 
+/// Pulls one numeric field out of the flat stats JSON; "-" when absent.
+/// The report is a single flat object rendered by our own emitter, so a
+/// key scan is exact here -- no general JSON parsing needed.
+std::string json_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "-";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = json.find_first_of(",}", start);
+  return json.substr(start, end - start);
+}
+
+int cmd_stats(const CliArgs& args) {
+  const auto socket = args.get("socket");
+  DLSCHED_EXPECT(socket.has_value(),
+                 "stats: --socket PATH-or-tcp://HOST:PORT is required");
+  service::ServeClient client(*socket);
+  const std::string json = client.stats_json();
+  std::cout << json << '\n';
+  if (json.find("\"shards_total\"") != std::string::npos) {
+    std::cout << "coordinator board: " << json_field(json, "shards_done")
+              << "/" << json_field(json, "shards_total")
+              << " shard(s) done, backlog "
+              << json_field(json, "shard_backlog") << ", "
+              << json_field(json, "leases_outstanding")
+              << " lease(s) outstanding, "
+              << json_field(json, "lease_reassignments")
+              << " reassignment(s), "
+              << json_field(json, "fragment_bytes") << " fragment byte(s), "
+              << json_field(json, "fragments_discarded") << " discarded, "
+              << json_field(json, "workers_spawned") << " spawned / "
+              << json_field(json, "workers_retired") << " retired\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +147,7 @@ int main(int argc, char** argv) {
     const std::string& command = args.positional().front();
     if (command == "record") return cmd_record(args);
     if (command == "run") return cmd_run(args);
+    if (command == "stats") return cmd_stats(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {

@@ -99,7 +99,9 @@ int usage(std::ostream& out, int code) {
          "gantt/simulate options:\n"
          "  --svg FILE / --width N / --noise SEED / --chrome-trace FILE\n"
          "bench options: --spec/--spec-file/--list-specs plus\n"
-         "  --out/--csv/--cache-dir/--no-cache/--quick\n";
+         "  --out/--csv/--cache-dir/--no-cache/--quick\n"
+         "  cluster: --coordinator HOST:PORT [--workers N|auto[:MAX]]\n"
+         "           [--lease-ttl S] | --worker tcp://HOST:PORT\n";
   return code;
 }
 

@@ -1,11 +1,16 @@
 #include "experiments/bench_driver.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <iostream>
 #include <tuple>
 #include <utility>
 
 #include "experiments/engine.hpp"
 #include "experiments/spec_registry.hpp"
+#include "service/worker.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -13,6 +18,75 @@
 namespace dlsched::experiments {
 
 namespace {
+
+// ------------------------------------------------------------ cluster side --
+
+std::atomic<int> g_bench_signal{0};
+
+extern "C" void on_bench_signal(int sig) { g_bench_signal.store(sig); }
+
+/// `--worker tcp://HOST:PORT`: join a coordinator's claim board instead of
+/// running a spec.  The spec itself arrives over the wire with each lease.
+int run_worker_mode(const CliArgs& args, const std::string& endpoint) {
+  service::TcpWorkerOptions options;
+  options.endpoint = endpoint;
+  options.worker_id =
+      args.get_or("worker-id", "w" + std::to_string(::getpid()));
+  const std::int64_t threads = args.get_int("threads", 0);
+  DLSCHED_EXPECT(threads >= 0, "--threads wants a non-negative count");
+  options.threads = static_cast<std::size_t>(threads);
+  options.scratch_dir = args.get_or("scratch-dir", "");
+  const std::int64_t abandon = args.get_int("abandon-after", 0);
+  DLSCHED_EXPECT(abandon >= 0, "--abandon-after wants a non-negative count");
+  options.abandon_after = static_cast<std::size_t>(abandon);
+  const service::TcpWorkerSummary summary =
+      service::run_tcp_worker(options, std::cout);
+  std::cout << "worker " << options.worker_id << ": " << summary.executed
+            << " shard(s) executed, " << summary.discarded << " discarded, "
+            << summary.jobs << " job(s), " << summary.solved << " solved, "
+            << summary.cache_hits << " cache hit(s)"
+            << (summary.retired ? ", retired" : "")
+            << (summary.drained ? ", drained" : "")
+            << (summary.abandoned ? ", abandoned a lease" : "") << "\n";
+  return 0;
+}
+
+/// `--workers auto[:MAX]` / `--workers N` with `--coordinator`; plain
+/// `--workers N` keeps meaning the filesystem-board worker fleet.
+void parse_workers(const CliArgs& args, RunOptions& options) {
+  const std::optional<std::string> text = args.get("workers");
+  if (text && text->rfind("auto", 0) == 0) {
+    DLSCHED_EXPECT(!options.coordinator.empty(),
+                   "--workers auto needs --coordinator HOST:PORT "
+                   "(autoscaling drives the TCP claim board)");
+    options.autoscale = true;
+    if (text->size() > 4) {
+      const std::string max_text =
+          (*text)[4] == ':' ? text->substr(5) : std::string();
+      std::size_t max = 0;
+      if (!max_text.empty() &&
+          max_text.find_first_not_of("0123456789") == std::string::npos) {
+        max = std::stoul(max_text);
+      }
+      DLSCHED_EXPECT(max >= 1 && max <= 256,
+                     "--workers auto:MAX wants 1 <= MAX <= 256 (got '" +
+                         *text + "')");
+      options.autoscale_max = max;
+    }
+    return;
+  }
+  const std::int64_t workers = args.get_int("workers", 1);
+  DLSCHED_EXPECT(workers >= 1,
+                 "--workers wants a positive process count or auto[:MAX]");
+  if (!options.coordinator.empty()) {
+    // With a coordinator the flag sizes the local TCP worker fleet; no
+    // flag means passive (external workers connect with --worker).
+    options.cluster_workers =
+        text ? static_cast<std::size_t>(workers) : 0;
+  } else {
+    options.workers = static_cast<std::size_t>(workers);
+  }
+}
 
 int list_specs() {
   Table table({"spec", "figure", "kind", "title"});
@@ -115,9 +189,10 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
                           : args.get_or("cache-dir", ".dlsched_cache");
   options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   options.quick = args.has("quick");
-  const std::int64_t workers = args.get_int("workers", 1);
-  DLSCHED_EXPECT(workers >= 1, "--workers wants a positive process count");
-  options.workers = static_cast<std::size_t>(workers);
+  if (const auto coordinator = args.get("coordinator")) {
+    options.coordinator = *coordinator;
+  }
+  parse_workers(args, options);
   if (const auto shard = args.get("shard")) {
     std::tie(options.shard_index, options.shard_count) = parse_shard(*shard);
     // A slice publishes fragments; the artifacts belong to --join.
@@ -127,8 +202,28 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
   options.join_only = args.has("join");
   options.cache_max_bytes =
       static_cast<std::uint64_t>(args.get_int("cache-max-bytes", 0));
+  // Both staleness knobs share one accepted range: long enough to be a
+  // real heartbeat period, short enough that a dead worker's shard is
+  // reassigned within the hour.
   options.stale_seconds =
       args.get_double("stale-seconds", options.stale_seconds);
+  DLSCHED_EXPECT(
+      options.stale_seconds >= 0.05 && options.stale_seconds <= 3600.0,
+      "--stale-seconds " + format_double(options.stale_seconds, 6) +
+          " is out of range (accepted: 0.05 to 3600 seconds)");
+  options.lease_ttl_seconds =
+      args.get_double("lease-ttl", options.lease_ttl_seconds);
+  DLSCHED_EXPECT(
+      options.lease_ttl_seconds >= 0.05 &&
+          options.lease_ttl_seconds <= 3600.0,
+      "--lease-ttl " + format_double(options.lease_ttl_seconds, 6) +
+          " is out of range (accepted: 0.05 to 3600 seconds)");
+  if (!options.coordinator.empty()) {
+    // SIGTERM/SIGINT drain the coordinator instead of killing the run.
+    std::signal(SIGTERM, on_bench_signal);
+    std::signal(SIGINT, on_bench_signal);
+    options.stop_signal = &g_bench_signal;
+  }
   const RunSummary summary = run_spec(spec, options);
   return summary.failures == 0 ? 0 : 1;
 }
@@ -144,6 +239,9 @@ const std::vector<std::string>& bench_flags() {
 }
 
 int bench_main(const CliArgs& args) {
+  if (const auto endpoint = args.get("worker")) {
+    return run_worker_mode(args, *endpoint);
+  }
   if (args.has("list-specs")) return list_specs();
   if (args.has("list-generators")) return list_generators();
   if (args.has("cache-stats")) return cache_stats(args);

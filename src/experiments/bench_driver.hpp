@@ -23,6 +23,9 @@ namespace dlsched::experiments {
 ///   [--cache-dir DIR] [--no-cache] [--cache-max-bytes N]
 ///   [--threads N] [--quick] [--seed N] [--repetitions N]
 ///   [--workers N] [--shard i/k] [--join] [--stale-seconds S]
+///   [--coordinator HOST:PORT [--workers N|auto[:MAX]] [--lease-ttl S]]
+///   | --worker tcp://HOST:PORT [--worker-id ID] [--scratch-dir DIR]
+///     [--abandon-after N]
 /// Returns a process exit code (0 ok, 1 failures, 2 usage).
 [[nodiscard]] int bench_main(const CliArgs& args);
 

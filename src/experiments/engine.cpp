@@ -12,12 +12,16 @@
 #include <optional>
 #include <sstream>
 #include <system_error>
+#include <thread>
 
 #include "experiments/emitter.hpp"
 #include "experiments/figures.hpp"
 #include "experiments/scheduler.hpp"
 #include "experiments/shard.hpp"
 #include "experiments/special_runs.hpp"
+#include "service/coordinator.hpp"
+#include "service/net.hpp"
+#include "service/worker.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -270,6 +274,202 @@ void run_grid_workers(const ExperimentSpec& spec, const RunOptions& options,
   std::filesystem::remove_all(board.directory(), cleanup);
 }
 
+// ---------------------------------------------------------------- cluster --
+
+/// Forks one retirable local TCP worker against `endpoint`.  The child
+/// runs the worker loop and `_exit`s without touching the parent's
+/// buffered streams (the same fork-without-exec idiom as
+/// `run_grid_workers`); its log goes to a sink that dies with it.
+pid_t spawn_cluster_worker(const std::string& endpoint, std::size_t ordinal,
+                           std::size_t threads) {
+  const pid_t pid = ::fork();
+  DLSCHED_EXPECT(pid >= 0, "fork() failed for cluster worker " +
+                               std::to_string(ordinal));
+  if (pid != 0) return pid;
+  int code = 0;
+  try {
+    service::TcpWorkerOptions options;
+    options.endpoint = endpoint;
+    options.worker_id =
+        "local-w" + std::to_string(ordinal) + "-" + std::to_string(::getpid());
+    options.threads = threads;
+    options.retirable = true;
+    std::ostringstream sink;
+    (void)service::run_tcp_worker(options, sink);
+  } catch (...) {
+    code = 1;
+  }
+  ::_exit(code);
+}
+
+/// `--coordinator HOST:PORT`: own the claim board over TCP.  Local
+/// workers (`--workers N` / `--workers auto[:MAX]`) are forked as
+/// retirable TCP workers; external ones join with
+/// `dlsched_bench --worker tcp://HOST:PORT`.  The coordinator's cache is
+/// the synchronization medium, so the joined artifacts stay
+/// byte-identical to a single-process run over the same cache.
+void run_grid_coordinator(const ExperimentSpec& spec,
+                          const RunOptions& options, ResultCache& cache,
+                          BenchJsonWriter* json, std::ostream* csv,
+                          RunSummary& summary, std::ostream& log) {
+  const auto phase_plan = steady_clock::now();
+  std::vector<CompiledShard> shards = plan_shards(spec);
+  summary.shards = shards.size();
+  const std::size_t shard_count = shards.size();
+
+  const service::net::Endpoint listen =
+      service::net::parse_endpoint(options.coordinator);
+  DLSCHED_EXPECT(listen.tcp, "--coordinator wants HOST:PORT (got '" +
+                                 options.coordinator + "')");
+  service::CoordinatorConfig config;
+  config.host = listen.host;
+  config.port = listen.port;
+  config.lease_ttl_seconds = options.lease_ttl_seconds;
+  service::Coordinator coordinator(spec, std::move(shards), cache, config);
+  const std::string endpoint = coordinator.endpoint();
+  const auto phase_exec = steady_clock::now();
+
+  const auto since = [](steady_clock::time_point start) {
+    return std::chrono::duration<double>(steady_clock::now() - start)
+        .count();
+  };
+  const auto stop_requested = [&options] {
+    return options.stop_signal &&
+           options.stop_signal->load(std::memory_order_relaxed) != 0;
+  };
+
+  log << "coordinator listening on " << endpoint << ": " << shard_count
+      << " shard(s), lease TTL "
+      << format_double(config.lease_ttl_seconds, 3) << " s\n";
+  log.flush();
+
+  std::vector<pid_t> children;
+  std::size_t spawned = 0;
+  const auto spawn = [&] {
+    children.push_back(
+        spawn_cluster_worker(endpoint, spawned++, options.threads));
+    coordinator.note_worker_spawned();
+  };
+
+  if (options.autoscale) {
+    // Queue-depth-driven autoscaling: each 50ms tick reaps exited
+    // children, then sizes the local fleet to the remaining work
+    // (backlog + outstanding leases, clamped to [1, max]).  Growth is one
+    // spawn per tick so a short burst does not overshoot; surplus workers
+    // are retired through Retire grants on their next Acquire.
+    std::size_t cap = options.autoscale_max;
+    if (cap == 0) {
+      cap = std::max(1u, std::thread::hardware_concurrency());
+    }
+    log << "autoscaling local workers up to " << cap << "\n";
+    std::size_t pending_retires = 0;
+    while (!coordinator.finished() && !stop_requested()) {
+      for (auto it = children.begin(); it != children.end();) {
+        int status = 0;
+        if (::waitpid(*it, &status, WNOHANG) == *it) {
+          it = children.erase(it);
+          if (pending_retires > 0) --pending_retires;
+        } else {
+          ++it;
+        }
+      }
+      const service::CoordinatorGauges gauges = coordinator.gauges();
+      const std::size_t work =
+          gauges.shard_backlog + gauges.leases_outstanding;
+      const std::size_t target = std::clamp<std::size_t>(work, 1, cap);
+      const std::size_t live = children.size();
+      if (live < target && gauges.shards_done < shard_count) {
+        spawn();
+        log << "autoscale t=" << format_double(since(phase_exec), 3)
+            << "s: +1 worker (live " << children.size() << "/" << target
+            << ", backlog " << gauges.shard_backlog << ", leased "
+            << gauges.leases_outstanding << ")\n";
+        log.flush();
+      } else if (live > target + pending_retires) {
+        const std::size_t surplus = live - target - pending_retires;
+        coordinator.request_retire(surplus);
+        pending_retires += surplus;
+        log << "autoscale t=" << format_double(since(phase_exec), 3)
+            << "s: retiring " << surplus << " worker(s) (live " << live
+            << "/" << target << ", backlog " << gauges.shard_backlog
+            << ")\n";
+        log.flush();
+      }
+      (void)coordinator.wait_finished(0.05);
+    }
+  } else {
+    for (std::size_t w = 0; w < options.cluster_workers; ++w) spawn();
+    if (options.cluster_workers > 0) {
+      log << "spawned " << options.cluster_workers
+          << " local worker(s)\n";
+    } else {
+      log << "waiting for external workers (dlsched_bench --worker "
+          << "tcp://" << listen.host << ":" << coordinator.port() << ")\n";
+    }
+    log.flush();
+    while (!coordinator.finished() && !stop_requested()) {
+      (void)coordinator.wait_finished(0.1);
+    }
+  }
+
+  // Granting stops either way; leased shards still stream their
+  // fragments in, so drained workers exit without wasting claimed work.
+  coordinator.begin_drain();
+  std::size_t worker_failures = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++worker_failures;
+    }
+  }
+  if (worker_failures > 0) {
+    log << worker_failures << " cluster worker(s) exited abnormally\n";
+  }
+
+  if (!coordinator.finished()) {
+    const service::CoordinatorGauges gauges = coordinator.gauges();
+    coordinator.stop();
+    // The streaming emitters opened the artifact files up front; a
+    // drained run must not leave header-only stubs behind.  The caller's
+    // still-open streams flush into the unlinked inodes, which vanish on
+    // close.
+    std::error_code ec;
+    if (!options.out_json.empty()) {
+      std::filesystem::remove(options.out_json, ec);
+    }
+    if (!options.out_csv.empty()) {
+      std::filesystem::remove(options.out_csv, ec);
+    }
+    log << "dlsched_bench: coordinator drained (" << gauges.shards_done
+        << "/" << shard_count << " shard(s) done); artifacts not written\n";
+    log.flush();
+    DLSCHED_FAIL("coordinator drained before completion (" +
+                 std::to_string(gauges.shards_done) + "/" +
+                 std::to_string(shard_count) + " shard(s) done)");
+  }
+
+  const double exec_seconds = since(phase_exec);
+  const auto phase_join = steady_clock::now();
+  const std::vector<ShardResult> results = coordinator.take_results();
+  const service::CoordinatorGauges gauges = coordinator.gauges();
+  coordinator.stop();
+  ShardAssembler assembler(json, csv, summary, log);
+  for (const ShardResult& result : results) assembler.consume(result);
+  assembler.finish();
+  log << "cluster phases: plan "
+      << format_double(
+             std::chrono::duration<double>(phase_exec - phase_plan).count(),
+             3)
+      << " s, execute " << format_double(exec_seconds, 3) << " s, join "
+      << format_double(since(phase_join), 3) << " s\n"
+      << "cluster board: " << gauges.workers_spawned << " spawned, "
+      << gauges.workers_retired << " retired, "
+      << gauges.lease_reassignments << " lease reassignment(s), "
+      << gauges.fragments_discarded << " fragment(s) discarded, "
+      << gauges.fragment_bytes << " fragment byte(s)\n";
+}
+
 // --------------------------------------------------------------- ensemble --
 
 /// Maps an ensemble spec's generator name onto the Section 5 speed-factor
@@ -398,7 +598,8 @@ RunSummary run_spec(const ExperimentSpec& requested,
 
   const bool slice = options.shard_count > 0;
   const bool multi = options.workers > 1;
-  if (slice || multi || options.join_only) {
+  const bool cluster = !options.coordinator.empty();
+  if (slice || multi || options.join_only || cluster) {
     DLSCHED_EXPECT(spec.kind == SpecKind::Grid,
                    "spec '" + spec.name + "' is kind '" +
                        kind_name(spec.kind) +
@@ -418,6 +619,12 @@ RunSummary run_spec(const ExperimentSpec& requested,
                    "--shard i/k needs i < k");
     DLSCHED_EXPECT(options.workers <= 256,
                    "--workers " + std::to_string(options.workers) +
+                       " is past the 256-process sanity cap");
+    DLSCHED_EXPECT(!(cluster && (slice || multi || options.join_only)),
+                   "--coordinator owns the whole run over TCP; it excludes "
+                   "the filesystem board's --workers N, --shard and --join");
+    DLSCHED_EXPECT(options.cluster_workers <= 256,
+                   "--workers " + std::to_string(options.cluster_workers) +
                        " is past the 256-process sanity cap");
   }
 
@@ -463,7 +670,10 @@ RunSummary run_spec(const ExperimentSpec& requested,
   BenchJsonWriter* json_ptr = json ? &*json : nullptr;
   switch (spec.kind) {
     case SpecKind::Grid:
-      if (multi) {
+      if (cluster) {
+        run_grid_coordinator(spec, options, cache, json_ptr, csv, summary,
+                             log);
+      } else if (multi) {
         run_grid_workers(spec, options, cache, json_ptr, csv, summary, log);
       } else if (options.join_only) {
         const std::vector<CompiledShard> shards = plan_shards(spec);

@@ -6,6 +6,7 @@
 // binary.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -32,6 +33,17 @@ struct RunOptions {
                                  ///<   publish fragments, skip artifacts
   bool join_only = false;        ///< assemble published fragments, no solving
   double stale_seconds = 300.0;  ///< claim heartbeat timeout before stealing
+
+  // ----- cluster execution (grid specs only; the claim board lives in a
+  // TCP coordinator -- see service/coordinator.hpp) ------------------------
+  std::string coordinator;       ///< "HOST:PORT" to listen on ("" = off)
+  std::size_t cluster_workers = 0;  ///< local TCP worker processes to fork
+  bool autoscale = false;        ///< size the local fleet to the backlog
+  std::size_t autoscale_max = 0; ///< autoscale cap (0 = hardware)
+  double lease_ttl_seconds = 30.0;  ///< shard lease TTL before reassignment
+  /// When set, a nonzero value drains the coordinator mid-run (the signal
+  /// handler hook for SIGTERM/SIGINT graceful shutdown).
+  const std::atomic<int>* stop_signal = nullptr;
 
   // ----- cache hygiene ----------------------------------------------------
   std::uint64_t cache_max_bytes = 0;  ///< LRU-evict down to this (0 = off)

@@ -1,6 +1,7 @@
 #include "experiments/spec.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -279,6 +280,90 @@ ExperimentSpec parse_spec_toml(const std::string& text,
     }
   }
   return spec;
+}
+
+namespace {
+
+/// C99 hexfloat: `std::stod` (under `to_double`) parses it back to the
+/// identical bit pattern, unlike any decimal rendering of finite width.
+std::string hex_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+void render_string(std::ostream& out, const char* key,
+                   const std::string& value) {
+  DLSCHED_EXPECT(value.find('"') == std::string::npos &&
+                     value.find('\n') == std::string::npos,
+                 std::string("render_spec_toml: key '") + key +
+                     "' holds a quote or newline");
+  out << key << " = \"" << value << "\"\n";
+}
+
+void render_sizes(std::ostream& out, const char* key,
+                  const std::vector<std::size_t>& values) {
+  out << key << " = [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i ? ", " : "") << values[i];
+  }
+  out << "]\n";
+}
+
+void render_doubles(std::ostream& out, const char* key,
+                    const std::vector<double>& values) {
+  out << key << " = [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i ? ", " : "") << hex_double(values[i]);
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+std::string render_spec_toml(const ExperimentSpec& spec) {
+  std::ostringstream out;
+  render_string(out, "name", spec.name);
+  render_string(out, "title", spec.title);
+  render_string(out, "figure", spec.figure);
+  render_string(out, "kind", kind_name(spec.kind));
+  render_string(out, "generator", spec.generator);
+  render_sizes(out, "workers", spec.workers);
+  render_doubles(out, "z", spec.z_values);
+  render_doubles(out, "send_latencies", spec.send_latencies);
+  render_doubles(out, "return_latencies", spec.return_latencies);
+  out << "compute_latency = " << hex_double(spec.compute_latency) << '\n';
+  out << "repetitions = " << spec.repetitions << '\n';
+  out << "seed = " << spec.seed << '\n';
+  out << "solvers = [";
+  for (std::size_t i = 0; i < spec.solvers.size(); ++i) {
+    out << (i ? ", " : "") << '"' << spec.solvers[i] << '"';
+  }
+  out << "]\n";
+  render_string(out, "baseline", spec.baseline);
+  render_string(out, "precision",
+                spec.precision == Precision::Exact ? "exact" : "fast");
+  out << "time_budget_seconds = " << hex_double(spec.time_budget_seconds)
+      << '\n';
+  out << "max_workers_brute = " << spec.max_workers_brute << '\n';
+  render_sizes(out, "matrix_sizes", spec.matrix_sizes);
+  out << "platforms = " << spec.platforms << '\n';
+  out << "total_tasks = " << spec.total_tasks << '\n';
+  out << "comm_speed_up = " << hex_double(spec.comm_speed_up) << '\n';
+  out << "comp_speed_up = " << hex_double(spec.comp_speed_up) << '\n';
+  out << "include_inc_w = " << (spec.include_inc_w ? "true" : "false")
+      << '\n';
+  render_doubles(out, "x", spec.x_values);
+  render_doubles(out, "latencies", spec.latencies);
+  out << "max_rounds = " << spec.max_rounds << '\n';
+  out << "churn_events = " << spec.churn_events << '\n';
+  if (!spec.generator_params.empty()) {
+    out << "[generator.params]\n";
+    for (const auto& [key, value] : spec.generator_params) {
+      out << key << " = " << hex_double(value) << '\n';
+    }
+  }
+  return out.str();
 }
 
 ExperimentSpec load_spec_file(const std::string& path) {

@@ -100,6 +100,14 @@ struct ExperimentSpec {
 /// file's stem when the file does not set one.
 [[nodiscard]] ExperimentSpec load_spec_file(const std::string& path);
 
+/// Renders a spec as the TOML subset `parse_spec_toml` reads, with every
+/// double as a C99 hexfloat so the round-trip is bit-exact:
+/// `parse_spec_toml(render_spec_toml(s))` rebuilds `s` field for field.
+/// This is how the TCP coordinator ships a spec to its workers -- a
+/// worker re-plans the shard grid locally and the plan fingerprints must
+/// agree, which only holds when the axis doubles survive unchanged.
+[[nodiscard]] std::string render_spec_toml(const ExperimentSpec& spec);
+
 /// Structural checks (generator exists, solvers exist, axes present for
 /// the kind).  Throws dlsched::Error with a spec-named message.
 void validate_spec(const ExperimentSpec& spec);

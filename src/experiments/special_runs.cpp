@@ -25,6 +25,7 @@
 #include "runtime/worker_thread.hpp"
 #include "schedule/gantt.hpp"
 #include "schedule/rounding.hpp"
+#include "service/wire.hpp"
 #include "sim/des_executor.hpp"
 #include "sim/engine.hpp"
 #include "sim/noise.hpp"
@@ -657,6 +658,58 @@ void run_micro(const ExperimentSpec& spec, const RunOptions& options,
     a.fill_random(rng);
     b.fill_random(rng);
     bench("gemm", n, [&] { rt::gemm(a, b, c); });
+  }
+
+  // The cluster wire layer: encode + decode throughput of the largest
+  // frames the TCP board ships -- a FragmentPush carrying one serialized
+  // shard result plus N cache records.  The bodies are synthetic but
+  // realistically shaped (alpha/order vectors sized like a p=16 solve),
+  // so a codec regression (an accidental copy, a quadratic append) moves
+  // this number long before it hurts a real cluster run.
+  for (const std::size_t records :
+       options.quick ? std::vector<std::size_t>{16}
+                     : std::vector<std::size_t>{16, 256}) {
+    service::FragmentPushBody push;
+    push.worker_id = "micro-worker";
+    push.shard_index = 7;
+    push.shard_id = "0123456789abcdef0123456789abcdef";
+    push.plan_fingerprint = "fedcba9876543210fedcba9876543210";
+    push.fragment.assign(16 * 1024, 'f');  // one mid-size shard fragment
+    Rng rng(spec.seed + records);
+    for (std::size_t i = 0; i < records; ++i) {
+      service::SolveRecord record;
+      record.solver = "fifo_optimal";
+      record.solved = true;
+      record.validated = true;
+      record.throughput = rng.uniform(0.1, 2.0);
+      for (std::size_t w = 0; w < 16; ++w) {
+        record.alpha.push_back(rng.uniform(0.0, 1.0));
+        record.send_order.push_back(w);
+        record.return_order.push_back(15 - w);
+      }
+      record.workers_used = 16;
+      record.lp_pivots = 16;
+      record.wall_seconds = rng.uniform(0.0, 0.01);
+      service::WireCacheEntry entry;
+      entry.hash = push.shard_id;
+      entry.key = "v1 solver fifo_optimal p 16 key " + std::to_string(i);
+      entry.body = service::encode_result_body(record);
+      push.records.push_back(std::move(entry));
+    }
+    bench("wire_frame_roundtrip", records, [&] {
+      const std::string frame =
+          service::encode_frame(service::FrameType::FragmentPush,
+                                service::encode_fragment_push(push));
+      const service::FrameDecode decoded = service::try_decode_frame(frame);
+      DLSCHED_EXPECT(decoded.status == service::DecodeStatus::Ok &&
+                         decoded.consumed == frame.size(),
+                     "wire_frame_roundtrip: frame failed to round-trip");
+      const service::FragmentPushBody back =
+          service::decode_fragment_push(decoded.frame.payload);
+      DLSCHED_EXPECT(back.records.size() == push.records.size() &&
+                         back.fragment == push.fragment,
+                     "wire_frame_roundtrip: body failed to round-trip");
+    });
   }
 
   // The affine substrate: the exact FIFO LP with latency constants, the

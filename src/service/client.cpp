@@ -1,34 +1,14 @@
 #include "service/client.hpp"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-
+#include "service/net.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::service {
 
-ServeClient::ServeClient(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  DLSCHED_EXPECT(!socket_path.empty() &&
-                     socket_path.size() < sizeof(addr.sun_path),
-                 "client: bad socket path '" + socket_path + "'");
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  DLSCHED_EXPECT(fd_ >= 0, "client: cannot create socket");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    DLSCHED_FAIL("client: cannot connect to '" + socket_path +
-                 "': " + std::strerror(err));
-  }
+ServeClient::ServeClient(const std::string& endpoint) {
+  fd_ = net::connect_endpoint(net::parse_endpoint(endpoint));
 }
 
 ServeClient::~ServeClient() {
@@ -36,31 +16,11 @@ ServeClient::~ServeClient() {
 }
 
 Frame ServeClient::read_frame() {
-  char chunk[4096];
-  for (;;) {
-    const FrameDecode decode = try_decode_frame(buffer_);
-    if (decode.status == DecodeStatus::Ok) {
-      buffer_.erase(0, decode.consumed);
-      return decode.frame;
-    }
-    DLSCHED_EXPECT(decode.status == DecodeStatus::NeedMore,
-                   "client: malformed frame from daemon: " + decode.error);
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    DLSCHED_EXPECT(n > 0, "client: daemon closed the connection");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
-  }
+  return net::read_frame(fd_, buffer_, "client");
 }
 
 Frame ServeClient::raw_roundtrip(std::string_view bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    DLSCHED_EXPECT(n > 0, "client: cannot write to daemon");
-    sent += static_cast<std::size_t>(n);
-  }
+  DLSCHED_EXPECT(net::send_all(fd_, bytes), "client: cannot write to peer");
   return read_frame();
 }
 

@@ -1,11 +1,14 @@
-// Blocking client for a running `dlsched_serve` daemon.
+// Blocking client for a running `dlsched_serve` daemon or a cluster
+// coordinator.
 //
-// One `ServeClient` is one AF_UNIX connection speaking the wire protocol
-// (service/wire.hpp).  Requests are synchronous -- send a frame, read the
-// reply frame -- and concurrency comes from opening several clients (the
-// replay tool runs one per worker thread).  Protocol violations surface
-// as `dlsched::Error`; a solver failure is NOT an error here, it travels
-// inside the returned record (`record.solved == false`).
+// One `ServeClient` is one connection -- an AF_UNIX path or a
+// `tcp://host:port` endpoint (service/net.hpp grammar) -- speaking the
+// wire protocol (service/wire.hpp).  Requests are synchronous -- send a
+// frame, read the reply frame -- and concurrency comes from opening
+// several clients (the replay tool runs one per worker thread).  Protocol
+// violations surface as `dlsched::Error`; a solver failure is NOT an
+// error here, it travels inside the returned record
+// (`record.solved == false`).
 #pragma once
 
 #include <string>
@@ -28,8 +31,9 @@ struct SolveReply {
 
 class ServeClient {
  public:
-  /// Connects to the daemon socket; throws `dlsched::Error` on failure.
-  explicit ServeClient(const std::string& socket_path);
+  /// Connects to an AF_UNIX path or `tcp://host:port` endpoint; throws
+  /// `dlsched::Error` on failure.
+  explicit ServeClient(const std::string& endpoint);
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;

@@ -10,28 +10,14 @@
 #include <cstring>
 #include <utility>
 
+#include "service/net.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::service {
 
-namespace {
-
-/// Writes all of `bytes` to `fd`; returns false on a closed/broken peer.
-bool send_all(int fd, std::string_view bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
+// The framed-write loop lives in service/net.hpp now, shared with the
+// cluster coordinator and the TCP workers.
+using net::send_all;
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   DLSCHED_EXPECT(!config_.socket_path.empty(), "serve: empty socket path");
@@ -145,7 +131,8 @@ void Server::handle_connection(int fd) {
       if (decode.status == DecodeStatus::NeedMore) break;
       if (decode.status != DecodeStatus::Ok) {
         stats_.on_protocol_error();
-        send_all(fd, encode_frame(FrameType::ProtocolError, decode.error));
+        (void)send_all(fd,
+                       encode_frame(FrameType::ProtocolError, decode.error));
         open = false;
         break;
       }

@@ -84,6 +84,11 @@ void ServiceStats::set_draining(bool draining) {
   state_.draining = draining;
 }
 
+void ServiceStats::set_board(const CoordinatorGauges& board) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_.board = board;
+}
+
 StatsSnapshot ServiceStats::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return state_;
@@ -117,6 +122,21 @@ std::string ServiceStats::render_json() const {
   }
   buckets += ']';
   report.add_raw("latency_us_log2_buckets", std::move(buckets));
+  if (s.board.cluster) {
+    report.add("shards_total", s.board.shards_total)
+        .add("shards_done", s.board.shards_done)
+        .add("shard_backlog", s.board.shard_backlog)
+        .add("leases_outstanding", s.board.leases_outstanding)
+        .add("fragment_bytes", static_cast<std::size_t>(s.board.fragment_bytes))
+        .add("fragments_discarded",
+             static_cast<std::size_t>(s.board.fragments_discarded))
+        .add("lease_reassignments",
+             static_cast<std::size_t>(s.board.lease_reassignments))
+        .add("workers_spawned",
+             static_cast<std::size_t>(s.board.workers_spawned))
+        .add("workers_retired",
+             static_cast<std::size_t>(s.board.workers_retired));
+  }
   return report.render();
 }
 

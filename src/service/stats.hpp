@@ -42,6 +42,24 @@ class LatencyHistogram {
   std::uint64_t total_ = 0;
 };
 
+/// Gauges the cluster coordinator publishes alongside the request
+/// counters (service/coordinator.hpp): the live shape of the in-memory
+/// claim board.  `cluster = true` marks the snapshot as coming from a
+/// coordinator; the daemon leaves it false and `render_json` then omits
+/// the block, keeping daemon reports unchanged.
+struct CoordinatorGauges {
+  bool cluster = false;
+  std::size_t shards_total = 0;
+  std::size_t shards_done = 0;            ///< accepted fragments
+  std::size_t shard_backlog = 0;          ///< current: unleased, unfinished
+  std::size_t leases_outstanding = 0;     ///< current: granted, live
+  std::uint64_t fragment_bytes = 0;       ///< accepted fragment payloads
+  std::uint64_t fragments_discarded = 0;  ///< duplicate / corrupt pushes
+  std::uint64_t lease_reassignments = 0;  ///< TTL expiries re-granted
+  std::uint64_t workers_spawned = 0;      ///< autoscaler spawns
+  std::uint64_t workers_retired = 0;      ///< autoscaler retires
+};
+
 /// Counter snapshot; every field cumulative unless noted.
 struct StatsSnapshot {
   std::uint64_t admitted = 0;    ///< accepted into the queue or cache-hit
@@ -54,6 +72,7 @@ struct StatsSnapshot {
   std::size_t in_flight = 0;     ///< current: inside solve_batch
   bool draining = false;
   LatencyHistogram latency;      ///< admission-to-response, completed only
+  CoordinatorGauges board;       ///< cluster claim board (coordinator only)
 };
 
 /// The mailbox.  All methods are thread-safe.
@@ -70,6 +89,10 @@ class ServiceStats {
   /// A batch's requests all completed: `in_flight - n`.
   void on_batch_finished(std::size_t n);
   void set_draining(bool draining);
+  /// Publishes a fresh claim-board gauge snapshot (coordinator only; the
+  /// coordinator owns the board state under its own lock and mirrors it
+  /// here after every mutation, so StatsQuery never touches the board).
+  void set_board(const CoordinatorGauges& board);
 
   [[nodiscard]] StatsSnapshot snapshot() const;
 

@@ -409,6 +409,205 @@ RejectInfo decode_reject_body(std::string_view body) {
   return info;
 }
 
+// --------------------------------------------------- cluster lease bodies --
+
+namespace {
+constexpr const char* kLeaseRequestMagic = "dlsched-wire-lease-req";
+constexpr int kLeaseRequestVersion = 1;
+constexpr const char* kLeaseGrantMagic = "dlsched-wire-lease-grant";
+constexpr int kLeaseGrantVersion = 1;
+constexpr const char* kFragmentMagic = "dlsched-wire-fragment";
+constexpr int kFragmentVersion = 1;
+constexpr const char* kAckMagic = "dlsched-wire-ack";
+constexpr int kAckVersion = 1;
+
+void put_entries(std::ostream& out,
+                 const std::vector<WireCacheEntry>& entries) {
+  out << "records " << entries.size() << '\n';
+  for (const WireCacheEntry& entry : entries) {
+    put_blob(out, "hash", entry.hash);
+    put_blob(out, "key", entry.key);
+    put_blob(out, "body", entry.body);
+  }
+}
+
+std::vector<WireCacheEntry> get_entries(std::istream& in) {
+  std::size_t count = 0;
+  expect_label(in, "records", "record count");
+  in >> count;
+  DLSCHED_EXPECT(in.good() && count <= 1u << 24,
+                 "wire body: implausible record count");
+  in.ignore(1);
+  std::vector<WireCacheEntry> entries;
+  entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WireCacheEntry entry;
+    entry.hash = get_blob(in, "hash");
+    entry.key = get_blob(in, "key");
+    entry.body = get_blob(in, "body");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void expect_end(std::istream& in, const char* what) {
+  std::string label;
+  in >> label;
+  DLSCHED_EXPECT(label == "end" && !in.fail(),
+                 std::string("wire body: missing ") + what + " end marker");
+}
+
+}  // namespace
+
+std::string encode_lease_request(const LeaseRequestBody& body) {
+  std::ostringstream out;
+  out << kLeaseRequestMagic << ' ' << kLeaseRequestVersion << '\n';
+  out << "kind " << (body.kind == LeaseRequestBody::Kind::Acquire ? 'a' : 'r')
+      << '\n';
+  put_blob(out, "worker", body.worker_id);
+  out << "retirable " << body.retirable << '\n';
+  out << "shard " << body.shard_index << '\n';
+  put_blob(out, "id", body.shard_id);
+  out << "end\n";
+  return out.str();
+}
+
+LeaseRequestBody decode_lease_request(std::string_view body) {
+  std::istringstream in{std::string(body)};
+  expect_body_header(in, kLeaseRequestMagic, kLeaseRequestVersion);
+  LeaseRequestBody request;
+  char kind = 'a';
+  expect_label(in, "kind", "lease-request kind");
+  in >> kind;
+  DLSCHED_EXPECT(kind == 'a' || kind == 'r',
+                 "wire body: lease-request kind must be 'a' or 'r'");
+  request.kind = kind == 'a' ? LeaseRequestBody::Kind::Acquire
+                             : LeaseRequestBody::Kind::Renew;
+  in.ignore(1);
+  request.worker_id = get_blob(in, "worker");
+  expect_label(in, "retirable", "retirable flag");
+  in >> request.retirable;
+  expect_label(in, "shard", "shard index");
+  in >> request.shard_index;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated lease request");
+  in.ignore(1);
+  request.shard_id = get_blob(in, "id");
+  expect_end(in, "lease-request");
+  return request;
+}
+
+std::string encode_lease_grant(const LeaseGrantBody& body) {
+  std::ostringstream out;
+  out << kLeaseGrantMagic << ' ' << kLeaseGrantVersion << '\n';
+  char kind = 'w';
+  switch (body.kind) {
+    case LeaseGrantBody::Kind::Work: kind = 'w'; break;
+    case LeaseGrantBody::Kind::Wait: kind = 'p'; break;  // "pause"
+    case LeaseGrantBody::Kind::Retire: kind = 'r'; break;
+    case LeaseGrantBody::Kind::Done: kind = 'd'; break;
+  }
+  out << "kind " << kind << '\n';
+  out << "retry_after_ms ";
+  put_double(out, body.retry_after_ms);
+  out << '\n';
+  out << "shard " << body.shard_index << '\n';
+  put_blob(out, "id", body.shard_id);
+  put_blob(out, "fingerprint", body.plan_fingerprint);
+  out << "ttl ";
+  put_double(out, body.lease_ttl_seconds);
+  out << '\n';
+  put_blob(out, "spec", body.spec_toml);
+  put_entries(out, body.records);
+  out << "end\n";
+  return out.str();
+}
+
+LeaseGrantBody decode_lease_grant(std::string_view body) {
+  std::istringstream in{std::string(body)};
+  expect_body_header(in, kLeaseGrantMagic, kLeaseGrantVersion);
+  LeaseGrantBody grant;
+  char kind = 'p';
+  expect_label(in, "kind", "lease-grant kind");
+  in >> kind;
+  switch (kind) {
+    case 'w': grant.kind = LeaseGrantBody::Kind::Work; break;
+    case 'p': grant.kind = LeaseGrantBody::Kind::Wait; break;
+    case 'r': grant.kind = LeaseGrantBody::Kind::Retire; break;
+    case 'd': grant.kind = LeaseGrantBody::Kind::Done; break;
+    default:
+      DLSCHED_FAIL("wire body: unknown lease-grant kind '" +
+                   std::string(1, kind) + "'");
+  }
+  expect_label(in, "retry_after_ms", "retry_after_ms");
+  grant.retry_after_ms = get_double(in);
+  expect_label(in, "shard", "shard index");
+  in >> grant.shard_index;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated lease grant");
+  in.ignore(1);
+  grant.shard_id = get_blob(in, "id");
+  grant.plan_fingerprint = get_blob(in, "fingerprint");
+  expect_label(in, "ttl", "lease ttl");
+  grant.lease_ttl_seconds = get_double(in);
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated lease ttl");
+  in.ignore(1);
+  grant.spec_toml = get_blob(in, "spec");
+  grant.records = get_entries(in);
+  expect_end(in, "lease-grant");
+  return grant;
+}
+
+std::string encode_fragment_push(const FragmentPushBody& body) {
+  std::ostringstream out;
+  out << kFragmentMagic << ' ' << kFragmentVersion << '\n';
+  put_blob(out, "worker", body.worker_id);
+  out << "shard " << body.shard_index << '\n';
+  put_blob(out, "id", body.shard_id);
+  put_blob(out, "fingerprint", body.plan_fingerprint);
+  put_blob(out, "fragment", body.fragment);
+  put_entries(out, body.records);
+  out << "end\n";
+  return out.str();
+}
+
+FragmentPushBody decode_fragment_push(std::string_view body) {
+  std::istringstream in{std::string(body)};
+  expect_body_header(in, kFragmentMagic, kFragmentVersion);
+  FragmentPushBody push;
+  push.worker_id = get_blob(in, "worker");
+  expect_label(in, "shard", "shard index");
+  in >> push.shard_index;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated fragment push");
+  in.ignore(1);
+  push.shard_id = get_blob(in, "id");
+  push.plan_fingerprint = get_blob(in, "fingerprint");
+  push.fragment = get_blob(in, "fragment");
+  push.records = get_entries(in);
+  expect_end(in, "fragment-push");
+  return push;
+}
+
+std::string encode_ack(const AckBody& body) {
+  std::ostringstream out;
+  out << kAckMagic << ' ' << kAckVersion << '\n';
+  out << "ok " << body.ok << '\n';
+  put_blob(out, "message", body.message);
+  out << "end\n";
+  return out.str();
+}
+
+AckBody decode_ack(std::string_view body) {
+  std::istringstream in{std::string(body)};
+  expect_body_header(in, kAckMagic, kAckVersion);
+  AckBody ack;
+  expect_label(in, "ok", "ack flag");
+  in >> ack.ok;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated ack");
+  in.ignore(1);
+  ack.message = get_blob(in, "message");
+  expect_end(in, "ack");
+  return ack;
+}
+
 // ----------------------------------------------------------------- frames --
 
 namespace {
@@ -438,7 +637,7 @@ std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
 
 bool known_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::SolveRequest) &&
-         type <= static_cast<std::uint8_t>(FrameType::ProtocolError);
+         type <= static_cast<std::uint8_t>(FrameType::Drain);
 }
 
 }  // namespace

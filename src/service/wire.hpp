@@ -154,6 +154,93 @@ struct RejectInfo {
 [[nodiscard]] std::string encode_reject_body(const RejectInfo& info);
 [[nodiscard]] RejectInfo decode_reject_body(std::string_view body);
 
+// --------------------------------------------------- cluster lease bodies --
+//
+// The TCP shard board (service/coordinator.hpp).  A coordinator owns the
+// claim board in memory -- leases with deadlines replace the filesystem
+// board's hard-link claims -- and workers stream serialized `ShardResult`
+// fragments back over the same framed protocol.  The result cache is the
+// synchronization medium: a Work grant ships the shard's cached records
+// so warm workers replay them bit-exactly, and an accepted fragment ships
+// the worker's fresh records back, keeping the coordinator's cache (and
+// therefore any later single-process run over it) byte-identical to what
+// the cluster produced.
+
+/// One result-cache entry in flight: content hash, canonical request key,
+/// and the encoded wire result body.
+struct WireCacheEntry {
+  std::string hash;
+  std::string key;
+  std::string body;
+};
+
+/// Worker -> coordinator: acquire a new shard lease, or renew a held one
+/// (the TCP analogue of the filesystem board's mtime heartbeat).
+struct LeaseRequestBody {
+  enum class Kind : std::uint8_t { Acquire, Renew };
+  Kind kind = Kind::Acquire;
+  std::string worker_id;
+  /// Coordinator-spawned local workers are retirable: the autoscaler may
+  /// answer their next Acquire with a Retire grant as backlog drains.
+  bool retirable = false;
+  std::size_t shard_index = 0;  ///< Renew: the held shard
+  std::string shard_id;         ///< Renew: cross-check against the plan
+};
+
+[[nodiscard]] std::string encode_lease_request(const LeaseRequestBody& body);
+[[nodiscard]] LeaseRequestBody decode_lease_request(std::string_view body);
+
+/// Coordinator -> worker: the answer to an Acquire.
+struct LeaseGrantBody {
+  enum class Kind : std::uint8_t {
+    Work,    ///< a shard lease: spec, shard identity, TTL, cached records
+    Wait,    ///< everything leased out; retry after `retry_after_ms`
+    Retire,  ///< autoscaler: surplus retirable worker, exit now
+    Done,    ///< every shard is finished, exit now
+  };
+  Kind kind = Kind::Wait;
+  double retry_after_ms = 0.0;  ///< Wait only
+
+  // Work only:
+  std::size_t shard_index = 0;
+  std::string shard_id;
+  std::string plan_fingerprint;   ///< worker re-plans and must agree
+  double lease_ttl_seconds = 0.0; ///< renew well before this expires
+  std::string spec_toml;          ///< bit-exact spec (render_spec_toml)
+  std::vector<WireCacheEntry> records;  ///< the shard's cached solves
+};
+
+[[nodiscard]] std::string encode_lease_grant(const LeaseGrantBody& body);
+[[nodiscard]] LeaseGrantBody decode_lease_grant(std::string_view body);
+
+/// Worker -> coordinator: one completed shard.  `fragment` is the
+/// `serialize_shard_result` byte stream (exactly what the filesystem
+/// board writes to a fragment file); `records` carries every cache entry
+/// for the shard's jobs so the coordinator's cache ends up as if it had
+/// executed the shard itself.
+struct FragmentPushBody {
+  std::string worker_id;
+  std::size_t shard_index = 0;
+  std::string shard_id;
+  std::string plan_fingerprint;
+  std::string fragment;
+  std::vector<WireCacheEntry> records;
+};
+
+[[nodiscard]] std::string encode_fragment_push(const FragmentPushBody& body);
+[[nodiscard]] FragmentPushBody decode_fragment_push(std::string_view body);
+
+/// Coordinator -> worker: reply to a FragmentPush or a Renew.  `ok =
+/// false` means the push was discarded (duplicate/corrupt) or the lease
+/// is no longer held; the message says why.
+struct AckBody {
+  bool ok = false;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_ack(const AckBody& body);
+[[nodiscard]] AckBody decode_ack(std::string_view body);
+
 // ----------------------------------------------------------------- frames --
 
 /// Protocol version, carried in the low byte of the magic.  A daemon and
@@ -174,6 +261,11 @@ enum class FrameType : std::uint8_t {
   StatsQuery = 4,     ///< empty payload -> StatsReport
   StatsReport = 5,    ///< the stats mailbox, rendered as one JSON object
   ProtocolError = 6,  ///< human-readable reason; the connection closes
+  LeaseRequest = 7,   ///< lease-request body -> LeaseGrant | Ack (renew)
+  LeaseGrant = 8,     ///< lease-grant body: work / wait / retire / done
+  FragmentPush = 9,   ///< fragment-push body -> Ack
+  Ack = 10,           ///< ack body: fragment / renewal accepted or refused
+  Drain = 11,         ///< coordinator draining; payload = reason, then EOF
 };
 
 struct Frame {

@@ -134,6 +134,99 @@ TEST(WireBodies, RejectRoundTrips) {
   EXPECT_EQ(back.reason, info.reason);
 }
 
+TEST(WireBodies, LeaseRequestRoundTripsBothKinds) {
+  LeaseRequestBody acquire;
+  acquire.kind = LeaseRequestBody::Kind::Acquire;
+  acquire.worker_id = "w-42";
+  acquire.retirable = true;
+  const LeaseRequestBody a = decode_lease_request(encode_lease_request(acquire));
+  EXPECT_EQ(a.kind, LeaseRequestBody::Kind::Acquire);
+  EXPECT_EQ(a.worker_id, "w-42");
+  EXPECT_TRUE(a.retirable);
+
+  LeaseRequestBody renew;
+  renew.kind = LeaseRequestBody::Kind::Renew;
+  renew.worker_id = "w-43";
+  renew.shard_index = 7;
+  renew.shard_id = "0123456789abcdef0123456789abcdef";
+  const LeaseRequestBody r = decode_lease_request(encode_lease_request(renew));
+  EXPECT_EQ(r.kind, LeaseRequestBody::Kind::Renew);
+  EXPECT_EQ(r.shard_index, 7u);
+  EXPECT_EQ(r.shard_id, renew.shard_id);
+  EXPECT_FALSE(r.retirable);
+}
+
+TEST(WireBodies, LeaseGrantRoundTripsWorkWithRecords) {
+  LeaseGrantBody grant;
+  grant.kind = LeaseGrantBody::Kind::Work;
+  grant.shard_index = 3;
+  grant.shard_id = "00ff00ff00ff00ff00ff00ff00ff00ff";
+  grant.plan_fingerprint = "fp";
+  grant.lease_ttl_seconds = 0.25;  // exact in binary: bit-equal after decode
+  grant.spec_toml = "name = \"smoke\"\nworkers = [4, 6]\n";
+  grant.records.push_back(
+      {"hash-a", "key a\nwith newline", encode_result_body(sample_record())});
+  grant.records.push_back(
+      {"hash-b", "key b", std::string("opaque\0\x01 bytes", 14)});
+  const LeaseGrantBody back = decode_lease_grant(encode_lease_grant(grant));
+  EXPECT_EQ(back.kind, LeaseGrantBody::Kind::Work);
+  EXPECT_EQ(back.shard_index, 3u);
+  EXPECT_EQ(back.shard_id, grant.shard_id);
+  EXPECT_EQ(back.lease_ttl_seconds, grant.lease_ttl_seconds);
+  EXPECT_EQ(back.spec_toml, grant.spec_toml);
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0].key, grant.records[0].key);
+  EXPECT_EQ(back.records[0].body, grant.records[0].body);
+  EXPECT_EQ(back.records[1].body, grant.records[1].body);
+
+  for (const LeaseGrantBody::Kind kind :
+       {LeaseGrantBody::Kind::Wait, LeaseGrantBody::Kind::Retire,
+        LeaseGrantBody::Kind::Done}) {
+    LeaseGrantBody signal;
+    signal.kind = kind;
+    signal.retry_after_ms = 50.0;
+    EXPECT_EQ(decode_lease_grant(encode_lease_grant(signal)).kind, kind);
+  }
+}
+
+TEST(WireBodies, FragmentPushAndAckRoundTrip) {
+  FragmentPushBody push;
+  push.worker_id = "w-crash";
+  push.shard_index = 11;
+  push.shard_id = "aa";
+  push.plan_fingerprint = "bb";
+  push.fragment = "fragment bytes\nwith\nlines";
+  push.records.push_back({"h", "k", encode_result_body(sample_record())});
+  const FragmentPushBody back =
+      decode_fragment_push(encode_fragment_push(push));
+  EXPECT_EQ(back.worker_id, push.worker_id);
+  EXPECT_EQ(back.shard_index, 11u);
+  EXPECT_EQ(back.fragment, push.fragment);
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].body, push.records[0].body);
+
+  const AckBody ok{true, "accepted"};
+  const AckBody no{false, "plan fingerprint mismatch"};
+  EXPECT_TRUE(decode_ack(encode_ack(ok)).ok);
+  EXPECT_EQ(decode_ack(encode_ack(ok)).message, "accepted");
+  EXPECT_FALSE(decode_ack(encode_ack(no)).ok);
+  EXPECT_EQ(decode_ack(encode_ack(no)).message, no.message);
+}
+
+TEST(WireBodies, MalformedLeaseBodiesThrowInsteadOfMisparsing) {
+  const std::string grant = encode_lease_grant(LeaseGrantBody{});
+  EXPECT_THROW((void)decode_lease_request(""), Error);
+  EXPECT_THROW((void)decode_lease_request(grant), Error);  // wrong body kind
+  EXPECT_THROW((void)decode_lease_grant(grant.substr(0, grant.size() - 4)),
+               Error);
+  FragmentPushBody push;
+  push.fragment = "x";
+  const std::string bytes = encode_fragment_push(push);
+  EXPECT_THROW((void)decode_fragment_push(bytes.substr(0, bytes.size() / 2)),
+               Error);
+  EXPECT_THROW((void)decode_ack("dlsched-wire-ack 999\n"), Error);
+}
+
 TEST(WireBodies, CanonicalJsonFieldListMatchesTheGridRowOrder) {
   experiments::JsonObject row;
   append_result_fields(row, sample_record());
