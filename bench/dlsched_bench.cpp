@@ -38,6 +38,16 @@
 //                     processes
 //   --lease-ttl S     shard lease TTL before the coordinator reassigns
 //                     an unrenewed lease (accepted: 0.05 to 3600 seconds)
+//   --trace FILE      record obs spans across every process of the run
+//                     (solve/batch/cache/shard/lease/wire) and merge
+//                     them into one Chrome trace_event JSON timeline --
+//                     load it in Perfetto or about:tracing.  Workers
+//                     ship their spans back automatically (FragmentPush
+//                     trace section on the TCP board, `.part.trace`
+//                     sidecars on the filesystem board); the run summary
+//                     gains a per-phase attribution table and the BENCH
+//                     JSON a "phases" trailer.  Off by default at zero
+//                     recording cost.
 //   --worker tcp://HOST:PORT  run as a remote TCP worker: lease shards,
 //                     solve, stream fragments back (no spec needed;
 //                     options: --worker-id ID, --threads N,

@@ -5,17 +5,22 @@
 //   dlsched_replay run --socket PATH --stream stream.bin
 //                      [--concurrency K] [--json BENCH_serve.json]
 //                      [--dump responses.bin]
-//   dlsched_replay stats --socket PATH-or-tcp://HOST:PORT
+//   dlsched_replay stats --socket PATH-or-tcp://HOST:PORT [--watch N]
 //
 // `record` synthesizes a deterministic request stream; `run` fires it at
 // a running daemon and writes the BENCH_serve.json service benchmark.
 // `--dump` writes every response body in request order -- two dumps of
 // the same stream (e.g. cold vs warm cache) must compare byte-identical.
 // `stats` prints the StatsReport of a daemon or a cluster coordinator
-// (which extends the report with its claim-board gauges).
+// (which extends the report with its claim-board gauges) plus its uptime
+// from the metrics registry; `--watch N` keeps the connection open and
+// prints counter deltas every N seconds until the server goes away.
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "service/client.hpp"
 #include "service/replay.hpp"
@@ -32,7 +37,7 @@ int usage(std::ostream& out, int code) {
          " [--p P] [--seed S] [--solver NAME]\n"
          "  dlsched_replay run --socket PATH --stream FILE"
          " [--concurrency K] [--json FILE] [--dump FILE]\n"
-         "  dlsched_replay stats --socket PATH-or-tcp://HOST:PORT\n";
+         "  dlsched_replay stats --socket PATH-or-tcp://HOST:PORT [--watch N]\n";
   return code;
 }
 
@@ -113,13 +118,15 @@ std::string json_field(const std::string& json, const std::string& key) {
   return json.substr(start, end - start);
 }
 
-int cmd_stats(const CliArgs& args) {
-  const auto socket = args.get("socket");
-  DLSCHED_EXPECT(socket.has_value(),
-                 "stats: --socket PATH-or-tcp://HOST:PORT is required");
-  service::ServeClient client(*socket);
-  const std::string json = client.stats_json();
+/// `json_field` as a number (0 when absent): delta arithmetic for --watch.
+double num_field(const std::string& json, const std::string& key) {
+  const std::string text = json_field(json, key);
+  return text == "-" ? 0.0 : std::strtod(text.c_str(), nullptr);
+}
+
+void print_stats_report(const std::string& json) {
   std::cout << json << '\n';
+  std::cout << "uptime: " << json_field(json, "uptime_seconds") << " s\n";
   if (json.find("\"shards_total\"") != std::string::npos) {
     std::cout << "coordinator board: " << json_field(json, "shards_done")
               << "/" << json_field(json, "shards_total")
@@ -134,7 +141,44 @@ int cmd_stats(const CliArgs& args) {
               << json_field(json, "workers_spawned") << " spawned / "
               << json_field(json, "workers_retired") << " retired\n";
   }
-  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  const auto socket = args.get("socket");
+  DLSCHED_EXPECT(socket.has_value(),
+                 "stats: --socket PATH-or-tcp://HOST:PORT is required");
+  const std::int64_t watch = args.get_int("watch", 0);
+  DLSCHED_EXPECT(watch >= 0, "stats: --watch wants a positive period");
+  service::ServeClient client(*socket);
+  std::string json = client.stats_json();
+  print_stats_report(json);
+  if (watch == 0) return 0;
+
+  // Counters whose growth is worth a delta line; gauges are shown as-is.
+  static const char* kCounters[] = {"admitted",   "solved",
+                                    "cache_hits", "deduped",
+                                    "rejected",   "protocol_errors"};
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(watch));
+    std::string next;
+    try {
+      next = client.stats_json();
+    } catch (const std::exception& e) {
+      std::cout << "stats: server gone (" << e.what() << ")\n";
+      return 0;
+    }
+    std::ostringstream line;
+    line << "+" << watch << "s uptime "
+         << json_field(next, "uptime_seconds") << "s";
+    for (const char* key : kCounters) {
+      const double delta = num_field(next, key) - num_field(json, key);
+      if (delta != 0.0) line << "  " << key << " +" << delta;
+    }
+    line << "  queued " << json_field(next, "queued") << "  in_flight "
+         << json_field(next, "in_flight");
+    std::cout << line.str() << '\n' << std::flush;
+    json = std::move(next);
+  }
 }
 
 }  // namespace

@@ -24,6 +24,8 @@
 #include "core/no_return.hpp"
 #include "core/two_port.hpp"
 #include "numeric/limb_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -707,6 +709,8 @@ std::vector<SolverInfo> SolverRegistry::infos() const {
 SolveResult SolverRegistry::run(const std::string& name,
                                 const SolveRequest& request) const {
   const std::unique_ptr<Solver> solver = create(name);
+  obs::ObsSpan span("solve", "solve");
+  if (span.active()) span.rename("solve:" + name);
   // Snapshot the thread-local limb arena so the result carries the solve's
   // own big-integer buffer traffic (the counters are cumulative).
   const numeric::LimbArena::Stats arena_before = numeric::limb_arena_stats();
@@ -716,8 +720,20 @@ SolveResult SolverRegistry::run(const std::string& name,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const numeric::LimbArena::Stats arena_after = numeric::limb_arena_stats();
-  result.arena_acquires = arena_after.acquires - arena_before.acquires;
-  result.arena_pool_hits = arena_after.pool_hits - arena_before.pool_hits;
+  // The per-solve arena deltas flow through the process metrics registry
+  // (the one place every arena counter accumulates) and the SolveResult
+  // stat fields are snapshotted from that same delta.
+  const std::uint64_t arena_acquires =
+      arena_after.acquires - arena_before.acquires;
+  const std::uint64_t arena_pool_hits =
+      arena_after.pool_hits - arena_before.pool_hits;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::process();
+  metrics.add("solver.runs");
+  metrics.add("solver.arena_acquires", arena_acquires);
+  metrics.add("solver.arena_pool_hits", arena_pool_hits);
+  metrics.observe("solver.wall_seconds", result.wall_seconds);
+  result.arena_acquires = arena_acquires;
+  result.arena_pool_hits = arena_pool_hits;
   return result;
 }
 
@@ -843,6 +859,10 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
   std::vector<BatchOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
   const SolverRegistry& registry = SolverRegistry::instance();
+  obs::ObsSpan batch_span("batch", "solve_batch");
+  if (batch_span.active()) {
+    batch_span.rename("solve_batch:" + std::to_string(jobs.size()));
+  }
 
   // Within-batch dedupe: byte-identical (request, solver) jobs are solved
   // and validated once, then copied.  `primary_of[i] == i` marks the job
@@ -851,13 +871,19 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
   std::unordered_map<std::string, std::size_t> first_by_key;
   first_by_key.reserve(jobs.size());
   std::size_t primary_count = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    DLSCHED_EXPECT(jobs[i].request != nullptr, "null request in batch job");
-    const auto [it, inserted] = first_by_key.try_emplace(
-        job_hash_hex(jobs[i].solver, *jobs[i].request), i);
-    primary_of[i] = it->second;
-    if (inserted) ++primary_count;
+  {
+    obs::ObsSpan dedupe_span("batch", "dedupe");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      DLSCHED_EXPECT(jobs[i].request != nullptr, "null request in batch job");
+      const auto [it, inserted] = first_by_key.try_emplace(
+          job_hash_hex(jobs[i].solver, *jobs[i].request), i);
+      primary_of[i] = it->second;
+      if (inserted) ++primary_count;
+    }
   }
+  obs::MetricsRegistry::process().add("batch.jobs", jobs.size());
+  obs::MetricsRegistry::process().add("batch.deduped",
+                                      jobs.size() - primary_count);
   // Follower lists, reported to the progress hook as the per-primary
   // attribution view (`BatchProgress::duplicates`).  Built once up front;
   // read-only while the pool runs.
@@ -883,6 +909,7 @@ std::vector<BatchOutcome> solve_batch(std::span<const BatchJobView> jobs,
     try {
       outcome.result = registry.run(job.solver, *job.request);
       outcome.solved = true;
+      obs::ObsSpan validate_span("validate", "validate");
       const auto start = std::chrono::steady_clock::now();
       outcome.validation = validate(outcome.result.schedule_platform,
                                     outcome.result.schedule);

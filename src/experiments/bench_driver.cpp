@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <iostream>
 #include <tuple>
@@ -10,6 +11,7 @@
 
 #include "experiments/engine.hpp"
 #include "experiments/spec_registry.hpp"
+#include "obs/trace.hpp"
 #include "service/worker.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -164,7 +166,8 @@ std::pair<std::size_t, std::size_t> parse_shard(const std::string& text) {
   return {index, count};
 }
 
-int run_one(ExperimentSpec spec, const CliArgs& args) {
+int run_one(ExperimentSpec spec, const CliArgs& args,
+            std::chrono::steady_clock::time_point run_epoch) {
   if (args.has("seed")) {
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   }
@@ -189,6 +192,13 @@ int run_one(ExperimentSpec spec, const CliArgs& args) {
                           : args.get_or("cache-dir", ".dlsched_cache");
   options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   options.quick = args.has("quick");
+  // Measured from before the spec was parsed, so the reported wall time
+  // matches /usr/bin/time within noise.
+  options.run_epoch = run_epoch;
+  if (const auto trace = args.get("trace")) {
+    DLSCHED_EXPECT(!trace->empty(), "--trace wants an output path");
+    options.trace_path = *trace;
+  }
   if (const auto coordinator = args.get("coordinator")) {
     options.coordinator = *coordinator;
   }
@@ -239,6 +249,10 @@ const std::vector<std::string>& bench_flags() {
 }
 
 int bench_main(const CliArgs& args) {
+  // Stamp the run epoch and start the tracer before any spec parsing so
+  // the root span (and wall_seconds) covers parse + plan time.
+  const auto run_epoch = std::chrono::steady_clock::now();
+  if (args.get("trace")) obs::Tracer::instance().enable("bench");
   if (const auto endpoint = args.get("worker")) {
     return run_worker_mode(args, *endpoint);
   }
@@ -246,22 +260,23 @@ int bench_main(const CliArgs& args) {
   if (args.has("list-generators")) return list_generators();
   if (args.has("cache-stats")) return cache_stats(args);
   if (args.has("all")) {
-    if (args.get("out") || args.get("csv")) {
-      std::cerr << "--all names artifacts per spec; drop --out/--csv\n";
+    if (args.get("out") || args.get("csv") || args.get("trace")) {
+      std::cerr << "--all names artifacts per spec; drop --out/--csv/"
+                   "--trace\n";
       return 2;
     }
     int status = 0;
     for (const ExperimentSpec& spec : builtin_specs()) {
-      status |= run_one(spec, args);
+      status |= run_one(spec, args, std::chrono::steady_clock::now());
       std::cout << "\n";
     }
     return status;
   }
   if (const auto path = args.get("spec-file")) {
-    return run_one(load_spec_file(*path), args);
+    return run_one(load_spec_file(*path), args, run_epoch);
   }
   if (const auto name = args.get("spec")) {
-    return run_one(find_builtin_spec(*name), args);
+    return run_one(find_builtin_spec(*name), args, run_epoch);
   }
   std::cerr << "bench needs --spec NAME, --spec-file FILE, --all, "
                "--list-specs, --list-generators or --cache-stats\n";

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/wire.hpp"
 #include "util/error.hpp"
 
@@ -84,12 +86,15 @@ std::optional<CachedSolve> ResultCache::lookup(
     const std::string& hash_hex, const std::string& canonical_key) {
   if (!enabled()) {
     ++stats.misses;
+    obs::MetricsRegistry::process().add("cache.misses");
     return std::nullopt;
   }
+  obs::ObsSpan span("cache", "lookup");
   const fs::path path = fs::path(directory_) / (hash_hex + ".entry");
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     ++stats.misses;
+    obs::MetricsRegistry::process().add("cache.misses");
     return std::nullopt;
   }
   std::ostringstream text;
@@ -98,12 +103,14 @@ std::optional<CachedSolve> ResultCache::lookup(
       deserialize(text.str(), canonical_key);
   if (value) {
     ++stats.hits;
+    obs::MetricsRegistry::process().add("cache.hits");
     // Refresh the recency signal LRU eviction orders by.  Advisory: a
     // read-only cache directory still serves hits.
     std::error_code ec;
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   } else {
     ++stats.misses;
+    obs::MetricsRegistry::process().add("cache.misses");
   }
   return value;
 }
@@ -128,11 +135,15 @@ void ResultCache::store(const std::string& hash_hex,
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  if (!ec) ++stats.stores;
+  if (!ec) {
+    ++stats.stores;
+    obs::MetricsRegistry::process().add("cache.stores");
+  }
 }
 
 std::size_t ResultCache::evict_to(std::uint64_t max_bytes) {
   if (!enabled() || max_bytes == 0) return 0;
+  obs::ObsSpan span("cache", "evict");
   struct Entry {
     fs::path path;
     fs::file_time_type mtime;
@@ -173,6 +184,7 @@ std::size_t ResultCache::evict_to(std::uint64_t max_bytes) {
     }
   }
   stats.evicted += evicted;
+  obs::MetricsRegistry::process().add("cache.evicted", evicted);
   return evicted;
 }
 

@@ -152,11 +152,21 @@ void BenchJsonWriter::raw_row(const std::string& rendered) {
   ++rows_;
 }
 
+void BenchJsonWriter::add_trailer_raw(const std::string& name,
+                                      std::string json) {
+  DLSCHED_EXPECT(!finished_, "add_trailer_raw() after finish()");
+  trailers_.emplace_back(name, std::move(json));
+}
+
 void BenchJsonWriter::finish() {
   if (finished_) return;
   finished_ = true;
   if (rows_ > 0) out_ << "\n  ";
-  out_ << "]\n}\n";
+  out_ << "]";
+  for (const auto& [name, json] : trailers_) {
+    out_ << ",\n  " << json_string(name) << ": " << json;
+  }
+  out_ << "\n}\n";
   out_.flush();
 }
 

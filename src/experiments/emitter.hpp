@@ -66,6 +66,10 @@ class BenchJsonWriter {
   /// Streams an already-rendered row object (the shard-join path replays
   /// rows rendered by worker processes byte for byte).
   void raw_row(const std::string& rendered);
+  /// Queues a named pre-rendered JSON section emitted after the rows
+  /// array by `finish()`.  Only traced runs add one (the per-phase
+  /// attribution table), so untraced artifacts stay byte-identical.
+  void add_trailer_raw(const std::string& name, std::string json);
   /// Closes the rows array and the document (idempotent).
   void finish();
 
@@ -75,6 +79,7 @@ class BenchJsonWriter {
   std::ostream& out_;
   std::size_t rows_ = 0;
   bool finished_ = false;
+  std::vector<std::pair<std::string, std::string>> trailers_;
 };
 
 /// Streams a CSV with a fixed header; numeric cells are rendered with

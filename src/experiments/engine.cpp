@@ -173,6 +173,11 @@ void run_grid_slice(const ExperimentSpec& spec, const RunOptions& options,
     summary.failures += result.failures;
     summary.skipped += result.skipped;
     board.publish(shard, serialize_shard_result(result), worker_id);
+    if (obs::Tracer::instance().enabled()) {
+      board.publish_trace(
+          shard, obs::encode_trace(obs::Tracer::instance().drain()),
+          worker_id);
+    }
   }
   log << "published " << summary.shards << " of " << shards.size()
       << " shard fragment(s) to " << board.directory()
@@ -184,7 +189,8 @@ void run_grid_slice(const ExperimentSpec& spec, const RunOptions& options,
 void join_board(const ExperimentSpec& spec,
                 const std::vector<CompiledShard>& shards, ShardBoard& board,
                 ResultCache& cache, BenchJsonWriter* json, std::ostream* csv,
-                RunSummary& summary, std::ostream& log) {
+                RunSummary& summary, std::ostream& log,
+                std::vector<obs::ProcessTrace>* traces = nullptr) {
   summary.shards = shards.size();
   std::vector<ShardResult> results;
   results.reserve(shards.size());
@@ -210,6 +216,19 @@ void join_board(const ExperimentSpec& spec,
     cache.stats.stores += result.cache.stores;
   }
   assembler.finish();
+  if (traces != nullptr) {
+    // Fold in the trace sidecars the workers published next to their
+    // fragments.  A torn or absent sidecar only costs its spans.
+    for (const CompiledShard& shard : shards) {
+      if (const std::optional<std::string> body = board.load_trace(shard)) {
+        try {
+          obs::merge_process_trace(*traces, obs::decode_trace(*body));
+        } catch (const std::exception&) {
+          // corrupt sidecar: ignore
+        }
+      }
+    }
+  }
 }
 
 /// `--workers N`: fork N work-stealing workers over a fresh board, wait,
@@ -217,7 +236,8 @@ void join_board(const ExperimentSpec& spec,
 void run_grid_workers(const ExperimentSpec& spec, const RunOptions& options,
                       ResultCache& cache, BenchJsonWriter* json,
                       std::ostream* csv, RunSummary& summary,
-                      std::ostream& log) {
+                      std::ostream& log,
+                      std::vector<obs::ProcessTrace>* traces = nullptr) {
   const std::vector<CompiledShard> shards = plan_shards(spec);
   ShardBoard board(board_directory(options.cache_dir, spec, shards));
   // Fragments are run-scoped, unlike the content-addressed cache entries:
@@ -242,6 +262,12 @@ void run_grid_workers(const ExperimentSpec& spec, const RunOptions& options,
         SchedulerOptions scheduler;
         scheduler.worker_id =
             "w" + std::to_string(w) + "-" + std::to_string(::getpid());
+        // The fork copied the parent's span buffers and run epoch; drop
+        // the inherited spans, keep the shared timeline, and let this
+        // child trace under its own worker id.
+        if (obs::Tracer::instance().enabled()) {
+          obs::Tracer::instance().relabel_after_fork(scheduler.worker_id);
+        }
         scheduler.stale_seconds = options.stale_seconds;
         scheduler.threads = options.threads;
         (void)run_worker(spec, shards, board, worker_cache, scheduler);
@@ -265,7 +291,7 @@ void run_grid_workers(const ExperimentSpec& spec, const RunOptions& options,
         << " worker(s) exited abnormally; joining the published "
            "fragments\n";
   }
-  join_board(spec, shards, board, cache, json, csv, summary, log);
+  join_board(spec, shards, board, cache, json, csv, summary, log, traces);
   // The board was this run's scratch space (reset on entry, fully
   // consumed by the join): remove it so distributed runs do not grow the
   // cache directory past what --cache-max-bytes can see.  Boards built
@@ -294,6 +320,12 @@ pid_t spawn_cluster_worker(const std::string& endpoint, std::size_t ordinal,
         "local-w" + std::to_string(ordinal) + "-" + std::to_string(::getpid());
     options.threads = threads;
     options.retirable = true;
+    // Inherited tracer state: drop the parent's spans, keep its epoch so
+    // this worker's spans land on the coordinator's timeline, and ship
+    // them back inside FragmentPush under the worker id.
+    if (obs::Tracer::instance().enabled()) {
+      obs::Tracer::instance().relabel_after_fork(options.worker_id);
+    }
     std::ostringstream sink;
     (void)service::run_tcp_worker(options, sink);
   } catch (...) {
@@ -311,7 +343,9 @@ pid_t spawn_cluster_worker(const std::string& endpoint, std::size_t ordinal,
 void run_grid_coordinator(const ExperimentSpec& spec,
                           const RunOptions& options, ResultCache& cache,
                           BenchJsonWriter* json, std::ostream* csv,
-                          RunSummary& summary, std::ostream& log) {
+                          RunSummary& summary, std::ostream& log,
+                          std::vector<obs::ProcessTrace>* traces = nullptr) {
+  obs::ObsSpan plan_span("shard", "cluster-plan");
   const auto phase_plan = steady_clock::now();
   std::vector<CompiledShard> shards = plan_shards(spec);
   summary.shards = shards.size();
@@ -327,6 +361,7 @@ void run_grid_coordinator(const ExperimentSpec& spec,
   config.lease_ttl_seconds = options.lease_ttl_seconds;
   service::Coordinator coordinator(spec, std::move(shards), cache, config);
   const std::string endpoint = coordinator.endpoint();
+  plan_span.finish();
   const auto phase_exec = steady_clock::now();
 
   const auto since = [](steady_clock::time_point start) {
@@ -453,6 +488,11 @@ void run_grid_coordinator(const ExperimentSpec& spec,
   const auto phase_join = steady_clock::now();
   const std::vector<ShardResult> results = coordinator.take_results();
   const service::CoordinatorGauges gauges = coordinator.gauges();
+  if (traces != nullptr) {
+    for (obs::ProcessTrace& trace : coordinator.take_worker_traces()) {
+      obs::merge_process_trace(*traces, std::move(trace));
+    }
+  }
   coordinator.stop();
   ShardAssembler assembler(json, csv, summary, log);
   for (const ShardResult& result : results) assembler.consume(result);
@@ -582,6 +622,65 @@ void run_ensemble_kind(const ExperimentSpec& spec, const RunOptions& options,
       << " workers; ratios normalized by the INC_C LP prediction)\n";
 }
 
+/// Renders the per-phase attribution as a JSON array (the `phases`
+/// trailer of a traced BENCH artifact).
+std::string render_phases_json(
+    const std::vector<obs::PhaseAttribution>& phases) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) out += ',';
+    out += JsonObject()
+               .add("phase", phases[i].category)
+               .add("spans", static_cast<std::size_t>(phases[i].spans))
+               .add("seconds", phases[i].seconds)
+               .render();
+  }
+  out += ']';
+  return out;
+}
+
+/// Traced runs only: closes the root span, merges every process's spans
+/// into one timeline, fills `summary.phases`, appends the phase table to
+/// the BENCH artifact and writes the Chrome trace_event JSON.
+void finish_observability(const ExperimentSpec& spec,
+                          const RunOptions& options,
+                          std::vector<obs::ProcessTrace>& worker_traces,
+                          RunSummary& summary, BenchJsonWriter* json,
+                          std::ostream& log) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.enabled() || options.trace_path.empty()) return;
+  // The root span runs from the epoch (stamped before spec parsing, so
+  // t=0 on the timeline) to now: parse + plan + execute + assemble.
+  tracer.record("run", "run:" + spec.name, 0, tracer.now_us());
+  std::vector<obs::ProcessTrace> merged;
+  obs::merge_process_trace(merged, tracer.drain());
+  for (obs::ProcessTrace& trace : worker_traces) {
+    obs::merge_process_trace(merged, std::move(trace));
+  }
+  worker_traces.clear();
+  summary.phases = obs::attribute_phases(merged);
+  if (json) json->add_trailer_raw("phases", render_phases_json(summary.phases));
+
+  std::ofstream out(options.trace_path, std::ios::binary);
+  DLSCHED_EXPECT(out.good(), "cannot write '" + options.trace_path + "'");
+  out << obs::render_trace_json(merged);
+  out.flush();
+  DLSCHED_EXPECT(out.good(),
+                 "short write to '" + options.trace_path + "'");
+
+  Table table({"phase", "spans", "seconds"});
+  table.set_precision(6);
+  for (const obs::PhaseAttribution& phase : summary.phases) {
+    table.begin_row()
+        .cell(phase.category)
+        .cell(std::to_string(phase.spans))
+        .cell(format_double(phase.seconds, 6));
+  }
+  table.print_aligned(log);
+  log << "trace written to " << options.trace_path << " ("
+      << merged.size() << " process(es))\n";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- run_spec --
@@ -594,7 +693,10 @@ RunSummary run_spec(const ExperimentSpec& requested,
   std::ostream& log = options.log ? *options.log : std::cout;
   RunSummary summary;
   summary.spec = spec.name;
-  const auto start = steady_clock::now();
+  // The run clock starts at the driver's epoch when one was stamped
+  // (before spec parsing), so `wall_seconds` matches what /usr/bin/time
+  // reports instead of excluding parse + plan.
+  const auto start = options.run_epoch.value_or(steady_clock::now());
 
   const bool slice = options.shard_count > 0;
   const bool multi = options.workers > 1;
@@ -643,6 +745,9 @@ RunSummary run_spec(const ExperimentSpec& requested,
     }
     summary.cache = cache.stats;
     cache.write_last_run(spec.name);
+    std::vector<obs::ProcessTrace> worker_traces;
+    finish_observability(spec, options, worker_traces, summary, nullptr,
+                         log);
     summary.wall_seconds =
         std::chrono::duration<double>(steady_clock::now() - start).count();
     log << summary.describe() << "\n";
@@ -668,17 +773,20 @@ RunSummary run_spec(const ExperimentSpec& requested,
   log << "== " << spec.name << " -- " << spec.title << " [" << spec.figure
       << "]\n";
   BenchJsonWriter* json_ptr = json ? &*json : nullptr;
+  std::vector<obs::ProcessTrace> worker_traces;
   switch (spec.kind) {
     case SpecKind::Grid:
       if (cluster) {
         run_grid_coordinator(spec, options, cache, json_ptr, csv, summary,
-                             log);
+                             log, &worker_traces);
       } else if (multi) {
-        run_grid_workers(spec, options, cache, json_ptr, csv, summary, log);
+        run_grid_workers(spec, options, cache, json_ptr, csv, summary, log,
+                         &worker_traces);
       } else if (options.join_only) {
         const std::vector<CompiledShard> shards = plan_shards(spec);
         ShardBoard board(board_directory(options.cache_dir, spec, shards));
-        join_board(spec, shards, board, cache, json_ptr, csv, summary, log);
+        join_board(spec, shards, board, cache, json_ptr, csv, summary, log,
+                   &worker_traces);
       } else {
         run_grid(spec, options, cache, json_ptr, csv, summary, log);
       }
@@ -710,6 +818,8 @@ RunSummary run_spec(const ExperimentSpec& requested,
       detail::run_churn(spec, options, json_ptr, csv, summary, log);
       break;
   }
+  finish_observability(spec, options, worker_traces, summary, json_ptr,
+                       log);
   if (json) json->finish();
 
   if (options.cache_max_bytes > 0) {

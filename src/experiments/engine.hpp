@@ -7,13 +7,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "experiments/cache.hpp"
 #include "experiments/spec.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsched::experiments {
 
@@ -47,6 +51,16 @@ struct RunOptions {
 
   // ----- cache hygiene ----------------------------------------------------
   std::uint64_t cache_max_bytes = 0;  ///< LRU-evict down to this (0 = off)
+
+  // ----- observability ----------------------------------------------------
+  /// `--trace PATH`: merge every process's spans into one Chrome
+  /// trace_event JSON timeline (Perfetto-loadable).  Requires the caller
+  /// to have enabled `obs::Tracer` before the run starts.
+  std::string trace_path;
+  /// When set, `wall_seconds` (and the root span) is measured from this
+  /// instant instead of run_spec entry -- the driver stamps it before
+  /// spec parsing so the reported wall time matches `/usr/bin/time`.
+  std::optional<std::chrono::steady_clock::time_point> run_epoch;
 };
 
 /// What one spec run did.  `cache_hits`/`deduped` are the re-use counters
@@ -65,6 +79,9 @@ struct RunSummary {
   std::size_t evicted = 0;        ///< cache entries LRU-evicted post-run
   double wall_seconds = 0.0;
   CacheStats cache;               ///< final cache counters (incl. stores)
+  /// Per-phase wall attribution (traced runs only: span count and total
+  /// span seconds per category, merged across every process).
+  std::vector<obs::PhaseAttribution> phases;
 
   /// One-line human summary ("smoke: 16 jobs, 16 cache hits, ...").
   [[nodiscard]] std::string describe() const;

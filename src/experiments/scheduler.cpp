@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::experiments {
@@ -138,6 +139,31 @@ std::optional<ShardResult> ShardBoard::load(
   return parse_shard_result(text.str());
 }
 
+void ShardBoard::publish_trace(const CompiledShard& shard,
+                               const std::string& encoded,
+                               const std::string& worker_id) const {
+  const fs::path target = fragment_path(shard) + ".trace";
+  const fs::path tmp = target.string() + ".tmp." + worker_id;
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out.good()) return;
+    out << encoded;
+    out.flush();
+    if (!out.good()) return;
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+}
+
+std::optional<std::string> ShardBoard::load_trace(
+    const CompiledShard& shard) const {
+  std::ifstream in(fragment_path(shard) + ".trace", std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 std::string board_directory(const std::string& cache_dir,
                             const ExperimentSpec& spec,
                             const std::vector<CompiledShard>& shards) {
@@ -165,12 +191,17 @@ WorkerSummary run_worker(const ExperimentSpec& spec,
     for (const CompiledShard& shard : shards) {
       if (board.is_done(shard)) continue;
       all_done = false;
+      obs::ObsSpan claim_span("lease", "claim");
+      if (claim_span.active()) claim_span.rename("claim:" + shard.id);
       bool claimed = board.try_claim(shard, worker_id);
       if (!claimed &&
           board.try_steal_stale(shard, options.stale_seconds, worker_id)) {
         ++summary.stolen;
+        obs::ObsSpan steal_span("lease", "steal");
+        if (steal_span.active()) steal_span.rename("steal:" + shard.id);
         claimed = board.try_claim(shard, worker_id);
       }
+      claim_span.finish();
       if (!claimed) continue;
       // The claim may have been won just as the previous owner published:
       // re-check before doing the work twice.
@@ -211,7 +242,20 @@ WorkerSummary run_worker(const ExperimentSpec& spec,
       }
       cv.notify_one();
       beat.join();
-      board.publish(shard, serialize_shard_result(result), worker_id);
+      {
+        obs::ObsSpan publish_span("lease", "publish");
+        if (publish_span.active()) {
+          publish_span.rename("publish:" + shard.id);
+        }
+        board.publish(shard, serialize_shard_result(result), worker_id);
+      }
+      // Ship everything this worker recorded since its previous publish
+      // as the shard's trace sidecar; the joining process merges them.
+      if (obs::Tracer::instance().enabled()) {
+        board.publish_trace(
+            shard, obs::encode_trace(obs::Tracer::instance().drain()),
+            worker_id);
+      }
       ++summary.executed;
       summary.jobs += result.jobs;
       summary.solved += result.solved;

@@ -83,6 +83,17 @@ class ShardBoard {
   [[nodiscard]] std::optional<ShardResult> load(
       const CompiledShard& shard) const;
 
+  /// Publishes an encoded `obs` trace as the shard's sidecar file
+  /// (`<id>.part.trace`, temp + rename).  Best effort: tracing never
+  /// fails a run, so write errors are swallowed.
+  void publish_trace(const CompiledShard& shard, const std::string& encoded,
+                     const std::string& worker_id) const;
+
+  /// Reads the shard's trace sidecar; nullopt when absent (the normal
+  /// case for untraced runs).
+  [[nodiscard]] std::optional<std::string> load_trace(
+      const CompiledShard& shard) const;
+
  private:
   [[nodiscard]] std::string claim_path(const CompiledShard& shard) const;
   [[nodiscard]] std::string fragment_path(const CompiledShard& shard) const;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "experiments/engine.hpp"
+#include "obs/trace.hpp"
 #include "service/wire.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -33,6 +34,7 @@ std::string z_key(const std::optional<double>& z) {
 }  // namespace
 
 std::vector<CompiledShard> plan_shards(const ExperimentSpec& spec) {
+  obs::ObsSpan span("shard", "plan");
   DLSCHED_EXPECT(spec.kind == SpecKind::Grid,
                  "spec '" + spec.name +
                      "': only grid specs compile into shards");
@@ -178,6 +180,8 @@ ShardResult execute_shard(const ExperimentSpec& spec,
                           const CompiledShard& shard, ResultCache& cache,
                           std::size_t threads,
                           const std::function<void()>& checkpoint) {
+  obs::ObsSpan span("shard", "execute");
+  if (span.active()) span.rename("execute:" + shard.id);
   ShardResult result;
   result.id = shard.id;
   result.index = shard.index;
@@ -442,6 +446,7 @@ void ShardAssembler::consume(const ShardResult& result) {
 }
 
 void ShardAssembler::finish() {
+  obs::ObsSpan span("shard", "assemble");
   const std::vector<std::string> header{
       "p",           "z",         "send_latency", "return_latency",
       "solver",      "instances", "mean_throughput",

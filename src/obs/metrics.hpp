@@ -1,0 +1,93 @@
+// Metrics half of the observability layer (src/obs/): one named
+// counter / gauge / log2-histogram registry shared by every tier.
+//
+// The log2 histogram used to live in service/stats.hpp as the daemon's
+// `LatencyHistogram`; it now lives here (service keeps a thin alias) so
+// the daemon, the coordinator and the experiment engine all bucket time
+// the same way and render the same JSON.  `MetricsRegistry` absorbs the
+// scattered per-subsystem counters (cache hits, arena acquires, frame
+// counts) behind stable dotted names -- see README "Observability" for
+// the name table.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlsched::obs {
+
+/// Power-of-two microsecond buckets: bucket i counts durations in
+/// [2^i, 2^(i+1)) us, bucket 0 additionally holds sub-microsecond
+/// samples.  32 buckets cover ~71 minutes, far beyond any solve budget.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void add(double seconds) noexcept;
+
+  /// Upper bound (in seconds) of the bucket holding quantile `q` of the
+  /// recorded samples; 0 when empty.  Bucketed, so good to ~2x --
+  /// clients wanting exact quantiles keep their own samples.
+  [[nodiscard]] double quantile_upper(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return counts_;
+  }
+
+  /// The raw bucket array as a JSON list, e.g. "[0,3,1,...]"; the one
+  /// rendering shared by StatsReport and the bench phase table.
+  [[nodiscard]] std::string render_buckets_json() const;
+
+  void merge(const Log2Histogram& other) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Thread-safe named metrics.  Counters are cumulative, gauges hold the
+/// latest value, histograms bucket seconds through `Log2Histogram`.
+/// Construction stamps the registry's birth for `uptime_seconds()`
+/// (what the daemon and coordinator report over StatsQuery).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : born_(std::chrono::steady_clock::now()) {}
+
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, std::int64_t value);
+  void observe(std::string_view name, double seconds);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+  [[nodiscard]] Log2Histogram histogram(std::string_view name) const;
+
+  [[nodiscard]] double uptime_seconds() const;
+
+  /// Name-ordered snapshots (std::map iteration) for rendering.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> gauges()
+      const;
+
+  /// The process-wide registry: what the solver core, the result cache
+  /// and the wire codecs count into without any plumbing.
+  static MetricsRegistry& process();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, Log2Histogram, std::less<>> histograms_;
+  std::chrono::steady_clock::time_point born_;
+};
+
+}  // namespace dlsched::obs

@@ -103,6 +103,13 @@ std::vector<experiments::ShardResult> Coordinator::take_results() {
   return results;
 }
 
+std::vector<obs::ProcessTrace> Coordinator::take_worker_traces() {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  std::vector<obs::ProcessTrace> traces;
+  traces.swap(worker_traces_);
+  return traces;
+}
+
 void Coordinator::request_retire(std::size_t count) {
   const std::lock_guard<std::mutex> lock(board_mutex_);
   retire_credits_ += count;
@@ -224,12 +231,17 @@ std::string Coordinator::handle_lease_payload(const std::string& payload) {
   }
 
   const experiments::CompiledShard& shard = shards_[grant_index];
+  obs::ObsSpan grant_span("lease", "grant");
+  if (grant_span.active()) grant_span.rename("grant:" + shard.id);
   LeaseGrantBody grant;
   grant.kind = LeaseGrantBody::Kind::Work;
   grant.shard_index = shard.index;
   grant.shard_id = shard.id;
   grant.plan_fingerprint = fingerprint_;
   grant.lease_ttl_seconds = config_.lease_ttl_seconds;
+  // A tracing coordinator asks its workers to trace too; they ship the
+  // spans back inside each FragmentPush.
+  grant.traced = obs::Tracer::instance().enabled();
   grant.spec_toml = spec_toml_;
   {
     // Warm records: whatever the coordinator's cache already holds for
@@ -293,6 +305,8 @@ std::string Coordinator::handle_fragment_payload(
   // late pushes from expired leases lose here), then store the records
   // *before* the shard counts as done -- `finished()` implies the cache
   // already holds every accepted shard's solves.
+  obs::ObsSpan commit_span("lease", "commit");
+  if (commit_span.active()) commit_span.rename("commit:" + push.shard_id);
   {
     const std::lock_guard<std::mutex> lock(board_mutex_);
     Slot& slot = slots_[push.shard_index];
@@ -329,6 +343,16 @@ std::string Coordinator::handle_fragment_payload(
     publish_gauges_locked();
   }
   done_cv_.notify_all();
+  if (!push.trace.empty()) {
+    // The worker's spans since its previous push.  Best effort: a
+    // corrupt section only costs its spans, never the fragment.
+    try {
+      obs::ProcessTrace trace = obs::decode_trace(push.trace);
+      const std::lock_guard<std::mutex> lock(trace_mutex_);
+      obs::merge_process_trace(worker_traces_, std::move(trace));
+    } catch (const std::exception&) {
+    }
+  }
   AckBody ack;
   ack.ok = true;
   ack.message = "accepted";

@@ -41,6 +41,7 @@
 #include "experiments/cache.hpp"
 #include "experiments/shard.hpp"
 #include "experiments/spec.hpp"
+#include "obs/trace.hpp"
 #include "service/stats.hpp"
 #include "service/wire.hpp"
 
@@ -89,6 +90,10 @@ class Coordinator {
 
   /// The accepted shard results in planner order; requires `finished()`.
   [[nodiscard]] std::vector<experiments::ShardResult> take_results();
+
+  /// The trace sections workers shipped inside their FragmentPushes,
+  /// merged per worker id (empty when tracing was off).  Moves them out.
+  [[nodiscard]] std::vector<obs::ProcessTrace> take_worker_traces();
 
   /// Autoscaler hooks: grant `count` further Retire answers to retirable
   /// workers' next Acquires, and account a spawned local worker.
@@ -143,6 +148,9 @@ class Coordinator {
 
   std::mutex cache_mutex_;
   experiments::ResultCache& cache_;  // guarded by cache_mutex_
+
+  std::mutex trace_mutex_;
+  std::vector<obs::ProcessTrace> worker_traces_;  // guarded by trace_mutex_
 
   ServiceStats stats_;
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "service/net.hpp"
 #include "util/error.hpp"
 
@@ -165,6 +166,7 @@ void Server::handle_connection(int fd) {
 }
 
 std::string Server::handle_solve_payload(const std::string& payload) {
+  obs::ObsSpan admit_span("daemon", "admit");
   const auto admitted_at = std::chrono::steady_clock::now();
   auto pending = std::make_unique<Pending>();
   try {
@@ -232,6 +234,9 @@ std::string Server::handle_solve_payload(const std::string& payload) {
   }
   stats_.on_admitted();
   queue_cv_.notify_one();
+  // Close the admission span before blocking on the batcher: the wait is
+  // the batch/settle spans' time, not admission's.
+  admit_span.finish();
   return response.get();
 }
 
@@ -266,9 +271,14 @@ void Server::batcher_loop() {
 }
 
 void Server::run_batch(std::vector<std::unique_ptr<Pending>> batch) {
+  obs::ObsSpan batch_span("daemon", "batch");
+  if (batch_span.active()) {
+    batch_span.rename("batch:" + std::to_string(batch.size()));
+  }
   const auto settle = [&](Pending& pending, const std::string& frame,
                           ServiceStats::Completion kind) {
     if (pending.fulfilled) return;
+    const obs::ObsSpan settle_span("daemon", "settle");
     pending.fulfilled = true;
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -1,56 +1,30 @@
 #include "service/stats.hpp"
 
-#include <bit>
-#include <cmath>
-
 #include "experiments/emitter.hpp"
 
 namespace dlsched::service {
 
-void LatencyHistogram::add(double seconds) noexcept {
-  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative clock skew
-  const double micros = seconds * 1e6;
-  std::size_t bucket = 0;
-  if (micros >= 1.0) {
-    const auto floor_micros = static_cast<std::uint64_t>(micros);
-    bucket = static_cast<std::size_t>(std::bit_width(floor_micros)) - 1;
-    if (bucket >= kBuckets) bucket = kBuckets - 1;
-  }
-  ++counts_[bucket];
-  ++total_;
-}
-
-double LatencyHistogram::quantile_upper(double q) const noexcept {
-  if (total_ == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total_)));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += counts_[i];
-    if (seen >= rank) {
-      return static_cast<double>(std::uint64_t{1} << (i + 1)) * 1e-6;
-    }
-  }
-  return static_cast<double>(std::uint64_t{1} << kBuckets) * 1e-6;
-}
+namespace {
+// Registry names for the daemon's cumulative counters; the claim-board
+// gauges mirror under "board.*".  README "Observability" lists them all.
+constexpr const char* kAdmitted = "service.admitted";
+constexpr const char* kRejected = "service.rejected";
+constexpr const char* kCacheHits = "service.cache_hits";
+constexpr const char* kSolved = "service.solved";
+constexpr const char* kDeduped = "service.deduped";
+constexpr const char* kProtocolErrors = "service.protocol_errors";
+constexpr const char* kLatency = "service.latency";
+}  // namespace
 
 void ServiceStats::on_admitted() {
+  registry_.add(kAdmitted);
   const std::lock_guard<std::mutex> lock(mutex_);
-  ++state_.admitted;
   ++state_.queued;
 }
 
-void ServiceStats::on_rejected() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++state_.rejected;
-}
+void ServiceStats::on_rejected() { registry_.add(kRejected); }
 
-void ServiceStats::on_protocol_error() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++state_.protocol_errors;
-}
+void ServiceStats::on_protocol_error() { registry_.add(kProtocolErrors); }
 
 void ServiceStats::on_batch_started(std::size_t n) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -59,19 +33,18 @@ void ServiceStats::on_batch_started(std::size_t n) {
 }
 
 void ServiceStats::on_completed(Completion kind, double latency_seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
   switch (kind) {
     case Completion::CacheHit:
-      ++state_.cache_hits;
+      registry_.add(kCacheHits);
       break;
     case Completion::Solved:
-      ++state_.solved;
+      registry_.add(kSolved);
       break;
     case Completion::Deduped:
-      ++state_.deduped;
+      registry_.add(kDeduped);
       break;
   }
-  state_.latency.add(latency_seconds);
+  registry_.observe(kLatency, latency_seconds);
 }
 
 void ServiceStats::on_batch_finished(std::size_t n) {
@@ -85,13 +58,44 @@ void ServiceStats::set_draining(bool draining) {
 }
 
 void ServiceStats::set_board(const CoordinatorGauges& board) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  state_.board = board;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state_.board = board;
+  }
+  registry_.set_gauge("board.shards_total",
+                      static_cast<std::int64_t>(board.shards_total));
+  registry_.set_gauge("board.shards_done",
+                      static_cast<std::int64_t>(board.shards_done));
+  registry_.set_gauge("board.shard_backlog",
+                      static_cast<std::int64_t>(board.shard_backlog));
+  registry_.set_gauge("board.leases_outstanding",
+                      static_cast<std::int64_t>(board.leases_outstanding));
+  registry_.set_gauge("board.fragment_bytes",
+                      static_cast<std::int64_t>(board.fragment_bytes));
+  registry_.set_gauge("board.fragments_discarded",
+                      static_cast<std::int64_t>(board.fragments_discarded));
+  registry_.set_gauge("board.lease_reassignments",
+                      static_cast<std::int64_t>(board.lease_reassignments));
+  registry_.set_gauge("board.workers_spawned",
+                      static_cast<std::int64_t>(board.workers_spawned));
+  registry_.set_gauge("board.workers_retired",
+                      static_cast<std::int64_t>(board.workers_retired));
 }
 
 StatsSnapshot ServiceStats::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return state_;
+  StatsSnapshot s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s = state_;
+  }
+  s.admitted = registry_.counter(kAdmitted);
+  s.rejected = registry_.counter(kRejected);
+  s.cache_hits = registry_.counter(kCacheHits);
+  s.solved = registry_.counter(kSolved);
+  s.deduped = registry_.counter(kDeduped);
+  s.protocol_errors = registry_.counter(kProtocolErrors);
+  s.latency = registry_.histogram(kLatency);
+  return s;
 }
 
 std::string ServiceStats::render_json() const {
@@ -108,6 +112,7 @@ std::string ServiceStats::render_json() const {
       .add("queued", s.queued)
       .add("in_flight", s.in_flight)
       .add("draining", s.draining)
+      .add("uptime_seconds", registry_.uptime_seconds())
       .add("hit_ratio",
            answered == 0 ? 0.0
                          : static_cast<double>(s.cache_hits) /
@@ -115,13 +120,7 @@ std::string ServiceStats::render_json() const {
       .add("latency_p50_s", s.latency.quantile_upper(0.50))
       .add("latency_p90_s", s.latency.quantile_upper(0.90))
       .add("latency_p99_s", s.latency.quantile_upper(0.99));
-  std::string buckets = "[";
-  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
-    if (i != 0) buckets += ',';
-    buckets += std::to_string(s.latency.buckets()[i]);
-  }
-  buckets += ']';
-  report.add_raw("latency_us_log2_buckets", std::move(buckets));
+  report.add_raw("latency_us_log2_buckets", s.latency.render_buckets_json());
   if (s.board.cluster) {
     report.add("shards_total", s.board.shards_total)
         .add("shards_done", s.board.shards_done)

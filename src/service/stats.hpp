@@ -9,38 +9,19 @@
 // enters `in_flight`), queries take a consistent snapshot.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace dlsched::service {
 
-/// Power-of-two microsecond buckets: bucket i counts latencies in
-/// [2^i, 2^(i+1)) us, bucket 0 additionally holds sub-microsecond
-/// requests.  32 buckets cover ~71 minutes, far beyond any solve budget.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 32;
-
-  void add(double seconds) noexcept;
-
-  /// Upper bound (in seconds) of the bucket holding quantile `q` of the
-  /// recorded latencies; 0 when empty.  Bucketed, so good to ~2x -- the
-  /// replay client computes exact quantiles client-side.
-  [[nodiscard]] double quantile_upper(double q) const noexcept;
-
-  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
-  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
-      const noexcept {
-    return counts_;
-  }
-
- private:
-  std::array<std::uint64_t, kBuckets> counts_{};
-  std::uint64_t total_ = 0;
-};
+/// The daemon's latency histogram is the observability layer's log2
+/// histogram -- one implementation, one JSON rendering, shared with the
+/// bench phase table (see src/obs/metrics.hpp for bucket semantics).
+using LatencyHistogram = obs::Log2Histogram;
 
 /// Gauges the cluster coordinator publishes alongside the request
 /// counters (service/coordinator.hpp): the live shape of the in-memory
@@ -97,11 +78,22 @@ class ServiceStats {
   [[nodiscard]] StatsSnapshot snapshot() const;
 
   /// The StatsReport payload: one JSON object with every counter, the
-  /// derived cache hit ratio, bucketed latency quantiles and the raw
-  /// histogram buckets.
+  /// derived cache hit ratio, bucketed latency quantiles, the raw
+  /// histogram buckets and the service uptime.
   [[nodiscard]] std::string render_json() const;
 
+  /// The registry behind the cumulative counters and the latency
+  /// histogram; its birth stamp is the reported `uptime_seconds`.
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
+
  private:
+  // Cumulative counters and the latency histogram live in the metrics
+  // registry (names "service.*"); only the level values -- queue depth,
+  // in-flight count, drain flag and the mirrored claim board -- stay in
+  // the mutex-guarded snapshot state.
+  obs::MetricsRegistry registry_;
   mutable std::mutex mutex_;
   StatsSnapshot state_;
 };

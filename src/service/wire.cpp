@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "experiments/emitter.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlsched::service {
@@ -516,6 +517,7 @@ std::string encode_lease_grant(const LeaseGrantBody& body) {
   out << "ttl ";
   put_double(out, body.lease_ttl_seconds);
   out << '\n';
+  out << "traced " << body.traced << '\n';
   put_blob(out, "spec", body.spec_toml);
   put_entries(out, body.records);
   out << "end\n";
@@ -548,7 +550,9 @@ LeaseGrantBody decode_lease_grant(std::string_view body) {
   grant.plan_fingerprint = get_blob(in, "fingerprint");
   expect_label(in, "ttl", "lease ttl");
   grant.lease_ttl_seconds = get_double(in);
-  DLSCHED_EXPECT(!in.fail(), "wire body: truncated lease ttl");
+  expect_label(in, "traced", "traced flag");
+  in >> grant.traced;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated lease grant");
   in.ignore(1);
   grant.spec_toml = get_blob(in, "spec");
   grant.records = get_entries(in);
@@ -565,6 +569,7 @@ std::string encode_fragment_push(const FragmentPushBody& body) {
   put_blob(out, "fingerprint", body.plan_fingerprint);
   put_blob(out, "fragment", body.fragment);
   put_entries(out, body.records);
+  if (!body.trace.empty()) put_blob(out, "trace", body.trace);
   out << "end\n";
   return out.str();
 }
@@ -582,7 +587,23 @@ FragmentPushBody decode_fragment_push(std::string_view body) {
   push.plan_fingerprint = get_blob(in, "fingerprint");
   push.fragment = get_blob(in, "fragment");
   push.records = get_entries(in);
-  expect_end(in, "fragment-push");
+  // Optional trace section: present only when the worker was tracing.
+  std::string label;
+  in >> label;
+  DLSCHED_EXPECT(!in.fail(), "wire body: truncated fragment push");
+  if (label == "trace") {
+    std::size_t size = 0;
+    in >> size;
+    DLSCHED_EXPECT(in.good(), "wire body: expected 'trace' blob");
+    in.ignore(1);
+    push.trace.assign(size, '\0');
+    in.read(push.trace.data(), static_cast<std::streamsize>(size));
+    in.ignore(1);
+    DLSCHED_EXPECT(in.good(), "wire body: truncated 'trace' blob");
+    in >> label;
+  }
+  DLSCHED_EXPECT(label == "end" && !in.fail(),
+                 "wire body: missing fragment-push end marker");
   return push;
 }
 
@@ -643,6 +664,7 @@ bool known_type(std::uint8_t type) {
 }  // namespace
 
 std::string encode_frame(FrameType type, std::string_view payload) {
+  obs::ObsSpan span("wire", "encode_frame");
   DLSCHED_EXPECT(payload.size() <= kMaxFramePayload,
                  "frame payload exceeds kMaxFramePayload");
   std::string out;
@@ -655,6 +677,7 @@ std::string encode_frame(FrameType type, std::string_view payload) {
 }
 
 FrameDecode try_decode_frame(std::string_view bytes) {
+  obs::ObsSpan span("wire", "decode_frame");
   FrameDecode decode;
   if (bytes.size() < kHeaderBytes) {
     decode.status = DecodeStatus::NeedMore;

@@ -206,6 +206,7 @@ struct LeaseGrantBody {
   std::string shard_id;
   std::string plan_fingerprint;   ///< worker re-plans and must agree
   double lease_ttl_seconds = 0.0; ///< renew well before this expires
+  bool traced = false;            ///< record obs spans, ship them in pushes
   std::string spec_toml;          ///< bit-exact spec (render_spec_toml)
   std::vector<WireCacheEntry> records;  ///< the shard's cached solves
 };
@@ -225,6 +226,10 @@ struct FragmentPushBody {
   std::string plan_fingerprint;
   std::string fragment;
   std::vector<WireCacheEntry> records;
+  /// Optional wire section: the worker's encoded `obs` trace buffer
+  /// (spans since its previous push).  Empty = absent on the wire, so
+  /// untraced runs ship exactly the bytes they always did.
+  std::string trace;
 };
 
 [[nodiscard]] std::string encode_fragment_push(const FragmentPushBody& body);

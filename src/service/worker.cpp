@@ -17,6 +17,7 @@
 #include "experiments/cache.hpp"
 #include "experiments/shard.hpp"
 #include "experiments/spec.hpp"
+#include "obs/trace.hpp"
 #include "service/net.hpp"
 #include "service/wire.hpp"
 #include "util/error.hpp"
@@ -99,6 +100,7 @@ class LeaseRenewer {
         if (stop_) break;
       }
       try {
+        const obs::ObsSpan renew_span("lease", "renew");
         if (!net::send_all(fd, frame)) break;
         const Frame reply = net::read_frame(fd, buffer, "renewer");
         if (reply.type != FrameType::Ack) break;  // Drain, or junk
@@ -178,6 +180,7 @@ TcpWorkerSummary run_tcp_worker(const TcpWorkerOptions& options,
 
   for (;;) {
     Frame reply;
+    obs::ObsSpan acquire_span("lease", "acquire");
     try {
       DLSCHED_EXPECT(net::send_all(fd, acquire_frame),
                      "worker: coordinator connection lost");
@@ -200,6 +203,15 @@ TcpWorkerSummary run_tcp_worker(const TcpWorkerOptions& options,
                    "worker: expected LeaseGrant, got frame type " +
                        std::to_string(static_cast<int>(reply.type)));
     const LeaseGrantBody grant = decode_lease_grant(reply.payload);
+    // A tracing coordinator asks the fleet to trace: an independently
+    // launched worker has no --trace flag, the grant is its switch.
+    // (Forked local workers inherit an already-enabled tracer instead,
+    // which also keeps their epoch on the coordinator's timeline.)
+    if (grant.traced && !obs::Tracer::instance().enabled()) {
+      obs::Tracer::instance().enable(options.worker_id);
+    }
+    if (acquire_span.active()) acquire_span.rename("acquire:" + grant.shard_id);
+    acquire_span.finish();
     if (grant.kind == LeaseGrantBody::Kind::Wait) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(grant.retry_after_ms));
@@ -247,6 +259,8 @@ TcpWorkerSummary run_tcp_worker(const TcpWorkerOptions& options,
       result = experiments::execute_shard(plan.spec, shard, cache, threads);
     }
 
+    obs::ObsSpan push_span("lease", "push");
+    if (push_span.active()) push_span.rename("push:" + shard.id);
     FragmentPushBody push;
     push.worker_id = options.worker_id;
     push.shard_index = shard.index;
@@ -263,6 +277,12 @@ TcpWorkerSummary run_tcp_worker(const TcpWorkerOptions& options,
           push.records.push_back(std::move(entry));
         }
       }
+    }
+
+    // Everything recorded since the previous push (or since enable) rides
+    // along inside this push; the coordinator folds it into the timeline.
+    if (obs::Tracer::instance().enabled()) {
+      push.trace = obs::encode_trace(obs::Tracer::instance().drain());
     }
 
     Frame ack_frame;

@@ -12,9 +12,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "experiments/cache.hpp"
+#include "obs/metrics.hpp"
 #include "platform/generators.hpp"
 #include "service/client.hpp"
 #include "service/replay.hpp"
@@ -56,6 +58,25 @@ std::vector<SolveRequest> distinct_requests(std::size_t count,
   return requests;
 }
 
+// The daemon's latency histogram IS the obs layer's log2 histogram: one
+// bucketing, one JSON rendering, shared by the stats report and the
+// bench phase table.
+TEST(ServeStats, LatencyHistogramIsTheObsHistogram) {
+  static_assert(std::is_same_v<LatencyHistogram, obs::Log2Histogram>,
+                "service::LatencyHistogram must alias obs::Log2Histogram");
+  LatencyHistogram service_side;
+  obs::Log2Histogram obs_side;
+  for (const double s : {0.0, 3e-6, 250e-6, 1e-3, 0.9}) {
+    service_side.add(s);
+    obs_side.add(s);
+  }
+  EXPECT_EQ(service_side.render_buckets_json(),
+            obs_side.render_buckets_json());
+  EXPECT_EQ(service_side.quantile_upper(0.5), obs_side.quantile_upper(0.5));
+  EXPECT_EQ(service_side.quantile_upper(0.99),
+            obs_side.quantile_upper(0.99));
+}
+
 TEST(ServeDaemon, LifecycleRequestsDrainAndStats) {
   const TestPaths paths = test_paths("life");
   ServerConfig config;
@@ -92,6 +113,7 @@ TEST(ServeDaemon, LifecycleRequestsDrainAndStats) {
     EXPECT_EQ(json_number_field(stats, "cache_hits"), 3.0);
     EXPECT_EQ(json_number_field(stats, "rejected"), 0.0);
     EXPECT_EQ(json_number_field(stats, "hit_ratio"), 0.5);
+    EXPECT_GE(json_number_field(stats, "uptime_seconds"), 0.0);
   }
 
   // Drain: new solves are refused with a do-not-retry marker; the stats

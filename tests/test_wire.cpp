@@ -163,6 +163,7 @@ TEST(WireBodies, LeaseGrantRoundTripsWorkWithRecords) {
   grant.shard_id = "00ff00ff00ff00ff00ff00ff00ff00ff";
   grant.plan_fingerprint = "fp";
   grant.lease_ttl_seconds = 0.25;  // exact in binary: bit-equal after decode
+  grant.traced = true;
   grant.spec_toml = "name = \"smoke\"\nworkers = [4, 6]\n";
   grant.records.push_back(
       {"hash-a", "key a\nwith newline", encode_result_body(sample_record())});
@@ -173,6 +174,7 @@ TEST(WireBodies, LeaseGrantRoundTripsWorkWithRecords) {
   EXPECT_EQ(back.shard_index, 3u);
   EXPECT_EQ(back.shard_id, grant.shard_id);
   EXPECT_EQ(back.lease_ttl_seconds, grant.lease_ttl_seconds);
+  EXPECT_TRUE(back.traced);
   EXPECT_EQ(back.spec_toml, grant.spec_toml);
   ASSERT_EQ(back.records.size(), 2u);
   EXPECT_EQ(back.records[0].key, grant.records[0].key);
@@ -185,7 +187,9 @@ TEST(WireBodies, LeaseGrantRoundTripsWorkWithRecords) {
     LeaseGrantBody signal;
     signal.kind = kind;
     signal.retry_after_ms = 50.0;
-    EXPECT_EQ(decode_lease_grant(encode_lease_grant(signal)).kind, kind);
+    const LeaseGrantBody round = decode_lease_grant(encode_lease_grant(signal));
+    EXPECT_EQ(round.kind, kind);
+    EXPECT_FALSE(round.traced);
   }
 }
 
@@ -204,6 +208,14 @@ TEST(WireBodies, FragmentPushAndAckRoundTrip) {
   EXPECT_EQ(back.fragment, push.fragment);
   ASSERT_EQ(back.records.size(), 1u);
   EXPECT_EQ(back.records[0].body, push.records[0].body);
+  EXPECT_TRUE(back.trace.empty());  // no trace section encoded
+
+  // The optional trace section rides between the records and "end".
+  push.trace = "opaque trace\nbytes";
+  const FragmentPushBody traced =
+      decode_fragment_push(encode_fragment_push(push));
+  EXPECT_EQ(traced.trace, push.trace);
+  EXPECT_EQ(traced.fragment, push.fragment);
 
   const AckBody ok{true, "accepted"};
   const AckBody no{false, "plan fingerprint mismatch"};
